@@ -1,0 +1,52 @@
+// Ablation A5 — phase-guided vs whole-run profiling (Sembrant'12, the
+// framework the paper's sampler builds on). On single-phase workloads the
+// two match; on programs with alternating behaviour the per-phase analysis
+// can pick different distances/hints per phase region.
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/phases.hh"
+#include "sim/system.hh"
+#include "support/text_table.hh"
+#include "workloads/suite.hh"
+
+int main() {
+  using namespace re;
+  bench::print_header("Ablation: phase-guided profiling",
+                      "Whole-run vs per-phase analysis (AMD config)");
+
+  const sim::MachineConfig machine = sim::amd_phenom_ii();
+  TextTable table({"Benchmark", "phases", "segments", "global plans",
+                   "phased plans", "global speedup", "phased speedup"});
+  for (const std::string& name : workloads::suite_names()) {
+    const workloads::Program program = workloads::make_benchmark(name);
+    const sim::RunResult base = sim::run_single(machine, program, false);
+
+    const core::OptimizationReport global =
+        core::optimize_program(program, machine);
+    const core::PhasedOptimizationReport phased =
+        core::phase_aware_optimize(program, machine);
+
+    const sim::RunResult g = sim::run_single(machine, global.optimized,
+                                             false);
+    const sim::RunResult p =
+        sim::run_single(machine, phased.merged.optimized, false);
+
+    table.add_row(
+        {name, std::to_string(phased.phases.num_phases),
+         std::to_string(phased.phases.segments.size()),
+         std::to_string(global.plans.size()),
+         std::to_string(phased.merged.plans.size()),
+         format_speedup_percent(static_cast<double>(base.apps[0].cycles) /
+                                static_cast<double>(g.apps[0].cycles)),
+         format_speedup_percent(static_cast<double>(base.apps[0].cycles) /
+                                static_cast<double>(p.apps[0].cycles))});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("The suite's models alternate a long main loop with short\n"
+              "workspace phases; both analyses find the same stream loads,\n"
+              "so phase awareness is insurance rather than a win here — it\n"
+              "matters for programs whose *prefetchable* behaviour changes\n"
+              "between phases.\n");
+  return 0;
+}

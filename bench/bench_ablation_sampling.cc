@@ -1,0 +1,51 @@
+// Ablation A4 — sampling rate vs model fidelity and plan stability. The
+// paper samples 1 in 100,000 references of full SPEC runs; our runs are
+// ~10^6 references, so the period is the knob that sets samples per static
+// instruction. The model (and the resulting plans) should be stable until
+// samples get scarce.
+#include <cstdio>
+
+#include "analysis/functional_sim.hh"
+#include "analysis/metrics.hh"
+#include "bench_common.hh"
+#include "core/pipeline.hh"
+#include "support/text_table.hh"
+#include "workloads/suite.hh"
+
+int main() {
+  using namespace re;
+  bench::print_header("Ablation: sampling period",
+                      "StatStack coverage and plan stability vs sampling "
+                      "rate (AMD config)");
+
+  const sim::MachineConfig machine = sim::amd_phenom_ii();
+  for (const std::string& name :
+       {std::string("libquantum"), std::string("mcf"), std::string("gcc")}) {
+    const workloads::Program program = workloads::make_benchmark(name);
+    const analysis::FunctionalSimResult sim_l1 =
+        analysis::functional_simulate(program, machine.l1);
+
+    std::printf("--- %s ---\n", name.c_str());
+    TextTable table({"period", "reuse samples", "L1 model coverage", "plans",
+                     "miss coverage"});
+    for (std::uint64_t period :
+         {100ull, 300ull, 1000ull, 3000ull, 10000ull, 30000ull}) {
+      core::OptimizerOptions options;
+      options.sampler.sample_period = period;
+      const core::OptimizationReport report =
+          core::optimize_program(program, machine, options);
+      const core::StatStack model(report.profile);
+      const double model_cov = analysis::statstack_miss_coverage(
+          model, report.profile, sim_l1, machine.l1.num_lines());
+      const analysis::CoverageResult cov = analysis::measure_coverage(
+          program, report.optimized, machine.l1);
+      table.add_row({std::to_string(period),
+                     std::to_string(report.profile.reuse_samples.size()),
+                     format_percent(model_cov),
+                     std::to_string(report.plans.size()),
+                     format_percent(cov.miss_coverage())});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Shared helpers for the paper-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/config.hh"
+
+namespace re::bench {
+
+/// Print the standard header: which paper artifact this binary regenerates
+/// and the (scaled) machine configurations in Table II form.
+inline void print_header(const std::string& artifact,
+                         const std::string& description) {
+  std::printf("================================================================\n");
+  std::printf("%s\n%s\n", artifact.c_str(), description.c_str());
+  std::printf("================================================================\n");
+  for (const sim::MachineConfig& m :
+       {sim::amd_phenom_ii(), sim::intel_sandybridge()}) {
+    std::printf(
+        "%-16s L1 %3llu kB  L2 %4llu kB  LLC %5llu kB  %.1f GHz  "
+        "%.1f GB/s peak\n",
+        m.name.c_str(),
+        static_cast<unsigned long long>(m.l1.size_bytes >> 10),
+        static_cast<unsigned long long>(m.l2.size_bytes >> 10),
+        static_cast<unsigned long long>(m.llc.size_bytes >> 10),
+        m.freq_ghz, m.peak_bandwidth_gbps());
+  }
+  std::printf("(geometries scaled from the paper's Table II; see DESIGN.md)\n\n");
+}
+
+}  // namespace re::bench

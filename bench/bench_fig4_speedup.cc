@@ -1,0 +1,57 @@
+// Figure 4 — Speedup of the selected benchmarks with different prefetching
+// policies, run in isolation on both machines. Baseline: original program,
+// hardware prefetching off.
+#include <cstdio>
+
+#include "analysis/experiments.hh"
+#include "bench_common.hh"
+#include "support/series_chart.hh"
+#include "support/text_table.hh"
+
+int main() {
+  using namespace re;
+  bench::print_header(
+      "Figure 4: Speedup with different prefetching policies",
+      "Single-threaded runs; speedup relative to no-prefetching baseline");
+
+  analysis::PlanCache cache;
+  for (const sim::MachineConfig& machine :
+       {sim::amd_phenom_ii(), sim::intel_sandybridge()}) {
+    std::printf("--- %s ---\n", machine.name.c_str());
+    TextTable table({"Benchmark", "Hardware Pref.", "Software Pref.",
+                     "Soft Pref.+NT", "Stride-centric"});
+    std::vector<ChartSeries> series = {
+        {"Hardware Pref.", {}}, {"Soft Pref.+NT", {}}};
+    std::vector<std::string> labels;
+
+    double sums[4] = {0, 0, 0, 0};
+    int n = 0;
+    for (const std::string& name : workloads::suite_names()) {
+      const analysis::BenchmarkEvaluation eval =
+          analysis::evaluate_benchmark(machine, name, cache);
+      const double hw = eval.speedup(analysis::Policy::Hardware);
+      const double sw = eval.speedup(analysis::Policy::Software);
+      const double nt = eval.speedup(analysis::Policy::SoftwareNT);
+      const double sc = eval.speedup(analysis::Policy::StrideCentric);
+      table.add_row({name, format_speedup_percent(hw),
+                     format_speedup_percent(sw), format_speedup_percent(nt),
+                     format_speedup_percent(sc)});
+      labels.push_back(name);
+      series[0].values.push_back(hw - 1.0);
+      series[1].values.push_back(nt - 1.0);
+      sums[0] += hw;
+      sums[1] += sw;
+      sums[2] += nt;
+      sums[3] += sc;
+      ++n;
+    }
+    table.add_separator();
+    table.add_row({"average", format_speedup_percent(sums[0] / n),
+                   format_speedup_percent(sums[1] / n),
+                   format_speedup_percent(sums[2] / n),
+                   format_speedup_percent(sums[3] / n)});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("%s\n", render_grouped_bars(labels, series).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 5 — Increase in data volume fetched from DRAM over the lifetime of
+// the benchmarks (relative to the no-prefetching baseline), both machines.
+// Paper finding: software prefetching with cache bypassing is strictly
+// better than hardware prefetching; on average it lowers off-chip traffic
+// by 44 % (AMD) / 64 % (Intel) relative to hardware prefetching.
+#include <cstdio>
+
+#include "analysis/experiments.hh"
+#include "bench_common.hh"
+#include "support/text_table.hh"
+
+int main() {
+  using namespace re;
+  bench::print_header(
+      "Figure 5: Increase in data volume fetched from DRAM",
+      "Single-threaded runs; increase relative to no-prefetching baseline");
+
+  analysis::PlanCache cache;
+  for (const sim::MachineConfig& machine :
+       {sim::amd_phenom_ii(), sim::intel_sandybridge()}) {
+    std::printf("--- %s ---\n", machine.name.c_str());
+    TextTable table({"Benchmark", "Hardware Pref.", "Software Pref.",
+                     "Soft Pref.+NT", "Stride-centric", "Base MB"});
+    double sums[4] = {0, 0, 0, 0};
+    double hw_bytes = 0.0, nt_bytes = 0.0;
+    int n = 0;
+    for (const std::string& name : workloads::suite_names()) {
+      const analysis::BenchmarkEvaluation eval =
+          analysis::evaluate_benchmark(machine, name, cache);
+      const double hw = eval.traffic_increase(analysis::Policy::Hardware);
+      const double sw = eval.traffic_increase(analysis::Policy::Software);
+      const double nt = eval.traffic_increase(analysis::Policy::SoftwareNT);
+      const double sc =
+          eval.traffic_increase(analysis::Policy::StrideCentric);
+      const double base_mb =
+          static_cast<double>(
+              eval.runs.at(analysis::Policy::Baseline).dram.total_bytes()) /
+          (1024.0 * 1024.0);
+      table.add_row({name, format_percent(hw), format_percent(sw),
+                     format_percent(nt), format_percent(sc),
+                     format_double(base_mb, 1)});
+      sums[0] += hw;
+      sums[1] += sw;
+      sums[2] += nt;
+      sums[3] += sc;
+      hw_bytes += static_cast<double>(
+          eval.runs.at(analysis::Policy::Hardware).dram.total_bytes());
+      nt_bytes += static_cast<double>(
+          eval.runs.at(analysis::Policy::SoftwareNT).dram.total_bytes());
+      ++n;
+    }
+    table.add_separator();
+    table.add_row({"average", format_percent(sums[0] / n),
+                   format_percent(sums[1] / n), format_percent(sums[2] / n),
+                   format_percent(sums[3] / n), ""});
+    std::printf("%s\n", table.render().c_str());
+    if (hw_bytes > 0.0) {
+      std::printf("Soft Pref.+NT moves %.1f%% less data than hardware "
+                  "prefetching on %s (paper: 44%% AMD / 64%% Intel).\n\n",
+                  (1.0 - nt_bytes / hw_bytes) * 100.0, machine.name.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Section IV validation — StatStack miss coverage against exact functional
+// cache simulation. The paper reports that, at a 1-in-100,000 sampling
+// rate over full SPEC runs, the model accounts for 88 % of all misses
+// against a 64 kB 2-way D$ and 94 % against a 512 kB L2. Our runs are
+// ~10^6 references, so the default period is scaled to keep samples per
+// static instruction in the same regime (see core/sampler.hh); the
+// sampling-rate ablation sweeps this knob.
+#include <cstdio>
+
+#include "analysis/functional_sim.hh"
+#include "analysis/metrics.hh"
+#include "bench_common.hh"
+#include "core/sampler.hh"
+#include "core/statstack.hh"
+#include "sim/config.hh"
+#include "support/text_table.hh"
+#include "workloads/suite.hh"
+
+int main() {
+  using namespace re;
+  bench::print_header("Section IV: StatStack model validation",
+                      "Share of simulated misses the model accounts for "
+                      "(paper: 88% at L1, 94% at L2)");
+
+  const sim::MachineConfig machine = sim::amd_phenom_ii();
+  const sim::CacheGeometry l1 = machine.l1;  // 64 kB 2-way, as in the paper
+  const sim::CacheGeometry l2 = machine.l2;
+
+  TextTable table({"Benchmark", "L1 coverage", "L2 coverage", "samples",
+                   "sim L1 MR", "model L1 MR"});
+  double sum_l1 = 0.0, sum_l2 = 0.0;
+  int n = 0;
+  for (const std::string& name : workloads::suite_names()) {
+    const workloads::Program program = workloads::make_benchmark(name);
+    const core::Profile profile = core::profile_program(program, {});
+    const core::StatStack model(profile);
+
+    const analysis::FunctionalSimResult sim_l1 =
+        analysis::functional_simulate(program, l1);
+    const analysis::FunctionalSimResult sim_l2 =
+        analysis::functional_simulate(program, l2);
+
+    const double cov_l1 = analysis::statstack_miss_coverage(
+        model, profile, sim_l1, l1.num_lines());
+    const double cov_l2 = analysis::statstack_miss_coverage(
+        model, profile, sim_l2, l2.num_lines());
+
+    table.add_row({name, format_percent(cov_l1), format_percent(cov_l2),
+                   std::to_string(profile.reuse_samples.size()),
+                   format_percent(sim_l1.miss_ratio()),
+                   format_percent(model.application_mrc().miss_ratio_bytes(
+                       l1.size_bytes))});
+    sum_l1 += cov_l1;
+    sum_l2 += cov_l2;
+    ++n;
+  }
+  table.add_separator();
+  table.add_row({"Average", format_percent(sum_l1 / n),
+                 format_percent(sum_l2 / n), "", "", ""});
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Table I — Prefetch Coverage & Minimization.
+//
+// For each benchmark, compares the MDDLI-filtered prefetching against the
+// stride-centric baseline: L1 miss coverage (fraction of baseline misses
+// removed, measured by exact functional simulation of the machine's L1) and
+// OH (prefetch instructions executed per miss removed). Paper finding: the
+// MDDLI filter removes a similar share of misses while executing ~35 %
+// fewer prefetch instructions.
+#include <cstdio>
+
+#include "analysis/experiments.hh"
+#include "analysis/functional_sim.hh"
+#include "bench_common.hh"
+#include "support/text_table.hh"
+
+int main() {
+  using namespace re;
+  bench::print_header("Table I: Prefetch Coverage & Minimization",
+                      "MDDLI-filtered vs stride-centric prefetch insertion "
+                      "(ground truth: functional L1 simulation)");
+
+  const sim::MachineConfig machine = sim::amd_phenom_ii();
+  analysis::PlanCache cache;
+
+  TextTable table({"Benchmark", "MDDLI Cov.", "MDDLI OH", "Centric Cov.",
+                   "Centric OH", "MDDLI pf", "Centric pf"});
+  double sum_cov_mddli = 0.0, sum_cov_centric = 0.0;
+  double sum_oh_mddli = 0.0, sum_oh_centric = 0.0;
+  std::uint64_t total_pf_mddli = 0, total_pf_centric = 0;
+  int n = 0;
+
+  for (const std::string& name : workloads::suite_names()) {
+    const workloads::Program original = workloads::make_benchmark(name);
+    const workloads::Program mddli = cache.prepare(
+        machine, name, workloads::InputSet::Reference,
+        analysis::Policy::SoftwareNT);
+    const workloads::Program centric = cache.prepare(
+        machine, name, workloads::InputSet::Reference,
+        analysis::Policy::StrideCentric);
+
+    const analysis::CoverageResult cov_mddli =
+        analysis::measure_coverage(original, mddli, machine.l1);
+    const analysis::CoverageResult cov_centric =
+        analysis::measure_coverage(original, centric, machine.l1);
+
+    table.add_row({name, format_percent(cov_mddli.miss_coverage()),
+                   format_double(cov_mddli.overhead(), 1),
+                   format_percent(cov_centric.miss_coverage()),
+                   format_double(cov_centric.overhead(), 1),
+                   std::to_string(cov_mddli.prefetches_executed),
+                   std::to_string(cov_centric.prefetches_executed)});
+
+    sum_cov_mddli += cov_mddli.miss_coverage();
+    sum_cov_centric += cov_centric.miss_coverage();
+    sum_oh_mddli += cov_mddli.overhead();
+    sum_oh_centric += cov_centric.overhead();
+    total_pf_mddli += cov_mddli.prefetches_executed;
+    total_pf_centric += cov_centric.prefetches_executed;
+    ++n;
+  }
+
+  table.add_separator();
+  table.add_row({"Average", format_percent(sum_cov_mddli / n),
+                 format_double(sum_oh_mddli / n, 1),
+                 format_percent(sum_cov_centric / n),
+                 format_double(sum_oh_centric / n, 1),
+                 std::to_string(total_pf_mddli),
+                 std::to_string(total_pf_centric)});
+  std::printf("%s\n", table.render().c_str());
+
+  if (total_pf_centric > 0) {
+    std::printf("MDDLI executes %.1f%% fewer prefetch instructions than "
+                "stride-centric (paper: ~35%% fewer).\n",
+                (1.0 - static_cast<double>(total_pf_mddli) /
+                           static_cast<double>(total_pf_centric)) * 100.0);
+  }
+  return 0;
+}

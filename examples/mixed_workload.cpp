@@ -1,0 +1,85 @@
+// Mixed-workload scenario: four applications share a four-core machine
+// (the paper's Section VII-C situation). Compares no prefetching, hardware
+// prefetching, and the resource-efficient software scheme on throughput,
+// fairness, QoS and off-chip traffic.
+//
+// Usage: mixed_workload [app1 app2 app3 app4]
+//        (defaults to the paper's Figure 8 mix: cigar gcc lbm libquantum)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/experiments.hh"
+#include "support/text_table.hh"
+
+int main(int argc, char** argv) {
+  using namespace re;
+
+  workloads::MixSpec spec{{"cigar", "gcc", "lbm", "libquantum"}};
+  if (argc == 5) {
+    spec.apps = {argv[1], argv[2], argv[3], argv[4]};
+  } else if (argc != 1) {
+    std::fprintf(stderr, "usage: %s [app1 app2 app3 app4]\n", argv[0]);
+    return 1;
+  }
+
+  const sim::MachineConfig machine = sim::intel_sandybridge();
+  std::printf("machine: %s (4 cores, shared %llu kB LLC, %.1f GB/s)\n",
+              machine.name.c_str(),
+              static_cast<unsigned long long>(machine.llc.size_bytes >> 10),
+              machine.peak_bandwidth_gbps());
+  std::printf("mix:     %s + %s + %s + %s\n\n", spec.apps[0].c_str(),
+              spec.apps[1].c_str(), spec.apps[2].c_str(),
+              spec.apps[3].c_str());
+
+  analysis::PlanCache cache;
+  const std::vector<analysis::Policy> policies = {
+      analysis::Policy::Baseline, analysis::Policy::Hardware,
+      analysis::Policy::Software, analysis::Policy::SoftwareNT};
+  const analysis::MixEvaluation eval = analysis::evaluate_mix(
+      machine, spec, cache, workloads::InputSet::Reference, policies);
+
+  // Per-app speedups under each policy.
+  TextTable apps({"app", "Hardware Pref.", "Software Pref.",
+                  "Soft Pref.+NT"});
+  const auto base = eval.times(analysis::Policy::Baseline);
+  const auto hw = eval.times(analysis::Policy::Hardware);
+  const auto sw = eval.times(analysis::Policy::Software);
+  const auto nt = eval.times(analysis::Policy::SoftwareNT);
+  for (std::size_t i = 0; i < spec.apps.size(); ++i) {
+    apps.add_row({spec.apps[i], format_percent(base[i] / hw[i] - 1.0),
+                  format_percent(base[i] / sw[i] - 1.0),
+                  format_percent(base[i] / nt[i] - 1.0)});
+  }
+  std::printf("per-app speedup over the no-prefetching baseline:\n%s\n",
+              apps.render().c_str());
+
+  TextTable summary({"metric", "Hardware Pref.", "Software Pref.",
+                     "Soft Pref.+NT"});
+  auto row = [&](const std::string& name, auto getter) {
+    summary.add_row({name, getter(analysis::Policy::Hardware),
+                     getter(analysis::Policy::Software),
+                     getter(analysis::Policy::SoftwareNT)});
+  };
+  row("throughput (weighted speedup)", [&](analysis::Policy p) {
+    return format_speedup_percent(eval.weighted_speedup(p));
+  });
+  row("fair speedup", [&](analysis::Policy p) {
+    return format_double(eval.fair_speedup(p), 3);
+  });
+  row("QoS degradation", [&](analysis::Policy p) {
+    return format_percent(eval.qos(p));
+  });
+  row("off-chip traffic vs baseline", [&](analysis::Policy p) {
+    return format_percent(eval.traffic_increase(p));
+  });
+  row("off-chip bandwidth", [&](analysis::Policy p) {
+    return format_gbps(eval.bandwidth_gbps(p));
+  });
+  std::printf("mix summary:\n%s\n", summary.render().c_str());
+  std::printf("baseline bandwidth: %s of %s peak\n",
+              format_gbps(eval.bandwidth_gbps(analysis::Policy::Baseline))
+                  .c_str(),
+              format_gbps(machine.peak_bandwidth_gbps()).c_str());
+  return 0;
+}

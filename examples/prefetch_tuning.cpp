@@ -1,0 +1,67 @@
+// Prefetch-distance tuning study: shows why the paper's distance formula
+// (Section VI-A) matters by sweeping the inserted distance around the
+// computed one and measuring speedup and late-prefetch rate.
+//
+// Usage: prefetch_tuning [benchmark]   (default: libquantum)
+#include <cstdio>
+#include <string>
+
+#include "core/pipeline.hh"
+#include "sim/system.hh"
+#include "support/text_table.hh"
+#include "workloads/suite.hh"
+
+int main(int argc, char** argv) {
+  using namespace re;
+
+  const std::string name = argc > 1 ? argv[1] : "libquantum";
+  const sim::MachineConfig machine = sim::amd_phenom_ii();
+  const workloads::Program program = workloads::make_benchmark(name);
+
+  const core::OptimizationReport report =
+      core::optimize_program(program, machine);
+  if (report.plans.empty()) {
+    std::printf("%s has no prefetchable loads; try a streaming benchmark.\n",
+                name.c_str());
+    return 0;
+  }
+
+  const sim::RunResult base = sim::run_single(machine, program, false);
+  std::printf("benchmark: %s | computed distances:", name.c_str());
+  for (const auto& plan : report.plans) {
+    std::printf(" pc%u:%+lld", plan.pc,
+                static_cast<long long>(plan.distance_bytes));
+  }
+  std::printf(" bytes\n\n");
+
+  TextTable table({"distance scale", "speedup", "late prefetches",
+                   "dropped", "DRAM prefetch lines"});
+  for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    std::vector<core::PrefetchPlan> scaled = report.plans;
+    for (auto& plan : scaled) {
+      const auto d = static_cast<std::int64_t>(
+          static_cast<double>(plan.distance_bytes) * scale);
+      // Keep at least one line of lookahead, like the analysis does.
+      plan.distance_bytes =
+          d >= 0 ? std::max<std::int64_t>(d, kLineSize)
+                 : std::min<std::int64_t>(d, -static_cast<std::int64_t>(
+                                                 kLineSize));
+    }
+    const workloads::Program tuned =
+        core::insert_prefetches(program, scaled);
+    const sim::RunResult run = sim::run_single(machine, tuned, false);
+    const auto& mem = run.apps[0].mem;
+    table.add_row(
+        {format_double(scale, 2) + "x",
+         format_speedup_percent(static_cast<double>(base.apps[0].cycles) /
+                                static_cast<double>(run.apps[0].cycles)),
+         std::to_string(mem.late_prefetch_hits),
+         std::to_string(mem.sw_prefetches_dropped),
+         std::to_string(mem.sw_prefetch_dram_lines)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Short distances arrive late (partial stall savings); long\n"
+              "distances run past loop ends and evict data before use —\n"
+              "the formula P = ceil(l/d)*stride lands in the flat middle.\n");
+  return 0;
+}

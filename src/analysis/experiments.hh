@@ -1,0 +1,92 @@
+// Shared experiment harness for the bench binaries: evaluates benchmarks
+// and workload mixes under the paper's prefetching policies.
+//
+// Policies (paper Figures 4-7):
+//   Baseline      — original program, hardware prefetcher off. All speedups
+//                   and traffic numbers are relative to this.
+//   Hardware      — original program, hardware prefetcher on.
+//   Software      — MDDLI-optimized program without NT, HW prefetcher off.
+//   SoftwareNT    — MDDLI-optimized with cache bypassing ("Soft Pref.+NT").
+//   StrideCentric — the stride-centric baseline, HW prefetcher off.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hh"
+#include "sim/config.hh"
+#include "sim/system.hh"
+#include "workloads/mix.hh"
+#include "workloads/suite.hh"
+
+namespace re::analysis {
+
+enum class Policy { Baseline, Hardware, Software, SoftwareNT, StrideCentric };
+
+const char* policy_name(Policy policy);
+
+/// Caches optimization reports per (machine, benchmark, policy variant) so
+/// each bench binary profiles and optimizes a benchmark exactly once.
+/// Profiling always uses the Reference input (paper Section VII-D: a single
+/// input profile is used for both target architectures and all runs).
+class PlanCache {
+ public:
+  explicit PlanCache(core::OptimizerOptions options = {});
+
+  const core::OptimizationReport& report(const sim::MachineConfig& machine,
+                                         const std::string& benchmark,
+                                         Policy policy);
+
+  /// Program for `benchmark` with `input` data, optimized per `policy`
+  /// (plans trained on the Reference input), rebased by `base_offset`.
+  workloads::Program prepare(const sim::MachineConfig& machine,
+                             const std::string& benchmark,
+                             workloads::InputSet input, Policy policy,
+                             Addr base_offset = 0);
+
+  const core::OptimizerOptions& options() const { return options_; }
+
+ private:
+  core::OptimizerOptions options_;
+  std::map<std::string, core::OptimizationReport> reports_;
+};
+
+/// Single-benchmark evaluation (Figures 4-6): one run per policy.
+struct BenchmarkEvaluation {
+  std::string name;
+  std::map<Policy, sim::RunResult> runs;
+
+  double speedup(Policy policy) const;           // vs Baseline
+  double traffic_increase(Policy policy) const;  // vs Baseline
+  double bandwidth_gbps(Policy policy) const;
+};
+
+BenchmarkEvaluation evaluate_benchmark(
+    const sim::MachineConfig& machine, const std::string& benchmark,
+    PlanCache& cache,
+    workloads::InputSet input = workloads::InputSet::Reference);
+
+/// Mixed-workload evaluation (Figures 7-11): Baseline, Hardware and
+/// SoftwareNT runs of a 4-app mix.
+struct MixEvaluation {
+  workloads::MixSpec spec;
+  std::map<Policy, sim::RunResult> runs;
+
+  std::vector<double> times(Policy policy) const;
+  double weighted_speedup(Policy policy) const;
+  double fair_speedup(Policy policy) const;
+  double qos(Policy policy) const;
+  double traffic_increase(Policy policy) const;
+  double bandwidth_gbps(Policy policy) const;
+};
+
+MixEvaluation evaluate_mix(
+    const sim::MachineConfig& machine, const workloads::MixSpec& spec,
+    PlanCache& cache,
+    workloads::InputSet run_input = workloads::InputSet::Reference,
+    const std::vector<Policy>& policies = {Policy::Baseline, Policy::Hardware,
+                                           Policy::SoftwareNT});
+
+}  // namespace re::analysis

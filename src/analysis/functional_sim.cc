@@ -1,0 +1,57 @@
+#include "analysis/functional_sim.hh"
+
+#include "sim/cache.hh"
+#include "workloads/cursor.hh"
+
+namespace re::analysis {
+
+FunctionalSimResult functional_simulate(const workloads::Program& program,
+                                        const sim::CacheGeometry& geometry,
+                                        std::uint64_t max_refs) {
+  sim::SetAssocCache cache(geometry);
+  workloads::ProgramCursor cursor(program);
+  FunctionalSimResult result;
+
+  while (result.total_references < max_refs) {
+    auto event = cursor.next();
+    if (!event) break;
+    const Pc pc = event->inst->pc;
+    const Addr line = line_of(event->addr);
+
+    ++result.total_references;
+    ++result.accesses_by_pc[pc];
+    if (!cache.access(line, /*demand=*/true)) {
+      ++result.total_misses;
+      ++result.misses_by_pc[pc];
+      cache.fill(line, sim::FillOrigin::Demand);
+    }
+
+    if (event->inst->prefetch) {
+      ++result.prefetches_executed;
+      const Addr target_line = line_of(static_cast<Addr>(
+          static_cast<std::int64_t>(event->addr) +
+          event->inst->prefetch->distance_bytes));
+      if (!cache.access(target_line, /*demand=*/false)) {
+        cache.fill(target_line, sim::FillOrigin::SwPrefetch);
+      }
+    }
+  }
+  return result;
+}
+
+CoverageResult measure_coverage(const workloads::Program& original,
+                                const workloads::Program& optimized,
+                                const sim::CacheGeometry& geometry,
+                                std::uint64_t max_refs) {
+  const FunctionalSimResult base =
+      functional_simulate(original, geometry, max_refs);
+  const FunctionalSimResult opt =
+      functional_simulate(optimized, geometry, max_refs);
+  CoverageResult result;
+  result.base_misses = base.total_misses;
+  result.optimized_misses = opt.total_misses;
+  result.prefetches_executed = opt.prefetches_executed;
+  return result;
+}
+
+}  // namespace re::analysis

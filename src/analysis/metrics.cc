@@ -1,0 +1,71 @@
+#include "analysis/metrics.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace re::analysis {
+
+namespace {
+void check(const MixTimes& times) {
+  if (times.baseline.size() != times.policy.size() ||
+      times.baseline.empty()) {
+    throw std::invalid_argument("MixTimes sizes must match and be non-empty");
+  }
+  for (std::size_t i = 0; i < times.baseline.size(); ++i) {
+    if (times.baseline[i] <= 0.0 || times.policy[i] <= 0.0) {
+      throw std::invalid_argument("MixTimes entries must be positive");
+    }
+  }
+}
+}  // namespace
+
+double weighted_speedup(const MixTimes& times) {
+  check(times);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < times.baseline.size(); ++i) {
+    sum += times.baseline[i] / times.policy[i];
+  }
+  return sum / static_cast<double>(times.baseline.size());
+}
+
+double fair_speedup(const MixTimes& times) {
+  check(times);
+  double denom = 0.0;
+  for (std::size_t i = 0; i < times.baseline.size(); ++i) {
+    denom += times.policy[i] / times.baseline[i];
+  }
+  return static_cast<double>(times.baseline.size()) / denom;
+}
+
+double qos_degradation(const MixTimes& times) {
+  check(times);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < times.baseline.size(); ++i) {
+    sum += std::min(0.0, times.baseline[i] / times.policy[i] - 1.0);
+  }
+  return sum;
+}
+
+double traffic_increase(std::uint64_t base_bytes,
+                        std::uint64_t policy_bytes) {
+  if (base_bytes == 0) return 0.0;
+  return static_cast<double>(policy_bytes) /
+             static_cast<double>(base_bytes) -
+         1.0;
+}
+
+double statstack_miss_coverage(const core::StatStack& model,
+                               const core::Profile& profile,
+                               const FunctionalSimResult& simulated,
+                               std::uint64_t cache_lines) {
+  double covered = 0.0;
+  double total = 0.0;
+  for (const auto& [pc, sim_misses] : simulated.misses_by_pc) {
+    total += static_cast<double>(sim_misses);
+    const double modeled = model.estimated_misses(pc, cache_lines, profile);
+    covered += std::min(modeled, static_cast<double>(sim_misses));
+  }
+  return total > 0.0 ? covered / total : 0.0;
+}
+
+}  // namespace re::analysis

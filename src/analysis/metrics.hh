@@ -1,0 +1,46 @@
+// Multicore throughput metrics (paper Section VII-C/D, after Srikantaiah et
+// al. SC'09): weighted speedup, fair speedup, QoS, traffic increase, and
+// the model-coverage metric from Section IV.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/profile.hh"
+#include "core/statstack.hh"
+#include "analysis/functional_sim.hh"
+
+namespace re::analysis {
+
+/// Per-app execution times of the same mix under two configurations.
+/// Sizes must match and baseline entries must be non-zero.
+struct MixTimes {
+  std::vector<double> baseline;  // T_i(base)
+  std::vector<double> policy;    // T_i(prefetching)
+};
+
+/// Throughput / weighted speedup: arithmetic mean over apps of
+/// T_base / T_policy (1.0 = baseline throughput).
+double weighted_speedup(const MixTimes& times);
+
+/// The paper's Fair-Speedup: harmonic mean of the per-application
+/// speedups, FS = N / sum_i(T_policy_i / T_base_i).
+double fair_speedup(const MixTimes& times);
+
+/// The paper's QoS metric: cumulative slowdown,
+/// sum_i min(0, T_base_i / T_policy_i - 1). Zero means no app slowed down.
+double qos_degradation(const MixTimes& times);
+
+/// Relative change of off-chip traffic: policy/base - 1.
+double traffic_increase(std::uint64_t base_bytes, std::uint64_t policy_bytes);
+
+/// Section IV model validation: the share of simulated misses the StatStack
+/// model accounts for, sum_pc min(modeled, simulated) / sum_pc simulated.
+/// Modeled misses for a PC are its modeled miss ratio at `cache_lines`
+/// times its execution count.
+double statstack_miss_coverage(const core::StatStack& model,
+                               const core::Profile& profile,
+                               const FunctionalSimResult& simulated,
+                               std::uint64_t cache_lines);
+
+}  // namespace re::analysis

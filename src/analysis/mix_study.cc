@@ -1,0 +1,52 @@
+#include "analysis/mix_study.hh"
+
+namespace re::analysis {
+
+std::vector<double> MixStudy::collect(double MixOutcome::* field) const {
+  std::vector<double> out;
+  out.reserve(outcomes.size());
+  for (const MixOutcome& o : outcomes) out.push_back(o.*field);
+  return out;
+}
+
+double MixStudy::average(double MixOutcome::* field) const {
+  if (outcomes.empty()) return 0.0;
+  double sum = 0.0;
+  for (const MixOutcome& o : outcomes) sum += o.*field;
+  return sum / static_cast<double>(outcomes.size());
+}
+
+int MixStudy::count_if(bool (*pred)(const MixOutcome&)) const {
+  int n = 0;
+  for (const MixOutcome& o : outcomes) {
+    if (pred(o)) ++n;
+  }
+  return n;
+}
+
+MixStudy run_mix_study(const sim::MachineConfig& machine, PlanCache& cache,
+                       int count, workloads::InputSet run_input,
+                       std::uint64_t seed) {
+  const std::vector<workloads::MixSpec> mixes =
+      workloads::generate_mixes(count, sim::kNumCores, seed);
+
+  MixStudy study;
+  study.outcomes.reserve(mixes.size());
+  for (const workloads::MixSpec& spec : mixes) {
+    const MixEvaluation eval = evaluate_mix(machine, spec, cache, run_input);
+    MixOutcome o;
+    o.spec = spec;
+    o.ws_hw = eval.weighted_speedup(Policy::Hardware);
+    o.ws_nt = eval.weighted_speedup(Policy::SoftwareNT);
+    o.fs_hw = eval.fair_speedup(Policy::Hardware);
+    o.fs_nt = eval.fair_speedup(Policy::SoftwareNT);
+    o.qos_hw = eval.qos(Policy::Hardware);
+    o.qos_nt = eval.qos(Policy::SoftwareNT);
+    o.traffic_hw = eval.traffic_increase(Policy::Hardware);
+    o.traffic_nt = eval.traffic_increase(Policy::SoftwareNT);
+    study.outcomes.push_back(o);
+  }
+  return study;
+}
+
+}  // namespace re::analysis

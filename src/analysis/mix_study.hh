@@ -1,0 +1,41 @@
+// Mixed-workload study driver shared by the Figure 7/9/10/11 benches:
+// evaluates N random 4-app mixes under Baseline / Hardware / SoftwareNT on
+// one machine and collects the per-mix metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/experiments.hh"
+
+namespace re::analysis {
+
+struct MixOutcome {
+  workloads::MixSpec spec;
+  double ws_hw = 0.0;       // weighted speedup, hardware prefetching
+  double ws_nt = 0.0;       // weighted speedup, Soft Pref.+NT
+  double fs_hw = 0.0;       // fair speedup
+  double fs_nt = 0.0;
+  double qos_hw = 0.0;      // QoS degradation (<= 0)
+  double qos_nt = 0.0;
+  double traffic_hw = 0.0;  // off-chip traffic increase vs baseline
+  double traffic_nt = 0.0;
+};
+
+struct MixStudy {
+  std::vector<MixOutcome> outcomes;
+
+  std::vector<double> collect(double MixOutcome::* field) const;
+  double average(double MixOutcome::* field) const;
+  /// Fraction of mixes where `field` of NT beats HW (or any predicate).
+  int count_if(bool (*pred)(const MixOutcome&)) const;
+};
+
+/// The paper's standard study: `count` mixes of 4 random benchmarks.
+/// `run_input` selects original or different inputs (Section VII-D); the
+/// prefetch plans always come from Reference-input profiles.
+MixStudy run_mix_study(const sim::MachineConfig& machine, PlanCache& cache,
+                       int count, workloads::InputSet run_input,
+                       std::uint64_t seed = 0x180);
+
+}  // namespace re::analysis

@@ -1,0 +1,69 @@
+#include "core/bypass.hh"
+
+#include <algorithm>
+
+namespace re::core {
+
+ReuseGraph::ReuseGraph(const Profile& profile) {
+  for (const ReuseSample& s : profile.reuse_samples) {
+    ++edges_[s.first_pc][s.second_pc];
+    ++totals_[s.first_pc];
+  }
+}
+
+std::vector<Pc> ReuseGraph::reusers_of(Pc pc, double min_fraction) const {
+  std::vector<Pc> out;
+  auto it = edges_.find(pc);
+  if (it == edges_.end()) return out;
+  const double total = static_cast<double>(totals_.at(pc));
+  for (const auto& [to, count] : it->second) {
+    if (static_cast<double>(count) / total >= min_fraction) {
+      out.push_back(to);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t ReuseGraph::edge_count(Pc from, Pc to) const {
+  auto it = edges_.find(from);
+  if (it == edges_.end()) return 0;
+  auto jt = it->second.find(to);
+  return jt == it->second.end() ? 0 : jt->second;
+}
+
+std::uint64_t ReuseGraph::out_degree_samples(Pc from) const {
+  auto it = totals_.find(from);
+  return it == totals_.end() ? 0 : it->second;
+}
+
+bool mrc_flat_between_l1_and_llc(const MissRatioCurve& mrc,
+                                 const sim::MachineConfig& machine,
+                                 double drop_threshold) {
+  if (mrc.empty()) return true;  // nothing observed -> no L2/LLC reuse seen
+  const double mr_l1 = mrc.miss_ratio_bytes(machine.l1.size_bytes);
+  if (mr_l1 <= 0.0) return true;  // L1-resident; higher levels irrelevant
+  const double mr_llc = mrc.miss_ratio_bytes(machine.llc.size_bytes);
+  const double drop = (mr_l1 - mr_llc) / mr_l1;
+  return drop <= drop_threshold;
+}
+
+bool should_bypass(Pc pc, const ReuseGraph& graph, const StatStack& model,
+                   const sim::MachineConfig& machine,
+                   const BypassOptions& options) {
+  // The load's own next-touch behaviour matters too (sub-line strides reuse
+  // their own lines), so include pc itself alongside the observed reusers.
+  std::vector<Pc> reusers = graph.reusers_of(pc, options.min_edge_weight);
+  if (std::find(reusers.begin(), reusers.end(), pc) == reusers.end()) {
+    reusers.push_back(pc);
+  }
+  for (Pc reuser : reusers) {
+    if (!mrc_flat_between_l1_and_llc(model.pc_mrc(reuser), machine,
+                                     options.drop_threshold)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace re::core

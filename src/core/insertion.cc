@@ -1,0 +1,26 @@
+#include "core/insertion.hh"
+
+namespace re::core {
+
+const char* hint_mnemonic(workloads::PrefetchHint hint) {
+  switch (hint) {
+    case workloads::PrefetchHint::T0: return "prefetcht0";
+    case workloads::PrefetchHint::T1: return "prefetcht1";
+    case workloads::PrefetchHint::T2: return "prefetcht2";
+    case workloads::PrefetchHint::NTA: return "prefetchnta";
+  }
+  return "?";
+}
+
+workloads::Program insert_prefetches(const workloads::Program& program,
+                                     const std::vector<PrefetchPlan>& plans) {
+  workloads::Program out = program;
+  for (const PrefetchPlan& plan : plans) {
+    workloads::StaticInst* inst = out.find(plan.pc);
+    if (inst == nullptr) continue;
+    inst->prefetch = workloads::PrefetchOp{plan.distance_bytes, plan.hint};
+  }
+  return out;
+}
+
+}  // namespace re::core

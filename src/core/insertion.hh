@@ -1,0 +1,37 @@
+// Prefetch insertion (paper Section VI-C).
+//
+// The paper inserts `prefetch[nta] distance(base)` directly after the
+// target load at the assembler level. The simulator analogue attaches a
+// PrefetchOp to the static instruction: after each dynamic execution of the
+// load with address A, the core issues a prefetch to A + distance at a cost
+// of one cycle — exactly the base+offset addressing form.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/types.hh"
+#include "workloads/program.hh"
+
+namespace re::core {
+
+/// One planned insertion.
+struct PrefetchPlan {
+  Pc pc = 0;
+  std::int64_t distance_bytes = 0;
+  workloads::PrefetchHint hint = workloads::PrefetchHint::T0;
+
+  bool non_temporal() const {
+    return hint == workloads::PrefetchHint::NTA;
+  }
+};
+
+/// Assembly mnemonic for a hint ("prefetcht0" ... "prefetchnta").
+const char* hint_mnemonic(workloads::PrefetchHint hint);
+
+/// Return a copy of `program` with the planned prefetches attached.
+/// Plans naming unknown PCs are ignored (they would be dead code).
+workloads::Program insert_prefetches(const workloads::Program& program,
+                                     const std::vector<PrefetchPlan>& plans);
+
+}  // namespace re::core

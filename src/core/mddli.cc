@@ -1,0 +1,61 @@
+#include "core/mddli.hh"
+
+#include <algorithm>
+
+namespace re::core {
+
+double average_miss_latency(const sim::MachineConfig& machine, double mr_l1,
+                            double mr_l2, double mr_llc) {
+  if (mr_l1 <= 0.0) return 0.0;
+  // Clamp to a consistent nesting (modeled curves are monotone by
+  // construction, but guard against degenerate inputs).
+  mr_l2 = std::min(mr_l2, mr_l1);
+  mr_llc = std::min(mr_llc, mr_l2);
+
+  const double served_l2 = (mr_l1 - mr_l2) / mr_l1;
+  const double served_llc = (mr_l2 - mr_llc) / mr_l1;
+  const double served_dram = mr_llc / mr_l1;
+  return served_l2 * static_cast<double>(machine.l2_latency) +
+         served_llc * static_cast<double>(machine.llc_latency) +
+         served_dram * static_cast<double>(machine.dram_latency);
+}
+
+std::vector<DelinquentLoad> identify_delinquent_loads(
+    const StatStack& model, const Profile& profile,
+    const sim::MachineConfig& machine, const MddliOptions& options) {
+  std::vector<DelinquentLoad> out;
+  for (Pc pc : model.sampled_pcs()) {
+    const MissRatioCurve& mrc = model.pc_mrc(pc);
+    if (mrc.sample_count() < static_cast<double>(options.min_samples)) {
+      continue;
+    }
+
+    DelinquentLoad load;
+    load.pc = pc;
+    load.l1_miss_ratio = mrc.miss_ratio_bytes(machine.l1.size_bytes);
+    load.l2_miss_ratio = mrc.miss_ratio_bytes(machine.l2.size_bytes);
+    load.llc_miss_ratio = mrc.miss_ratio_bytes(machine.llc.size_bytes);
+    load.avg_miss_latency = average_miss_latency(
+        machine, load.l1_miss_ratio, load.l2_miss_ratio, load.llc_miss_ratio);
+    load.estimated_l1_misses =
+        load.l1_miss_ratio * static_cast<double>(profile.executions_of(pc));
+
+    // The paper's cost-benefit test: a prefetch executed on every dynamic
+    // instance costs alpha; it pays off only if misses are frequent enough
+    // that the removed latency exceeds that cost.
+    if (load.avg_miss_latency <= 0.0) continue;
+    if (load.l1_miss_ratio > options.alpha / load.avg_miss_latency) {
+      out.push_back(load);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DelinquentLoad& a, const DelinquentLoad& b) {
+              if (a.estimated_l1_misses != b.estimated_l1_misses) {
+                return a.estimated_l1_misses > b.estimated_l1_misses;
+              }
+              return a.pc < b.pc;
+            });
+  return out;
+}
+
+}  // namespace re::core

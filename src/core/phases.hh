@@ -1,0 +1,77 @@
+// Phase-guided profiling (after Sembrant, Black-Schaffer & Hagersten,
+// CGO'12 — the framework the paper's sampler builds on).
+//
+// Real applications move through execution phases with distinct memory
+// behaviour; one global profile blurs them together. This pass splits the
+// profiled reference stream into fixed windows, fingerprints each window by
+// its static-instruction mix, clusters consecutive windows into phases, and
+// runs the full MDDLI/stride/bypass analysis per phase. The merged plan
+// keeps, for every load, the decision from the phase where it matters most
+// (highest estimated misses).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pipeline.hh"
+#include "core/profile.hh"
+#include "workloads/program.hh"
+
+namespace re::core {
+
+struct PhaseOptions {
+  /// References per signature window.
+  std::uint64_t window_refs = 1 << 16;
+  /// Manhattan distance between normalized PC-frequency signatures below
+  /// which a window joins an existing phase (signatures sum to 1, so the
+  /// distance lies in [0, 2]).
+  double similarity_threshold = 0.5;
+};
+
+/// One contiguous run of windows belonging to the same phase.
+struct PhaseSegment {
+  int phase_id = 0;
+  std::uint64_t begin_ref = 0;
+  std::uint64_t end_ref = 0;  // exclusive
+};
+
+/// A profile annotated with detected phases.
+struct PhasedProfile {
+  Profile full;
+  std::vector<PhaseSegment> segments;
+  int num_phases = 0;
+
+  /// Phase id covering a stream position (last segment wins at boundaries).
+  int phase_at(std::uint64_t ref) const;
+
+  /// Sub-profile containing only the samples recorded inside `phase_id`'s
+  /// segments; execution counts and totals are scaled to the phase.
+  Profile phase_profile(int phase_id) const;
+
+  /// Total references spent in a phase.
+  std::uint64_t phase_references(int phase_id) const;
+};
+
+/// Profile one run of `program`, fingerprinting windows and clustering them
+/// into phases.
+PhasedProfile profile_with_phases(
+    const workloads::Program& program, const SamplerConfig& sampler_config,
+    const PhaseOptions& phase_options = {},
+    std::uint64_t max_refs = ~std::uint64_t{0});
+
+/// Phase-aware variant of optimize_program: per-phase analysis, merged
+/// plans. Reported delinquent loads / stride infos are the union across
+/// phases.
+struct PhasedOptimizationReport {
+  OptimizationReport merged;
+  PhasedProfile phases;
+  /// Plans each phase produced on its own (index = phase id).
+  std::vector<std::vector<PrefetchPlan>> per_phase_plans;
+};
+
+PhasedOptimizationReport phase_aware_optimize(
+    const workloads::Program& program, const sim::MachineConfig& machine,
+    const OptimizerOptions& options = {},
+    const PhaseOptions& phase_options = {});
+
+}  // namespace re::core

@@ -1,0 +1,120 @@
+#include "core/pipeline.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sim/system.hh"
+
+namespace re::core {
+
+namespace {
+
+/// Index stride samples by PC once.
+std::unordered_map<Pc, std::vector<StrideSample>> strides_by_pc(
+    const Profile& profile) {
+  std::unordered_map<Pc, std::vector<StrideSample>> by_pc;
+  for (const StrideSample& s : profile.stride_samples) {
+    by_pc[s.pc].push_back(s);
+  }
+  return by_pc;
+}
+
+}  // namespace
+
+double measure_cycles_per_memop(const workloads::Program& program,
+                                const sim::MachineConfig& machine) {
+  const sim::RunResult run =
+      sim::run_single(machine, program, /*hw_prefetch=*/false);
+  if (run.apps.empty() || run.apps[0].references == 0) return 1.0;
+  return static_cast<double>(run.apps[0].cycles) /
+         static_cast<double>(run.apps[0].references);
+}
+
+OptimizationReport optimize_program(const workloads::Program& program,
+                                    const sim::MachineConfig& machine,
+                                    const OptimizerOptions& options) {
+  OptimizationReport report;
+  report.benchmark = program.name;
+
+  // 1-2) Integrated sampling pass: data-reuse + stride samples.
+  report.profile =
+      profile_program(program, options.sampler, options.profile_max_refs);
+
+  // 3) Fast cache modeling.
+  const StatStack model(report.profile);
+
+  // Δ from a plain baseline run (performance counters in the paper).
+  report.cycles_per_memop = measure_cycles_per_memop(program, machine);
+
+  // 4) Delinquent-load identification with cost-benefit filtering.
+  report.delinquent_loads = identify_delinquent_loads(
+      model, report.profile, machine, options.mddli);
+
+  // 5-6) Stride analysis, prefetch distance and bypass analysis for the
+  // selected loads.
+  const auto by_pc = strides_by_pc(report.profile);
+  const ReuseGraph graph(report.profile);
+  for (const DelinquentLoad& load : report.delinquent_loads) {
+    auto it = by_pc.find(load.pc);
+    if (it == by_pc.end()) continue;
+    const StrideInfo info =
+        analyze_strides(load.pc, it->second, options.stride);
+    report.stride_infos.push_back(info);
+    if (!info.regular) continue;
+
+    PrefetchDistanceParams params;
+    params.latency = load.avg_miss_latency;
+    params.cycles_per_memop = report.cycles_per_memop;
+    params.loop_references = report.profile.executions_of(load.pc);
+    const auto distance = prefetch_distance_bytes(info, params);
+    if (!distance) continue;
+
+    PrefetchPlan plan;
+    plan.pc = load.pc;
+    plan.distance_bytes = *distance;
+    plan.hint = options.enable_non_temporal &&
+                        should_bypass(load.pc, graph, model, machine,
+                                      options.bypass)
+                    ? workloads::PrefetchHint::NTA
+                    : workloads::PrefetchHint::T0;
+    report.plans.push_back(plan);
+  }
+
+  report.optimized = insert_prefetches(program, report.plans);
+  return report;
+}
+
+OptimizationReport stride_centric_optimize(const workloads::Program& program,
+                                           const sim::MachineConfig& machine,
+                                           const OptimizerOptions& options) {
+  OptimizationReport report;
+  report.benchmark = program.name;
+  report.profile =
+      profile_program(program, options.sampler, options.profile_max_refs);
+  report.cycles_per_memop = measure_cycles_per_memop(program, machine);
+
+  // No cache model, no cost-benefit: every regular-strided load gets a
+  // prefetch, with a constant assumed memory latency and no loop cap.
+  report.stride_infos = analyze_all_strides(report.profile, options.stride);
+  for (const StrideInfo& info : report.stride_infos) {
+    if (!info.regular) continue;
+
+    PrefetchDistanceParams params;
+    params.latency = static_cast<double>(machine.dram_latency);
+    params.cycles_per_memop = report.cycles_per_memop;
+    params.loop_references = ~std::uint64_t{0};  // no cap
+    const auto distance = prefetch_distance_bytes(info, params);
+    if (!distance) continue;
+
+    PrefetchPlan plan;
+    plan.pc = info.pc;
+    plan.distance_bytes = *distance;
+    plan.hint = workloads::PrefetchHint::T0;
+    report.plans.push_back(plan);
+  }
+
+  report.optimized = insert_prefetches(program, report.plans);
+  return report;
+}
+
+}  // namespace re::core

@@ -1,0 +1,65 @@
+// Runtime profile data produced by the reuse/stride sampler (paper
+// Section III).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace re::core {
+
+/// One data-reuse sample: a randomly selected access touched a cache line;
+/// `distance` memory references later, the instruction at `second_pc`
+/// touched the same line. `first_pc` -> `second_pc` pairs form the
+/// data-reuse graph used by the cache-bypass analysis.
+struct ReuseSample {
+  Pc first_pc = 0;
+  Pc second_pc = 0;
+  RefCount distance = 0;  // intervening memory references
+  std::uint64_t at_ref = 0;  // stream position of the reusing access
+};
+
+/// One stride sample: the sampled instruction executed again `recurrence`
+/// memory references later, at an address `stride` bytes away.
+struct StrideSample {
+  Pc pc = 0;
+  std::int64_t stride = 0;
+  RefCount recurrence = 0;
+  std::uint64_t at_ref = 0;  // stream position of the re-execution
+};
+
+/// Everything the offline analysis passes consume.
+struct Profile {
+  std::vector<ReuseSample> reuse_samples;
+  std::vector<StrideSample> stride_samples;
+
+  /// Sampled lines never re-accessed before the end of the profiled window
+  /// (dangling watchpoints). They represent last-touches: infinite reuse
+  /// distance in the StatStack model.
+  std::uint64_t dangling_reuse_samples = 0;
+
+  /// Dangling samples grouped by the PC of the *sampled* (first) access.
+  /// The per-instruction model attributes them to that PC: when a streamed
+  /// line is eventually re-touched beyond the profiled window, the toucher
+  /// is almost always the same instruction, and that future access misses.
+  std::unordered_map<Pc, std::uint64_t> dangling_by_pc;
+
+  /// Exact per-PC execution counts over the profiled window (cheaply
+  /// obtainable in practice from basic-block counts).
+  std::unordered_map<Pc, std::uint64_t> pc_execution_counts;
+
+  /// Total memory references observed.
+  std::uint64_t total_references = 0;
+
+  /// Sampling period used (mean references between samples).
+  std::uint64_t sample_period = 0;
+
+  std::uint64_t executions_of(Pc pc) const {
+    auto it = pc_execution_counts.find(pc);
+    return it == pc_execution_counts.end() ? 0 : it->second;
+  }
+};
+
+}  // namespace re::core

@@ -1,0 +1,88 @@
+#include "core/sampler.hh"
+
+#include "workloads/cursor.hh"
+
+namespace re::core {
+
+Sampler::Sampler(const SamplerConfig& config)
+    : config_(config), rng_(config.seed) {
+  next_sample_at_ = rng_.geometric_gap(
+      static_cast<double>(config_.sample_period));
+}
+
+void Sampler::observe(Pc pc, Addr addr) {
+  ++ref_count_;
+  const Addr line = line_of(addr);
+
+  // Watchpoint on the sampled cache line: first re-access closes the
+  // reuse sample.
+  if (!line_watches_.empty()) {
+    auto it = line_watches_.find(line);
+    if (it != line_watches_.end()) {
+      profile_.reuse_samples.push_back(
+          ReuseSample{it->second.first_pc, pc,
+                      ref_count_ - it->second.start_ref - 1, ref_count_});
+      line_watches_.erase(it);
+    }
+  }
+
+  // Breakpoint on the sampled instruction: next execution closes the
+  // stride/recurrence sample.
+  if (!pc_watches_.empty()) {
+    auto it = pc_watches_.find(pc);
+    if (it != pc_watches_.end()) {
+      profile_.stride_samples.push_back(StrideSample{
+          pc,
+          static_cast<std::int64_t>(addr) -
+              static_cast<std::int64_t>(it->second.last_addr),
+          ref_count_ - it->second.start_ref - 1, ref_count_});
+      pc_watches_.erase(it);
+    }
+  }
+
+  ++profile_.pc_execution_counts[pc];
+
+  if (ref_count_ >= next_sample_at_) {
+    // This reference is the randomly selected sample point: arm a
+    // watchpoint on its line and a breakpoint on its instruction (unless
+    // either is already being monitored).
+    line_watches_.emplace(line, LineWatch{pc, ref_count_});
+    pc_watches_.emplace(pc, PcWatch{addr, ref_count_});
+    next_sample_at_ =
+        ref_count_ +
+        rng_.geometric_gap(static_cast<double>(config_.sample_period));
+  }
+}
+
+Profile Sampler::finish() {
+  profile_.dangling_reuse_samples += line_watches_.size();
+  for (const auto& [line, watch] : line_watches_) {
+    (void)line;
+    ++profile_.dangling_by_pc[watch.first_pc];
+  }
+  profile_.total_references = ref_count_;
+  profile_.sample_period = config_.sample_period;
+  line_watches_.clear();
+  pc_watches_.clear();
+
+  Profile out = std::move(profile_);
+  profile_ = Profile{};
+  ref_count_ = 0;
+  return out;
+}
+
+Profile profile_program(const workloads::Program& program,
+                        const SamplerConfig& config, std::uint64_t max_refs) {
+  Sampler sampler(config);
+  workloads::ProgramCursor cursor(program);
+  std::uint64_t refs = 0;
+  while (refs < max_refs) {
+    auto event = cursor.next();
+    if (!event) break;
+    sampler.observe(event->inst->pc, event->addr);
+    ++refs;
+  }
+  return sampler.finish();
+}
+
+}  // namespace re::core

@@ -1,0 +1,111 @@
+#include "core/stride_analysis.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "support/histogram.hh"
+
+namespace re::core {
+
+namespace {
+
+/// Bucket strides that are likely to land in the same cache line together
+/// (floor division so negative strides group consistently).
+std::int64_t line_group(std::int64_t stride) {
+  const std::int64_t c = kLineSize;
+  std::int64_t q = stride / c;
+  if (stride % c != 0 && stride < 0) --q;
+  return q;
+}
+
+}  // namespace
+
+StrideInfo analyze_strides(Pc pc, const std::vector<StrideSample>& samples,
+                           const StrideAnalysisOptions& options) {
+  StrideInfo info;
+  info.pc = pc;
+  if (samples.size() < options.min_samples) return info;
+
+  // Group samples into line-sized buckets, then find the dominant bucket
+  // and the most frequent exact stride within it.
+  std::unordered_map<std::int64_t, std::uint64_t> group_counts;
+  std::unordered_map<std::int64_t, Histogram> group_strides;
+  double recurrence_sum = 0.0;
+  for (const StrideSample& s : samples) {
+    const std::int64_t g = line_group(s.stride);
+    ++group_counts[g];
+    group_strides[g].add(static_cast<std::uint64_t>(s.stride + (1LL << 62)));
+    recurrence_sum += static_cast<double>(s.recurrence);
+  }
+  info.mean_recurrence = recurrence_sum / static_cast<double>(samples.size());
+
+  std::int64_t best_group = 0;
+  std::uint64_t best_count = 0;
+  for (const auto& [group, count] : group_counts) {
+    if (count > best_count || (count == best_count && group < best_group)) {
+      best_group = group;
+      best_count = count;
+    }
+  }
+  info.dominance =
+      static_cast<double>(best_count) / static_cast<double>(samples.size());
+  info.stride = static_cast<std::int64_t>(group_strides[best_group].mode().first) -
+                (1LL << 62);
+  info.regular =
+      info.dominance >= options.dominance_threshold && info.stride != 0;
+  return info;
+}
+
+std::vector<StrideInfo> analyze_all_strides(
+    const Profile& profile, const StrideAnalysisOptions& options) {
+  std::unordered_map<Pc, std::vector<StrideSample>> by_pc;
+  for (const StrideSample& s : profile.stride_samples) {
+    by_pc[s.pc].push_back(s);
+  }
+  std::vector<StrideInfo> out;
+  out.reserve(by_pc.size());
+  for (const auto& [pc, samples] : by_pc) {
+    out.push_back(analyze_strides(pc, samples, options));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StrideInfo& a, const StrideInfo& b) { return a.pc < b.pc; });
+  return out;
+}
+
+std::optional<std::int64_t> prefetch_distance_bytes(
+    const StrideInfo& info, const PrefetchDistanceParams& params) {
+  if (info.stride == 0) return std::nullopt;
+  const double stride_mag = std::abs(static_cast<double>(info.stride));
+  const double sign = info.stride < 0 ? -1.0 : 1.0;
+  const double c = kLineSize;
+  const double d =
+      std::max(1.0, info.mean_recurrence * params.cycles_per_memop);
+
+  double distance;
+  if (stride_mag >= c) {
+    // P = ceil(l / d) * stride
+    distance = std::ceil(params.latency / d) * stride_mag;
+  } else {
+    // Sub-line strides reuse each line i = C/stride times, so the demand
+    // stream takes d*i cycles per line: P = ceil(l / (d*i)) * C.
+    const double i = c / stride_mag;
+    distance = std::ceil(params.latency / (d * i)) * c;
+  }
+
+  // Cap: with R references in the loop, the first P bytes are cold misses;
+  // keep P <= (R/2) * stride so prefetching never costs more misses than it
+  // removes (paper Section VI-A).
+  if (params.loop_references != ~std::uint64_t{0}) {
+    const double span_cap =
+        static_cast<double>(params.loop_references) / 2.0 * stride_mag;
+    distance = std::min(distance, std::max(span_cap, c));
+  }
+
+  // Always look at least one full line ahead; a shorter distance would
+  // target the line the load itself touches.
+  distance = std::max(distance, c);
+  return static_cast<std::int64_t>(sign * distance);
+}
+
+}  // namespace re::core

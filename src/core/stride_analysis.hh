@@ -1,0 +1,66 @@
+// Stride analysis and prefetch-distance computation (paper Section VI,
+// VI-A).
+//
+// Groups a load's stride samples into cache-line-sized buckets; the load is
+// regular if >= 70 % of samples fall in one bucket. The prefetch distance
+// follows Mowry's formula P = ceil(l / d) * stride with
+// d = recurrence * delta (cycles per memory operation), shortened by the
+// intra-line reuse factor i = C/stride for sub-line strides, and capped at
+// half the loop's references.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/profile.hh"
+#include "support/types.hh"
+
+namespace re::core {
+
+struct StrideAnalysisOptions {
+  /// Fraction of stride samples that must fall into one line-sized group
+  /// for the load to count as regular (the paper's 70 %).
+  double dominance_threshold = 0.7;
+  /// Minimum stride samples needed to judge a load.
+  std::uint64_t min_samples = 8;
+};
+
+/// Result of analyzing one load's stride behaviour.
+struct StrideInfo {
+  Pc pc = 0;
+  bool regular = false;
+  /// Most frequent stride within the dominant group (bytes, signed).
+  std::int64_t stride = 0;
+  /// Fraction of samples in the dominant group.
+  double dominance = 0.0;
+  /// Mean references between successive executions of this load.
+  double mean_recurrence = 0.0;
+};
+
+/// Analyze the stride samples of one PC.
+StrideInfo analyze_strides(Pc pc, const std::vector<StrideSample>& samples,
+                           const StrideAnalysisOptions& options = {});
+
+/// Collect per-PC stride samples from a profile and analyze every PC.
+std::vector<StrideInfo> analyze_all_strides(
+    const Profile& profile, const StrideAnalysisOptions& options = {});
+
+struct PrefetchDistanceParams {
+  /// Average memory latency to hide (cycles); the paper uses the average
+  /// miss latency known from the cost-benefit step.
+  double latency = 200.0;
+  /// Average cycles per memory operation (the paper's Δ, measured per
+  /// benchmark with performance counters).
+  double cycles_per_memop = 3.0;
+  /// Estimated dynamic executions of the loop (the paper's R): the distance
+  /// is capped so at most half the loop's accesses are cold-start misses.
+  std::uint64_t loop_references = ~std::uint64_t{0};
+};
+
+/// Compute the prefetch distance in bytes (signed: negative strides
+/// prefetch backwards). Returns std::nullopt for zero strides.
+std::optional<std::int64_t> prefetch_distance_bytes(
+    const StrideInfo& info, const PrefetchDistanceParams& params);
+
+}  // namespace re::core

@@ -1,0 +1,115 @@
+#include "sim/cache.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace re::sim {
+
+namespace {
+bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+SetAssocCache::SetAssocCache(const CacheGeometry& geometry)
+    : sets_(geometry.num_sets()), ways_(geometry.associativity) {
+  if (sets_ == 0 || ways_ == 0) {
+    throw std::invalid_argument("cache geometry must be non-empty");
+  }
+  if (!is_pow2(sets_)) {
+    throw std::invalid_argument(
+        "cache set count must be a power of two (adjust associativity)");
+  }
+  ways_storage_.resize(sets_ * ways_);
+}
+
+bool SetAssocCache::access(Addr line, bool demand) {
+  Way* begin = set_begin(set_of(line));
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Way& way = begin[w];
+    if (way.valid && way.tag == line) {
+      way.last_used = ++tick_;
+      if (demand) way.demand_touched = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SetAssocCache::contains(Addr line) const {
+  const Way* begin = set_begin(set_of(line));
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (begin[w].valid && begin[w].tag == line) return true;
+  }
+  return false;
+}
+
+std::optional<Eviction> SetAssocCache::fill(Addr line, FillOrigin origin) {
+  // Contract: the caller has established that `line` is not resident (all
+  // call sites probe with access()/contains() first). A duplicate fill
+  // would corrupt the set, so this is asserted in debug builds.
+  Way* begin = set_begin(set_of(line));
+  Way* victim = begin;
+  std::uint64_t oldest = ~std::uint64_t{0};
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Way& way = begin[w];
+    assert(!(way.valid && way.tag == line) && "duplicate cache fill");
+    if (!way.valid) {
+      victim = &way;
+      break;
+    }
+    if (way.last_used < oldest) {
+      oldest = way.last_used;
+      victim = &way;
+    }
+  }
+
+  std::optional<Eviction> evicted;
+  if (victim->valid) {
+    evicted = Eviction{victim->tag, victim->origin, victim->demand_touched,
+                       victim->dirty};
+  }
+  victim->tag = line;
+  victim->valid = true;
+  victim->last_used = ++tick_;
+  victim->origin = origin;
+  victim->demand_touched = false;
+  victim->dirty = false;
+  return evicted;
+}
+
+bool SetAssocCache::mark_dirty(Addr line) {
+  Way* begin = set_begin(set_of(line));
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (begin[w].valid && begin[w].tag == line) {
+      begin[w].dirty = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+void SetAssocCache::invalidate(Addr line) {
+  Way* begin = set_begin(set_of(line));
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (begin[w].valid && begin[w].tag == line) {
+      begin[w].valid = false;
+      return;
+    }
+  }
+}
+
+void SetAssocCache::flush() {
+  for (Way& way : ways_storage_) way.valid = false;
+}
+
+std::uint64_t SetAssocCache::untouched_prefetch_lines() const {
+  std::uint64_t count = 0;
+  for (const Way& way : ways_storage_) {
+    if (way.valid && !way.demand_touched &&
+        way.origin != FillOrigin::Demand) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace re::sim

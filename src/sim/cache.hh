@@ -1,0 +1,89 @@
+// Set-associative cache with true-LRU replacement and prefetch/NT-aware
+// fill control.
+//
+// Tracks, per line, whether it was installed by a prefetch and whether it has
+// been touched by a demand access since — the basis of the useless-prefetch
+// accounting behind the paper's off-chip traffic results.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/config.hh"
+#include "support/types.hh"
+
+namespace re::sim {
+
+/// How a line came to be resident (for pollution/useless-fill accounting).
+enum class FillOrigin : std::uint8_t {
+  Demand,       // brought in by a demand load
+  SwPrefetch,   // software prefetch (normal or NT)
+  HwPrefetch,   // hardware prefetcher
+};
+
+/// Result of evicting a line.
+struct Eviction {
+  Addr line = 0;
+  FillOrigin origin = FillOrigin::Demand;
+  bool demand_touched = false;  // ever hit by a demand access while resident
+  bool dirty = false;           // written while resident (needs writeback)
+};
+
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheGeometry& geometry);
+
+  /// Demand or prefetch probe. A hit refreshes recency; a demand hit also
+  /// marks the line as touched. Returns true on hit.
+  bool access(Addr line, bool demand);
+
+  /// Mark a resident line dirty (store hit or dirty writeback from an
+  /// upper level); no-op if absent. Returns true if the line was found.
+  bool mark_dirty(Addr line);
+
+  /// Probe without changing any state.
+  bool contains(Addr line) const;
+
+  /// Insert a line (caller established it missed). Returns the eviction, if
+  /// a valid line was displaced.
+  std::optional<Eviction> fill(Addr line, FillOrigin origin);
+
+  /// Remove a specific line if present.
+  void invalidate(Addr line);
+
+  /// Remove everything.
+  void flush();
+
+  std::uint64_t num_sets() const { return sets_; }
+  std::uint32_t associativity() const { return ways_; }
+  std::uint64_t size_bytes() const { return sets_ * ways_ * kLineSize; }
+
+  /// Resident lines installed by prefetch and never demand-touched (cheap
+  /// pollution snapshot used by tests).
+  std::uint64_t untouched_prefetch_lines() const;
+
+ private:
+  struct Way {
+    Addr tag = 0;
+    std::uint64_t last_used = 0;
+    FillOrigin origin = FillOrigin::Demand;
+    bool valid = false;
+    bool demand_touched = false;
+    bool dirty = false;
+  };
+
+  std::uint64_t set_of(Addr line) const { return line & (sets_ - 1); }
+
+  std::uint64_t sets_;
+  std::uint32_t ways_;
+  std::uint64_t tick_ = 0;
+  std::vector<Way> ways_storage_;  // sets_ * ways_, row-major by set
+
+  Way* set_begin(std::uint64_t set) { return &ways_storage_[set * ways_]; }
+  const Way* set_begin(std::uint64_t set) const {
+    return &ways_storage_[set * ways_];
+  }
+};
+
+}  // namespace re::sim

@@ -1,0 +1,39 @@
+#include "sim/core_runner.hh"
+
+namespace re::sim {
+
+CoreRunner::CoreRunner(int core_index, const workloads::Program& program,
+                       MemorySystem& memory)
+    : core_(core_index), cursor_(program), memory_(&memory) {}
+
+void CoreRunner::step() {
+  auto event = cursor_.next();
+  if (!event) {
+    // One full run finished; the cursor has rewound. Record the completion
+    // and return — the next step() starts the restarted run (mix runs keep
+    // finished apps executing so contention stays realistic).
+    if (completions_ == 0) {
+      first_completion_cycle_ = now_;
+      first_run_refs_ = cursor_.program().total_references();
+    }
+    ++completions_;
+    ++now_;  // loop-exit bookkeeping; also guarantees forward progress for
+             // degenerate (empty) programs in the multicore driver
+    return;
+  }
+
+  const workloads::StaticInst& inst = *event->inst;
+  now_ += memory_->demand_load(core_, inst.pc, event->addr, now_,
+                               inst.serial_dependent, inst.is_store);
+  now_ += inst.compute_cycles;
+
+  if (inst.prefetch) {
+    now_ += memory_->config().prefetch_inst_cost;
+    const Addr target = static_cast<Addr>(
+        static_cast<std::int64_t>(event->addr) +
+        inst.prefetch->distance_bytes);
+    memory_->software_prefetch(core_, target, inst.prefetch->hint, now_);
+  }
+}
+
+}  // namespace re::sim

@@ -1,0 +1,51 @@
+// In-order core model executing one trace program against the memory system.
+//
+// Cost model per dynamic instruction:
+//   demand load   : hierarchy latency (blocking, in-order)
+//   compute work  : StaticInst::compute_cycles
+//   sw prefetch   : MachineConfig::prefetch_inst_cost (the paper's α = 1)
+//                   plus the issued request's asynchronous effects
+#pragma once
+
+#include <cstdint>
+
+#include "sim/memory_system.hh"
+#include "support/types.hh"
+#include "workloads/cursor.hh"
+
+namespace re::sim {
+
+class CoreRunner {
+ public:
+  CoreRunner(int core_index, const workloads::Program& program,
+             MemorySystem& memory);
+
+  /// Execute one memory instruction (plus its attached compute and prefetch
+  /// work). Advances the local clock.
+  void step();
+
+  /// True once the program has completed at least one full run.
+  bool completed_once() const { return completions_ > 0; }
+
+  /// Local cycle at which the first full run completed (0 if not yet).
+  Cycle first_completion_cycle() const { return first_completion_cycle_; }
+
+  /// References executed during the first run (the app's fixed work).
+  std::uint64_t first_run_references() const { return first_run_refs_; }
+
+  Cycle now() const { return now_; }
+  std::uint64_t completions() const { return completions_; }
+  int core_index() const { return core_; }
+  const workloads::Program& program() const { return cursor_.program(); }
+
+ private:
+  int core_;
+  workloads::ProgramCursor cursor_;
+  MemorySystem* memory_;
+  Cycle now_ = 0;
+  std::uint64_t completions_ = 0;
+  Cycle first_completion_cycle_ = 0;
+  std::uint64_t first_run_refs_ = 0;
+};
+
+}  // namespace re::sim

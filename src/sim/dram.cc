@@ -1,0 +1,40 @@
+#include "sim/dram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace re::sim {
+
+DramChannel::DramChannel(double bytes_per_cycle, Cycle latency)
+    : bytes_per_cycle_(bytes_per_cycle), latency_(latency) {
+  if (bytes_per_cycle <= 0.0) {
+    throw std::invalid_argument("DRAM bandwidth must be positive");
+  }
+  transfer_cycles_ = static_cast<Cycle>(
+      std::llround(std::ceil(static_cast<double>(kLineSize) /
+                             bytes_per_cycle_)));
+  if (transfer_cycles_ == 0) transfer_cycles_ = 1;
+}
+
+Cycle DramChannel::fetch_line(Cycle now, TrafficClass cls) {
+  switch (cls) {
+    case TrafficClass::DemandRead: ++stats_.demand_lines; break;
+    case TrafficClass::SwPrefetchRead: ++stats_.sw_prefetch_lines; break;
+    case TrafficClass::HwPrefetchRead: ++stats_.hw_prefetch_lines; break;
+  }
+  const Cycle start = std::max(now, next_free_);
+  next_free_ = start + transfer_cycles_;
+  return start + latency_;
+}
+
+void DramChannel::writeback_line(Cycle now) {
+  ++stats_.writeback_lines;
+  next_free_ = std::max(now, next_free_) + transfer_cycles_;
+}
+
+Cycle DramChannel::queue_delay(Cycle now) const {
+  return next_free_ > now ? next_free_ - now : 0;
+}
+
+}  // namespace re::sim

@@ -1,0 +1,74 @@
+// Bandwidth-limited DRAM channel shared by all cores.
+//
+// Models the channel as a single serial resource: each line transfer
+// occupies the channel for line_size / bytes_per_cycle cycles, and a request
+// arriving while the channel is busy queues behind earlier ones. Queueing
+// delay is what turns aggressive prefetching into a multicore throughput
+// loss — the central mechanism of the paper's evaluation.
+#pragma once
+
+#include <cstdint>
+
+#include "support/types.hh"
+
+namespace re::sim {
+
+/// Why a line crossed the off-chip interface (for traffic attribution).
+enum class TrafficClass : std::uint8_t {
+  DemandRead,
+  SwPrefetchRead,
+  HwPrefetchRead,
+};
+
+struct DramStats {
+  std::uint64_t demand_lines = 0;
+  std::uint64_t sw_prefetch_lines = 0;
+  std::uint64_t hw_prefetch_lines = 0;
+  std::uint64_t writeback_lines = 0;
+
+  /// Lines *fetched* from DRAM — the paper's "data volume fetched"
+  /// metric. Writebacks are accounted separately.
+  std::uint64_t total_lines() const {
+    return demand_lines + sw_prefetch_lines + hw_prefetch_lines;
+  }
+  std::uint64_t total_bytes() const { return total_lines() * kLineSize; }
+  std::uint64_t writeback_bytes() const {
+    return writeback_lines * kLineSize;
+  }
+};
+
+class DramChannel {
+ public:
+  /// `bytes_per_cycle` is the sustained channel bandwidth; `latency` is the
+  /// unloaded access latency (row access + transfer start).
+  DramChannel(double bytes_per_cycle, Cycle latency);
+
+  /// Issue a line fetch at time `now` (requester's clock). Returns the cycle
+  /// at which the data arrives at the requester.
+  Cycle fetch_line(Cycle now, TrafficClass cls);
+
+  /// Retire a dirty line to memory: occupies channel bandwidth but the
+  /// core does not wait for it.
+  void writeback_line(Cycle now);
+
+  /// Cycles a request issued at `now` would wait before the channel is free
+  /// (used by prefetcher throttling).
+  Cycle queue_delay(Cycle now) const;
+
+  const DramStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = DramStats{}; }
+
+  /// Forget channel occupancy (used between independent runs).
+  void reset_time() { next_free_ = 0; }
+
+  double bytes_per_cycle() const { return bytes_per_cycle_; }
+
+ private:
+  double bytes_per_cycle_;
+  Cycle latency_;
+  Cycle transfer_cycles_;
+  Cycle next_free_ = 0;
+  DramStats stats_;
+};
+
+}  // namespace re::sim

@@ -1,0 +1,86 @@
+#include "sim/system.hh"
+
+#include <limits>
+#include <memory>
+
+#include "sim/core_runner.hh"
+
+namespace re::sim {
+
+namespace {
+
+/// Drive the given runners until each completes its program once.
+/// `restart_finished` keeps early finishers executing (mix protocol) so
+/// shared-resource contention persists for the apps still running.
+RunResult drive(const MachineConfig& machine,
+                std::vector<const workloads::Program*> programs,
+                bool hw_prefetch, bool restart_finished) {
+  MachineConfig config = machine;
+  config.hw_prefetcher.enabled = hw_prefetch;
+
+  MemorySystem memory(config, static_cast<int>(programs.size()));
+  std::vector<std::unique_ptr<CoreRunner>> cores;
+  cores.reserve(programs.size());
+  for (std::size_t c = 0; c < programs.size(); ++c) {
+    cores.push_back(
+        std::make_unique<CoreRunner>(static_cast<int>(c), *programs[c],
+                                     memory));
+  }
+
+  std::size_t remaining = cores.size();
+  while (remaining > 0) {
+    // Advance the core with the smallest local clock that still matters.
+    CoreRunner* next = nullptr;
+    Cycle min_cycle = std::numeric_limits<Cycle>::max();
+    for (auto& core : cores) {
+      if (core->completed_once() && !restart_finished) continue;
+      if (core->now() < min_cycle) {
+        min_cycle = core->now();
+        next = core.get();
+      }
+    }
+    if (next == nullptr) break;  // all parked
+    const bool was_done = next->completed_once();
+    next->step();
+    if (!was_done && next->completed_once()) --remaining;
+  }
+
+  RunResult result;
+  result.freq_ghz = config.freq_ghz;
+  for (std::size_t c = 0; c < cores.size(); ++c) {
+    AppResult app;
+    app.name = programs[c]->name;
+    app.cycles = cores[c]->first_completion_cycle();
+    app.references = cores[c]->first_run_references();
+    app.mem = memory.core_stats(static_cast<int>(c));
+    result.apps.push_back(std::move(app));
+    result.elapsed_cycles =
+        std::max(result.elapsed_cycles, cores[c]->first_completion_cycle());
+  }
+  result.dram = memory.dram_stats();
+  return result;
+}
+
+}  // namespace
+
+RunResult run_single(const MachineConfig& machine,
+                     const workloads::Program& program, bool hw_prefetch) {
+  return drive(machine, {&program}, hw_prefetch, /*restart_finished=*/false);
+}
+
+RunResult run_mix(const MachineConfig& machine,
+                  const std::vector<const workloads::Program*>& programs,
+                  bool hw_prefetch) {
+  return drive(machine, programs, hw_prefetch, /*restart_finished=*/true);
+}
+
+RunResult run_parallel(const MachineConfig& machine,
+                       const std::vector<workloads::Program>& shards,
+                       bool hw_prefetch) {
+  std::vector<const workloads::Program*> ptrs;
+  ptrs.reserve(shards.size());
+  for (const workloads::Program& shard : shards) ptrs.push_back(&shard);
+  return drive(machine, ptrs, hw_prefetch, /*restart_finished=*/false);
+}
+
+}  // namespace re::sim

@@ -1,0 +1,58 @@
+// Top-level run protocols: single-program runs (Figs. 4-6) and 4-app mixed
+// workload runs (Figs. 7-11).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/memory_system.hh"
+#include "support/types.hh"
+#include "workloads/program.hh"
+
+namespace re::sim {
+
+/// Result of running one app (inside a single run or a mix).
+struct AppResult {
+  std::string name;
+  Cycle cycles = 0;              // first-completion time
+  std::uint64_t references = 0;  // fixed work of one full run
+  CoreMemStats mem;              // per-core stats over the whole run window
+};
+
+/// Result of one system run.
+struct RunResult {
+  std::vector<AppResult> apps;
+  DramStats dram;            // whole-window off-chip traffic
+  Cycle elapsed_cycles = 0;  // window length (last first-completion)
+  double freq_ghz = 0.0;
+
+  /// Whole-window average off-chip bandwidth in GB/s.
+  double bandwidth_gbps() const {
+    if (elapsed_cycles == 0) return 0.0;
+    return static_cast<double>(dram.total_bytes()) /
+           static_cast<double>(elapsed_cycles) * freq_ghz;
+  }
+};
+
+/// Run one program alone on core 0.
+/// `hw_prefetch` enables the machine's hardware prefetcher; software
+/// prefetching is encoded in the program itself (rewritten by the optimizer).
+RunResult run_single(const MachineConfig& machine,
+                     const workloads::Program& program, bool hw_prefetch);
+
+/// Run a mix of programs, one per core, all starting at cycle 0. Apps that
+/// finish early restart and keep contending; each app's result records its
+/// first completion. The run window ends when every app has completed once.
+RunResult run_mix(const MachineConfig& machine,
+                  const std::vector<const workloads::Program*>& programs,
+                  bool hw_prefetch);
+
+/// Run a data-parallel workload: `threads` cores each execute their own
+/// shard program; the result window ends when all shards complete.
+RunResult run_parallel(const MachineConfig& machine,
+                       const std::vector<workloads::Program>& shards,
+                       bool hw_prefetch);
+
+}  // namespace re::sim

@@ -1,0 +1,80 @@
+#include "support/histogram.hh"
+
+#include <algorithm>
+
+namespace re {
+
+CumulativeDistribution::CumulativeDistribution(
+    std::vector<std::pair<std::uint64_t, double>> sorted_counts, double total)
+    : total_(total) {
+  keys_.reserve(sorted_counts.size());
+  cumulative_.reserve(sorted_counts.size());
+  double running = 0.0;
+  for (const auto& [key, count] : sorted_counts) {
+    running += count;
+    keys_.push_back(key);
+    cumulative_.push_back(running);
+  }
+}
+
+double CumulativeDistribution::count_le(std::uint64_t x) const {
+  auto it = std::upper_bound(keys_.begin(), keys_.end(), x);
+  if (it == keys_.begin()) return 0.0;
+  return cumulative_[static_cast<std::size_t>(it - keys_.begin()) - 1];
+}
+
+double CumulativeDistribution::cdf(std::uint64_t x) const {
+  if (total_ <= 0.0) return 1.0;
+  return count_le(x) / total_;
+}
+
+std::uint64_t CumulativeDistribution::quantile(double q) const {
+  if (keys_.empty()) return 0;
+  const double target = q * total_;
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), target);
+  if (it == cumulative_.end()) return keys_.back();
+  return keys_[static_cast<std::size_t>(it - cumulative_.begin())];
+}
+
+std::pair<std::uint64_t, double> Histogram::mode() const {
+  std::uint64_t best_key = 0;
+  double best_count = 0.0;
+  for (const auto& [key, count] : counts_) {
+    if (count > best_count || (count == best_count && key < best_key)) {
+      best_key = key;
+      best_count = count;
+    }
+  }
+  return {best_key, best_count};
+}
+
+double Histogram::mean() const {
+  if (total_ <= 0.0) return 0.0;
+  double sum = 0.0;
+  for (const auto& [key, count] : counts_) {
+    sum += static_cast<double>(key) * count;
+  }
+  return sum / total_;
+}
+
+CumulativeDistribution Histogram::cumulative() const {
+  return CumulativeDistribution(sorted(), total_);
+}
+
+std::vector<std::pair<std::uint64_t, double>> Histogram::sorted() const {
+  std::vector<std::pair<std::uint64_t, double>> out(counts_.begin(),
+                                                    counts_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (const auto& [key, count] : other.counts_) add(key, count);
+}
+
+void Histogram::clear() {
+  counts_.clear();
+  total_ = 0.0;
+}
+
+}  // namespace re

@@ -1,0 +1,91 @@
+// Sparse histogram over 64-bit keys.
+//
+// Used for reuse-distance distributions, stride distributions and stack
+// distance distributions. Supports conversion to a sorted CDF for the
+// StatStack math (P(reuse distance > x) queries need prefix sums).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace re {
+
+/// A sorted (key, cumulative-count) representation of a histogram, built
+/// once and then queried many times. Supports O(log n) rank queries.
+class CumulativeDistribution {
+ public:
+  CumulativeDistribution() = default;
+  CumulativeDistribution(std::vector<std::pair<std::uint64_t, double>> sorted_counts,
+                         double total);
+
+  /// Number of samples with key <= x.
+  double count_le(std::uint64_t x) const;
+
+  /// Number of samples with key > x.
+  double count_gt(std::uint64_t x) const { return total_ - count_le(x); }
+
+  /// P(key <= x); returns 1.0 for an empty distribution.
+  double cdf(std::uint64_t x) const;
+
+  /// P(key > x).
+  double survival(std::uint64_t x) const { return 1.0 - cdf(x); }
+
+  double total() const { return total_; }
+  bool empty() const { return total_ <= 0.0; }
+
+  /// Smallest key with CDF >= q (quantile); 0 for empty distributions.
+  std::uint64_t quantile(double q) const;
+
+  /// Largest key present (0 if empty).
+  std::uint64_t max_key() const { return keys_.empty() ? 0 : keys_.back(); }
+
+ private:
+  std::vector<std::uint64_t> keys_;     // sorted unique keys
+  std::vector<double> cumulative_;      // cumulative counts, parallel to keys_
+  double total_ = 0.0;
+};
+
+/// Sparse histogram: key -> count. Weighted increments are allowed so that
+/// sampled distributions can be scaled to full-execution estimates.
+class Histogram {
+ public:
+  void add(std::uint64_t key, double weight = 1.0) {
+    counts_[key] += weight;
+    total_ += weight;
+  }
+
+  double total() const { return total_; }
+  bool empty() const { return counts_.empty(); }
+  std::size_t distinct_keys() const { return counts_.size(); }
+
+  double count_of(std::uint64_t key) const {
+    auto it = counts_.find(key);
+    return it == counts_.end() ? 0.0 : it->second;
+  }
+
+  /// Key with the highest count; (0, 0.0) if empty. Ties resolve to the
+  /// smallest key so results are deterministic.
+  std::pair<std::uint64_t, double> mode() const;
+
+  /// Mean of the distribution (0 for empty).
+  double mean() const;
+
+  /// Build the sorted cumulative form for repeated queries.
+  CumulativeDistribution cumulative() const;
+
+  /// Sorted (key, count) pairs, ascending by key.
+  std::vector<std::pair<std::uint64_t, double>> sorted() const;
+
+  void merge(const Histogram& other);
+  void clear();
+
+ private:
+  std::unordered_map<std::uint64_t, double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace re

@@ -1,0 +1,53 @@
+// Deterministic random number generation.
+//
+// Every source of randomness in the framework flows through a seeded Rng so
+// that all experiments are exactly reproducible run-to-run. Benches derive
+// sub-seeds from a fixed master seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace re {
+
+/// Thin wrapper over std::mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform in [0, n). Requires n > 0.
+  std::uint64_t next(std::uint64_t n) {
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli draw with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Geometric inter-arrival gap with mean `mean` (>= 1). Used by the
+  /// sampler to pick the next memory reference to sample.
+  std::uint64_t geometric_gap(double mean) {
+    if (mean <= 1.0) return 1;
+    std::geometric_distribution<std::uint64_t> dist(1.0 / mean);
+    return dist(engine_) + 1;
+  }
+
+  /// Derive an independent child seed (for sub-components).
+  std::uint64_t fork() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace re

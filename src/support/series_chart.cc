@@ -1,0 +1,79 @@
+#include "support/series_chart.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "support/text_table.hh"
+
+namespace re {
+
+namespace {
+constexpr int kBarWidth = 40;
+
+std::string bar_for(double value, double max_abs) {
+  if (max_abs <= 0.0) max_abs = 1.0;
+  const int cells = static_cast<int>(
+      std::lround(std::min(1.0, std::fabs(value) / max_abs) * kBarWidth));
+  std::string bar(static_cast<std::size_t>(cells), value < 0 ? '-' : '#');
+  return bar;
+}
+}  // namespace
+
+std::string render_grouped_bars(const std::vector<std::string>& labels,
+                                const std::vector<ChartSeries>& series,
+                                double value_scale, const std::string& unit) {
+  double max_abs = 0.0;
+  std::size_t name_width = 0;
+  for (const ChartSeries& s : series) {
+    name_width = std::max(name_width, s.name.size());
+    for (double v : s.values) max_abs = std::max(max_abs, std::fabs(v));
+  }
+
+  std::ostringstream out;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    out << labels[i] << '\n';
+    for (const ChartSeries& s : series) {
+      if (i >= s.values.size()) continue;
+      const double v = s.values[i];
+      char value_buf[64];
+      std::snprintf(value_buf, sizeof(value_buf), "%8.1f%s", v * value_scale,
+                    unit.c_str());
+      out << "  " << s.name << std::string(name_width - s.name.size(), ' ')
+          << ' ' << value_buf << "  |" << bar_for(v, max_abs) << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string render_distribution(const std::vector<ChartSeries>& series,
+                                int steps) {
+  std::vector<std::string> header{"Runs"};
+  std::vector<ChartSeries> sorted = series;
+  for (ChartSeries& s : sorted) {
+    std::sort(s.values.begin(), s.values.end());
+    header.push_back(s.name);
+  }
+
+  TextTable table(header);
+  for (int step = 0; step <= steps; ++step) {
+    const double q = static_cast<double>(step) / steps;
+    std::vector<std::string> row{format_percent(q, 0)};
+    for (const ChartSeries& s : sorted) {
+      if (s.values.empty()) {
+        row.push_back("-");
+        continue;
+      }
+      // Quantile by nearest-rank over the sorted run results.
+      const std::size_t idx = std::min(
+          s.values.size() - 1,
+          static_cast<std::size_t>(q * static_cast<double>(s.values.size())));
+      row.push_back(format_percent(s.values[idx]));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+}  // namespace re

@@ -1,0 +1,29 @@
+// ASCII rendering of figure-style output: grouped bar charts (Fig. 4-6) and
+// sorted distribution functions (Fig. 7/9).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace re {
+
+/// A named series of y-values over shared x-labels.
+struct ChartSeries {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Grouped horizontal bar chart: one block per x-label, one bar per series.
+/// Values are rendered as percentage bars around zero (negative bars extend
+/// left). Used to echo the paper's grouped bar figures in text form.
+std::string render_grouped_bars(const std::vector<std::string>& labels,
+                                const std::vector<ChartSeries>& series,
+                                double value_scale = 100.0,
+                                const std::string& unit = "%");
+
+/// Sorted distribution function (the paper's Fig. 7/9 style): each series is
+/// sorted ascending and printed at the given percentile steps.
+std::string render_distribution(const std::vector<ChartSeries>& series,
+                                int steps = 10);
+
+}  // namespace re

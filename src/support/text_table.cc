@@ -1,0 +1,88 @@
+#include "support/text_table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace re {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto emit_row = [&](std::ostringstream& out,
+                      const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      if (c == 0) {
+        out << cell << std::string(widths[c] - cell.size(), ' ');
+      } else {
+        out << "  " << std::string(widths[c] - cell.size(), ' ') << cell;
+      }
+    }
+    out << '\n';
+  };
+
+  std::size_t total_width = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total_width += widths[c] + (c == 0 ? 0 : 2);
+  }
+
+  std::ostringstream out;
+  emit_row(out, header_);
+  out << std::string(total_width, '-') << '\n';
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      out << std::string(total_width, '-') << '\n';
+    } else {
+      emit_row(out, row.cells);
+    }
+  }
+  return out.str();
+}
+
+namespace {
+std::string format_with(const char* fmt, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, value);
+  return buf;
+}
+}  // namespace
+
+std::string format_percent(double fraction, int decimals) {
+  char fmt[16];
+  std::snprintf(fmt, sizeof(fmt), "%%.%df%%%%", decimals);
+  return format_with(fmt, fraction * 100.0);
+}
+
+std::string format_double(double value, int decimals) {
+  char fmt[16];
+  std::snprintf(fmt, sizeof(fmt), "%%.%df", decimals);
+  return format_with(fmt, value);
+}
+
+std::string format_gbps(double gigabytes_per_second, int decimals) {
+  return format_double(gigabytes_per_second, decimals) + " GB/s";
+}
+
+std::string format_speedup_percent(double speedup_ratio, int decimals) {
+  return format_percent(speedup_ratio - 1.0, decimals);
+}
+
+}  // namespace re

@@ -1,0 +1,40 @@
+// Plain-text table rendering for bench output.
+//
+// Every table/figure harness prints paper-style rows through this renderer so
+// output is aligned and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace re {
+
+/// Column-aligned text table. Left-aligns the first column, right-aligns the
+/// rest (numeric convention).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  void add_separator();
+
+  /// Render with a column gap of two spaces and a header underline.
+  std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Format helpers shared by benches.
+std::string format_percent(double fraction, int decimals = 1);
+std::string format_double(double value, int decimals = 2);
+std::string format_gbps(double gigabytes_per_second, int decimals = 2);
+std::string format_speedup_percent(double speedup_ratio, int decimals = 1);
+
+}  // namespace re

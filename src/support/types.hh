@@ -1,0 +1,34 @@
+// Basic shared typedefs and constants for the resource-efficient
+// prefetching framework.
+#pragma once
+
+#include <cstdint>
+
+namespace re {
+
+/// Byte address in the simulated address space.
+using Addr = std::uint64_t;
+
+/// Simulated processor cycle count.
+using Cycle = std::uint64_t;
+
+/// Identifier of a static instruction ("program counter").
+using Pc = std::uint32_t;
+
+/// Number of memory references (used for reuse/stack distances).
+using RefCount = std::uint64_t;
+
+/// Sentinel for "no reuse observed" (cold / dangling sample).
+inline constexpr RefCount kInfiniteDistance = ~RefCount{0};
+
+/// Cache line size used throughout (both paper machines use 64 B lines).
+inline constexpr std::uint32_t kLineSize = 64;
+inline constexpr std::uint32_t kLineShift = 6;
+
+/// Convert a byte address to a cache-line address (line index).
+constexpr Addr line_of(Addr addr) { return addr >> kLineShift; }
+
+/// Convert a cache-line index back to the base byte address of that line.
+constexpr Addr line_base(Addr line) { return line << kLineShift; }
+
+}  // namespace re

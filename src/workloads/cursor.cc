@@ -1,0 +1,80 @@
+#include "workloads/cursor.hh"
+
+namespace re::workloads {
+
+ProgramCursor::ProgramCursor(const Program& program) : program_(&program) {
+  state_.resize(program.loops.size());
+  seeds_.resize(program.loops.size());
+  for (std::size_t l = 0; l < program.loops.size(); ++l) {
+    state_[l].resize(program.loops[l].body.size());
+    seeds_[l].resize(program.loops[l].body.size());
+    for (std::size_t i = 0; i < program.loops[l].body.size(); ++i) {
+      seeds_[l][i] = mix64(program.seed ^ (program.loops[l].body[i].pc *
+                                           0x9e3779b97f4a7c15ULL));
+      // Distinct initial walk state per instruction so pointer chases over
+      // the same footprint do not follow identical paths.
+      state_[l][i].walk_state = seeds_[l][i] | 1;
+    }
+  }
+  skip_empty_loops();
+}
+
+void ProgramCursor::skip_empty_loops() {
+  while (loop_ < program_->loops.size() &&
+         (program_->loops[loop_].body.empty() ||
+          program_->loops[loop_].iterations == 0)) {
+    ++loop_;
+  }
+  if (loop_ >= program_->loops.size()) {
+    ++rep_;
+    loop_ = 0;
+    if (rep_ >= program_->outer_reps || program_->loops.empty()) {
+      finished_ = true;
+      return;
+    }
+    skip_empty_loops();
+  }
+}
+
+std::optional<AccessEvent> ProgramCursor::next() {
+  if (finished_) {
+    reset();
+    return std::nullopt;
+  }
+
+  const Loop& loop = program_->loops[loop_];
+  const StaticInst& inst = loop.body[inst_];
+  AccessEvent event;
+  event.inst = &inst;
+  event.addr = next_address(inst.pattern, state_[loop_][inst_],
+                            seeds_[loop_][inst_]);
+  ++refs_done_;
+
+  if (++inst_ >= loop.body.size()) {
+    inst_ = 0;
+    if (++iter_ >= loop.iterations) {
+      iter_ = 0;
+      ++loop_;
+      skip_empty_loops();
+    }
+  }
+  return event;
+}
+
+void ProgramCursor::reset() {
+  for (std::size_t l = 0; l < state_.size(); ++l) {
+    for (std::size_t i = 0; i < state_[l].size(); ++i) {
+      state_[l][i] = PatternState{};
+      state_[l][i].walk_state = seeds_[l][i] | 1;
+    }
+  }
+  rep_ = 0;
+  loop_ = 0;
+  iter_ = 0;
+  inst_ = 0;
+  refs_done_ = 0;
+  finished_ = false;
+  skip_empty_loops();
+}
+
+}  // namespace re::workloads

@@ -1,0 +1,55 @@
+// Sequential walker over a trace program.
+//
+// ProgramCursor yields one memory access per next() call, in program order,
+// maintaining per-static-instruction pattern state. Both the profiler
+// (functional iteration) and the simulator's core model (timed execution)
+// drive a cursor, so the two always observe the identical access stream.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "support/types.hh"
+#include "workloads/program.hh"
+
+namespace re::workloads {
+
+/// One dynamic memory access produced by the cursor.
+struct AccessEvent {
+  const StaticInst* inst = nullptr;
+  Addr addr = 0;
+};
+
+class ProgramCursor {
+ public:
+  explicit ProgramCursor(const Program& program);
+
+  /// Next access of the current run; std::nullopt when one full run (all
+  /// loops times outer_reps) has completed. After nullopt, the cursor
+  /// automatically rewinds so the next call starts a fresh run.
+  std::optional<AccessEvent> next();
+
+  /// Restart from the beginning (fresh pattern state).
+  void reset();
+
+  /// Dynamic references completed in the current run.
+  std::uint64_t references_done() const { return refs_done_; }
+
+  const Program& program() const { return *program_; }
+
+ private:
+  const Program* program_;
+  std::vector<std::vector<PatternState>> state_;  // [loop][body index]
+  std::vector<std::vector<std::uint64_t>> seeds_;  // per-inst seeds
+  std::uint64_t rep_ = 0;
+  std::size_t loop_ = 0;
+  std::uint64_t iter_ = 0;
+  std::size_t inst_ = 0;
+  std::uint64_t refs_done_ = 0;
+  bool finished_ = false;
+
+  void skip_empty_loops();
+};
+
+}  // namespace re::workloads

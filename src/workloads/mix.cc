@@ -1,0 +1,31 @@
+#include "workloads/mix.hh"
+
+#include "support/rng.hh"
+
+namespace re::workloads {
+
+std::vector<MixSpec> generate_mixes(int count, int apps_per_mix,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<std::string>& names = suite_names();
+  std::vector<MixSpec> mixes;
+  mixes.reserve(static_cast<std::size_t>(count));
+  for (int m = 0; m < count; ++m) {
+    MixSpec mix;
+    for (int a = 0; a < apps_per_mix; ++a) {
+      mix.apps.push_back(names[rng.next(names.size())]);
+    }
+    mixes.push_back(std::move(mix));
+  }
+  return mixes;
+}
+
+void rebase_program(Program& program, Addr offset) {
+  for (Loop& loop : program.loops) {
+    for (StaticInst& inst : loop.body) {
+      std::visit([offset](auto& p) { p.base += offset; }, inst.pattern);
+    }
+  }
+}
+
+}  // namespace re::workloads

@@ -1,0 +1,34 @@
+// Mixed-workload generation (the paper's Section VII-C): random 4-app mixes
+// drawn from the 12-benchmark suite, plus address rebasing so that identical
+// benchmarks on different cores do not alias in the shared LLC.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/program.hh"
+#include "workloads/suite.hh"
+
+namespace re::workloads {
+
+struct MixSpec {
+  std::vector<std::string> apps;  // kNumCores entries
+};
+
+/// Generate `count` random mixes of `apps_per_mix` benchmarks each,
+/// deterministically from `seed`. Matches the paper's 180 randomly
+/// generated 4-app mixes.
+std::vector<MixSpec> generate_mixes(int count, int apps_per_mix,
+                                    std::uint64_t seed);
+
+/// Shift every pattern base address in `program` by `offset`; used to give
+/// each core a disjoint address space within a mix.
+void rebase_program(Program& program, Addr offset);
+
+/// Per-core base offset used by mix construction (1 TB apart).
+inline Addr core_address_offset(int core) {
+  return static_cast<Addr>(core) << 40;
+}
+
+}  // namespace re::workloads

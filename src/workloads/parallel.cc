@@ -1,0 +1,145 @@
+#include "workloads/parallel.hh"
+
+#include <stdexcept>
+
+#include "workloads/mix.hh"
+
+namespace re::workloads {
+
+namespace {
+
+constexpr std::uint64_t KB = 1024;
+constexpr std::uint64_t MB = 1024 * 1024;
+
+std::uint64_t shard_seed(const std::string& name, int shard) {
+  std::uint64_t h = 0x84222325cbf29ce4ULL;
+  for (char c : name) h = (h ^ static_cast<unsigned char>(c)) * 0x1b3ULL;
+  return mix64(h ^ static_cast<std::uint64_t>(shard + 1));
+}
+
+/// 64 MB region with a pseudo-random set stagger (see suite.cc).
+Addr region_base(std::uint64_t region) {
+  return (region << 26) + (mix64(region ^ 0x5eedULL) % 16384) * kLineSize;
+}
+
+StaticInst make_inst(Pc pc, AccessPattern pattern, std::uint32_t compute,
+                     bool serial = false) {
+  StaticInst si;
+  si.pc = pc;
+  si.pattern = std::move(pattern);
+  si.compute_cycles = compute;
+  si.serial_dependent = serial;
+  return si;
+}
+
+std::uint64_t per_thread(std::uint64_t total, int threads) {
+  return total / static_cast<std::uint64_t>(threads);
+}
+
+/// swim — shallow-water stencil: several strided field sweeps, very little
+/// compute per element. The highest-bandwidth SPEC OMP code; saturates the
+/// channel at 4 threads.
+Program make_swim_shard(int shard, int threads) {
+  const std::uint64_t field = per_thread(3 * MB, threads);
+  Program p;
+  p.name = "swim";
+  p.seed = shard_seed("swim", shard);
+  Loop loop;
+  loop.iterations = per_thread(360000, threads);
+  for (Pc pc = 1; pc <= 4; ++pc) {
+    loop.body.push_back(
+        make_inst(pc, StreamPattern{region_base(pc), 16, field}, 2));
+  }
+  loop.body.push_back(make_inst(5, GatherPattern{region_base(5), 2 * KB, 8}, 2));
+  p.loops.push_back(std::move(loop));
+  rebase_program(p, core_address_offset(shard));
+  return p;
+}
+
+/// cg — NAS conjugate gradient: sparse matrix-vector product, a value
+/// stream plus an indexed gather; bandwidth-bound at scale.
+Program make_cg_shard(int shard, int threads) {
+  const std::uint64_t matrix = per_thread(2 * MB, threads);
+  Program p;
+  p.name = "cg";
+  p.seed = shard_seed("cg", shard);
+  Loop loop;
+  loop.iterations = per_thread(400000, threads);
+  loop.body.push_back(
+      make_inst(1, StreamPattern{region_base(1), 16, matrix}, 2));        // a[k]
+  loop.body.push_back(
+      make_inst(2, StreamPattern{region_base(2), 8, matrix / 2}, 2));     // colidx
+  loop.body.push_back(
+      make_inst(3, GatherPattern{region_base(3), 512 * KB, 8}, 2));       // x[col]
+  loop.body.push_back(make_inst(4, GatherPattern{region_base(4), 2 * KB, 8}, 2));
+  p.loops.push_back(std::move(loop));
+  rebase_program(p, core_address_offset(shard));
+  return p;
+}
+
+/// fma3d — crash simulation: element-local compute dominates; the working
+/// set per element batch mostly fits in L2, so off-chip demand is modest.
+Program make_fma3d_shard(int shard, int threads) {
+  Program p;
+  p.name = "fma3d";
+  p.seed = shard_seed("fma3d", shard);
+  Loop loop;
+  loop.iterations = per_thread(280000, threads);
+  loop.body.push_back(make_inst(
+      1, StreamPattern{region_base(1), 32, per_thread(768 * KB, threads)}, 14));
+  loop.body.push_back(make_inst(2, GatherPattern{region_base(2), 4 * KB, 8}, 12));
+  loop.body.push_back(make_inst(3, GatherPattern{region_base(3), 2 * KB, 8}, 12));
+  p.loops.push_back(std::move(loop));
+  rebase_program(p, core_address_offset(shard));
+  return p;
+}
+
+/// dc — data-mining style: hash-bucket gathers over a mostly cache-resident
+/// index with heavy per-record compute; compute-bound.
+Program make_dc_shard(int shard, int threads) {
+  Program p;
+  p.name = "dc";
+  p.seed = shard_seed("dc", shard);
+  Loop loop;
+  loop.iterations = per_thread(300000, threads);
+  loop.body.push_back(
+      make_inst(1, GatherPattern{region_base(1), 256 * KB, 64}, 10));
+  loop.body.push_back(make_inst(2, GatherPattern{region_base(2), 4 * KB, 8}, 10));
+  loop.body.push_back(make_inst(3, GatherPattern{region_base(3), 2 * KB, 8}, 10));
+  p.loops.push_back(std::move(loop));
+  rebase_program(p, core_address_offset(shard));
+  return p;
+}
+
+}  // namespace
+
+const std::vector<std::string>& parallel_names() {
+  static const std::vector<std::string> names = {"swim", "cg", "fma3d", "dc"};
+  return names;
+}
+
+bool parallel_is_bandwidth_bound(const std::string& name) {
+  return name == "swim" || name == "cg";
+}
+
+std::vector<Program> make_parallel(const std::string& name, int threads) {
+  if (threads <= 0) throw std::invalid_argument("threads must be positive");
+  std::vector<Program> shards;
+  shards.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    if (name == "swim") {
+      shards.push_back(make_swim_shard(t, threads));
+    } else if (name == "cg") {
+      shards.push_back(make_cg_shard(t, threads));
+    } else if (name == "fma3d") {
+      shards.push_back(make_fma3d_shard(t, threads));
+    } else if (name == "dc") {
+      shards.push_back(make_dc_shard(t, threads));
+    } else {
+      throw std::out_of_range("unknown parallel workload: " + name);
+    }
+  }
+  return shards;
+}
+
+}  // namespace re::workloads

@@ -1,0 +1,27 @@
+// Data-parallel workload models for the paper's Figure 12 (NAS / SPEC OMP
+// benchmarks run with 1, 2 and 4 threads).
+//
+// Each workload is built as `threads` shard programs — one per core — that
+// split the iteration space. Two are bandwidth-bound (swim, cg: the starred
+// benchmarks with the highest off-chip bandwidth in their suites) and two
+// are compute-bound (fma3d, dc), where the hardware prefetcher "does a
+// perfect job" per the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/program.hh"
+
+namespace re::workloads {
+
+/// Names in Figure 12's order. The starred workloads are bandwidth-bound.
+const std::vector<std::string>& parallel_names();
+
+/// True for the bandwidth-bound workloads (swim, cg).
+bool parallel_is_bandwidth_bound(const std::string& name);
+
+/// Build the per-thread shard programs for one workload.
+std::vector<Program> make_parallel(const std::string& name, int threads);
+
+}  // namespace re::workloads

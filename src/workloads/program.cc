@@ -1,0 +1,145 @@
+#include "workloads/program.hh"
+
+#include <cstdlib>
+#include <utility>
+
+namespace re::workloads {
+
+namespace {
+
+Addr wrap(Addr base, std::int64_t offset, std::uint64_t footprint) {
+  if (footprint == 0) return base;
+  // Proper Euclidean modulo so negative strides walk backwards through the
+  // footprint instead of underflowing.
+  std::int64_t m = offset % static_cast<std::int64_t>(footprint);
+  if (m < 0) m += static_cast<std::int64_t>(footprint);
+  return base + static_cast<Addr>(m);
+}
+
+struct PatternVisitor {
+  PatternState& state;
+  std::uint64_t seed;
+
+  Addr operator()(const StreamPattern& p) const {
+    const std::uint64_t i = state.iteration++;
+    return wrap(p.base, p.stride * static_cast<std::int64_t>(i), p.footprint);
+  }
+
+  Addr operator()(const StridedPattern& p) const {
+    const std::uint64_t i = state.iteration++;
+    if (p.irregular_ppm > 0 &&
+        mix64(seed ^ (i * 0x9e3779b97f4a7c15ULL)) % 1000000 < p.irregular_ppm) {
+      // Restart the stream at a pseudo-random origin within the footprint.
+      state.walk_state = mix64(seed ^ i) % (p.footprint ? p.footprint : 1);
+    }
+    return wrap(p.base + state.walk_state,
+                p.stride * static_cast<std::int64_t>(i), p.footprint);
+  }
+
+  Addr operator()(const PointerChasePattern& p) const {
+    ++state.iteration;
+    std::uint64_t x = state.walk_state ^ seed;
+    // xorshift64 walk; every step lands on a node-aligned slot.
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    state.walk_state = x;
+    const std::uint64_t slots =
+        p.footprint / (p.node_size ? p.node_size : 1);
+    if (slots == 0) return p.base;
+    return p.base + (x % slots) * p.node_size;
+  }
+
+  Addr operator()(const GatherPattern& p) const {
+    const std::uint64_t i = state.iteration++;
+    const std::uint64_t slots =
+        p.footprint / (p.element_size ? p.element_size : 1);
+    if (slots == 0) return p.base;
+    return p.base + (mix64(seed ^ i) % slots) * p.element_size;
+  }
+
+  Addr operator()(const ShortStreamPattern& p) const {
+    const std::uint64_t i = state.iteration++;
+    const std::uint64_t run = i / p.stream_len;
+    const std::uint64_t pos = i % p.stream_len;
+    const std::uint64_t origin =
+        p.footprint ? mix64(seed ^ (run * 0x2545f4914f6cdd1dULL)) % p.footprint
+                    : 0;
+    return wrap(p.base + origin, p.stride * static_cast<std::int64_t>(pos),
+                p.footprint);
+  }
+
+  Addr operator()(const HotBufferPattern& p) const {
+    const std::uint64_t i = state.iteration++;
+    return wrap(p.base, p.stride * static_cast<std::int64_t>(i), p.footprint);
+  }
+};
+
+}  // namespace
+
+Addr next_address(const AccessPattern& pattern, PatternState& state,
+                  std::uint64_t seed) {
+  return std::visit(PatternVisitor{state, seed}, pattern);
+}
+
+bool pattern_is_regular(const AccessPattern& pattern) {
+  return std::visit(
+      [](const auto& p) -> bool {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, StreamPattern> ||
+                      std::is_same_v<T, HotBufferPattern>) {
+          return true;
+        } else if constexpr (std::is_same_v<T, StridedPattern>) {
+          return p.irregular_ppm < 300000;  // dominant stride survives jumps
+        } else if constexpr (std::is_same_v<T, ShortStreamPattern>) {
+          return p.stream_len >= 4;  // intra-run stride dominates
+        } else {
+          return false;
+        }
+      },
+      pattern);
+}
+
+std::uint64_t pattern_footprint(const AccessPattern& pattern) {
+  return std::visit([](const auto& p) -> std::uint64_t { return p.footprint; },
+                    pattern);
+}
+
+std::uint64_t Program::total_references() const {
+  std::uint64_t refs = 0;
+  for (const Loop& loop : loops) {
+    refs += loop.iterations * loop.body.size();
+  }
+  return refs * outer_reps;
+}
+
+std::uint64_t Program::executions_of(Pc pc) const {
+  std::uint64_t count = 0;
+  for (const Loop& loop : loops) {
+    for (const StaticInst& inst : loop.body) {
+      if (inst.pc == pc) count += loop.iterations;
+    }
+  }
+  return count * outer_reps;
+}
+
+const StaticInst* Program::find(Pc pc) const {
+  for (const Loop& loop : loops) {
+    for (const StaticInst& inst : loop.body) {
+      if (inst.pc == pc) return &inst;
+    }
+  }
+  return nullptr;
+}
+
+StaticInst* Program::find(Pc pc) {
+  return const_cast<StaticInst*>(std::as_const(*this).find(pc));
+}
+
+std::size_t Program::static_instruction_count() const {
+  std::size_t count = 0;
+  for (const Loop& loop : loops) count += loop.body.size();
+  return count;
+}
+
+}  // namespace re::workloads

@@ -1,0 +1,37 @@
+// Synthetic models of the paper's 12 evaluated benchmarks.
+//
+// Each model reproduces the *memory-behaviour class* of its namesake — the
+// property Table I and Figures 4-11 actually depend on: how much of the miss
+// stream comes from regular-strided loads (prefetchable), how much from
+// pointer chasing or gathers (not prefetchable), total footprint relative to
+// the LLC, and whether prefetched data is reused out of higher cache levels
+// (the NT-bypass opportunity). See DESIGN.md §2 for the substitution
+// rationale.
+//
+// Two input sets are provided per benchmark (paper Section VII-D): the
+// Reference input used for profiling, and an Alternate input with different
+// footprints and loop counts used to test the stability of the inserted
+// prefetches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/program.hh"
+
+namespace re::workloads {
+
+enum class InputSet { Reference, Alternate };
+
+/// Names of the 12 evaluated benchmarks, in the paper's Table I order.
+const std::vector<std::string>& suite_names();
+
+/// Build the model of one benchmark. Throws std::out_of_range for unknown
+/// names.
+Program make_benchmark(const std::string& name,
+                       InputSet input = InputSet::Reference);
+
+/// Build the whole suite in Table I order.
+std::vector<Program> make_suite(InputSet input = InputSet::Reference);
+
+}  // namespace re::workloads

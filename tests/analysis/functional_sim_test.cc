@@ -1,0 +1,134 @@
+#include "analysis/functional_sim.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/insertion.hh"
+
+using re::workloads::PrefetchHint;
+#include "workloads/suite.hh"
+
+namespace re::analysis {
+namespace {
+
+using workloads::Loop;
+using workloads::Program;
+using workloads::StaticInst;
+using workloads::StreamPattern;
+
+Program line_stream(std::uint64_t iterations, std::uint64_t footprint) {
+  Program p;
+  p.name = "stream";
+  p.seed = 3;
+  StaticInst inst;
+  inst.pc = 1;
+  inst.pattern = StreamPattern{0, 64, footprint};
+  p.loops.push_back(Loop{{inst}, iterations});
+  return p;
+}
+
+TEST(FunctionalSim, StreamingMissesEveryLine) {
+  // Footprint far beyond the cache: every access is a new line -> miss.
+  const auto result =
+      functional_simulate(line_stream(10000, 1 << 30),
+                          sim::CacheGeometry{64 << 10, 2});
+  EXPECT_EQ(result.total_references, 10000u);
+  EXPECT_EQ(result.total_misses, 10000u);
+  EXPECT_DOUBLE_EQ(result.miss_ratio(), 1.0);
+  EXPECT_EQ(result.misses_of(1), 10000u);
+}
+
+TEST(FunctionalSim, ResidentWorkingSetHitsAfterWarmup) {
+  // 256 lines cycled in a 1024-line cache: only 256 cold misses.
+  const auto result = functional_simulate(line_stream(10000, 256 * 64),
+                                          sim::CacheGeometry{64 << 10, 2});
+  EXPECT_EQ(result.total_misses, 256u);
+}
+
+TEST(FunctionalSim, MaxRefsCapsExecution) {
+  const auto result = functional_simulate(line_stream(100000, 1 << 30),
+                                          sim::CacheGeometry{64 << 10, 2},
+                                          5000);
+  EXPECT_EQ(result.total_references, 5000u);
+}
+
+TEST(FunctionalSim, PerPcAttribution) {
+  Program p;
+  p.name = "two";
+  p.seed = 3;
+  StaticInst a;
+  a.pc = 7;
+  a.pattern = StreamPattern{0, 64, 1 << 30};  // always misses
+  StaticInst b;
+  b.pc = 8;
+  b.pattern = StreamPattern{1ULL << 40, 8, 512};  // 8 lines, resident
+  p.loops.push_back(Loop{{a, b}, 5000});
+  const auto result =
+      functional_simulate(p, sim::CacheGeometry{64 << 10, 2});
+  EXPECT_EQ(result.misses_of(7), 5000u);
+  EXPECT_LE(result.misses_of(8), 8u + 16u);  // cold + rare conflicts
+  EXPECT_EQ(result.accesses_by_pc.at(7), 5000u);
+}
+
+TEST(FunctionalSim, PrefetchesFillTheCacheButAreNotReferences) {
+  Program p = line_stream(10000, 1 << 30);
+  p = core::insert_prefetches(p, {{1, 256, PrefetchHint::T0}});
+  const auto result =
+      functional_simulate(p, sim::CacheGeometry{64 << 10, 2});
+  EXPECT_EQ(result.total_references, 10000u);
+  EXPECT_EQ(result.prefetches_executed, 10000u);
+  // All but the first few lines are prefetched before demand arrives.
+  EXPECT_LT(result.total_misses, 20u);
+}
+
+TEST(FunctionalSim, NtPrefetchBehavesLikeNormalInSingleLevel) {
+  Program normal = core::insert_prefetches(line_stream(5000, 1 << 30),
+                                           {{1, 256, PrefetchHint::T0}});
+  Program nt = core::insert_prefetches(line_stream(5000, 1 << 30),
+                                       {{1, 256, PrefetchHint::NTA}});
+  const sim::CacheGeometry geom{64 << 10, 2};
+  EXPECT_EQ(functional_simulate(normal, geom).total_misses,
+            functional_simulate(nt, geom).total_misses);
+}
+
+TEST(MeasureCoverage, FullCoverageForPerfectPrefetch) {
+  const Program original = line_stream(10000, 1 << 30);
+  const Program optimized =
+      core::insert_prefetches(original, {{1, 256, PrefetchHint::T0}});
+  const CoverageResult cov =
+      measure_coverage(original, optimized, sim::CacheGeometry{64 << 10, 2});
+  EXPECT_GT(cov.miss_coverage(), 0.99);
+  EXPECT_NEAR(cov.overhead(), 1.0, 0.05);  // one prefetch per miss removed
+}
+
+TEST(MeasureCoverage, ZeroCoverageWithoutPlans) {
+  const Program original = line_stream(5000, 1 << 30);
+  const CoverageResult cov =
+      measure_coverage(original, original, sim::CacheGeometry{64 << 10, 2});
+  EXPECT_DOUBLE_EQ(cov.miss_coverage(), 0.0);
+  EXPECT_DOUBLE_EQ(cov.overhead(), 0.0);
+}
+
+TEST(MeasureCoverage, UselessPrefetchesShowAsOverhead) {
+  // Prefetch distance 0 lines away from a resident structure: prefetches
+  // execute but remove nothing.
+  Program original = line_stream(5000, 256 * 64);
+  Program optimized =
+      core::insert_prefetches(original, {{1, 0, PrefetchHint::T0}});
+  const CoverageResult cov =
+      measure_coverage(original, optimized, sim::CacheGeometry{64 << 10, 2});
+  EXPECT_EQ(cov.prefetches_executed, 5000u);
+  EXPECT_LT(cov.miss_coverage(), 0.05);
+}
+
+TEST(CoverageResult, OverheadWhenNothingRemoved) {
+  CoverageResult cov;
+  cov.base_misses = 100;
+  cov.optimized_misses = 100;
+  cov.prefetches_executed = 500;
+  EXPECT_DOUBLE_EQ(cov.overhead(), 500.0);
+  cov.optimized_misses = 120;  // regression: still no division by zero
+  EXPECT_DOUBLE_EQ(cov.miss_coverage(), 0.0);
+}
+
+}  // namespace
+}  // namespace re::analysis

@@ -1,0 +1,64 @@
+#include "analysis/metrics.hh"
+
+#include <gtest/gtest.h>
+
+namespace re::analysis {
+namespace {
+
+TEST(WeightedSpeedup, IdentityWhenUnchanged) {
+  const MixTimes times{{100, 200, 300, 400}, {100, 200, 300, 400}};
+  EXPECT_DOUBLE_EQ(weighted_speedup(times), 1.0);
+}
+
+TEST(WeightedSpeedup, ArithmeticMeanOfPerAppSpeedups) {
+  // Speedups 2.0 and 1.0 -> weighted speedup 1.5.
+  const MixTimes times{{100, 100}, {50, 100}};
+  EXPECT_DOUBLE_EQ(weighted_speedup(times), 1.5);
+}
+
+TEST(FairSpeedup, HarmonicMeanPenalizesImbalance) {
+  const MixTimes times{{100, 100}, {50, 100}};
+  // FS = 2 / (0.5 + 1.0) = 1.333... < weighted 1.5.
+  EXPECT_NEAR(fair_speedup(times), 4.0 / 3.0, 1e-12);
+  EXPECT_LT(fair_speedup(times), weighted_speedup(times));
+}
+
+TEST(FairSpeedup, MatchesPaperFormula) {
+  // FS = N / sum(T_pref / T_base).
+  const MixTimes times{{100, 200, 400, 800}, {50, 400, 400, 400}};
+  const double denom = 0.5 + 2.0 + 1.0 + 0.5;
+  EXPECT_NEAR(fair_speedup(times), 4.0 / denom, 1e-12);
+}
+
+TEST(Qos, ZeroWhenNothingSlowsDown) {
+  const MixTimes times{{100, 100}, {50, 100}};
+  EXPECT_DOUBLE_EQ(qos_degradation(times), 0.0);
+}
+
+TEST(Qos, SumsOnlySlowdowns) {
+  // App 0 speeds up (ignored), app 1 slows to 2x (counts -0.5).
+  const MixTimes times{{100, 100}, {50, 200}};
+  EXPECT_DOUBLE_EQ(qos_degradation(times), -0.5);
+}
+
+TEST(Qos, AccumulatesAcrossApps) {
+  const MixTimes times{{100, 100, 100, 100}, {200, 125, 100, 50}};
+  EXPECT_DOUBLE_EQ(qos_degradation(times), -0.5 - 0.2);
+}
+
+TEST(Metrics, InvalidInputsThrow) {
+  EXPECT_THROW(weighted_speedup(MixTimes{{1}, {}}), std::invalid_argument);
+  EXPECT_THROW(weighted_speedup(MixTimes{{}, {}}), std::invalid_argument);
+  EXPECT_THROW(weighted_speedup(MixTimes{{0}, {1}}), std::invalid_argument);
+  EXPECT_THROW(fair_speedup(MixTimes{{1}, {-1}}), std::invalid_argument);
+}
+
+TEST(TrafficIncrease, RelativeChange) {
+  EXPECT_DOUBLE_EQ(traffic_increase(1000, 1500), 0.5);
+  EXPECT_DOUBLE_EQ(traffic_increase(1000, 800), -0.2);
+  EXPECT_DOUBLE_EQ(traffic_increase(1000, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(traffic_increase(0, 1234), 0.0);  // undefined -> 0
+}
+
+}  // namespace
+}  // namespace re::analysis

@@ -1,0 +1,143 @@
+#include "core/bypass.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/sampler.hh"
+#include "workloads/suite.hh"
+
+namespace re::core {
+namespace {
+
+TEST(ReuseGraph, EdgesFromReusePairs) {
+  Profile profile;
+  profile.reuse_samples.push_back(ReuseSample{1, 2, 10});
+  profile.reuse_samples.push_back(ReuseSample{1, 2, 12});
+  profile.reuse_samples.push_back(ReuseSample{1, 3, 5});
+  profile.reuse_samples.push_back(ReuseSample{4, 4, 0});
+  const ReuseGraph graph(profile);
+  EXPECT_EQ(graph.edge_count(1, 2), 2u);
+  EXPECT_EQ(graph.edge_count(1, 3), 1u);
+  EXPECT_EQ(graph.edge_count(4, 4), 1u);
+  EXPECT_EQ(graph.edge_count(2, 1), 0u);
+  EXPECT_EQ(graph.out_degree_samples(1), 3u);
+  EXPECT_EQ(graph.out_degree_samples(9), 0u);
+}
+
+TEST(ReuseGraph, ReusersFilteredByWeight) {
+  Profile profile;
+  for (int i = 0; i < 95; ++i) {
+    profile.reuse_samples.push_back(ReuseSample{1, 2, 10});
+  }
+  for (int i = 0; i < 5; ++i) {
+    profile.reuse_samples.push_back(ReuseSample{1, 3, 10});
+  }
+  const ReuseGraph graph(profile);
+  const auto heavy = graph.reusers_of(1, 0.10);
+  ASSERT_EQ(heavy.size(), 1u);
+  EXPECT_EQ(heavy[0], 2u);
+  const auto all = graph.reusers_of(1, 0.01);
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_TRUE(graph.reusers_of(42, 0.0).empty());
+}
+
+/// Profile where pc 1 streams (flat MRC) and pc 2's data is reused out of
+/// the LLC (curve drops between L1 and LLC).
+Profile stream_and_llc_profile(const sim::MachineConfig& machine) {
+  Sampler s(SamplerConfig{2, 5});
+  const std::uint64_t llc_lines = machine.llc.num_lines();
+  // pc 2 sweeps a working set of ~ half the LLC (misses L1, hits LLC).
+  const std::uint64_t ws = llc_lines / 2;
+  for (int round = 0; round < 6; ++round) {
+    for (std::uint64_t i = 0; i < ws; ++i) {
+      s.observe(2, (1ULL << 32) + i * kLineSize);
+    }
+  }
+  // pc 1 streams unique lines (never reused).
+  for (std::uint64_t i = 0; i < 6 * ws; ++i) {
+    s.observe(1, i * kLineSize);
+  }
+  return s.finish();
+}
+
+TEST(MrcFlatness, StreamIsFlatLlcResidentIsNot) {
+  const sim::MachineConfig machine = sim::amd_phenom_ii();
+  const Profile profile = stream_and_llc_profile(machine);
+  const StatStack model(profile);
+  EXPECT_TRUE(mrc_flat_between_l1_and_llc(model.pc_mrc(1), machine, 0.10));
+  EXPECT_FALSE(mrc_flat_between_l1_and_llc(model.pc_mrc(2), machine, 0.10));
+}
+
+TEST(MrcFlatness, EmptyCurveCountsAsFlat) {
+  const sim::MachineConfig machine = sim::amd_phenom_ii();
+  EXPECT_TRUE(mrc_flat_between_l1_and_llc(MissRatioCurve{}, machine, 0.1));
+}
+
+TEST(ShouldBypass, StreamReusedOnlyByItselfBypasses) {
+  const sim::MachineConfig machine = sim::amd_phenom_ii();
+  const Profile profile = stream_and_llc_profile(machine);
+  const StatStack model(profile);
+  const ReuseGraph graph(profile);
+  EXPECT_TRUE(should_bypass(1, graph, model, machine));
+}
+
+TEST(ShouldBypass, LlcReuserDisqualifiesBypass) {
+  const sim::MachineConfig machine = sim::amd_phenom_ii();
+  // pc 1's lines are re-touched by pc 2, and pc 2 reuses data out of the
+  // LLC -> prefetching pc 1 non-temporally would starve pc 2.
+  Sampler s(SamplerConfig{2, 5});
+  const std::uint64_t ws = machine.llc.num_lines() / 2;
+  for (int round = 0; round < 6; ++round) {
+    for (std::uint64_t i = 0; i < ws; ++i) {
+      const Addr addr = (1ULL << 32) + i * kLineSize;
+      s.observe(1, addr);      // pc 1 touches
+      s.observe(2, addr + 8);  // pc 2 re-touches the same line
+    }
+  }
+  const Profile profile = s.finish();
+  const StatStack model(profile);
+  const ReuseGraph graph(profile);
+  // pc 2 reuses across rounds out of the LLC: its curve drops.
+  EXPECT_FALSE(should_bypass(1, graph, model, machine));
+}
+
+TEST(ShouldBypass, SelfIsAlwaysConsideredAReuser) {
+  const sim::MachineConfig machine = sim::amd_phenom_ii();
+  // pc 1 itself reuses its data at LLC distances: even with no other
+  // reusers it must not bypass.
+  Sampler s(SamplerConfig{2, 5});
+  const std::uint64_t ws = machine.llc.num_lines() / 2;
+  for (int round = 0; round < 8; ++round) {
+    for (std::uint64_t i = 0; i < ws; ++i) {
+      s.observe(1, (1ULL << 33) + i * kLineSize);
+    }
+  }
+  const Profile profile = s.finish();
+  const StatStack model(profile);
+  const ReuseGraph graph(profile);
+  EXPECT_FALSE(should_bypass(1, graph, model, machine));
+}
+
+TEST(BypassIntegration, LibquantumStreamsBypassOmnetppBufferDoesNot) {
+  const sim::MachineConfig machine = sim::amd_phenom_ii();
+  {
+    const Profile profile = profile_program(
+        workloads::make_benchmark("libquantum"), SamplerConfig{500, 3});
+    const StatStack model(profile);
+    const ReuseGraph graph(profile);
+    // The two register sweeps stream with no LLC reuse: bypass.
+    EXPECT_TRUE(should_bypass(1, graph, model, machine));
+    EXPECT_TRUE(should_bypass(2, graph, model, machine));
+  }
+  {
+    // omnetpp's msg-buffer sweep (pc 3) lives in a 192 kB buffer that fits
+    // the LLC: its own reuse comes out of L2/LLC, so no bypass.
+    const Profile profile = profile_program(
+        workloads::make_benchmark("omnetpp"), SamplerConfig{500, 3});
+    const StatStack model(profile);
+    const ReuseGraph graph(profile);
+    EXPECT_FALSE(should_bypass(3, graph, model, machine));
+  }
+}
+
+}  // namespace
+}  // namespace re::core

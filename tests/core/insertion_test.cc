@@ -1,0 +1,89 @@
+#include "core/insertion.hh"
+
+#include <gtest/gtest.h>
+
+#include "workloads/cursor.hh"
+
+using re::workloads::PrefetchHint;
+#include "workloads/suite.hh"
+
+namespace re::core {
+namespace {
+
+using workloads::Program;
+
+TEST(Insertion, AttachesPrefetchToNamedPc) {
+  const Program original = workloads::make_benchmark("libquantum");
+  const Program optimized =
+      insert_prefetches(
+      original,
+      {{1, 256, PrefetchHint::T0}, {2, 128, PrefetchHint::NTA}});
+
+  const auto* pc1 = optimized.find(1);
+  ASSERT_NE(pc1, nullptr);
+  ASSERT_TRUE(pc1->prefetch.has_value());
+  EXPECT_EQ(pc1->prefetch->distance_bytes, 256);
+  EXPECT_EQ(pc1->prefetch->hint, PrefetchHint::T0);
+  EXPECT_FALSE(pc1->prefetch->non_temporal());
+
+  const auto* pc2 = optimized.find(2);
+  ASSERT_TRUE(pc2->prefetch.has_value());
+  EXPECT_TRUE(pc2->prefetch->non_temporal());
+}
+
+TEST(Insertion, OriginalProgramIsUntouched) {
+  const Program original = workloads::make_benchmark("libquantum");
+  (void)insert_prefetches(original, {{1, 256, PrefetchHint::T0}});
+  EXPECT_FALSE(original.find(1)->prefetch.has_value());
+}
+
+TEST(Insertion, UnknownPcsAreIgnored) {
+  const Program original = workloads::make_benchmark("libquantum");
+  const Program optimized = insert_prefetches(original, {{999, 64, PrefetchHint::T0}});
+  for (const auto& loop : optimized.loops) {
+    for (const auto& inst : loop.body) {
+      EXPECT_FALSE(inst.prefetch.has_value());
+    }
+  }
+}
+
+TEST(Insertion, EmptyPlanIsIdentity) {
+  const Program original = workloads::make_benchmark("mcf");
+  const Program optimized = insert_prefetches(original, {});
+  EXPECT_EQ(optimized.total_references(), original.total_references());
+  EXPECT_EQ(optimized.static_instruction_count(),
+            original.static_instruction_count());
+}
+
+TEST(Insertion, NegativeDistancesSupported) {
+  const Program original = workloads::make_benchmark("libquantum");
+  const Program optimized = insert_prefetches(original, {{1, -512, PrefetchHint::T0}});
+  EXPECT_EQ(optimized.find(1)->prefetch->distance_bytes, -512);
+}
+
+TEST(Insertion, LastPlanWinsOnDuplicates) {
+  const Program original = workloads::make_benchmark("libquantum");
+  const Program optimized =
+      insert_prefetches(
+      original, {{1, 64, PrefetchHint::T0}, {1, 128, PrefetchHint::NTA}});
+  EXPECT_EQ(optimized.find(1)->prefetch->distance_bytes, 128);
+  EXPECT_TRUE(optimized.find(1)->prefetch->non_temporal());
+}
+
+TEST(Insertion, DoesNotChangeAddressStream) {
+  // Prefetch ops must not perturb the demand access sequence.
+  const Program original = workloads::make_benchmark("soplex");
+  const Program optimized = insert_prefetches(original, {{1, 256, PrefetchHint::NTA}});
+  workloads::ProgramCursor a(original), b(optimized);
+  for (int i = 0; i < 5000; ++i) {
+    auto ea = a.next();
+    auto eb = b.next();
+    ASSERT_EQ(ea.has_value(), eb.has_value());
+    if (!ea) break;
+    EXPECT_EQ(ea->addr, eb->addr);
+    EXPECT_EQ(ea->inst->pc, eb->inst->pc);
+  }
+}
+
+}  // namespace
+}  // namespace re::core

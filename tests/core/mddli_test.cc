@@ -1,0 +1,141 @@
+#include "core/mddli.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/sampler.hh"
+#include "workloads/suite.hh"
+
+namespace re::core {
+namespace {
+
+TEST(AverageMissLatency, AllMissesServedByL2) {
+  const sim::MachineConfig m = sim::amd_phenom_ii();
+  // MR drops to zero at L2: every L1 miss is an L2 hit.
+  EXPECT_DOUBLE_EQ(average_miss_latency(m, 0.5, 0.0, 0.0),
+                   static_cast<double>(m.l2_latency));
+}
+
+TEST(AverageMissLatency, AllMissesGoToDram) {
+  const sim::MachineConfig m = sim::amd_phenom_ii();
+  // Flat curve: nothing served by intermediate levels.
+  EXPECT_DOUBLE_EQ(average_miss_latency(m, 0.3, 0.3, 0.3),
+                   static_cast<double>(m.dram_latency));
+}
+
+TEST(AverageMissLatency, MixedServiceLevels) {
+  const sim::MachineConfig m = sim::amd_phenom_ii();
+  // Half of L1 misses die in L2, a quarter in LLC, a quarter in DRAM.
+  const double lat = average_miss_latency(m, 0.4, 0.2, 0.1);
+  const double expected = 0.5 * static_cast<double>(m.l2_latency) +
+                          0.25 * static_cast<double>(m.llc_latency) +
+                          0.25 * static_cast<double>(m.dram_latency);
+  EXPECT_NEAR(lat, expected, 1e-9);
+}
+
+TEST(AverageMissLatency, ZeroMissRatioIsZero) {
+  EXPECT_DOUBLE_EQ(average_miss_latency(sim::amd_phenom_ii(), 0.0, 0.0, 0.0),
+                   0.0);
+}
+
+TEST(AverageMissLatency, ClampsInvertedCurves) {
+  const sim::MachineConfig m = sim::amd_phenom_ii();
+  // Degenerate input (mr_l2 > mr_l1) must not produce negative fractions.
+  const double lat = average_miss_latency(m, 0.1, 0.3, 0.05);
+  EXPECT_GE(lat, static_cast<double>(m.l2_latency));
+  EXPECT_LE(lat, static_cast<double>(m.dram_latency));
+}
+
+/// Build a profile where pc 1 streams (always misses) and pc 2 sweeps a
+/// small L1-resident buffer (never misses beyond L1 warmup).
+Profile two_pc_profile() {
+  Sampler s(SamplerConfig{3, 5});
+  for (std::uint64_t i = 0; i < 60000; ++i) {
+    s.observe(1, i * kLineSize);                       // stream
+    s.observe(2, (i % 16) * kLineSize + (1 << 30));    // 1 kB hot buffer
+  }
+  return s.finish();
+}
+
+TEST(Mddli, SelectsStreamingLoadRejectsHotLoad) {
+  const Profile profile = two_pc_profile();
+  const StatStack model(profile);
+  const auto loads = identify_delinquent_loads(model, profile,
+                                               sim::amd_phenom_ii());
+  ASSERT_EQ(loads.size(), 1u);
+  EXPECT_EQ(loads[0].pc, 1u);
+  EXPECT_GT(loads[0].l1_miss_ratio, 0.9);
+  EXPECT_NEAR(loads[0].avg_miss_latency,
+              static_cast<double>(sim::amd_phenom_ii().dram_latency), 20.0);
+}
+
+TEST(Mddli, HighAlphaRejectsEverything) {
+  const Profile profile = two_pc_profile();
+  const StatStack model(profile);
+  MddliOptions options;
+  options.alpha = 1e9;
+  EXPECT_TRUE(identify_delinquent_loads(model, profile, sim::amd_phenom_ii(),
+                                        options)
+                  .empty());
+}
+
+TEST(Mddli, MinSamplesFiltersNoisyPcs) {
+  Sampler s(SamplerConfig{1, 5});
+  // pc 3 appears only a handful of times.
+  for (int i = 0; i < 5; ++i) {
+    s.observe(3, static_cast<Addr>(i) * kLineSize);
+  }
+  const Profile profile = s.finish();
+  const StatStack model(profile);
+  MddliOptions options;
+  options.min_samples = 8;
+  EXPECT_TRUE(identify_delinquent_loads(model, profile, sim::amd_phenom_ii(),
+                                        options)
+                  .empty());
+}
+
+TEST(Mddli, OrdersByEstimatedMissesDescending) {
+  const workloads::Program program = workloads::make_benchmark("mcf");
+  const Profile profile = profile_program(program, SamplerConfig{500, 21});
+  const StatStack model(profile);
+  const auto loads =
+      identify_delinquent_loads(model, profile, sim::amd_phenom_ii());
+  ASSERT_GE(loads.size(), 2u);
+  for (std::size_t i = 1; i < loads.size(); ++i) {
+    EXPECT_GE(loads[i - 1].estimated_l1_misses, loads[i].estimated_l1_misses);
+  }
+}
+
+class MddliBoundaryTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MddliBoundaryTest, ThresholdIsStrict) {
+  // Synthetic single-PC profile with exact miss ratio p to DRAM: the load
+  // passes iff p > alpha / dram_latency.
+  const double p = GetParam();
+  Sampler s(SamplerConfig{1, 3});
+  const int total = 10000;
+  const int misses = static_cast<int>(p * total);
+  // `misses` streaming lines (dangle) + hits (immediate reuse).
+  for (int i = 0; i < misses; ++i) {
+    s.observe(1, static_cast<Addr>(i + 100) * kLineSize * 2);
+  }
+  for (int i = 0; i < total - misses; ++i) {
+    s.observe(1, 8);  // same line over and over: distance 0 -> hit
+  }
+  const Profile profile = s.finish();
+  const StatStack model(profile);
+  const sim::MachineConfig m = sim::amd_phenom_ii();
+  const auto loads = identify_delinquent_loads(model, profile, m);
+  const double threshold = 1.0 / static_cast<double>(m.dram_latency);
+  if (p > threshold * 1.5) {
+    EXPECT_FALSE(loads.empty()) << "p=" << p;
+  } else if (p < threshold / 1.5) {
+    EXPECT_TRUE(loads.empty()) << "p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MissRatios, MddliBoundaryTest,
+                         ::testing::Values(0.0005, 0.001, 0.002, 0.01, 0.05,
+                                           0.2));
+
+}  // namespace
+}  // namespace re::core

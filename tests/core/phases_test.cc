@@ -1,0 +1,171 @@
+#include "core/phases.hh"
+
+#include <gtest/gtest.h>
+
+#include "sim/system.hh"
+#include "workloads/suite.hh"
+
+namespace re::core {
+namespace {
+
+using workloads::GatherPattern;
+using workloads::Loop;
+using workloads::Program;
+using workloads::StaticInst;
+using workloads::StreamPattern;
+
+/// A program with two starkly different alternating phases: a streaming
+/// phase (pc 1-2) and a gather phase (pc 3-4).
+Program two_phase_program(std::uint64_t reps = 4) {
+  Program p;
+  p.name = "two-phase";
+  p.seed = 11;
+  StaticInst s1, s2;
+  s1.pc = 1;
+  s1.pattern = StreamPattern{0, 16, 1 << 20};
+  s2.pc = 2;
+  s2.pattern = StreamPattern{1ULL << 32, 16, 1 << 20};
+  p.loops.push_back(Loop{{s1, s2}, 100000});
+  StaticInst g1, g2;
+  g1.pc = 3;
+  g1.pattern = GatherPattern{2ULL << 32, 1 << 20, 8};
+  g2.pc = 4;
+  g2.pattern = GatherPattern{3ULL << 32, 1 << 14, 8};
+  p.loops.push_back(Loop{{g1, g2}, 50000});
+  p.outer_reps = reps;
+  return p;
+}
+
+TEST(Phases, DetectsTheTwoPhases) {
+  const PhasedProfile phased =
+      profile_with_phases(two_phase_program(), SamplerConfig{500, 7});
+  // Two real phases; windows straddling a loop transition may form a third
+  // "transition" phase (they mix both signatures).
+  EXPECT_GE(phased.num_phases, 2);
+  EXPECT_LE(phased.num_phases, 3);
+  // 4 reps x 2 loops alternate: at least 8 segments.
+  EXPECT_GE(phased.segments.size(), 8u);
+  // Mid-loop positions land in distinct phases.
+  EXPECT_NE(phased.phase_at(100000), phased.phase_at(250000));
+}
+
+TEST(Phases, SegmentsTileTheRunContiguously) {
+  const PhasedProfile phased =
+      profile_with_phases(two_phase_program(), SamplerConfig{500, 7});
+  std::uint64_t expected_start = 0;
+  for (const PhaseSegment& seg : phased.segments) {
+    EXPECT_EQ(seg.begin_ref, expected_start);
+    EXPECT_GT(seg.end_ref, seg.begin_ref);
+    expected_start = seg.end_ref;
+  }
+  EXPECT_EQ(expected_start, phased.full.total_references);
+}
+
+TEST(Phases, UniformProgramIsOnePhase) {
+  const PhasedProfile phased = profile_with_phases(
+      workloads::make_benchmark("milc"), SamplerConfig{1000, 7});
+  EXPECT_EQ(phased.num_phases, 1);
+  EXPECT_EQ(phased.segments.size(), 1u);
+}
+
+TEST(Phases, PhaseProfilesSeparateThePcs) {
+  const PhasedProfile phased =
+      profile_with_phases(two_phase_program(), SamplerConfig{200, 7});
+  // Identify phases by mid-loop positions (boundary windows may belong to
+  // a separate transition phase).
+  const int stream_phase = phased.phase_at(100000);
+  const int gather_phase = phased.phase_at(250000);
+  ASSERT_NE(stream_phase, gather_phase);
+
+  // Window granularity blurs loop boundaries slightly (an 80/20 window
+  // joins the majority phase), so require dominant — not perfect —
+  // separation.
+  auto share_of = [&](const Profile& profile, Pc a, Pc b) {
+    if (profile.stride_samples.empty()) return 1.0;
+    std::size_t matching = 0;
+    for (const StrideSample& s : profile.stride_samples) {
+      if (s.pc == a || s.pc == b) ++matching;
+    }
+    return static_cast<double>(matching) /
+           static_cast<double>(profile.stride_samples.size());
+  };
+  EXPECT_GT(share_of(phased.phase_profile(stream_phase), 1, 2), 0.85);
+  EXPECT_GT(share_of(phased.phase_profile(gather_phase), 3, 4), 0.85);
+}
+
+TEST(Phases, PhaseReferencesSumToTotal) {
+  const PhasedProfile phased =
+      profile_with_phases(two_phase_program(), SamplerConfig{500, 7});
+  std::uint64_t sum = 0;
+  for (int p = 0; p < phased.num_phases; ++p) {
+    sum += phased.phase_references(p);
+  }
+  EXPECT_EQ(sum, phased.full.total_references);
+}
+
+TEST(Phases, RespectsMaxRefs) {
+  const PhasedProfile phased = profile_with_phases(
+      two_phase_program(), SamplerConfig{500, 7}, PhaseOptions{}, 100000);
+  EXPECT_EQ(phased.full.total_references, 100000u);
+}
+
+TEST(PhaseAwareOptimize, FindsTheStreamLoads) {
+  const auto machine = sim::amd_phenom_ii();
+  const PhasedOptimizationReport report =
+      phase_aware_optimize(two_phase_program(), machine);
+  bool pc1 = false, pc2 = false;
+  for (const PrefetchPlan& plan : report.merged.plans) {
+    if (plan.pc == 1) pc1 = true;
+    if (plan.pc == 2) pc2 = true;
+    EXPECT_NE(plan.pc, 3u);  // gathers are never prefetchable
+    EXPECT_NE(plan.pc, 4u);
+  }
+  EXPECT_TRUE(pc1);
+  EXPECT_TRUE(pc2);
+}
+
+TEST(PhaseAwareOptimize, OptimizedProgramIsFaster) {
+  const auto machine = sim::amd_phenom_ii();
+  const Program program = two_phase_program();
+  const PhasedOptimizationReport report =
+      phase_aware_optimize(program, machine);
+  const auto base = sim::run_single(machine, program, false);
+  const auto opt = sim::run_single(machine, report.merged.optimized, false);
+  EXPECT_LT(opt.apps[0].cycles, base.apps[0].cycles);
+}
+
+TEST(PhaseAwareOptimize, MatchesGlobalPipelineOnSinglePhasePrograms) {
+  const auto machine = sim::amd_phenom_ii();
+  const auto program = workloads::make_benchmark("milc");
+  const PhasedOptimizationReport phased =
+      phase_aware_optimize(program, machine);
+  const OptimizationReport global = optimize_program(program, machine);
+  // Same loads chosen (distances may differ slightly through phase window
+  // truncation of execution counts).
+  ASSERT_EQ(phased.merged.plans.size(), global.plans.size());
+  for (std::size_t i = 0; i < global.plans.size(); ++i) {
+    const Pc pc = global.plans[i].pc;
+    EXPECT_TRUE(std::any_of(
+        phased.merged.plans.begin(), phased.merged.plans.end(),
+        [&](const PrefetchPlan& p) { return p.pc == pc; }));
+  }
+}
+
+TEST(PhaseAwareOptimize, PerPhasePlansAreRecorded) {
+  const auto machine = sim::amd_phenom_ii();
+  const PhasedOptimizationReport report =
+      phase_aware_optimize(two_phase_program(), machine);
+  ASSERT_EQ(report.per_phase_plans.size(),
+            static_cast<std::size_t>(report.phases.num_phases));
+  // The stream phase must carry plans for the stream loads.
+  const int stream_phase = report.phases.phase_at(100000);
+  const auto& stream_plans =
+      report.per_phase_plans[static_cast<std::size_t>(stream_phase)];
+  EXPECT_FALSE(stream_plans.empty());
+  for (const PrefetchPlan& plan : stream_plans) {
+    EXPECT_TRUE(plan.pc == 1 || plan.pc == 2);
+  }
+}
+
+}  // namespace
+}  // namespace re::core

@@ -1,0 +1,152 @@
+#include "core/sampler.hh"
+
+#include <gtest/gtest.h>
+
+#include "workloads/cursor.hh"
+#include "workloads/suite.hh"
+
+namespace re::core {
+namespace {
+
+using workloads::Loop;
+using workloads::Program;
+using workloads::StaticInst;
+using workloads::StreamPattern;
+
+/// Feed a synthetic (pc, addr) stream with period-1 sampling so every
+/// reference is a sample point — the sampler then behaves like an exact
+/// reuse/stride tracker and we can check its records analytically.
+Sampler exact_sampler() { return Sampler(SamplerConfig{1, 99}); }
+
+TEST(Sampler, RecordsReuseDistanceOfSameLine) {
+  Sampler s = exact_sampler();
+  s.observe(1, 0x1000);      // watch line 0x40
+  s.observe(2, 0x2000);      // 1 intervening ref
+  s.observe(3, 0x1010);      // same line as first access
+  const Profile p = s.finish();
+  ASSERT_GE(p.reuse_samples.size(), 1u);
+  const ReuseSample& r = p.reuse_samples.front();
+  EXPECT_EQ(r.first_pc, 1u);
+  EXPECT_EQ(r.second_pc, 3u);
+  EXPECT_EQ(r.distance, 1u);
+}
+
+TEST(Sampler, AdjacentReuseHasDistanceZero) {
+  Sampler s = exact_sampler();
+  s.observe(1, 0x1000);
+  s.observe(1, 0x1008);  // same line immediately
+  const Profile p = s.finish();
+  ASSERT_EQ(p.reuse_samples.size(), 1u);
+  EXPECT_EQ(p.reuse_samples[0].distance, 0u);
+}
+
+TEST(Sampler, RecordsStrideAndRecurrence) {
+  Sampler s = exact_sampler();
+  s.observe(1, 1000);
+  s.observe(2, 50000);
+  s.observe(3, 60000);
+  s.observe(1, 1016);  // pc 1 re-executes: stride 16, recurrence 2
+  const Profile p = s.finish();
+  ASSERT_GE(p.stride_samples.size(), 1u);
+  bool found = false;
+  for (const StrideSample& ss : p.stride_samples) {
+    if (ss.pc == 1) {
+      EXPECT_EQ(ss.stride, 16);
+      EXPECT_EQ(ss.recurrence, 2u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Sampler, NegativeStridesAreSigned) {
+  Sampler s = exact_sampler();
+  s.observe(1, 2000);
+  s.observe(1, 1872);
+  const Profile p = s.finish();
+  ASSERT_FALSE(p.stride_samples.empty());
+  EXPECT_EQ(p.stride_samples[0].stride, -128);
+}
+
+TEST(Sampler, DanglingWatchpointsAttributedToFirstPc) {
+  Sampler s = exact_sampler();
+  s.observe(7, 0x100000);  // never re-accessed
+  s.observe(8, 0x200000);  // never re-accessed
+  const Profile p = s.finish();
+  EXPECT_EQ(p.dangling_reuse_samples, 2u);
+  EXPECT_EQ(p.dangling_by_pc.at(7), 1u);
+  EXPECT_EQ(p.dangling_by_pc.at(8), 1u);
+}
+
+TEST(Sampler, CountsPcExecutionsExactly) {
+  Sampler s(SamplerConfig{1000, 1});
+  for (int i = 0; i < 10; ++i) s.observe(4, static_cast<Addr>(i) * 4096);
+  for (int i = 0; i < 3; ++i) s.observe(5, static_cast<Addr>(i) * 8192);
+  const Profile p = s.finish();
+  EXPECT_EQ(p.executions_of(4), 10u);
+  EXPECT_EQ(p.executions_of(5), 3u);
+  EXPECT_EQ(p.executions_of(6), 0u);
+  EXPECT_EQ(p.total_references, 13u);
+}
+
+TEST(Sampler, SparseSamplingMatchesConfiguredRate) {
+  Sampler s(SamplerConfig{100, 42});
+  // Stream of unique lines: every sample dangles, so the dangling count is
+  // the number of sample points taken.
+  for (Addr i = 0; i < 100000; ++i) s.observe(1, i * kLineSize);
+  const Profile p = s.finish();
+  EXPECT_NEAR(static_cast<double>(p.dangling_reuse_samples), 1000.0, 150.0);
+  EXPECT_EQ(p.sample_period, 100u);
+}
+
+TEST(Sampler, FinishResetsForReuse) {
+  Sampler s = exact_sampler();
+  s.observe(1, 0x1000);
+  const Profile first = s.finish();
+  EXPECT_EQ(first.total_references, 1u);
+  s.observe(2, 0x2000);
+  const Profile second = s.finish();
+  EXPECT_EQ(second.total_references, 1u);
+  EXPECT_EQ(second.executions_of(1), 0u);
+  EXPECT_EQ(second.executions_of(2), 1u);
+}
+
+TEST(ProfileProgram, CapsAtMaxRefs) {
+  workloads::Program program;
+  program.name = "p";
+  program.seed = 1;
+  StaticInst inst;
+  inst.pc = 1;
+  inst.pattern = StreamPattern{0, 64, 1 << 20};
+  program.loops.push_back(Loop{{inst}, 100000});
+  const Profile p = profile_program(program, SamplerConfig{10, 3}, 5000);
+  EXPECT_EQ(p.total_references, 5000u);
+}
+
+TEST(ProfileProgram, StrideSamplesReflectProgramStride) {
+  workloads::Program program;
+  program.name = "p";
+  program.seed = 1;
+  StaticInst inst;
+  inst.pc = 1;
+  inst.pattern = StreamPattern{0, 24, 1 << 22};
+  program.loops.push_back(Loop{{inst}, 50000});
+  const Profile p = profile_program(program, SamplerConfig{50, 3});
+  ASSERT_GT(p.stride_samples.size(), 100u);
+  for (const StrideSample& ss : p.stride_samples) {
+    EXPECT_EQ(ss.stride, 24);
+    EXPECT_EQ(ss.recurrence, 0u);  // single-instruction loop
+  }
+}
+
+TEST(ProfileProgram, DeterministicForSameSeed) {
+  const workloads::Program program = workloads::make_benchmark("soplex");
+  const Profile a = profile_program(program, SamplerConfig{1000, 42});
+  const Profile b = profile_program(program, SamplerConfig{1000, 42});
+  EXPECT_EQ(a.reuse_samples.size(), b.reuse_samples.size());
+  EXPECT_EQ(a.stride_samples.size(), b.stride_samples.size());
+  EXPECT_EQ(a.dangling_reuse_samples, b.dangling_reuse_samples);
+}
+
+}  // namespace
+}  // namespace re::core

@@ -1,0 +1,217 @@
+#include "core/statstack.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/sampler.hh"
+#include "support/histogram.hh"
+#include "workloads/suite.hh"
+
+namespace re::core {
+namespace {
+
+/// Profile with every access sampled over a cyclic sweep of `lines` cache
+/// lines repeated `passes` times: every non-cold access has reuse distance
+/// lines-1 and stack distance lines-1.
+Profile cyclic_profile(std::uint64_t lines, int passes = 8) {
+  Sampler s(SamplerConfig{1, 7});
+  for (int p = 0; p < passes; ++p) {
+    for (std::uint64_t l = 0; l < lines; ++l) {
+      s.observe(1, l * kLineSize);
+    }
+  }
+  return s.finish();
+}
+
+TEST(StackDistanceSolver, CyclicPatternSdEqualsUniqueLines) {
+  // All reuse distances are K-1; the expected stack distance of a reuse
+  // distance of K-1 must be exactly K-1 (every intervening access touches a
+  // distinct line and survives past the window).
+  const std::uint64_t K = 100;
+  const Profile profile = cyclic_profile(K);
+  const StatStack model(profile);
+  EXPECT_NEAR(model.solver().stack_distance(K - 1),
+              static_cast<double>(K - 1), 1.0);
+}
+
+TEST(StackDistanceSolver, ZeroDistanceIsZero) {
+  const StatStack model(cyclic_profile(10));
+  EXPECT_DOUBLE_EQ(model.solver().stack_distance(0), 0.0);
+}
+
+TEST(StackDistanceSolver, MonotoneInReuseDistance) {
+  const Profile profile = cyclic_profile(64);
+  const StatStack model(profile);
+  double prev = -1.0;
+  for (RefCount d = 0; d < 200; d += 5) {
+    const double sd = model.solver().stack_distance(d);
+    EXPECT_GE(sd, prev);
+    EXPECT_LE(sd, static_cast<double>(d));  // SD can never exceed D
+    prev = sd;
+  }
+}
+
+TEST(StackDistanceSolver, InfiniteDistanceIsInfinite) {
+  const StatStack model(cyclic_profile(16));
+  EXPECT_TRUE(std::isinf(model.solver().stack_distance(kInfiniteDistance)));
+}
+
+TEST(StackDistanceSolver, InverseRoundTrips) {
+  const Profile profile = cyclic_profile(64);
+  const StatStack model(profile);
+  const auto& solver = model.solver();
+  for (double target : {1.0, 5.0, 20.0, 50.0}) {
+    const RefCount d = solver.reuse_distance_for(target);
+    ASSERT_NE(d, kInfiniteDistance);
+    EXPECT_GE(solver.stack_distance(d), target);
+    if (d > 0) {
+      EXPECT_LT(solver.stack_distance(d - 1), target);
+    }
+  }
+}
+
+TEST(StackDistanceSolver, UnreachableTargetWithoutDangling) {
+  // Cyclic pattern with finite distances: the integral saturates, so a huge
+  // target is unreachable... unless dangling samples keep survival > 0.
+  Sampler s(SamplerConfig{1, 7});
+  for (int p = 0; p < 50; ++p) {
+    for (std::uint64_t l = 0; l < 8; ++l) s.observe(1, l * kLineSize);
+  }
+  Profile profile = s.finish();
+  profile.dangling_reuse_samples = 0;  // strip the last-pass danglers
+  profile.dangling_by_pc.clear();
+  const StatStack model(profile);
+  EXPECT_EQ(model.solver().reuse_distance_for(1e9), kInfiniteDistance);
+}
+
+TEST(StackDistanceSolver, DanglingKeepsSurvivalPositive) {
+  // Streaming: every sample dangles; SD(D) == D (all intervening refs are
+  // unique lines).
+  Sampler s(SamplerConfig{1, 7});
+  for (std::uint64_t l = 0; l < 5000; ++l) s.observe(1, l * kLineSize);
+  const Profile profile = s.finish();
+  const StatStack model(profile);
+  EXPECT_NEAR(model.solver().stack_distance(1000), 1000.0, 1e-6);
+  EXPECT_EQ(model.solver().reuse_distance_for(500.0), 500u);
+}
+
+TEST(MissRatioCurve, CyclicSweepMissBoundary) {
+  const std::uint64_t K = 128;
+  const Profile profile = cyclic_profile(K, 16);
+  const StatStack model(profile);
+  const MissRatioCurve& mrc = model.pc_mrc(1);
+  // Cache with K+8 lines: the working set fits -> ~0 miss ratio (only the
+  // final pass's dangling samples count as misses).
+  EXPECT_LT(mrc.miss_ratio_lines(K + 8), 0.08);
+  // Cache with K/2 lines: LRU cyclic sweep always misses.
+  EXPECT_GT(mrc.miss_ratio_lines(K / 2), 0.95);
+}
+
+TEST(MissRatioCurve, MonotoneNonIncreasingInCacheSize) {
+  const Profile profile = profile_program(
+      workloads::make_benchmark("mcf"), SamplerConfig{500, 11});
+  const StatStack model(profile);
+  const MissRatioCurve& mrc = model.application_mrc();
+  double prev = 1.1;
+  for (std::uint64_t bytes = 4 << 10; bytes <= 16 << 20; bytes *= 2) {
+    const double mr = mrc.miss_ratio_bytes(bytes);
+    EXPECT_LE(mr, prev + 1e-9);
+    EXPECT_GE(mr, 0.0);
+    EXPECT_LE(mr, 1.0);
+    prev = mr;
+  }
+}
+
+TEST(MissRatioCurve, EmptyCurveReportsZero) {
+  const MissRatioCurve empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_DOUBLE_EQ(empty.miss_ratio_lines(100), 0.0);
+}
+
+TEST(StatStack, PcMrcForUnknownPcIsEmpty) {
+  const StatStack model(cyclic_profile(16));
+  EXPECT_TRUE(model.pc_mrc(999).empty());
+}
+
+TEST(StatStack, SampledPcsAreSortedAndComplete) {
+  Sampler s(SamplerConfig{1, 7});
+  for (int i = 0; i < 100; ++i) {
+    s.observe(3, static_cast<Addr>(i % 8) * kLineSize);
+    s.observe(1, 4096 + static_cast<Addr>(i % 4) * kLineSize);
+  }
+  const StatStack model(s.finish());
+  const auto& pcs = model.sampled_pcs();
+  ASSERT_EQ(pcs.size(), 2u);
+  EXPECT_EQ(pcs[0], 1u);
+  EXPECT_EQ(pcs[1], 3u);
+}
+
+TEST(StatStack, PureStreamPcGetsDanglingMisses) {
+  // A pure stream of unique lines: all its samples dangle, so its modeled
+  // miss ratio must be ~100 % at any cache size.
+  Sampler s(SamplerConfig{4, 7});
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    s.observe(5, i * kLineSize);
+  }
+  const StatStack model(s.finish());
+  const MissRatioCurve& mrc = model.pc_mrc(5);
+  ASSERT_FALSE(mrc.empty());
+  EXPECT_GT(mrc.miss_ratio_lines(1 << 20), 0.99);
+}
+
+TEST(StatStack, SubLineStrideStreamQuarterMisses) {
+  // Stride-16 stream: 3 of 4 accesses reuse the line within ~0 distance
+  // (hits in any cache); every 4th access opens a new line that dangles.
+  Sampler s(SamplerConfig{3, 7});
+  for (std::uint64_t i = 0; i < 80000; ++i) {
+    s.observe(6, i * 16);
+  }
+  const StatStack model(s.finish());
+  const MissRatioCurve& mrc = model.pc_mrc(6);
+  EXPECT_NEAR(mrc.miss_ratio_lines(512), 0.25, 0.05);
+  EXPECT_LT(mrc.miss_ratio_lines(4), 0.30);  // intra-line reuse survives
+}
+
+TEST(StatStack, EstimatedMissesScaleWithExecutions) {
+  Sampler s(SamplerConfig{1, 7});
+  for (std::uint64_t i = 0; i < 10000; ++i) s.observe(9, i * kLineSize);
+  const Profile profile = s.finish();
+  const StatStack model(profile);
+  const double est = model.estimated_misses(9, 1024, profile);
+  EXPECT_NEAR(est, 10000.0, 500.0);
+}
+
+TEST(StatStack, EmptyProfileDoesNotCrash) {
+  const Profile empty;
+  const StatStack model(empty);
+  EXPECT_TRUE(model.sampled_pcs().empty());
+  EXPECT_DOUBLE_EQ(model.application_mrc().miss_ratio_lines(100), 0.0);
+}
+
+// Property sweep: for any benchmark model, per-PC curves are valid
+// probability curves and monotone in cache size.
+class StatStackPropertyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StatStackPropertyTest, PerPcCurvesAreValidAndMonotone) {
+  const Profile profile = profile_program(
+      workloads::make_benchmark(GetParam()), SamplerConfig{2000, 13});
+  const StatStack model(profile);
+  for (Pc pc : model.sampled_pcs()) {
+    const MissRatioCurve& mrc = model.pc_mrc(pc);
+    double prev = 1.1;
+    for (std::uint64_t lines = 64; lines <= (1 << 18); lines *= 4) {
+      const double mr = mrc.miss_ratio_lines(lines);
+      EXPECT_GE(mr, 0.0);
+      EXPECT_LE(mr, 1.0);
+      EXPECT_LE(mr, prev + 1e-9);
+      prev = mr;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, StatStackPropertyTest,
+                         ::testing::Values("gcc", "libquantum", "mcf",
+                                           "omnetpp", "cigar", "leslie3d"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace re::core

@@ -1,0 +1,216 @@
+#include "core/stride_analysis.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/sampler.hh"
+#include "workloads/suite.hh"
+
+namespace re::core {
+namespace {
+
+std::vector<StrideSample> samples_of(
+    std::initializer_list<std::pair<std::int64_t, RefCount>> list) {
+  std::vector<StrideSample> out;
+  for (const auto& [stride, recurrence] : list) {
+    out.push_back(StrideSample{1, stride, recurrence});
+  }
+  return out;
+}
+
+std::vector<StrideSample> uniform_samples(std::int64_t stride, int count,
+                                          RefCount recurrence = 8) {
+  std::vector<StrideSample> out;
+  for (int i = 0; i < count; ++i) {
+    out.push_back(StrideSample{1, stride, recurrence});
+  }
+  return out;
+}
+
+TEST(StrideAnalysis, PureStrideIsRegular) {
+  const StrideInfo info = analyze_strides(1, uniform_samples(16, 50));
+  EXPECT_TRUE(info.regular);
+  EXPECT_EQ(info.stride, 16);
+  EXPECT_DOUBLE_EQ(info.dominance, 1.0);
+  EXPECT_DOUBLE_EQ(info.mean_recurrence, 8.0);
+}
+
+TEST(StrideAnalysis, TooFewSamplesNotRegular) {
+  const StrideInfo info = analyze_strides(1, uniform_samples(16, 4));
+  EXPECT_FALSE(info.regular);
+}
+
+TEST(StrideAnalysis, SeventyPercentDominanceBoundary) {
+  // 69 % in one group: irregular. 71 %: regular.
+  std::vector<StrideSample> below;
+  for (int i = 0; i < 69; ++i) below.push_back(StrideSample{1, 16, 8});
+  for (int i = 0; i < 31; ++i) {
+    below.push_back(StrideSample{1, 4000 + i * 128, 8});
+  }
+  EXPECT_FALSE(analyze_strides(1, below).regular);
+
+  std::vector<StrideSample> above;
+  for (int i = 0; i < 71; ++i) above.push_back(StrideSample{1, 16, 8});
+  for (int i = 0; i < 29; ++i) {
+    above.push_back(StrideSample{1, 4000 + i * 128, 8});
+  }
+  EXPECT_TRUE(analyze_strides(1, above).regular);
+}
+
+TEST(StrideAnalysis, GroupsSimilarStridesIntoLineBuckets) {
+  // Strides 8, 16, 40 all fall into line-group 0 and jointly dominate.
+  const auto samples = samples_of({{8, 4}, {16, 4}, {16, 4}, {40, 4},
+                                   {8, 4}, {16, 4}, {16, 4}, {8, 4},
+                                   {4096, 4}, {8192, 4}});
+  const StrideInfo info = analyze_strides(1, samples);
+  EXPECT_TRUE(info.regular);
+  EXPECT_EQ(info.stride, 16);  // most frequent stride inside the group
+}
+
+TEST(StrideAnalysis, NegativeStridesGroupTogether) {
+  const StrideInfo info = analyze_strides(1, uniform_samples(-24, 30));
+  EXPECT_TRUE(info.regular);
+  EXPECT_EQ(info.stride, -24);
+}
+
+TEST(StrideAnalysis, ZeroStrideIsNotRegular) {
+  const StrideInfo info = analyze_strides(1, uniform_samples(0, 30));
+  EXPECT_FALSE(info.regular);
+}
+
+TEST(StrideAnalysis, RandomStridesNotRegular) {
+  std::vector<StrideSample> samples;
+  std::uint64_t x = 123;
+  for (int i = 0; i < 200; ++i) {
+    x = x * 6364136223846793005ULL + 1;
+    samples.push_back(StrideSample{
+        1, static_cast<std::int64_t>(x % 100000) - 50000, 8});
+  }
+  EXPECT_FALSE(analyze_strides(1, samples).regular);
+}
+
+TEST(StrideAnalysis, AnalyzeAllGroupsByPc) {
+  Profile profile;
+  for (int i = 0; i < 20; ++i) {
+    profile.stride_samples.push_back(StrideSample{1, 64, 8});
+    profile.stride_samples.push_back(StrideSample{2, 0, 8});
+  }
+  const auto infos = analyze_all_strides(profile);
+  ASSERT_EQ(infos.size(), 2u);
+  EXPECT_EQ(infos[0].pc, 1u);
+  EXPECT_TRUE(infos[0].regular);
+  EXPECT_EQ(infos[1].pc, 2u);
+  EXPECT_FALSE(infos[1].regular);
+}
+
+// --- Prefetch distance -----------------------------------------------------
+
+StrideInfo regular_info(std::int64_t stride, double recurrence) {
+  StrideInfo info;
+  info.pc = 1;
+  info.regular = true;
+  info.stride = stride;
+  info.dominance = 1.0;
+  info.mean_recurrence = recurrence;
+  return info;
+}
+
+TEST(PrefetchDistance, LargeStrideUsesMowryFormula) {
+  // P = ceil(l / d) * stride with d = recurrence * delta.
+  PrefetchDistanceParams params;
+  params.latency = 200.0;
+  params.cycles_per_memop = 5.0;
+  params.loop_references = ~std::uint64_t{0};
+  // d = 10 * 5 = 50; ceil(200/50) = 4; P = 4 * 128 = 512.
+  const auto p = prefetch_distance_bytes(regular_info(128, 10.0), params);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, 512);
+}
+
+TEST(PrefetchDistance, SubLineStrideScalesByLineReuse) {
+  PrefetchDistanceParams params;
+  params.latency = 200.0;
+  params.cycles_per_memop = 5.0;
+  // stride 16: i = 4, d = 50, d*i = 200 -> ceil(200/200)=1 -> P = 64.
+  const auto p = prefetch_distance_bytes(regular_info(16, 10.0), params);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, 64);
+}
+
+TEST(PrefetchDistance, NegativeStridePrefetchesBackwards) {
+  PrefetchDistanceParams params;
+  params.latency = 200.0;
+  params.cycles_per_memop = 5.0;
+  const auto p = prefetch_distance_bytes(regular_info(-128, 10.0), params);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, -512);
+}
+
+TEST(PrefetchDistance, ZeroStrideHasNoDistance) {
+  StrideInfo info = regular_info(0, 10.0);
+  EXPECT_FALSE(prefetch_distance_bytes(info, {}).has_value());
+}
+
+TEST(PrefetchDistance, CappedAtHalfLoopSpan) {
+  PrefetchDistanceParams params;
+  params.latency = 100000.0;  // absurd latency -> huge raw distance
+  params.cycles_per_memop = 1.0;
+  params.loop_references = 100;  // R/2 * stride = 50 * 64 = 3200
+  const auto p = prefetch_distance_bytes(regular_info(64, 1.0), params);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, 3200);
+}
+
+TEST(PrefetchDistance, AtLeastOneLineAhead) {
+  PrefetchDistanceParams params;
+  params.latency = 1.0;  // trivially hideable
+  params.cycles_per_memop = 50.0;
+  const auto p = prefetch_distance_bytes(regular_info(8, 100.0), params);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_GE(*p, static_cast<std::int64_t>(kLineSize));
+}
+
+class DistanceMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DistanceMonotoneTest, DistanceGrowsWithLatency) {
+  PrefetchDistanceParams lo, hi;
+  lo.latency = GetParam();
+  hi.latency = GetParam() * 4.0;
+  lo.cycles_per_memop = hi.cycles_per_memop = 3.0;
+  const auto p_lo = prefetch_distance_bytes(regular_info(64, 4.0), lo);
+  const auto p_hi = prefetch_distance_bytes(regular_info(64, 4.0), hi);
+  ASSERT_TRUE(p_lo && p_hi);
+  EXPECT_GE(*p_hi, *p_lo);
+}
+
+INSTANTIATE_TEST_SUITE_P(Latencies, DistanceMonotoneTest,
+                         ::testing::Values(50.0, 100.0, 200.0, 400.0));
+
+TEST(StrideAnalysisIntegration, SuiteStreamLoadsAreRegular) {
+  // End-to-end: libquantum's two gate sweeps (pc 1 and 2, stride 16) must
+  // be classified regular from real sampled profiles.
+  const Profile profile = profile_program(
+      workloads::make_benchmark("libquantum"), SamplerConfig{500, 3});
+  const auto infos = analyze_all_strides(profile);
+  int regular_streams = 0;
+  for (const StrideInfo& info : infos) {
+    if ((info.pc == 1 || info.pc == 2) && info.regular &&
+        info.stride == 16) {
+      ++regular_streams;
+    }
+  }
+  EXPECT_EQ(regular_streams, 2);
+}
+
+TEST(StrideAnalysisIntegration, PointerChaseIsNeverRegular) {
+  const Profile profile = profile_program(
+      workloads::make_benchmark("omnetpp"), SamplerConfig{500, 3});
+  const auto infos = analyze_all_strides(profile);
+  for (const StrideInfo& info : infos) {
+    if (info.pc == 1) {  // omnetpp's heap chase
+      EXPECT_FALSE(info.regular);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace re::core

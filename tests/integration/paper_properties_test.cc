@@ -1,0 +1,169 @@
+// End-to-end properties pinning the paper's headline claims on a small
+// (deterministic) sample of mixed workloads. These are the reproduction's
+// regression guard: if a refactor breaks any of them, the benches would no
+// longer tell the paper's story.
+#include <gtest/gtest.h>
+
+#include "analysis/functional_sim.hh"
+#include "analysis/metrics.hh"
+#include "analysis/mix_study.hh"
+#include "core/pipeline.hh"
+#include "core/statstack.hh"
+#include "workloads/suite.hh"
+
+namespace re {
+namespace {
+
+class PaperPropertiesTest : public ::testing::Test {
+ protected:
+  static constexpr int kMixSample = 8;
+
+  static analysis::MixStudy amd_study() {
+    static analysis::MixStudy study = [] {
+      analysis::PlanCache cache;
+      return analysis::run_mix_study(sim::amd_phenom_ii(), cache, kMixSample,
+                                     workloads::InputSet::Reference);
+    }();
+    return study;
+  }
+};
+
+TEST_F(PaperPropertiesTest, SoftwareNtBeatsHardwareThroughputOnAverage) {
+  // Paper Section VII-C: +16 % vs +6 % on AMD across the mixes.
+  const auto study = amd_study();
+  EXPECT_GT(study.average(&analysis::MixOutcome::ws_nt),
+            study.average(&analysis::MixOutcome::ws_hw));
+  EXPECT_GT(study.average(&analysis::MixOutcome::ws_nt), 1.05);
+}
+
+TEST_F(PaperPropertiesTest, SoftwareNtNeverDegradesAMix) {
+  // Paper: "our software prefetching method never hurts performance".
+  for (const auto& o : amd_study().outcomes) {
+    EXPECT_GE(o.ws_nt, 1.0) << o.spec.apps[0] << "," << o.spec.apps[1] << ","
+                            << o.spec.apps[2] << "," << o.spec.apps[3];
+  }
+}
+
+TEST_F(PaperPropertiesTest, SoftwareNtMovesLessDataThanHardware) {
+  // Paper Fig. 7c/d: strictly less off-chip traffic than HW prefetching.
+  const auto study = amd_study();
+  EXPECT_LT(study.average(&analysis::MixOutcome::traffic_nt),
+            study.average(&analysis::MixOutcome::traffic_hw));
+  int nt_less = 0;
+  for (const auto& o : study.outcomes) {
+    if (o.traffic_nt < o.traffic_hw) ++nt_less;
+  }
+  EXPECT_GE(nt_less, kMixSample - 1);
+}
+
+TEST_F(PaperPropertiesTest, QosDegradationSmallerThanHardware) {
+  const auto study = amd_study();
+  EXPECT_GT(study.average(&analysis::MixOutcome::qos_nt),
+            study.average(&analysis::MixOutcome::qos_hw));
+}
+
+TEST(PaperProperties, HardwarePrefetchSlowsCigarOnAmd) {
+  // Paper Section VII-A: AMD's prefetcher slows cigar by >11 %.
+  const auto machine = sim::amd_phenom_ii();
+  const auto program = workloads::make_benchmark("cigar");
+  const auto base = sim::run_single(machine, program, false);
+  const auto hw = sim::run_single(machine, program, true);
+  EXPECT_GT(hw.apps[0].cycles, base.apps[0].cycles);
+
+  // While the cost-benefit software prefetcher speeds it up.
+  const auto report = core::optimize_program(program, machine);
+  const auto sw = sim::run_single(machine, report.optimized, false);
+  EXPECT_LT(sw.apps[0].cycles, base.apps[0].cycles);
+}
+
+TEST(PaperProperties, HardwarePrefetchInflatesCigarTrafficOnIntel) {
+  // Paper Fig. 5b: Intel's prefetcher inflates cigar's traffic by 630 %.
+  const auto machine = sim::intel_sandybridge();
+  const auto program = workloads::make_benchmark("cigar");
+  const auto base = sim::run_single(machine, program, false);
+  const auto hw = sim::run_single(machine, program, true);
+  EXPECT_GT(analysis::traffic_increase(base.dram.total_bytes(),
+                                       hw.dram.total_bytes()),
+            0.5);
+}
+
+TEST(PaperProperties, MddliExecutesFewerPrefetchesThanStrideCentric) {
+  // Paper Table I: ~35 % fewer prefetch instructions at similar coverage.
+  const auto machine = sim::amd_phenom_ii();
+  std::uint64_t mddli_pf = 0, centric_pf = 0;
+  double mddli_cov = 0.0, centric_cov = 0.0;
+  for (const char* name : {"gcc", "omnetpp", "soplex", "xalan", "milc"}) {
+    const auto program = workloads::make_benchmark(name);
+    const auto mddli = core::optimize_program(program, machine);
+    const auto centric = core::stride_centric_optimize(program, machine);
+    const auto cov_m =
+        analysis::measure_coverage(program, mddli.optimized, machine.l1);
+    const auto cov_c =
+        analysis::measure_coverage(program, centric.optimized, machine.l1);
+    mddli_pf += cov_m.prefetches_executed;
+    centric_pf += cov_c.prefetches_executed;
+    mddli_cov += cov_m.miss_coverage();
+    centric_cov += cov_c.miss_coverage();
+  }
+  EXPECT_LT(static_cast<double>(mddli_pf),
+            static_cast<double>(centric_pf) * 0.75);
+  EXPECT_NEAR(mddli_cov, centric_cov, 0.10 * 5);
+}
+
+TEST(PaperProperties, StatStackCoversMostMisses) {
+  // Paper Section IV: 88 % of misses at the L1, 94 % at the L2.
+  const auto machine = sim::amd_phenom_ii();
+  double l1_sum = 0.0, l2_sum = 0.0;
+  int n = 0;
+  for (const char* name : {"libquantum", "mcf", "omnetpp", "leslie3d"}) {
+    const auto program = workloads::make_benchmark(name);
+    const auto profile = core::profile_program(program, {});
+    const core::StatStack model(profile);
+    l1_sum += analysis::statstack_miss_coverage(
+        model, profile, analysis::functional_simulate(program, machine.l1),
+        machine.l1.num_lines());
+    l2_sum += analysis::statstack_miss_coverage(
+        model, profile, analysis::functional_simulate(program, machine.l2),
+        machine.l2.num_lines());
+    ++n;
+  }
+  EXPECT_GT(l1_sum / n, 0.80);
+  EXPECT_GT(l2_sum / n, 0.85);
+}
+
+TEST(PaperProperties, NtReducesTrafficVsPlainSoftwarePrefetchInMixes) {
+  // The bypassing benefit is a multicore effect: in a shared LLC, NT keeps
+  // co-runners' reusable data resident.
+  analysis::PlanCache cache;
+  const workloads::MixSpec spec{{"libquantum", "gcc", "mcf", "soplex"}};
+  const auto eval = analysis::evaluate_mix(
+      sim::amd_phenom_ii(), spec, cache, workloads::InputSet::Reference,
+      {analysis::Policy::Baseline, analysis::Policy::Software,
+       analysis::Policy::SoftwareNT});
+  EXPECT_LT(eval.runs.at(analysis::Policy::SoftwareNT).dram.total_bytes(),
+            eval.runs.at(analysis::Policy::Software).dram.total_bytes());
+  EXPECT_GE(eval.weighted_speedup(analysis::Policy::SoftwareNT),
+            eval.weighted_speedup(analysis::Policy::Software) * 0.98);
+}
+
+TEST(PaperProperties, PlansTransferAcrossInputs) {
+  // Paper Section VII-D: plans from the Reference profile still help on
+  // Alternate inputs.
+  const auto machine = sim::amd_phenom_ii();
+  for (const char* name : {"libquantum", "lbm", "leslie3d"}) {
+    const auto reference = workloads::make_benchmark(name);
+    const auto report = core::optimize_program(reference, machine);
+    const auto alternate =
+        workloads::make_benchmark(name, workloads::InputSet::Alternate);
+    const auto alt_opt = core::insert_prefetches(alternate, report.plans);
+    const auto base = sim::run_single(machine, alternate, false);
+    const auto opt = sim::run_single(machine, alt_opt, false);
+    EXPECT_GT(static_cast<double>(base.apps[0].cycles) /
+                  static_cast<double>(opt.apps[0].cycles),
+              1.15)
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace re

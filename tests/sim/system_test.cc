@@ -1,0 +1,152 @@
+#include "sim/system.hh"
+
+#include <gtest/gtest.h>
+
+#include "sim/core_runner.hh"
+#include "workloads/mix.hh"
+#include "workloads/program.hh"
+
+namespace re::sim {
+namespace {
+
+using workloads::Loop;
+using workloads::Program;
+using workloads::StaticInst;
+using workloads::StreamPattern;
+
+Program stream_program(const std::string& name, std::uint64_t iterations,
+                       std::uint64_t footprint, std::uint32_t compute = 2) {
+  Program p;
+  p.name = name;
+  p.seed = 7;
+  StaticInst inst;
+  inst.pc = 1;
+  inst.pattern = StreamPattern{0x100000, 64, footprint};
+  inst.compute_cycles = compute;
+  p.loops.push_back(Loop{{inst}, iterations});
+  return p;
+}
+
+TEST(CoreRunner, ExecutesProgramToCompletion) {
+  const MachineConfig machine = amd_phenom_ii();
+  const Program p = stream_program("s", 1000, 1 << 20);
+  MemorySystem memory(machine, 1);
+  CoreRunner core(0, p, memory);
+  while (!core.completed_once()) core.step();
+  EXPECT_EQ(core.first_run_references(), 1000u);
+  EXPECT_GT(core.first_completion_cycle(), 0u);
+  EXPECT_EQ(memory.core_stats(0).loads, 1000u);
+}
+
+TEST(CoreRunner, RestartsAfterCompletion) {
+  const MachineConfig machine = amd_phenom_ii();
+  const Program p = stream_program("s", 100, 1 << 16);
+  MemorySystem memory(machine, 1);
+  CoreRunner core(0, p, memory);
+  for (int i = 0; i < 250 + 3; ++i) core.step();
+  EXPECT_GE(core.completions(), 2u);
+}
+
+TEST(CoreRunner, PrefetchOpCostsOneCycleAndIssues) {
+  MachineConfig machine = amd_phenom_ii();
+  Program p = stream_program("s", 10, 1 << 20, /*compute=*/0);
+  p.loops[0].body[0].prefetch =
+      workloads::PrefetchOp{256, workloads::PrefetchHint::T0};
+  MemorySystem memory(machine, 1);
+  CoreRunner core(0, p, memory);
+  while (!core.completed_once()) core.step();
+  EXPECT_EQ(memory.core_stats(0).sw_prefetches_issued, 10u);
+}
+
+TEST(RunSingle, BaselineAndResultShape) {
+  const MachineConfig machine = amd_phenom_ii();
+  const Program p = stream_program("bench", 5000, 1 << 22);
+  const RunResult result = run_single(machine, p, false);
+  ASSERT_EQ(result.apps.size(), 1u);
+  EXPECT_EQ(result.apps[0].name, "bench");
+  EXPECT_EQ(result.apps[0].references, 5000u);
+  EXPECT_EQ(result.elapsed_cycles, result.apps[0].cycles);
+  EXPECT_GT(result.dram.total_bytes(), 0u);
+  EXPECT_GT(result.bandwidth_gbps(), 0.0);
+  EXPECT_DOUBLE_EQ(result.freq_ghz, machine.freq_ghz);
+}
+
+TEST(RunSingle, DeterministicAcrossRuns) {
+  const MachineConfig machine = intel_sandybridge();
+  const Program p = stream_program("bench", 5000, 1 << 22);
+  const RunResult a = run_single(machine, p, true);
+  const RunResult b = run_single(machine, p, true);
+  EXPECT_EQ(a.apps[0].cycles, b.apps[0].cycles);
+  EXPECT_EQ(a.dram.total_lines(), b.dram.total_lines());
+}
+
+TEST(RunSingle, HwPrefetchingSpeedsUpStreams) {
+  const MachineConfig machine = amd_phenom_ii();
+  const Program p = stream_program("stream", 20000, 1 << 22);
+  const RunResult base = run_single(machine, p, false);
+  const RunResult hw = run_single(machine, p, true);
+  EXPECT_LT(hw.apps[0].cycles, base.apps[0].cycles);
+}
+
+TEST(RunMix, AllAppsCompleteAndWindowIsMax) {
+  const MachineConfig machine = amd_phenom_ii();
+  const Program a = stream_program("a", 2000, 1 << 20);
+  const Program b = stream_program("b", 6000, 1 << 21);
+  const RunResult result = run_mix(machine, {&a, &b}, false);
+  ASSERT_EQ(result.apps.size(), 2u);
+  EXPECT_GT(result.apps[0].cycles, 0u);
+  EXPECT_GT(result.apps[1].cycles, 0u);
+  EXPECT_EQ(result.elapsed_cycles,
+            std::max(result.apps[0].cycles, result.apps[1].cycles));
+}
+
+TEST(RunMix, ContentionSlowsAppsDown) {
+  MachineConfig machine = amd_phenom_ii();
+  machine.dram_bytes_per_cycle = 1.0;  // very tight channel
+  const Program p = stream_program("s", 20000, 1 << 22, /*compute=*/0);
+  const RunResult alone = run_single(machine, p, false);
+
+  std::vector<Program> copies;
+  std::vector<const Program*> ptrs;
+  for (int i = 0; i < 4; ++i) {
+    copies.push_back(p);
+    copies.back().name = "s" + std::to_string(i);
+    workloads::rebase_program(copies.back(),
+                              workloads::core_address_offset(i));
+  }
+  for (const auto& c : copies) ptrs.push_back(&c);
+  const RunResult mixed = run_mix(machine, ptrs, false);
+  for (const AppResult& app : mixed.apps) {
+    EXPECT_GT(app.cycles, alone.apps[0].cycles);
+  }
+}
+
+TEST(RunParallel, ShardsScaleWhenNotBandwidthBound) {
+  MachineConfig machine = intel_sandybridge();
+  const Program one = stream_program("w", 40000, 1 << 16, /*compute=*/20);
+  const RunResult single = run_parallel(machine, {one}, false);
+
+  std::vector<Program> shards;
+  for (int i = 0; i < 4; ++i) {
+    Program s = stream_program("w", 10000, 1 << 16, 20);
+    workloads::rebase_program(s, workloads::core_address_offset(i));
+    shards.push_back(std::move(s));
+  }
+  const RunResult quad = run_parallel(machine, shards, false);
+  const double speedup = static_cast<double>(single.elapsed_cycles) /
+                         static_cast<double>(quad.elapsed_cycles);
+  EXPECT_GT(speedup, 3.0);
+}
+
+TEST(RunResult, BandwidthComputation) {
+  RunResult r;
+  r.freq_ghz = 2.0;
+  r.elapsed_cycles = 1000;
+  r.dram.demand_lines = 100;  // 6400 bytes over 1000 cycles at 2 GHz
+  EXPECT_NEAR(r.bandwidth_gbps(), 6400.0 / 1000.0 * 2.0, 1e-9);
+  RunResult empty;
+  EXPECT_EQ(empty.bandwidth_gbps(), 0.0);
+}
+
+}  // namespace
+}  // namespace re::sim

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "sim/memory_system.hh"
+#include "workloads/dsl.hh"
+
+namespace re::sim {
+namespace {
+
+using re::workloads::PrefetchHint;
+
+MachineConfig machine() {
+  MachineConfig m = amd_phenom_ii();
+  m.hw_prefetcher.enabled = false;
+  return m;
+}
+
+TEST(Writeback, StoreHitMarksLineDirty) {
+  SetAssocCache cache(CacheGeometry{4 << 10, 2});
+  cache.fill(1, FillOrigin::Demand);
+  EXPECT_TRUE(cache.mark_dirty(1));
+  EXPECT_FALSE(cache.mark_dirty(99));
+  const auto ev = [&] {
+    // Force line 1 out of its set (2 ways): fill two conflicting lines.
+    const std::uint64_t sets = cache.num_sets();
+    cache.fill(1 + sets, FillOrigin::Demand);
+    return cache.fill(1 + 2 * sets, FillOrigin::Demand);
+  }();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line, 1u);
+  EXPECT_TRUE(ev->dirty);
+}
+
+TEST(Writeback, CleanEvictionsCostNothing) {
+  MemorySystem mem(machine(), 1);
+  // Stream enough read-only lines to cause plenty of evictions everywhere.
+  for (int i = 0; i < 50000; ++i) {
+    mem.demand_load(0, 1, static_cast<Addr>(i) * kLineSize,
+                    static_cast<Cycle>(i) * 10);
+  }
+  EXPECT_EQ(mem.dram_stats().writeback_lines, 0u);
+}
+
+TEST(Writeback, DirtyStreamEventuallyWritesBack) {
+  MemorySystem mem(machine(), 1);
+  // Store-stream far beyond every cache: each line is eventually evicted
+  // dirty from the LLC and retired to DRAM.
+  const int lines = 50000;
+  for (int i = 0; i < lines; ++i) {
+    mem.demand_load(0, 1, static_cast<Addr>(i) * kLineSize,
+                    static_cast<Cycle>(i) * 10, false, /*is_store=*/true);
+  }
+  EXPECT_EQ(mem.core_stats(0).stores, static_cast<std::uint64_t>(lines));
+  // Most lines (all but the ones still resident) must have been written
+  // back exactly once.
+  const std::uint64_t resident = machine().llc.num_lines() +
+                                 machine().l2.num_lines() +
+                                 machine().l1.num_lines();
+  EXPECT_GT(mem.dram_stats().writeback_lines,
+            static_cast<std::uint64_t>(lines) - resident - 1000);
+  EXPECT_LE(mem.dram_stats().writeback_lines,
+            static_cast<std::uint64_t>(lines));
+}
+
+TEST(Writeback, DirtyL1EvictionPropagatesToL2NotDram) {
+  MachineConfig m = machine();
+  MemorySystem mem(m, 1);
+  const Addr target = 0x10000;
+  mem.demand_load(0, 1, target, 0, false, /*is_store=*/true);
+  // Conflict the line out of the L1 only; the L2 still holds it, so the
+  // dirty data moves there instead of going off-chip.
+  const std::uint64_t l1_sets = m.l1.num_sets();
+  for (std::uint64_t i = 1; i <= m.l1.associativity + 1; ++i) {
+    mem.demand_load(0, 2, target + i * l1_sets * kLineSize, 1000 * i);
+  }
+  EXPECT_FALSE(mem.l1(0).contains(line_of(target)));
+  EXPECT_TRUE(mem.l2(0).contains(line_of(target)));
+  EXPECT_EQ(mem.dram_stats().writeback_lines, 0u);
+}
+
+TEST(Writeback, DirtyNtPrefetchedLineRetiresStraightToDram) {
+  // PREFETCHNTA + store: the line lives only in the L1; its dirty eviction
+  // must go straight off-chip (no lower level holds it).
+  MachineConfig m = machine();
+  MemorySystem mem(m, 1);
+  const Addr target = 0x20000;
+  mem.software_prefetch(0, target, PrefetchHint::NTA, 0);
+  mem.demand_load(0, 1, target, 5000, false, /*is_store=*/true);
+  const std::uint64_t l1_sets = m.l1.num_sets();
+  for (std::uint64_t i = 1; i <= m.l1.associativity + 1; ++i) {
+    mem.demand_load(0, 2, target + i * l1_sets * kLineSize, 10000 * i);
+  }
+  EXPECT_EQ(mem.dram_stats().writeback_lines, 1u);
+}
+
+TEST(Writeback, WritebacksOccupyChannelBandwidth) {
+  DramChannel dram(6.4, 200);  // 10 cycles per line
+  dram.writeback_line(0);
+  // The next fetch queues behind the writeback transfer.
+  EXPECT_EQ(dram.fetch_line(0, TrafficClass::DemandRead), 210u);
+  EXPECT_EQ(dram.stats().writeback_lines, 1u);
+  EXPECT_EQ(dram.stats().total_lines(), 1u);  // fetched only
+}
+
+TEST(Writeback, DslStoreFlagRoundTrips) {
+  const workloads::Program p = workloads::parse_program(
+      "program s seed=1 reps=1\n"
+      "loop 10 {\n"
+      "  pc1: stream base=0 stride=64 footprint=1M compute=2 store\n"
+      "}\n");
+  ASSERT_TRUE(p.loops[0].body[0].is_store);
+  const workloads::Program q =
+      workloads::parse_program(workloads::print_program(p));
+  EXPECT_TRUE(q.loops[0].body[0].is_store);
+}
+
+}  // namespace
+}  // namespace re::sim

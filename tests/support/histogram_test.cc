@@ -1,0 +1,151 @@
+#include "support/histogram.hh"
+
+#include <gtest/gtest.h>
+
+namespace re {
+namespace {
+
+TEST(Histogram, EmptyHistogramHasNoMass) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total(), 0.0);
+  EXPECT_EQ(h.distinct_keys(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.mode(), (std::pair<std::uint64_t, double>{0, 0.0}));
+}
+
+TEST(Histogram, AddAccumulatesWeights) {
+  Histogram h;
+  h.add(5);
+  h.add(5, 2.0);
+  h.add(7);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+  EXPECT_DOUBLE_EQ(h.count_of(5), 3.0);
+  EXPECT_DOUBLE_EQ(h.count_of(7), 1.0);
+  EXPECT_DOUBLE_EQ(h.count_of(42), 0.0);
+  EXPECT_EQ(h.distinct_keys(), 2u);
+}
+
+TEST(Histogram, MeanIsWeighted) {
+  Histogram h;
+  h.add(10, 1.0);
+  h.add(20, 3.0);
+  EXPECT_DOUBLE_EQ(h.mean(), (10.0 + 60.0) / 4.0);
+}
+
+TEST(Histogram, ModeBreaksTiesTowardsSmallestKey) {
+  Histogram h;
+  h.add(9, 2.0);
+  h.add(3, 2.0);
+  h.add(5, 1.0);
+  EXPECT_EQ(h.mode().first, 3u);
+  EXPECT_DOUBLE_EQ(h.mode().second, 2.0);
+}
+
+TEST(Histogram, MergeAddsAllMass) {
+  Histogram a, b;
+  a.add(1, 2.0);
+  b.add(1, 3.0);
+  b.add(2, 1.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.count_of(1), 5.0);
+  EXPECT_DOUBLE_EQ(a.count_of(2), 1.0);
+  EXPECT_DOUBLE_EQ(a.total(), 6.0);
+}
+
+TEST(Histogram, SortedReturnsAscendingKeys) {
+  Histogram h;
+  h.add(30);
+  h.add(10);
+  h.add(20);
+  const auto sorted = h.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].first, 10u);
+  EXPECT_EQ(sorted[1].first, 20u);
+  EXPECT_EQ(sorted[2].first, 30u);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.add(1);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total(), 0.0);
+}
+
+TEST(CumulativeDistribution, EmptyDistributionCdfIsOne) {
+  const CumulativeDistribution d = Histogram{}.cumulative();
+  EXPECT_TRUE(d.empty());
+  EXPECT_DOUBLE_EQ(d.cdf(0), 1.0);
+  EXPECT_DOUBLE_EQ(d.survival(100), 0.0);
+}
+
+TEST(CumulativeDistribution, CountsBelowAndAbove) {
+  Histogram h;
+  h.add(10, 2.0);
+  h.add(20, 3.0);
+  h.add(30, 5.0);
+  const auto d = h.cumulative();
+  EXPECT_DOUBLE_EQ(d.count_le(9), 0.0);
+  EXPECT_DOUBLE_EQ(d.count_le(10), 2.0);
+  EXPECT_DOUBLE_EQ(d.count_le(19), 2.0);
+  EXPECT_DOUBLE_EQ(d.count_le(20), 5.0);
+  EXPECT_DOUBLE_EQ(d.count_le(1000), 10.0);
+  EXPECT_DOUBLE_EQ(d.count_gt(20), 5.0);
+}
+
+TEST(CumulativeDistribution, CdfAndSurvivalAreComplementary) {
+  Histogram h;
+  for (std::uint64_t k = 1; k <= 100; ++k) h.add(k);
+  const auto d = h.cumulative();
+  for (std::uint64_t x : {0ull, 1ull, 50ull, 99ull, 100ull, 200ull}) {
+    EXPECT_NEAR(d.cdf(x) + d.survival(x), 1.0, 1e-12) << "x=" << x;
+  }
+}
+
+TEST(CumulativeDistribution, QuantileFindsSmallestKeyReachingMass) {
+  Histogram h;
+  h.add(1, 1.0);
+  h.add(2, 1.0);
+  h.add(3, 2.0);
+  const auto d = h.cumulative();
+  EXPECT_EQ(d.quantile(0.25), 1u);
+  EXPECT_EQ(d.quantile(0.5), 2u);
+  EXPECT_EQ(d.quantile(0.75), 3u);
+  EXPECT_EQ(d.quantile(1.0), 3u);
+}
+
+TEST(CumulativeDistribution, MaxKey) {
+  Histogram h;
+  h.add(17);
+  h.add(4);
+  EXPECT_EQ(h.cumulative().max_key(), 17u);
+  EXPECT_EQ(Histogram{}.cumulative().max_key(), 0u);
+}
+
+// Property: for any weighted content, count_le is monotone and bounded by
+// the total.
+class CumulativeMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CumulativeMonotoneTest, CountLeIsMonotone) {
+  Histogram h;
+  std::uint64_t x = static_cast<std::uint64_t>(GetParam()) * 2654435761u + 1;
+  for (int i = 0; i < 200; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    h.add(x % 1000, static_cast<double>(x % 7 + 1));
+  }
+  const auto d = h.cumulative();
+  double prev = -1.0;
+  for (std::uint64_t key = 0; key <= 1000; key += 10) {
+    const double c = d.count_le(key);
+    EXPECT_GE(c, prev);
+    EXPECT_LE(c, d.total() + 1e-9);
+    prev = c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CumulativeMonotoneTest,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace re

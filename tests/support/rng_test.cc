@@ -1,0 +1,99 @@
+#include "support/rng.hh"
+
+#include <gtest/gtest.h>
+
+namespace re {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(1000), b.next(1000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next(1 << 30) != b.next(1 << 30)) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, NextStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next(17), 17u);
+  }
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GeometricGapHasRequestedMean) {
+  Rng rng(11);
+  const double mean = 1000.0;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t gap = rng.geometric_gap(mean);
+    ASSERT_GE(gap, 1u);
+    sum += static_cast<double>(gap);
+  }
+  EXPECT_NEAR(sum / n, mean, mean * 0.05);
+}
+
+TEST(Rng, GeometricGapDegenerateMeanIsOne) {
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.geometric_gap(0.5), 1u);
+    EXPECT_EQ(rng.geometric_gap(1.0), 1u);
+  }
+}
+
+TEST(Rng, ForkProducesIndependentChildSeeds) {
+  Rng parent(5);
+  Rng c1(parent.fork());
+  Rng c2(parent.fork());
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (c1.next(1 << 20) == c2.next(1 << 20)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ChanceRespectsProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace re

@@ -1,0 +1,61 @@
+#include "support/series_chart.hh"
+
+#include <gtest/gtest.h>
+
+namespace re {
+namespace {
+
+TEST(GroupedBars, RendersLabelAndSeries) {
+  const std::string out = render_grouped_bars(
+      {"bench1"}, {{"policyA", {0.5}}, {"policyB", {-0.25}}});
+  EXPECT_NE(out.find("bench1"), std::string::npos);
+  EXPECT_NE(out.find("policyA"), std::string::npos);
+  EXPECT_NE(out.find("50.0%"), std::string::npos);
+  EXPECT_NE(out.find("-25.0%"), std::string::npos);
+}
+
+TEST(GroupedBars, NegativeValuesUseDashBars) {
+  const std::string out = render_grouped_bars({"x"}, {{"s", {-1.0}}});
+  EXPECT_NE(out.find('-'), std::string::npos);
+  EXPECT_EQ(out.find('#'), std::string::npos);
+}
+
+TEST(GroupedBars, HandlesAllZeros) {
+  EXPECT_NO_THROW(render_grouped_bars({"x"}, {{"s", {0.0}}}));
+}
+
+TEST(GroupedBars, SkipsMissingValues) {
+  // Series shorter than the label list: no crash, label still printed.
+  const std::string out =
+      render_grouped_bars({"a", "b"}, {{"s", {0.1}}});
+  EXPECT_NE(out.find("b"), std::string::npos);
+}
+
+TEST(Distribution, SortsEachSeriesAscending) {
+  const std::string out =
+      render_distribution({{"s", {0.3, 0.1, 0.2}}}, 2);
+  const std::size_t p10 = out.find("10.0%");
+  const std::size_t p30 = out.find("30.0%");
+  ASSERT_NE(p10, std::string::npos);
+  ASSERT_NE(p30, std::string::npos);
+  EXPECT_LT(p10, p30);  // smallest value printed first
+}
+
+TEST(Distribution, EmptySeriesRendersDash) {
+  const std::string out = render_distribution({{"s", {}}}, 4);
+  EXPECT_NE(out.find('-'), std::string::npos);
+}
+
+TEST(Distribution, StepCountControlsRows) {
+  const std::string out =
+      render_distribution({{"s", {0.1, 0.2, 0.3, 0.4}}}, 4);
+  int lines = 0;
+  for (char c : out) {
+    if (c == '\n') ++lines;
+  }
+  // header + underline + 5 quantile rows (0..4 of 4).
+  EXPECT_EQ(lines, 7);
+}
+
+}  // namespace
+}  // namespace re

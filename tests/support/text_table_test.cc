@@ -1,0 +1,79 @@
+#include "support/text_table.hh"
+
+#include <gtest/gtest.h>
+
+namespace re {
+namespace {
+
+TEST(TextTable, RendersHeaderAndUnderline) {
+  TextTable t({"A", "B"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("A"), std::string::npos);
+  EXPECT_NE(out.find("B"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "123456"});
+  const std::string out = t.render();
+  // Every line should have the same length (alignment).
+  std::size_t first_len = std::string::npos;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t eol = out.find('\n', pos);
+    const std::size_t len = eol - pos;
+    if (first_len == std::string::npos) {
+      first_len = len;
+    } else {
+      EXPECT_EQ(len, first_len) << out;
+    }
+    pos = eol + 1;
+  }
+}
+
+TEST(TextTable, HandlesShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(TextTable, SeparatorRendersDashes) {
+  TextTable t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // Header underline plus explicit separator.
+  std::size_t count = 0;
+  for (std::size_t pos = out.find("-"); pos != std::string::npos;
+       pos = out.find("\n-", pos + 1)) {
+    ++count;
+  }
+  EXPECT_GE(count, 2u);
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.5), "50.0%");
+  EXPECT_EQ(format_percent(-0.123, 1), "-12.3%");
+  EXPECT_EQ(format_percent(0.12345, 2), "12.35%");
+}
+
+TEST(Format, Double) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+}
+
+TEST(Format, Gbps) {
+  EXPECT_EQ(format_gbps(8.0), "8.00 GB/s");
+  EXPECT_EQ(format_gbps(15.637, 1), "15.6 GB/s");
+}
+
+TEST(Format, SpeedupPercent) {
+  EXPECT_EQ(format_speedup_percent(1.5), "50.0%");
+  EXPECT_EQ(format_speedup_percent(0.9), "-10.0%");
+}
+
+}  // namespace
+}  // namespace re

@@ -1,0 +1,73 @@
+#include "workloads/mix.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workloads/cursor.hh"
+
+namespace re::workloads {
+namespace {
+
+TEST(GenerateMixes, CountAndArity) {
+  const auto mixes = generate_mixes(180, 4, 0x180);
+  EXPECT_EQ(mixes.size(), 180u);
+  for (const MixSpec& mix : mixes) {
+    EXPECT_EQ(mix.apps.size(), 4u);
+    for (const std::string& app : mix.apps) {
+      EXPECT_NE(std::find(suite_names().begin(), suite_names().end(), app),
+                suite_names().end());
+    }
+  }
+}
+
+TEST(GenerateMixes, DeterministicForSeed) {
+  const auto a = generate_mixes(50, 4, 7);
+  const auto b = generate_mixes(50, 4, 7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].apps, b[i].apps);
+  }
+}
+
+TEST(GenerateMixes, DifferentSeedsDiffer) {
+  const auto a = generate_mixes(50, 4, 1);
+  const auto b = generate_mixes(50, 4, 2);
+  int different = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].apps != b[i].apps) ++different;
+  }
+  EXPECT_GT(different, 40);
+}
+
+TEST(GenerateMixes, CoversTheSuite) {
+  const auto mixes = generate_mixes(180, 4, 0x180);
+  std::set<std::string> seen;
+  for (const MixSpec& mix : mixes) {
+    seen.insert(mix.apps.begin(), mix.apps.end());
+  }
+  EXPECT_EQ(seen.size(), suite_names().size());
+}
+
+TEST(RebaseProgram, ShiftsEveryAddressByOffset) {
+  Program p = make_benchmark("libquantum");
+  Program shifted = p;
+  const Addr offset = core_address_offset(2);
+  rebase_program(shifted, offset);
+
+  ProgramCursor orig(p), moved(shifted);
+  for (int i = 0; i < 2000; ++i) {
+    auto a = orig.next();
+    auto b = moved.next();
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(a->addr + offset, b->addr);
+  }
+}
+
+TEST(CoreAddressOffset, DisjointTerabyteRegions) {
+  EXPECT_EQ(core_address_offset(0), 0u);
+  EXPECT_EQ(core_address_offset(1), 1ULL << 40);
+  EXPECT_NE(core_address_offset(2), core_address_offset(3));
+}
+
+}  // namespace
+}  // namespace re::workloads

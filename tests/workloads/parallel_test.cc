@@ -1,0 +1,94 @@
+#include "workloads/parallel.hh"
+
+#include <gtest/gtest.h>
+
+namespace re::workloads {
+namespace {
+
+TEST(Parallel, NamesMatchFigure12) {
+  const auto& names = parallel_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "swim");
+  EXPECT_EQ(names[1], "cg");
+  EXPECT_EQ(names[2], "fma3d");
+  EXPECT_EQ(names[3], "dc");
+}
+
+TEST(Parallel, BandwidthBoundFlags) {
+  EXPECT_TRUE(parallel_is_bandwidth_bound("swim"));
+  EXPECT_TRUE(parallel_is_bandwidth_bound("cg"));
+  EXPECT_FALSE(parallel_is_bandwidth_bound("fma3d"));
+  EXPECT_FALSE(parallel_is_bandwidth_bound("dc"));
+}
+
+TEST(Parallel, InvalidArgumentsThrow) {
+  EXPECT_THROW(make_parallel("swim", 0), std::invalid_argument);
+  EXPECT_THROW(make_parallel("nonesuch", 2), std::out_of_range);
+}
+
+class ParallelWorkloadTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(ParallelWorkloadTest, ShardCountMatchesThreads) {
+  const auto [name, threads] = GetParam();
+  const auto shards = make_parallel(name, threads);
+  EXPECT_EQ(shards.size(), static_cast<std::size_t>(threads));
+  for (const Program& shard : shards) {
+    EXPECT_EQ(shard.name, name);
+    EXPECT_GT(shard.total_references(), 0u);
+  }
+}
+
+TEST_P(ParallelWorkloadTest, WorkSplitsAcrossThreads) {
+  const auto [name, threads] = GetParam();
+  const auto one = make_parallel(name, 1);
+  const auto many = make_parallel(name, threads);
+  std::uint64_t total = 0;
+  for (const Program& shard : many) total += shard.total_references();
+  // Total work is conserved (modulo integer division).
+  EXPECT_NEAR(static_cast<double>(total),
+              static_cast<double>(one[0].total_references()),
+              static_cast<double>(one[0].total_references()) * 0.01);
+}
+
+TEST_P(ParallelWorkloadTest, ShardsHaveDisjointAddressSpaces) {
+  const auto [name, threads] = GetParam();
+  if (threads < 2) return;
+  const auto shards = make_parallel(name, threads);
+  // Every shard is rebased into its own 1 TB region.
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    for (const Loop& loop : shards[s].loops) {
+      for (const StaticInst& inst : loop.body) {
+        Addr base = 0;
+        std::visit([&](const auto& p) { base = p.base; }, inst.pattern);
+        EXPECT_EQ(base >> 40, s);
+      }
+    }
+  }
+}
+
+TEST_P(ParallelWorkloadTest, SamePcsAcrossShards) {
+  const auto [name, threads] = GetParam();
+  const auto shards = make_parallel(name, threads);
+  for (std::size_t s = 1; s < shards.size(); ++s) {
+    ASSERT_EQ(shards[s].loops.size(), shards[0].loops.size());
+    for (std::size_t l = 0; l < shards[s].loops.size(); ++l) {
+      for (std::size_t i = 0; i < shards[s].loops[l].body.size(); ++i) {
+        EXPECT_EQ(shards[s].loops[l].body[i].pc,
+                  shards[0].loops[l].body[i].pc);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, ParallelWorkloadTest,
+    ::testing::Combine(::testing::ValuesIn(parallel_names()),
+                       ::testing::Values(1, 2, 4)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace re::workloads

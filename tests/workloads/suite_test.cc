@@ -1,0 +1,131 @@
+#include "workloads/suite.hh"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "sim/config.hh"
+#include "workloads/cursor.hh"
+
+namespace re::workloads {
+namespace {
+
+TEST(Suite, HasTheTwelvePaperBenchmarks) {
+  const auto& names = suite_names();
+  EXPECT_EQ(names.size(), 12u);
+  for (const char* expected :
+       {"gcc", "libquantum", "lbm", "mcf", "omnetpp", "soplex", "astar",
+        "cigar", "xalan", "GemsFDTD", "leslie3d", "milc"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(Suite, UnknownNameThrows) {
+  EXPECT_THROW(make_benchmark("perlbench"), std::out_of_range);
+}
+
+TEST(Suite, MakeSuiteBuildsAll) {
+  const auto suite = make_suite();
+  EXPECT_EQ(suite.size(), 12u);
+  for (const auto& p : suite) EXPECT_GT(p.total_references(), 0u);
+}
+
+class SuiteBenchmarkTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteBenchmarkTest, ReasonableRunLength) {
+  const Program p = make_benchmark(GetParam());
+  EXPECT_GE(p.total_references(), 200000u) << GetParam();
+  EXPECT_LE(p.total_references(), 2000000u) << GetParam();
+}
+
+TEST_P(SuiteBenchmarkTest, UniquePcs) {
+  const Program p = make_benchmark(GetParam());
+  std::unordered_set<Pc> pcs;
+  for (const Loop& loop : p.loops) {
+    for (const StaticInst& inst : loop.body) {
+      EXPECT_TRUE(pcs.insert(inst.pc).second)
+          << "duplicate pc " << inst.pc << " in " << GetParam();
+    }
+  }
+}
+
+TEST_P(SuiteBenchmarkTest, NoPrefetchesInOriginalPrograms) {
+  const Program p = make_benchmark(GetParam());
+  for (const Loop& loop : p.loops) {
+    for (const StaticInst& inst : loop.body) {
+      EXPECT_FALSE(inst.prefetch.has_value());
+    }
+  }
+}
+
+TEST_P(SuiteBenchmarkTest, StructuresDoNotOverlap) {
+  const Program p = make_benchmark(GetParam());
+  std::vector<std::pair<Addr, Addr>> ranges;
+  for (const Loop& loop : p.loops) {
+    for (const StaticInst& inst : loop.body) {
+      Addr base = 0;
+      std::uint64_t fp = pattern_footprint(inst.pattern);
+      std::visit([&](const auto& pat) { base = pat.base; }, inst.pattern);
+      ranges.emplace_back(base, base + fp);
+    }
+  }
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    for (std::size_t j = i + 1; j < ranges.size(); ++j) {
+      const bool disjoint = ranges[i].second <= ranges[j].first ||
+                            ranges[j].second <= ranges[i].first;
+      EXPECT_TRUE(disjoint) << GetParam() << " structures " << i << " and "
+                            << j << " overlap";
+    }
+  }
+}
+
+TEST_P(SuiteBenchmarkTest, WorkingSetExceedsScaledLlc) {
+  // Every benchmark must pressure the shared LLC, or it has no place in a
+  // contention study. (Hot buffers alone do not count; total footprint
+  // does.)
+  const Program p = make_benchmark(GetParam());
+  std::uint64_t total_footprint = 0;
+  for (const Loop& loop : p.loops) {
+    for (const StaticInst& inst : loop.body) {
+      total_footprint += pattern_footprint(inst.pattern);
+    }
+  }
+  EXPECT_GT(total_footprint, sim::amd_phenom_ii().llc.size_bytes)
+      << GetParam();
+}
+
+TEST_P(SuiteBenchmarkTest, AlternateInputDiffers) {
+  const Program ref = make_benchmark(GetParam(), InputSet::Reference);
+  const Program alt = make_benchmark(GetParam(), InputSet::Alternate);
+  EXPECT_NE(ref.total_references(), alt.total_references()) << GetParam();
+  EXPECT_EQ(ref.static_instruction_count(), alt.static_instruction_count())
+      << "same binary, different data";
+  // Same PCs in the same order (plans must transfer).
+  for (std::size_t l = 0; l < ref.loops.size(); ++l) {
+    for (std::size_t i = 0; i < ref.loops[l].body.size(); ++i) {
+      EXPECT_EQ(ref.loops[l].body[i].pc, alt.loops[l].body[i].pc);
+    }
+  }
+}
+
+TEST_P(SuiteBenchmarkTest, DeterministicConstruction) {
+  const Program a = make_benchmark(GetParam());
+  const Program b = make_benchmark(GetParam());
+  ProgramCursor ca(a), cb(b);
+  for (int i = 0; i < 1000; ++i) {
+    auto ea = ca.next();
+    auto eb = cb.next();
+    ASSERT_EQ(ea.has_value(), eb.has_value());
+    if (!ea) break;
+    EXPECT_EQ(ea->addr, eb->addr);
+    EXPECT_EQ(ea->inst->pc, eb->inst->pc);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteBenchmarkTest,
+                         ::testing::ValuesIn(suite_names()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace re::workloads

@@ -1,0 +1,226 @@
+// repf — command-line front end for the resource-efficient prefetching
+// framework: dump workloads to the trace-program DSL, run the optimization
+// pipeline on a DSL file (printing the annotated listing with inserted
+// prefetches), simulate programs under any policy, and measure coverage.
+//
+//   repf list
+//   repf dump <benchmark>
+//   repf optimize <file|benchmark> [--machine amd|intel] [--no-nt]
+//                 [--stride-centric]
+//   repf run <file|benchmark> [--machine amd|intel] [--hw] [--optimize]
+//   repf coverage <file|benchmark> [--machine amd|intel]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/functional_sim.hh"
+#include "core/phases.hh"
+#include "core/pipeline.hh"
+#include "sim/system.hh"
+#include "support/text_table.hh"
+#include "workloads/dsl.hh"
+#include "workloads/suite.hh"
+
+namespace {
+
+using namespace re;
+
+struct Options {
+  std::string command;
+  std::string target;
+  sim::MachineConfig machine = sim::amd_phenom_ii();
+  bool hw_prefetch = false;
+  bool optimize = false;
+  bool enable_nt = true;
+  bool stride_centric = false;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: repf <command> [args]\n"
+      "  list                         list built-in workload models\n"
+      "  dump <benchmark>             print a workload in the DSL\n"
+      "  optimize <file|benchmark>    run the pipeline, print the annotated\n"
+      "                               listing  [--machine amd|intel]\n"
+      "                               [--no-nt] [--stride-centric]\n"
+      "  run <file|benchmark>         simulate  [--machine amd|intel]\n"
+      "                               [--hw] [--optimize]\n"
+      "  coverage <file|benchmark>    Table-I style coverage row\n"
+      "  phases <file|benchmark>      detect execution phases\n");
+  return 2;
+}
+
+workloads::Program load_target(const std::string& target) {
+  const auto& names = workloads::suite_names();
+  if (std::find(names.begin(), names.end(), target) != names.end()) {
+    return workloads::make_benchmark(target);
+  }
+  std::ifstream file(target);
+  if (!file) {
+    throw std::runtime_error("no such benchmark or file: " + target);
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  return workloads::parse_program(text.str());
+}
+
+int cmd_list() {
+  std::printf("built-in workload models (paper Table I):\n");
+  for (const std::string& name : workloads::suite_names()) {
+    const auto p = workloads::make_benchmark(name);
+    std::printf("  %-12s %8llu refs/run, %zu static loads\n", name.c_str(),
+                static_cast<unsigned long long>(p.total_references()),
+                p.static_instruction_count());
+  }
+  return 0;
+}
+
+int cmd_dump(const Options& opts) {
+  std::fputs(workloads::print_program(load_target(opts.target)).c_str(),
+             stdout);
+  return 0;
+}
+
+int cmd_optimize(const Options& opts) {
+  const workloads::Program program = load_target(opts.target);
+  core::OptimizerOptions options;
+  options.enable_non_temporal = opts.enable_nt;
+  const core::OptimizationReport report =
+      opts.stride_centric
+          ? core::stride_centric_optimize(program, opts.machine, options)
+          : core::optimize_program(program, opts.machine, options);
+
+  std::printf("# %s pass on %s | Δ=%.2f cycles/memop | %zu plans\n",
+              opts.stride_centric ? "stride-centric" : "MDDLI",
+              opts.machine.name.c_str(), report.cycles_per_memop,
+              report.plans.size());
+  for (const auto& plan : report.plans) {
+    std::printf("#   pc%-3u %s %+lld\n", plan.pc, core::hint_mnemonic(plan.hint),
+                static_cast<long long>(plan.distance_bytes));
+  }
+  std::fputs(workloads::print_program(report.optimized).c_str(), stdout);
+  return 0;
+}
+
+int cmd_run(const Options& opts) {
+  workloads::Program program = load_target(opts.target);
+  if (opts.optimize) {
+    core::OptimizerOptions options;
+    options.enable_non_temporal = opts.enable_nt;
+    program = core::optimize_program(program, opts.machine, options).optimized;
+  }
+  const sim::RunResult run =
+      sim::run_single(opts.machine, program, opts.hw_prefetch);
+  const auto& mem = run.apps[0].mem;
+
+  TextTable table({"metric", "value"});
+  table.add_row({"machine", opts.machine.name});
+  table.add_row({"cycles", std::to_string(run.apps[0].cycles)});
+  table.add_row({"references", std::to_string(mem.loads)});
+  table.add_row({"CPI (per memop)",
+                 format_double(static_cast<double>(run.apps[0].cycles) /
+                                   static_cast<double>(mem.loads),
+                               2)});
+  table.add_row({"L1 miss ratio", format_percent(mem.l1_miss_ratio())});
+  table.add_row({"off-chip lines", std::to_string(run.dram.total_lines())});
+  table.add_row({"bandwidth", format_gbps(run.bandwidth_gbps())});
+  table.add_row({"sw prefetches", std::to_string(mem.sw_prefetches_issued)});
+  table.add_row({"late prefetches", std::to_string(mem.late_prefetch_hits)});
+  table.add_row(
+      {"hw prefetch lines", std::to_string(mem.hw_prefetch_dram_lines)});
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_phases(const Options& opts) {
+  const workloads::Program program = load_target(opts.target);
+  const core::PhasedProfile phased =
+      core::profile_with_phases(program, {});
+  std::printf("%d phase(s) over %llu references\n", phased.num_phases,
+              static_cast<unsigned long long>(
+                  phased.full.total_references));
+  TextTable table({"segment", "phase", "begin", "end", "refs"});
+  for (std::size_t i = 0; i < phased.segments.size(); ++i) {
+    const auto& seg = phased.segments[i];
+    table.add_row({std::to_string(i), std::to_string(seg.phase_id),
+                   std::to_string(seg.begin_ref),
+                   std::to_string(seg.end_ref),
+                   std::to_string(seg.end_ref - seg.begin_ref)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_coverage(const Options& opts) {
+  const workloads::Program program = load_target(opts.target);
+  const auto mddli = core::optimize_program(program, opts.machine);
+  const auto centric = core::stride_centric_optimize(program, opts.machine);
+  const auto cov_m = analysis::measure_coverage(program, mddli.optimized,
+                                                opts.machine.l1);
+  const auto cov_c = analysis::measure_coverage(program, centric.optimized,
+                                                opts.machine.l1);
+  TextTable table({"method", "miss coverage", "OH", "prefetches"});
+  table.add_row({"MDDLI filtered", format_percent(cov_m.miss_coverage()),
+                 format_double(cov_m.overhead(), 1),
+                 std::to_string(cov_m.prefetches_executed)});
+  table.add_row({"stride-centric", format_percent(cov_c.miss_coverage()),
+                 format_double(cov_c.overhead(), 1),
+                 std::to_string(cov_c.prefetches_executed)});
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  Options opts;
+  opts.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--machine") {
+      if (++i >= argc) return usage();
+      const std::string which = argv[i];
+      if (which == "amd") {
+        opts.machine = sim::amd_phenom_ii();
+      } else if (which == "intel") {
+        opts.machine = sim::intel_sandybridge();
+      } else {
+        std::fprintf(stderr, "unknown machine: %s\n", which.c_str());
+        return 2;
+      }
+    } else if (arg == "--hw") {
+      opts.hw_prefetch = true;
+    } else if (arg == "--optimize") {
+      opts.optimize = true;
+    } else if (arg == "--no-nt") {
+      opts.enable_nt = false;
+    } else if (arg == "--stride-centric") {
+      opts.stride_centric = true;
+    } else if (!arg.empty() && arg[0] != '-' && opts.target.empty()) {
+      opts.target = arg;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  try {
+    if (opts.command == "list") return cmd_list();
+    if (opts.target.empty()) return usage();
+    if (opts.command == "dump") return cmd_dump(opts);
+    if (opts.command == "optimize") return cmd_optimize(opts);
+    if (opts.command == "run") return cmd_run(opts);
+    if (opts.command == "coverage") return cmd_coverage(opts);
+    if (opts.command == "phases") return cmd_phases(opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "repf: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
