@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_costbenefit.dir/bench_ablation_costbenefit.cc.o"
+  "CMakeFiles/bench_ablation_costbenefit.dir/bench_ablation_costbenefit.cc.o.d"
+  "bench_ablation_costbenefit"
+  "bench_ablation_costbenefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_costbenefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hwdegree.dir/bench_ablation_hwdegree.cc.o"
+  "CMakeFiles/bench_ablation_hwdegree.dir/bench_ablation_hwdegree.cc.o.d"
+  "bench_ablation_hwdegree"
+  "bench_ablation_hwdegree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hwdegree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

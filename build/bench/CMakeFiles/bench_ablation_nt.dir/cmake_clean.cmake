@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nt.dir/bench_ablation_nt.cc.o"
+  "CMakeFiles/bench_ablation_nt.dir/bench_ablation_nt.cc.o.d"
+  "bench_ablation_nt"
+  "bench_ablation_nt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_qos.dir/bench_fig11_qos.cc.o"
+  "CMakeFiles/bench_fig11_qos.dir/bench_fig11_qos.cc.o.d"
+  "bench_fig11_qos"
+  "bench_fig11_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

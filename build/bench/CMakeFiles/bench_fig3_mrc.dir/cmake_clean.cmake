@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_mrc.dir/bench_fig3_mrc.cc.o"
+  "CMakeFiles/bench_fig3_mrc.dir/bench_fig3_mrc.cc.o.d"
+  "bench_fig3_mrc"
+  "bench_fig3_mrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_mrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

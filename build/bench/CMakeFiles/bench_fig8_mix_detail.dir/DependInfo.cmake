@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_mix_detail.cc" "bench/CMakeFiles/bench_fig8_mix_detail.dir/bench_fig8_mix_detail.cc.o" "gcc" "bench/CMakeFiles/bench_fig8_mix_detail.dir/bench_fig8_mix_detail.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/re_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/re_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/re_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/re_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/re_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_statstack_validation.dir/bench_statstack_validation.cc.o"
+  "CMakeFiles/bench_statstack_validation.dir/bench_statstack_validation.cc.o.d"
+  "bench_statstack_validation"
+  "bench_statstack_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_statstack_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

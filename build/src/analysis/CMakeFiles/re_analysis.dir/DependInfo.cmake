@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/experiments.cc" "src/analysis/CMakeFiles/re_analysis.dir/experiments.cc.o" "gcc" "src/analysis/CMakeFiles/re_analysis.dir/experiments.cc.o.d"
+  "/root/repo/src/analysis/functional_sim.cc" "src/analysis/CMakeFiles/re_analysis.dir/functional_sim.cc.o" "gcc" "src/analysis/CMakeFiles/re_analysis.dir/functional_sim.cc.o.d"
+  "/root/repo/src/analysis/metrics.cc" "src/analysis/CMakeFiles/re_analysis.dir/metrics.cc.o" "gcc" "src/analysis/CMakeFiles/re_analysis.dir/metrics.cc.o.d"
+  "/root/repo/src/analysis/mix_study.cc" "src/analysis/CMakeFiles/re_analysis.dir/mix_study.cc.o" "gcc" "src/analysis/CMakeFiles/re_analysis.dir/mix_study.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/re_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/re_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/re_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/re_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_analysis.dir/experiments.cc.o"
+  "CMakeFiles/re_analysis.dir/experiments.cc.o.d"
+  "CMakeFiles/re_analysis.dir/functional_sim.cc.o"
+  "CMakeFiles/re_analysis.dir/functional_sim.cc.o.d"
+  "CMakeFiles/re_analysis.dir/metrics.cc.o"
+  "CMakeFiles/re_analysis.dir/metrics.cc.o.d"
+  "CMakeFiles/re_analysis.dir/mix_study.cc.o"
+  "CMakeFiles/re_analysis.dir/mix_study.cc.o.d"
+  "libre_analysis.a"
+  "libre_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

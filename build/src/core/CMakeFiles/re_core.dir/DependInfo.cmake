@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bypass.cc" "src/core/CMakeFiles/re_core.dir/bypass.cc.o" "gcc" "src/core/CMakeFiles/re_core.dir/bypass.cc.o.d"
+  "/root/repo/src/core/insertion.cc" "src/core/CMakeFiles/re_core.dir/insertion.cc.o" "gcc" "src/core/CMakeFiles/re_core.dir/insertion.cc.o.d"
+  "/root/repo/src/core/mddli.cc" "src/core/CMakeFiles/re_core.dir/mddli.cc.o" "gcc" "src/core/CMakeFiles/re_core.dir/mddli.cc.o.d"
+  "/root/repo/src/core/phases.cc" "src/core/CMakeFiles/re_core.dir/phases.cc.o" "gcc" "src/core/CMakeFiles/re_core.dir/phases.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/re_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/re_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/sampler.cc" "src/core/CMakeFiles/re_core.dir/sampler.cc.o" "gcc" "src/core/CMakeFiles/re_core.dir/sampler.cc.o.d"
+  "/root/repo/src/core/statstack.cc" "src/core/CMakeFiles/re_core.dir/statstack.cc.o" "gcc" "src/core/CMakeFiles/re_core.dir/statstack.cc.o.d"
+  "/root/repo/src/core/stride_analysis.cc" "src/core/CMakeFiles/re_core.dir/stride_analysis.cc.o" "gcc" "src/core/CMakeFiles/re_core.dir/stride_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/re_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/re_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/re_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

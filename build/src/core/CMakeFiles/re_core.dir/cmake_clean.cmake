@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_core.dir/bypass.cc.o"
+  "CMakeFiles/re_core.dir/bypass.cc.o.d"
+  "CMakeFiles/re_core.dir/insertion.cc.o"
+  "CMakeFiles/re_core.dir/insertion.cc.o.d"
+  "CMakeFiles/re_core.dir/mddli.cc.o"
+  "CMakeFiles/re_core.dir/mddli.cc.o.d"
+  "CMakeFiles/re_core.dir/phases.cc.o"
+  "CMakeFiles/re_core.dir/phases.cc.o.d"
+  "CMakeFiles/re_core.dir/pipeline.cc.o"
+  "CMakeFiles/re_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/re_core.dir/sampler.cc.o"
+  "CMakeFiles/re_core.dir/sampler.cc.o.d"
+  "CMakeFiles/re_core.dir/statstack.cc.o"
+  "CMakeFiles/re_core.dir/statstack.cc.o.d"
+  "CMakeFiles/re_core.dir/stride_analysis.cc.o"
+  "CMakeFiles/re_core.dir/stride_analysis.cc.o.d"
+  "libre_core.a"
+  "libre_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/re_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/re_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/sim/CMakeFiles/re_sim.dir/config.cc.o" "gcc" "src/sim/CMakeFiles/re_sim.dir/config.cc.o.d"
+  "/root/repo/src/sim/core_runner.cc" "src/sim/CMakeFiles/re_sim.dir/core_runner.cc.o" "gcc" "src/sim/CMakeFiles/re_sim.dir/core_runner.cc.o.d"
+  "/root/repo/src/sim/dram.cc" "src/sim/CMakeFiles/re_sim.dir/dram.cc.o" "gcc" "src/sim/CMakeFiles/re_sim.dir/dram.cc.o.d"
+  "/root/repo/src/sim/hw_prefetcher.cc" "src/sim/CMakeFiles/re_sim.dir/hw_prefetcher.cc.o" "gcc" "src/sim/CMakeFiles/re_sim.dir/hw_prefetcher.cc.o.d"
+  "/root/repo/src/sim/memory_system.cc" "src/sim/CMakeFiles/re_sim.dir/memory_system.cc.o" "gcc" "src/sim/CMakeFiles/re_sim.dir/memory_system.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/sim/CMakeFiles/re_sim.dir/system.cc.o" "gcc" "src/sim/CMakeFiles/re_sim.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/re_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/re_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_sim.dir/cache.cc.o"
+  "CMakeFiles/re_sim.dir/cache.cc.o.d"
+  "CMakeFiles/re_sim.dir/config.cc.o"
+  "CMakeFiles/re_sim.dir/config.cc.o.d"
+  "CMakeFiles/re_sim.dir/core_runner.cc.o"
+  "CMakeFiles/re_sim.dir/core_runner.cc.o.d"
+  "CMakeFiles/re_sim.dir/dram.cc.o"
+  "CMakeFiles/re_sim.dir/dram.cc.o.d"
+  "CMakeFiles/re_sim.dir/hw_prefetcher.cc.o"
+  "CMakeFiles/re_sim.dir/hw_prefetcher.cc.o.d"
+  "CMakeFiles/re_sim.dir/memory_system.cc.o"
+  "CMakeFiles/re_sim.dir/memory_system.cc.o.d"
+  "CMakeFiles/re_sim.dir/system.cc.o"
+  "CMakeFiles/re_sim.dir/system.cc.o.d"
+  "libre_sim.a"
+  "libre_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_support.dir/histogram.cc.o"
+  "CMakeFiles/re_support.dir/histogram.cc.o.d"
+  "CMakeFiles/re_support.dir/series_chart.cc.o"
+  "CMakeFiles/re_support.dir/series_chart.cc.o.d"
+  "CMakeFiles/re_support.dir/text_table.cc.o"
+  "CMakeFiles/re_support.dir/text_table.cc.o.d"
+  "libre_support.a"
+  "libre_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

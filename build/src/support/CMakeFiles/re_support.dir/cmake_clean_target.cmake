@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libre_support.a"
+)

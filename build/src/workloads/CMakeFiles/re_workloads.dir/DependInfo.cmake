@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cursor.cc" "src/workloads/CMakeFiles/re_workloads.dir/cursor.cc.o" "gcc" "src/workloads/CMakeFiles/re_workloads.dir/cursor.cc.o.d"
+  "/root/repo/src/workloads/dsl.cc" "src/workloads/CMakeFiles/re_workloads.dir/dsl.cc.o" "gcc" "src/workloads/CMakeFiles/re_workloads.dir/dsl.cc.o.d"
+  "/root/repo/src/workloads/mix.cc" "src/workloads/CMakeFiles/re_workloads.dir/mix.cc.o" "gcc" "src/workloads/CMakeFiles/re_workloads.dir/mix.cc.o.d"
+  "/root/repo/src/workloads/parallel.cc" "src/workloads/CMakeFiles/re_workloads.dir/parallel.cc.o" "gcc" "src/workloads/CMakeFiles/re_workloads.dir/parallel.cc.o.d"
+  "/root/repo/src/workloads/program.cc" "src/workloads/CMakeFiles/re_workloads.dir/program.cc.o" "gcc" "src/workloads/CMakeFiles/re_workloads.dir/program.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/workloads/CMakeFiles/re_workloads.dir/suite.cc.o" "gcc" "src/workloads/CMakeFiles/re_workloads.dir/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/re_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

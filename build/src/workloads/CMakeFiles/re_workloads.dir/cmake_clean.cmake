@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re_workloads.dir/cursor.cc.o"
+  "CMakeFiles/re_workloads.dir/cursor.cc.o.d"
+  "CMakeFiles/re_workloads.dir/dsl.cc.o"
+  "CMakeFiles/re_workloads.dir/dsl.cc.o.d"
+  "CMakeFiles/re_workloads.dir/mix.cc.o"
+  "CMakeFiles/re_workloads.dir/mix.cc.o.d"
+  "CMakeFiles/re_workloads.dir/parallel.cc.o"
+  "CMakeFiles/re_workloads.dir/parallel.cc.o.d"
+  "CMakeFiles/re_workloads.dir/program.cc.o"
+  "CMakeFiles/re_workloads.dir/program.cc.o.d"
+  "CMakeFiles/re_workloads.dir/suite.cc.o"
+  "CMakeFiles/re_workloads.dir/suite.cc.o.d"
+  "libre_workloads.a"
+  "libre_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/bypass_test.cc" "tests/CMakeFiles/core_tests.dir/core/bypass_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/bypass_test.cc.o.d"
+  "/root/repo/tests/core/insertion_test.cc" "tests/CMakeFiles/core_tests.dir/core/insertion_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/insertion_test.cc.o.d"
+  "/root/repo/tests/core/mddli_test.cc" "tests/CMakeFiles/core_tests.dir/core/mddli_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/mddli_test.cc.o.d"
+  "/root/repo/tests/core/phases_test.cc" "tests/CMakeFiles/core_tests.dir/core/phases_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/phases_test.cc.o.d"
+  "/root/repo/tests/core/pipeline_test.cc" "tests/CMakeFiles/core_tests.dir/core/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/pipeline_test.cc.o.d"
+  "/root/repo/tests/core/sampler_test.cc" "tests/CMakeFiles/core_tests.dir/core/sampler_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/sampler_test.cc.o.d"
+  "/root/repo/tests/core/statstack_test.cc" "tests/CMakeFiles/core_tests.dir/core/statstack_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/statstack_test.cc.o.d"
+  "/root/repo/tests/core/stride_analysis_test.cc" "tests/CMakeFiles/core_tests.dir/core/stride_analysis_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/stride_analysis_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/re_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/re_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/re_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/re_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/re_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

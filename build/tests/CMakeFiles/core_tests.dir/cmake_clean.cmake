@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/bypass_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/bypass_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/insertion_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/insertion_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/mddli_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/mddli_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/phases_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/phases_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/pipeline_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/pipeline_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/sampler_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/sampler_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/statstack_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/statstack_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/stride_analysis_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/stride_analysis_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

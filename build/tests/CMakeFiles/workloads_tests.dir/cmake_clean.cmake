@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_tests.dir/workloads/cursor_test.cc.o"
+  "CMakeFiles/workloads_tests.dir/workloads/cursor_test.cc.o.d"
+  "CMakeFiles/workloads_tests.dir/workloads/dsl_test.cc.o"
+  "CMakeFiles/workloads_tests.dir/workloads/dsl_test.cc.o.d"
+  "CMakeFiles/workloads_tests.dir/workloads/mix_test.cc.o"
+  "CMakeFiles/workloads_tests.dir/workloads/mix_test.cc.o.d"
+  "CMakeFiles/workloads_tests.dir/workloads/parallel_test.cc.o"
+  "CMakeFiles/workloads_tests.dir/workloads/parallel_test.cc.o.d"
+  "CMakeFiles/workloads_tests.dir/workloads/program_test.cc.o"
+  "CMakeFiles/workloads_tests.dir/workloads/program_test.cc.o.d"
+  "CMakeFiles/workloads_tests.dir/workloads/suite_test.cc.o"
+  "CMakeFiles/workloads_tests.dir/workloads/suite_test.cc.o.d"
+  "workloads_tests"
+  "workloads_tests.pdb"
+  "workloads_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

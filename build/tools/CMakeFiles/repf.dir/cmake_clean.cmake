@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repf.dir/repf.cc.o"
+  "CMakeFiles/repf.dir/repf.cc.o.d"
+  "repf"
+  "repf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
