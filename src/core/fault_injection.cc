@@ -1,0 +1,127 @@
+#include "core/fault_injection.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "support/rng.hh"
+
+namespace re::core {
+
+namespace {
+
+/// Magnitude floor for injected stride outliers: far beyond any plausible
+/// footprint, so a correct validator can recognise them and a broken one
+/// computes absurd prefetch distances.
+constexpr std::int64_t kOutlierBase = std::int64_t{1} << 45;
+
+}  // namespace
+
+Profile FaultInjector::inject(const Profile& profile) const {
+  stats_ = FaultStats{};
+  Rng rng(config_.seed);
+
+  Profile out;
+  out.total_references = profile.total_references;
+  out.sample_period = profile.sample_period;
+  out.dangling_reuse_samples = profile.dangling_reuse_samples;
+  out.dangling_by_pc = profile.dangling_by_pc;
+  out.pc_execution_counts = profile.pc_execution_counts;
+
+  // Truncated run: every sample recorded after the cut is lost. Execution
+  // counts survive (they come from basic-block counters, a separate
+  // mechanism), which is exactly the inconsistency a truncated profile
+  // shows in practice.
+  const double keep_fraction =
+      1.0 - std::clamp(config_.truncate_fraction, 0.0, 1.0);
+  const std::uint64_t cutoff_ref = static_cast<std::uint64_t>(
+      static_cast<double>(profile.total_references) * keep_fraction);
+  const bool truncating = config_.truncate_fraction > 0.0;
+
+  // PCs whose watchpoints never won the PMU multiplexing slot: all their
+  // samples vanish. Decide per distinct PC, deterministically, by iterating
+  // the sample streams in order (not the hash maps).
+  std::unordered_set<Pc> zeroed;
+  if (config_.zero_sample_pc_rate > 0.0) {
+    std::unordered_set<Pc> seen;
+    auto consider = [&](Pc pc) {
+      if (!seen.insert(pc).second) return;
+      if (rng.chance(config_.zero_sample_pc_rate)) {
+        zeroed.insert(pc);
+        ++stats_.zeroed_pcs;
+      }
+    };
+    for (const ReuseSample& s : profile.reuse_samples) consider(s.first_pc);
+    for (const StrideSample& s : profile.stride_samples) consider(s.pc);
+  }
+
+  out.reuse_samples.reserve(profile.reuse_samples.size());
+  for (const ReuseSample& s : profile.reuse_samples) {
+    if (truncating && s.at_ref > cutoff_ref) {
+      ++stats_.reuse_truncated;
+      continue;
+    }
+    if (zeroed.count(s.first_pc) != 0) continue;
+    if (config_.drop_rate > 0.0 && rng.chance(config_.drop_rate)) {
+      ++stats_.reuse_dropped;
+      continue;
+    }
+    ReuseSample copy = s;
+    if (config_.reuse_skew_rate > 0.0 && rng.chance(config_.reuse_skew_rate)) {
+      copy.distance = static_cast<RefCount>(
+          static_cast<double>(std::max<RefCount>(copy.distance, 1)) *
+          config_.reuse_skew_factor);
+      ++stats_.reuse_skewed;
+    }
+    out.reuse_samples.push_back(copy);
+    if (config_.duplicate_rate > 0.0 && rng.chance(config_.duplicate_rate)) {
+      out.reuse_samples.push_back(copy);
+      ++stats_.reuse_duplicated;
+    }
+  }
+
+  out.stride_samples.reserve(profile.stride_samples.size());
+  for (const StrideSample& s : profile.stride_samples) {
+    if (truncating && s.at_ref > cutoff_ref) {
+      ++stats_.stride_truncated;
+      continue;
+    }
+    if (zeroed.count(s.pc) != 0) continue;
+    if (config_.drop_rate > 0.0 && rng.chance(config_.drop_rate)) {
+      ++stats_.stride_dropped;
+      continue;
+    }
+    StrideSample copy = s;
+    if (config_.stride_outlier_rate > 0.0 &&
+        rng.chance(config_.stride_outlier_rate)) {
+      const std::int64_t wild =
+          kOutlierBase + static_cast<std::int64_t>(rng.next(1u << 20)) *
+                             static_cast<std::int64_t>(kLineSize);
+      copy.stride = rng.chance(0.5) ? wild : -wild;
+      ++stats_.stride_outliers;
+    }
+    out.stride_samples.push_back(copy);
+    if (config_.duplicate_rate > 0.0 && rng.chance(config_.duplicate_rate)) {
+      out.stride_samples.push_back(copy);
+      ++stats_.stride_duplicated;
+    }
+  }
+
+  // Zeroed PCs also lose their dangling attribution (those watchpoints were
+  // never armed).
+  for (Pc pc : zeroed) {
+    auto it = out.dangling_by_pc.find(pc);
+    if (it != out.dangling_by_pc.end()) {
+      out.dangling_reuse_samples -= std::min(out.dangling_reuse_samples,
+                                             it->second);
+      out.dangling_by_pc.erase(it);
+    }
+  }
+
+  if (truncating) {
+    out.total_references = cutoff_ref;
+  }
+  return out;
+}
+
+}  // namespace re::core

@@ -1,0 +1,90 @@
+// Fault injection for sampled profiles.
+//
+// The paper's profiles come from a hardware-watchpoint sampler (Sembrant et
+// al., CGO'12): real deployments drop watchpoints under pressure, multiplex
+// PMU counters, truncate profiling windows, and occasionally deliver
+// corrupted readings. The FaultInjector perturbs a clean `Profile` with
+// those fault models behind a seeded RNG, so every degraded-input scenario
+// the robustness tests and `repf faultcheck` exercise is reproducible
+// bit-for-bit. The injector never mutates its input; it returns a faulted
+// copy.
+#pragma once
+
+#include <cstdint>
+
+#include "core/profile.hh"
+
+namespace re::core {
+
+/// Probabilities/parameters of each fault model. All rates are in [0, 1]
+/// and independent per sample (or per PC for `zero_sample_pc_rate`).
+struct FaultConfig {
+  /// P(a sample is silently dropped) — lost watchpoint / counter overflow.
+  double drop_rate = 0.0;
+  /// P(a surviving sample is delivered twice) — replayed PMU interrupt.
+  double duplicate_rate = 0.0;
+  /// Fraction of the profiled window cut off the end — truncated run.
+  double truncate_fraction = 0.0;
+  /// P(a reuse distance is skewed by `reuse_skew_factor`) — counter
+  /// multiplexing miscounts the intervening references.
+  double reuse_skew_rate = 0.0;
+  double reuse_skew_factor = 16.0;
+  /// P(a stride sample's stride is replaced by a wild outlier) — the
+  /// re-armed breakpoint fired on an unrelated access.
+  double stride_outlier_rate = 0.0;
+  /// P(a PC loses *all* of its samples) — its watchpoints never won the
+  /// multiplexing slot.
+  double zero_sample_pc_rate = 0.0;
+
+  std::uint64_t seed = 0xFA57;
+
+  /// All per-sample fault models at one common rate (the sweep harness's
+  /// single-knob configuration).
+  static FaultConfig uniform(double rate, std::uint64_t seed = 0xFA57) {
+    FaultConfig config;
+    config.drop_rate = rate;
+    config.duplicate_rate = rate;
+    config.truncate_fraction = rate;
+    config.reuse_skew_rate = rate;
+    config.stride_outlier_rate = rate;
+    config.zero_sample_pc_rate = rate;
+    config.seed = seed;
+    return config;
+  }
+};
+
+/// Summary of what the injector actually did (for logs and tests).
+struct FaultStats {
+  std::uint64_t reuse_dropped = 0;
+  std::uint64_t reuse_duplicated = 0;
+  std::uint64_t reuse_skewed = 0;
+  std::uint64_t reuse_truncated = 0;
+  std::uint64_t stride_dropped = 0;
+  std::uint64_t stride_duplicated = 0;
+  std::uint64_t stride_outliers = 0;
+  std::uint64_t stride_truncated = 0;
+  std::uint64_t zeroed_pcs = 0;
+
+  std::uint64_t total() const {
+    return reuse_dropped + reuse_duplicated + reuse_skewed + reuse_truncated +
+           stride_dropped + stride_duplicated + stride_outliers +
+           stride_truncated + zeroed_pcs;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config) : config_(config) {}
+
+  /// Return a faulted copy of `profile`. Deterministic in (profile, config).
+  Profile inject(const Profile& profile) const;
+
+  /// Stats of the most recent inject() call.
+  const FaultStats& last_stats() const { return stats_; }
+
+ private:
+  FaultConfig config_;
+  mutable FaultStats stats_;
+};
+
+}  // namespace re::core

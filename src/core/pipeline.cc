@@ -33,12 +33,39 @@ double measure_cycles_per_memop(const workloads::Program& program,
 OptimizationReport optimize_program(const workloads::Program& program,
                                     const sim::MachineConfig& machine,
                                     const OptimizerOptions& options) {
+  // 1-2) Integrated sampling pass: data-reuse + stride samples.
+  return optimize_with_profile(
+      program, profile_program(program, options.sampler,
+                               options.profile_max_refs),
+      machine, options);
+}
+
+OptimizationReport optimize_with_profile(const workloads::Program& program,
+                                         Profile profile,
+                                         const sim::MachineConfig& machine,
+                                         const OptimizerOptions& options) {
   OptimizationReport report;
   report.benchmark = program.name;
 
-  // 1-2) Integrated sampling pass: data-reuse + stride samples.
-  report.profile =
-      profile_program(program, options.sampler, options.profile_max_refs);
+  // Skip-not-guess: the validator mirrors the stride-analysis gates, so a
+  // clean profile yields byte-identical plans; degraded evidence only ever
+  // removes prefetches, and every removal lands in the DegradationLog.
+  ValidatorOptions vopts;
+  vopts.min_stride_samples = options.stride.min_samples;
+  vopts.dominance_threshold = options.stride.dominance_threshold;
+  const ProfileValidator validator(vopts);
+
+  Expected<Profile> sanitized =
+      validator.sanitize(profile, &report.degradation);
+  if (!sanitized) {
+    // Unusable profile: degrade to "do nothing". The input program passes
+    // through untouched — never prefetch on evidence we cannot trust.
+    report.profile = std::move(profile);
+    report.cycles_per_memop = measure_cycles_per_memop(program, machine);
+    report.optimized = program;
+    return report;
+  }
+  report.profile = std::move(*sanitized);
 
   // 3) Fast cache modeling.
   const StatStack model(report.profile);
@@ -51,23 +78,47 @@ OptimizationReport optimize_program(const workloads::Program& program,
       model, report.profile, machine, options.mddli);
 
   // 5-6) Stride analysis, prefetch distance and bypass analysis for the
-  // selected loads.
+  // selected loads. Each load must clear the validator at every step; a
+  // failed check suppresses the prefetch and records why.
   const auto by_pc = strides_by_pc(report.profile);
   const ReuseGraph graph(report.profile);
   for (const DelinquentLoad& load : report.delinquent_loads) {
+    const LoadVerdict numerics = validator.classify_model_numerics(
+        load.l1_miss_ratio, load.l2_miss_ratio, load.llc_miss_ratio,
+        load.avg_miss_latency, report.cycles_per_memop);
+    if (numerics.confidence != LoadConfidence::kOk) {
+      report.degradation.record(load.pc, numerics.reason, numerics.detail);
+      continue;
+    }
+
     auto it = by_pc.find(load.pc);
-    if (it == by_pc.end()) continue;
+    if (it == by_pc.end()) {
+      report.degradation.record(load.pc, DegradationReason::kNoStrideSamples);
+      continue;
+    }
     const StrideInfo info =
         analyze_strides(load.pc, it->second, options.stride);
     report.stride_infos.push_back(info);
-    if (!info.regular) continue;
+    const LoadVerdict stride_verdict =
+        validator.classify_stride_evidence(info, it->second.size());
+    if (stride_verdict.confidence != LoadConfidence::kOk) {
+      report.degradation.record(load.pc, stride_verdict.reason,
+                                stride_verdict.detail);
+      continue;
+    }
 
     PrefetchDistanceParams params;
     params.latency = load.avg_miss_latency;
     params.cycles_per_memop = report.cycles_per_memop;
     params.loop_references = report.profile.executions_of(load.pc);
-    const auto distance = prefetch_distance_bytes(info, params);
-    if (!distance) continue;
+    const Expected<std::int64_t> distance =
+        prefetch_distance_checked(info, params);
+    if (!distance) {
+      report.degradation.record(load.pc,
+                                DegradationReason::kDistanceUnavailable,
+                                distance.status().to_string());
+      continue;
+    }
 
     PrefetchPlan plan;
     plan.pc = load.pc;

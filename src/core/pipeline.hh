@@ -16,6 +16,7 @@
 #include "core/insertion.hh"
 #include "core/mddli.hh"
 #include "core/profile.hh"
+#include "core/profile_validator.hh"
 #include "core/sampler.hh"
 #include "core/statstack.hh"
 #include "core/stride_analysis.hh"
@@ -46,6 +47,11 @@ struct OptimizationReport {
   /// Measured average cycles per memory operation (the paper's Δ).
   double cycles_per_memop = 0.0;
   workloads::Program optimized;
+  /// Every prefetch the pipeline conservatively suppressed (and every
+  /// profile-level discard), with machine-readable reasons. When the
+  /// profile is unusable the pipeline degrades to "emit nothing" and
+  /// `optimized` is the input program unchanged.
+  DegradationLog degradation;
 };
 
 /// Measure Δ: baseline cycles per memory operation from a single-core run
@@ -58,6 +64,18 @@ double measure_cycles_per_memop(const workloads::Program& program,
 OptimizationReport optimize_program(const workloads::Program& program,
                                     const sim::MachineConfig& machine,
                                     const OptimizerOptions& options = {});
+
+/// Same pipeline, but starting from an externally supplied profile — the
+/// entry point for fault-injection studies (`repf faultcheck`,
+/// `bench_robustness_faults`) and for replaying stored profiles. The
+/// profile is validated first; degraded or corrupt evidence suppresses
+/// prefetches (recorded in the report's DegradationLog) rather than
+/// producing wrong ones. With a clean profile this is exactly
+/// optimize_program.
+OptimizationReport optimize_with_profile(const workloads::Program& program,
+                                         Profile profile,
+                                         const sim::MachineConfig& machine,
+                                         const OptimizerOptions& options = {});
 
 /// The stride-centric baseline: same sampling pass, but inserts a prefetch
 /// for every load with a dominant stride — no miss-ratio model, no

@@ -1,0 +1,167 @@
+#include "core/profile_validator.hh"
+
+#include <cmath>
+
+namespace re::core {
+
+namespace {
+
+std::string count_detail(std::uint64_t discarded, const char* what) {
+  return "discarded " + std::to_string(discarded) + " " + what;
+}
+
+}  // namespace
+
+std::string DegradationLog::to_string() const {
+  std::string out;
+  for (const DegradationEntry& e : entries_) {
+    out += "pc" + std::to_string(e.pc) + " " +
+           degradation_reason_name(e.reason);
+    if (!e.detail.empty()) {
+      out += " (" + e.detail + ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Expected<Profile> ProfileValidator::sanitize(const Profile& profile,
+                                             DegradationLog* log) const {
+  const bool has_samples = !profile.reuse_samples.empty() ||
+                           !profile.stride_samples.empty() ||
+                           profile.dangling_reuse_samples > 0;
+  if (has_samples &&
+      (profile.total_references == 0 || profile.sample_period == 0)) {
+    if (log != nullptr) {
+      log->record(0, DegradationReason::kProfileInconsistent,
+                  "samples present but total_references/sample_period is 0");
+    }
+    return Status(StatusCode::kFailedPrecondition,
+                  "profile bookkeeping inconsistent");
+  }
+
+  Profile out;
+  out.total_references = profile.total_references;
+  out.sample_period = profile.sample_period;
+  out.dangling_reuse_samples = profile.dangling_reuse_samples;
+  out.dangling_by_pc = profile.dangling_by_pc;
+  out.pc_execution_counts = profile.pc_execution_counts;
+
+  // A reuse sample is impossible if it claims more intervening references
+  // than the window held, or a stream position beyond the window. (Finite
+  // distances only: kInfiniteDistance never appears in recorded samples —
+  // dangling watches are counted separately.)
+  std::uint64_t bad_reuse = 0;
+  out.reuse_samples.reserve(profile.reuse_samples.size());
+  for (const ReuseSample& s : profile.reuse_samples) {
+    const bool ok = s.distance < profile.total_references &&
+                    s.at_ref <= profile.total_references;
+    if (ok) {
+      out.reuse_samples.push_back(s);
+    } else {
+      ++bad_reuse;
+    }
+  }
+  if (bad_reuse > 0 && log != nullptr) {
+    log->record(0, DegradationReason::kCorruptReuseSample,
+                count_detail(bad_reuse, "reuse samples"));
+  }
+
+  // A stride sample is impossible if its recurrence or position exceeds the
+  // window, or its stride magnitude is beyond any plausible footprint.
+  std::uint64_t bad_stride = 0;
+  out.stride_samples.reserve(profile.stride_samples.size());
+  for (const StrideSample& s : profile.stride_samples) {
+    const bool ok = s.recurrence < profile.total_references &&
+                    s.at_ref <= profile.total_references &&
+                    s.stride >= -options_.max_plausible_stride &&
+                    s.stride <= options_.max_plausible_stride;
+    if (ok) {
+      out.stride_samples.push_back(s);
+    } else {
+      ++bad_stride;
+    }
+  }
+  if (bad_stride > 0 && log != nullptr) {
+    log->record(0, DegradationReason::kCorruptStrideSample,
+                count_detail(bad_stride, "stride samples"));
+  }
+
+  const bool usable = !out.reuse_samples.empty() ||
+                      !out.stride_samples.empty() ||
+                      out.dangling_reuse_samples > 0;
+  if (!usable) {
+    if (log != nullptr) {
+      log->record(0, DegradationReason::kProfileEmpty,
+                  "no usable samples after validation");
+    }
+    return Status(StatusCode::kDataLoss, "no usable samples");
+  }
+  return out;
+}
+
+LoadVerdict ProfileValidator::classify_stride_evidence(
+    const StrideInfo& info, std::uint64_t sample_count) const {
+  LoadVerdict v;
+  if (sample_count == 0) {
+    v.confidence = LoadConfidence::kLowConfidence;
+    v.reason = DegradationReason::kNoStrideSamples;
+    return v;
+  }
+  if (sample_count < options_.min_stride_samples) {
+    v.confidence = LoadConfidence::kLowConfidence;
+    v.reason = DegradationReason::kInsufficientStrideSamples;
+    v.detail = std::to_string(sample_count) + " < " +
+               std::to_string(options_.min_stride_samples);
+    return v;
+  }
+  if (!std::isfinite(info.dominance) || !std::isfinite(info.mean_recurrence)) {
+    v.confidence = LoadConfidence::kInvalid;
+    v.reason = DegradationReason::kNumericHazard;
+    v.detail = "non-finite stride statistics";
+    return v;
+  }
+  if (info.dominance < options_.dominance_threshold) {
+    v.confidence = LoadConfidence::kLowConfidence;
+    v.reason = DegradationReason::kLowStrideDominance;
+    v.detail = "dominance " + std::to_string(info.dominance);
+    return v;
+  }
+  if (info.stride == 0) {
+    v.confidence = LoadConfidence::kLowConfidence;
+    v.reason = DegradationReason::kZeroStride;
+    return v;
+  }
+  return v;  // kOk
+}
+
+LoadVerdict ProfileValidator::classify_model_numerics(
+    double l1_miss_ratio, double l2_miss_ratio, double llc_miss_ratio,
+    double avg_miss_latency, double cycles_per_memop) const {
+  LoadVerdict v;
+  auto bad_ratio = [](double r) {
+    return !std::isfinite(r) || r < 0.0 || r > 1.0;
+  };
+  if (bad_ratio(l1_miss_ratio) || bad_ratio(l2_miss_ratio) ||
+      bad_ratio(llc_miss_ratio)) {
+    v.confidence = LoadConfidence::kInvalid;
+    v.reason = DegradationReason::kNumericHazard;
+    v.detail = "miss ratio outside [0,1]";
+    return v;
+  }
+  if (!std::isfinite(avg_miss_latency) || avg_miss_latency < 0.0) {
+    v.confidence = LoadConfidence::kInvalid;
+    v.reason = DegradationReason::kNumericHazard;
+    v.detail = "bad miss latency";
+    return v;
+  }
+  if (!std::isfinite(cycles_per_memop) || cycles_per_memop <= 0.0) {
+    v.confidence = LoadConfidence::kInvalid;
+    v.reason = DegradationReason::kNumericHazard;
+    v.detail = "bad cycles_per_memop";
+    return v;
+  }
+  return v;  // kOk
+}
+
+}  // namespace re::core

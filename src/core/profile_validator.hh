@@ -1,0 +1,177 @@
+// Profile validation and the graceful-degradation log.
+//
+// The optimizer's contract is "never hurt": when the sampled evidence for a
+// load is thin, inconsistent, or numerically hazardous, the right move is
+// to *skip* that prefetch, not to guess (the same conservatism as the
+// paper's 70 % stride-dominance rule and MDDLI cost-benefit filter, applied
+// to the input data itself). The ProfileValidator checks profile-level
+// invariants and classifies each candidate load; every suppression the
+// pipeline performs as a result is recorded in a DegradationLog with a
+// machine-readable reason, so callers and tests can see exactly what was
+// suppressed and why.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/profile.hh"
+#include "core/stride_analysis.hh"
+#include "support/status.hh"
+#include "support/types.hh"
+
+namespace re::core {
+
+/// Why a prefetch (or a whole profile) was degraded. Tokens are stable:
+/// tests and tooling match on them.
+enum class DegradationReason : std::uint8_t {
+  /// Profile has no usable samples at all — pipeline emits nothing.
+  kProfileEmpty,
+  /// Profile-level bookkeeping is inconsistent (zero references / period
+  /// with samples present).
+  kProfileInconsistent,
+  /// A reuse sample was internally impossible (distance or position beyond
+  /// the profiled window) and was discarded.
+  kCorruptReuseSample,
+  /// A stride sample was internally impossible (outlier stride / position
+  /// beyond the window) and was discarded.
+  kCorruptStrideSample,
+  /// Delinquent load had no stride samples at all.
+  kNoStrideSamples,
+  /// Delinquent load had fewer stride samples than the analysis minimum.
+  kInsufficientStrideSamples,
+  /// Stride dominance below the 70 % rule — access pattern too irregular.
+  kLowStrideDominance,
+  /// Dominant stride was zero — nothing to prefetch ahead of.
+  kZeroStride,
+  /// A modeled quantity (miss ratio, latency, Δ) was NaN/Inf or outside its
+  /// legal range.
+  kNumericHazard,
+  /// The prefetch-distance formula could not produce a trustworthy value.
+  kDistanceUnavailable,
+};
+
+constexpr const char* degradation_reason_name(DegradationReason reason) {
+  switch (reason) {
+    case DegradationReason::kProfileEmpty: return "profile_empty";
+    case DegradationReason::kProfileInconsistent: return "profile_inconsistent";
+    case DegradationReason::kCorruptReuseSample: return "corrupt_reuse_sample";
+    case DegradationReason::kCorruptStrideSample:
+      return "corrupt_stride_sample";
+    case DegradationReason::kNoStrideSamples: return "no_stride_samples";
+    case DegradationReason::kInsufficientStrideSamples:
+      return "insufficient_stride_samples";
+    case DegradationReason::kLowStrideDominance: return "low_stride_dominance";
+    case DegradationReason::kZeroStride: return "zero_stride";
+    case DegradationReason::kNumericHazard: return "numeric_hazard";
+    case DegradationReason::kDistanceUnavailable:
+      return "distance_unavailable";
+  }
+  return "unknown";
+}
+
+/// One suppression/clamp event. `pc == 0` marks profile-level entries.
+struct DegradationEntry {
+  Pc pc = 0;
+  DegradationReason reason = DegradationReason::kProfileEmpty;
+  std::string detail;
+};
+
+/// Append-only record of everything the pipeline refused to do.
+class DegradationLog {
+ public:
+  void record(Pc pc, DegradationReason reason, std::string detail = {}) {
+    entries_.push_back(DegradationEntry{pc, reason, std::move(detail)});
+  }
+
+  const std::vector<DegradationEntry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  std::size_t count(DegradationReason reason) const {
+    std::size_t n = 0;
+    for (const DegradationEntry& e : entries_) {
+      if (e.reason == reason) ++n;
+    }
+    return n;
+  }
+
+  bool contains(Pc pc) const {
+    for (const DegradationEntry& e : entries_) {
+      if (e.pc == pc) return true;
+    }
+    return false;
+  }
+
+  /// One line per entry: "pc<pc> <reason_token> <detail>".
+  std::string to_string() const;
+
+ private:
+  std::vector<DegradationEntry> entries_;
+};
+
+/// Trust classification of one candidate load's evidence.
+enum class LoadConfidence : std::uint8_t { kOk, kLowConfidence, kInvalid };
+
+constexpr const char* load_confidence_name(LoadConfidence c) {
+  switch (c) {
+    case LoadConfidence::kOk: return "ok";
+    case LoadConfidence::kLowConfidence: return "low-confidence";
+    case LoadConfidence::kInvalid: return "invalid";
+  }
+  return "unknown";
+}
+
+struct ValidatorOptions {
+  /// Minimum stride samples to trust a stride judgement; mirrors
+  /// StrideAnalysisOptions::min_samples so a clean profile classifies
+  /// exactly as the pre-validation pipeline gated.
+  std::uint64_t min_stride_samples = 8;
+  /// Dominance below this is low-confidence (the paper's 70 % rule).
+  double dominance_threshold = 0.7;
+  /// Strides with |stride| above this are physically implausible for the
+  /// modeled workloads (footprints are << 1 TiB) and treated as corrupt.
+  std::int64_t max_plausible_stride = std::int64_t{1} << 40;
+};
+
+/// Per-load verdict with the reason the evidence fell short (valid only
+/// when confidence != kOk).
+struct LoadVerdict {
+  LoadConfidence confidence = LoadConfidence::kOk;
+  DegradationReason reason = DegradationReason::kProfileEmpty;
+  std::string detail;
+};
+
+class ProfileValidator {
+ public:
+  explicit ProfileValidator(const ValidatorOptions& options = {})
+      : options_(options) {}
+
+  /// Profile-level validation: discards internally-impossible samples
+  /// (recording each class in `log`) and returns the sanitized profile, or
+  /// an error status when nothing usable remains. A clean profile passes
+  /// through bit-identical.
+  Expected<Profile> sanitize(const Profile& profile,
+                             DegradationLog* log) const;
+
+  /// Classify the stride evidence for one load, given how many stride
+  /// samples it had. Mirrors the stride-analysis gates, so `kOk` iff the
+  /// analysis would have accepted the load.
+  LoadVerdict classify_stride_evidence(const StrideInfo& info,
+                                       std::uint64_t sample_count) const;
+
+  /// Check the modeled StatStack → MDDLI quantities for NaN/Inf/negative
+  /// hazards. Returns kOk or kInvalid.
+  LoadVerdict classify_model_numerics(double l1_miss_ratio,
+                                      double l2_miss_ratio,
+                                      double llc_miss_ratio,
+                                      double avg_miss_latency,
+                                      double cycles_per_memop) const;
+
+  const ValidatorOptions& options() const { return options_; }
+
+ private:
+  ValidatorOptions options_;
+};
+
+}  // namespace re::core

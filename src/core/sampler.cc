@@ -68,6 +68,11 @@ Profile Sampler::finish() {
   Profile out = std::move(profile_);
   profile_ = Profile{};
   ref_count_ = 0;
+  // Re-arm the sampling clock: without this a reused sampler would start
+  // its next window with the previous window's residual gap (offset by the
+  // old ref count), displacing every sample point.
+  next_sample_at_ =
+      rng_.geometric_gap(static_cast<double>(config_.sample_period));
   return out;
 }
 

@@ -73,9 +73,21 @@ std::vector<StrideInfo> analyze_all_strides(
   return out;
 }
 
-std::optional<std::int64_t> prefetch_distance_bytes(
+Expected<std::int64_t> prefetch_distance_checked(
     const StrideInfo& info, const PrefetchDistanceParams& params) {
-  if (info.stride == 0) return std::nullopt;
+  if (info.stride == 0) {
+    return Status(StatusCode::kFailedPrecondition, "zero stride");
+  }
+  if (!std::isfinite(info.mean_recurrence) || info.mean_recurrence < 0.0) {
+    return Status(StatusCode::kOutOfRange, "bad recurrence");
+  }
+  if (!std::isfinite(params.latency) || params.latency <= 0.0) {
+    return Status(StatusCode::kOutOfRange, "non-positive latency");
+  }
+  if (!std::isfinite(params.cycles_per_memop) ||
+      params.cycles_per_memop <= 0.0) {
+    return Status(StatusCode::kOutOfRange, "non-positive cycles_per_memop");
+  }
   const double stride_mag = std::abs(static_cast<double>(info.stride));
   const double sign = info.stride < 0 ? -1.0 : 1.0;
   const double c = kLineSize;
@@ -105,7 +117,22 @@ std::optional<std::int64_t> prefetch_distance_bytes(
   // Always look at least one full line ahead; a shorter distance would
   // target the line the load itself touches.
   distance = std::max(distance, c);
+
+  // A distance beyond any plausible footprint means a corrupt input slipped
+  // through (wild stride, absurd latency): refuse rather than emit it.
+  constexpr double kMaxDistance = 1LL << 46;
+  if (!std::isfinite(distance) || distance > kMaxDistance) {
+    return Status(StatusCode::kOutOfRange, "distance overflow");
+  }
   return static_cast<std::int64_t>(sign * distance);
+}
+
+std::optional<std::int64_t> prefetch_distance_bytes(
+    const StrideInfo& info, const PrefetchDistanceParams& params) {
+  const Expected<std::int64_t> result =
+      prefetch_distance_checked(info, params);
+  if (!result) return std::nullopt;
+  return *result;
 }
 
 }  // namespace re::core

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/profile.hh"
+#include "support/status.hh"
 #include "support/types.hh"
 
 namespace re::core {
@@ -59,7 +60,14 @@ struct PrefetchDistanceParams {
 };
 
 /// Compute the prefetch distance in bytes (signed: negative strides
-/// prefetch backwards). Returns std::nullopt for zero strides.
+/// prefetch backwards). Every numeric hazard in the formula — zero stride,
+/// non-finite or non-positive latency/Δ/recurrence, overflow of the
+/// resulting distance — yields an error status naming the hazard instead of
+/// a garbage distance.
+Expected<std::int64_t> prefetch_distance_checked(
+    const StrideInfo& info, const PrefetchDistanceParams& params);
+
+/// Convenience wrapper: std::nullopt on any hazard.
 std::optional<std::int64_t> prefetch_distance_bytes(
     const StrideInfo& info, const PrefetchDistanceParams& params);
 

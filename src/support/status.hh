@@ -1,0 +1,114 @@
+// Structured error handling for the analysis pipeline.
+//
+// The profiling/modeling chain consumes sampled data that real hardware
+// frameworks deliver degraded (dropped watchpoints, multiplexed counters,
+// truncated runs). Failures along that chain are expected operating
+// conditions, not programming errors, so they are reported as values — a
+// `Status` carrying a machine-readable code plus context — rather than as
+// exceptions. `Expected<T>` is the usual value-or-status union.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace re {
+
+enum class StatusCode {
+  kOk = 0,
+  /// Caller handed in something structurally unusable (e.g. a null profile).
+  kInvalidArgument,
+  /// A value fell outside its legal range (negative latency, NaN ratio...).
+  kOutOfRange,
+  /// An invariant the computation depends on does not hold (e.g. zero
+  /// references in a profile that claims samples).
+  kFailedPrecondition,
+  /// Input data is present but corrupt or too degraded to trust.
+  kDataLoss,
+  /// A bug in this library (should never be produced by degraded input).
+  kInternal,
+};
+
+/// Stable lower-case token for a code, suitable for logs and tests.
+constexpr const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kOutOfRange: return "out_of_range";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kDataLoss: return "data_loss";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    if (ok()) return "ok";
+    std::string out = status_code_name(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-error: holds a T on success, a non-ok Status on failure.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Expected(Status status) : data_(std::move(status)) {  // NOLINT
+    // An ok status carries no value; normalize to an internal error so the
+    // invariant "has_value() || !status().ok()" always holds.
+    if (std::get<Status>(data_).ok()) {
+      data_ = Status(StatusCode::kInternal, "Expected constructed from ok");
+    }
+  }
+
+  bool has_value() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return has_value(); }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Ok when a value is held; the stored error otherwise.
+  Status status() const {
+    return has_value() ? Status::Ok() : std::get<Status>(data_);
+  }
+
+  T value_or(T fallback) const& {
+    return has_value() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace re

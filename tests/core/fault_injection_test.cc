@@ -1,0 +1,237 @@
+#include "core/fault_injection.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/pipeline.hh"
+#include "sim/system.hh"
+#include "workloads/dsl.hh"
+#include "workloads/suite.hh"
+
+namespace re::core {
+namespace {
+
+Profile clean_profile(const std::string& benchmark = "libquantum") {
+  return profile_program(workloads::make_benchmark(benchmark),
+                         SamplerConfig{1000, 42});
+}
+
+bool profiles_equal(const Profile& a, const Profile& b) {
+  if (a.reuse_samples.size() != b.reuse_samples.size() ||
+      a.stride_samples.size() != b.stride_samples.size() ||
+      a.dangling_reuse_samples != b.dangling_reuse_samples ||
+      a.total_references != b.total_references ||
+      a.sample_period != b.sample_period ||
+      a.dangling_by_pc != b.dangling_by_pc ||
+      a.pc_execution_counts != b.pc_execution_counts) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.reuse_samples.size(); ++i) {
+    const ReuseSample& x = a.reuse_samples[i];
+    const ReuseSample& y = b.reuse_samples[i];
+    if (x.first_pc != y.first_pc || x.second_pc != y.second_pc ||
+        x.distance != y.distance || x.at_ref != y.at_ref) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.stride_samples.size(); ++i) {
+    const StrideSample& x = a.stride_samples[i];
+    const StrideSample& y = b.stride_samples[i];
+    if (x.pc != y.pc || x.stride != y.stride ||
+        x.recurrence != y.recurrence || x.at_ref != y.at_ref) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(FaultInjector, ZeroRatesAreIdentity) {
+  const Profile original = clean_profile();
+  const FaultInjector injector{FaultConfig{}};
+  const Profile injected = injector.inject(original);
+  EXPECT_TRUE(profiles_equal(original, injected));
+  EXPECT_EQ(injector.last_stats().total(), 0u);
+}
+
+TEST(FaultInjector, DeterministicForSameSeed) {
+  const Profile original = clean_profile();
+  const FaultInjector injector(FaultConfig::uniform(0.2, 7));
+  EXPECT_TRUE(profiles_equal(injector.inject(original),
+                             injector.inject(original)));
+}
+
+TEST(FaultInjector, DifferentSeedsPerturbDifferently) {
+  const Profile original = clean_profile();
+  const Profile a = FaultInjector(FaultConfig::uniform(0.2, 1)).inject(original);
+  const Profile b = FaultInjector(FaultConfig::uniform(0.2, 2)).inject(original);
+  EXPECT_FALSE(profiles_equal(a, b));
+}
+
+TEST(FaultInjector, FullDropRateRemovesEverySample) {
+  const Profile original = clean_profile();
+  FaultConfig config;
+  config.drop_rate = 1.0;
+  const FaultInjector injector(config);
+  const Profile injected = injector.inject(original);
+  EXPECT_TRUE(injected.reuse_samples.empty());
+  EXPECT_TRUE(injected.stride_samples.empty());
+  EXPECT_EQ(injector.last_stats().reuse_dropped,
+            original.reuse_samples.size());
+  EXPECT_EQ(injector.last_stats().stride_dropped,
+            original.stride_samples.size());
+}
+
+TEST(FaultInjector, TruncationCutsTailSamplesAndWindow) {
+  const Profile original = clean_profile();
+  FaultConfig config;
+  config.truncate_fraction = 0.5;
+  const Profile injected = FaultInjector(config).inject(original);
+  EXPECT_EQ(injected.total_references, original.total_references / 2);
+  for (const ReuseSample& s : injected.reuse_samples) {
+    EXPECT_LE(s.at_ref, injected.total_references);
+  }
+  for (const StrideSample& s : injected.stride_samples) {
+    EXPECT_LE(s.at_ref, injected.total_references);
+  }
+  EXPECT_LT(injected.reuse_samples.size(), original.reuse_samples.size());
+}
+
+TEST(FaultInjector, StrideOutliersAreImplausiblyLarge) {
+  const Profile original = clean_profile();
+  FaultConfig config;
+  config.stride_outlier_rate = 1.0;
+  const Profile injected = FaultInjector(config).inject(original);
+  ASSERT_FALSE(injected.stride_samples.empty());
+  for (const StrideSample& s : injected.stride_samples) {
+    EXPECT_GT(std::abs(s.stride), std::int64_t{1} << 44);
+  }
+}
+
+TEST(FaultInjector, DuplicationInflatesSampleCounts) {
+  const Profile original = clean_profile();
+  FaultConfig config;
+  config.duplicate_rate = 1.0;
+  const Profile injected = FaultInjector(config).inject(original);
+  EXPECT_EQ(injected.reuse_samples.size(), 2 * original.reuse_samples.size());
+  EXPECT_EQ(injected.stride_samples.size(),
+            2 * original.stride_samples.size());
+}
+
+// --- The degradation invariant itself (tentpole acceptance) ---------------
+
+TEST(Degradation, FullSampleLossEmitsNothingAndPreservesProgram) {
+  const auto machine = sim::amd_phenom_ii();
+  const auto program = workloads::make_benchmark("libquantum");
+  Profile profile = profile_program(program, SamplerConfig{1000, 42});
+
+  FaultConfig config;
+  config.drop_rate = 1.0;  // 100 % sample loss
+  Profile faulted = FaultInjector(config).inject(profile);
+  faulted.dangling_reuse_samples = 0;  // every watchpoint lost
+  faulted.dangling_by_pc.clear();
+
+  const OptimizationReport report =
+      optimize_with_profile(program, std::move(faulted), machine);
+  EXPECT_TRUE(report.plans.empty());
+  EXPECT_TRUE(report.delinquent_loads.empty());
+  // The pipeline must degrade to a semantic no-op: the "optimized" program
+  // is the input program, byte-identical in the DSL.
+  EXPECT_EQ(workloads::print_program(report.optimized),
+            workloads::print_program(program));
+  // And the suppression is visible and machine-readable.
+  EXPECT_FALSE(report.degradation.empty());
+  EXPECT_GE(report.degradation.count(DegradationReason::kProfileEmpty), 1u);
+}
+
+TEST(Degradation, CleanProfileProducesNoDegradationSuppressions) {
+  // At zero fault rate the validator must not suppress anything the old
+  // pipeline would have emitted: plans are byte-identical to
+  // optimize_program's and no profile-level discards occur.
+  const auto machine = sim::amd_phenom_ii();
+  const auto program = workloads::make_benchmark("libquantum");
+  const OptimizationReport direct = optimize_program(program, machine);
+  const OptimizationReport replay = optimize_with_profile(
+      program, profile_program(program, SamplerConfig{}), machine);
+  ASSERT_EQ(direct.plans.size(), replay.plans.size());
+  for (std::size_t i = 0; i < direct.plans.size(); ++i) {
+    EXPECT_EQ(direct.plans[i].pc, replay.plans[i].pc);
+    EXPECT_EQ(direct.plans[i].distance_bytes, replay.plans[i].distance_bytes);
+    EXPECT_EQ(direct.plans[i].hint, replay.plans[i].hint);
+  }
+  EXPECT_EQ(direct.degradation.count(DegradationReason::kCorruptReuseSample),
+            0u);
+  EXPECT_EQ(direct.degradation.count(DegradationReason::kCorruptStrideSample),
+            0u);
+  EXPECT_EQ(direct.degradation.count(DegradationReason::kProfileEmpty), 0u);
+}
+
+TEST(Degradation, StrideOutliersAreSuppressedNotPrefetched) {
+  // With every stride sample corrupted to a wild outlier, the pipeline must
+  // not emit prefetches with absurd distances: the corrupt samples are
+  // discarded by the validator, and the affected loads appear in the log.
+  const auto machine = sim::amd_phenom_ii();
+  const auto program = workloads::make_benchmark("libquantum");
+  Profile profile = profile_program(program, SamplerConfig{1000, 42});
+  FaultConfig config;
+  config.stride_outlier_rate = 1.0;
+  Profile faulted = FaultInjector(config).inject(profile);
+
+  const OptimizationReport report =
+      optimize_with_profile(program, std::move(faulted), machine);
+  for (const PrefetchPlan& plan : report.plans) {
+    EXPECT_LT(std::abs(plan.distance_bytes), std::int64_t{1} << 40);
+  }
+  EXPECT_GE(
+      report.degradation.count(DegradationReason::kCorruptStrideSample), 1u);
+}
+
+TEST(Degradation, EverySuppressedDelinquentLoadIsLogged) {
+  // Any delinquent load without a plan must have a logged reason — the
+  // acceptance criterion "every suppressed prefetch appears in
+  // DegradationLog".
+  const auto machine = sim::intel_sandybridge();
+  for (const double rate : {0.0, 0.05, 0.2, 0.5}) {
+    for (const char* name : {"libquantum", "mcf", "soplex", "cigar"}) {
+      const auto program = workloads::make_benchmark(name);
+      Profile profile = profile_program(program, SamplerConfig{});
+      Profile faulted =
+          FaultInjector(FaultConfig::uniform(rate, 11)).inject(profile);
+      const OptimizationReport report =
+          optimize_with_profile(program, std::move(faulted), machine);
+      for (const DelinquentLoad& load : report.delinquent_loads) {
+        const bool planned =
+            std::any_of(report.plans.begin(), report.plans.end(),
+                        [&](const PrefetchPlan& p) { return p.pc == load.pc; });
+        EXPECT_TRUE(planned || report.degradation.contains(load.pc))
+            << name << " rate " << rate << " pc" << load.pc;
+      }
+    }
+  }
+}
+
+TEST(Degradation, FaultedPipelineNeverHurtsBeyondEpsilon) {
+  // Tier-1 smoke version of the bench_robustness_faults invariant, on two
+  // representative benchmarks: whatever the faults, the optimized program
+  // must stay within 1 % of the no-prefetch baseline.
+  const auto machine = sim::amd_phenom_ii();
+  for (const char* name : {"libquantum", "mcf"}) {
+    const auto program = workloads::make_benchmark(name);
+    const auto base = sim::run_single(machine, program, false);
+    Profile profile = profile_program(program, SamplerConfig{});
+    for (const double rate : {0.2, 0.5}) {
+      Profile faulted =
+          FaultInjector(FaultConfig::uniform(rate, 3)).inject(profile);
+      const OptimizationReport report =
+          optimize_with_profile(program, std::move(faulted), machine);
+      const auto opt = sim::run_single(machine, report.optimized, false);
+      EXPECT_LT(static_cast<double>(opt.apps[0].cycles),
+                static_cast<double>(base.apps[0].cycles) * 1.01)
+          << name << " rate " << rate;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace re::core

@@ -1,0 +1,161 @@
+#include "core/profile_validator.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sampler.hh"
+#include "workloads/suite.hh"
+
+namespace re::core {
+namespace {
+
+Profile tiny_profile() {
+  Profile p;
+  p.total_references = 1000;
+  p.sample_period = 10;
+  p.reuse_samples.push_back(ReuseSample{1, 2, 50, 100});
+  p.stride_samples.push_back(StrideSample{1, 64, 3, 100});
+  p.pc_execution_counts[1] = 500;
+  return p;
+}
+
+TEST(ProfileValidator, CleanProfilePassesThroughUnchanged) {
+  const Profile original =
+      profile_program(workloads::make_benchmark("libquantum"),
+                      SamplerConfig{1000, 42});
+  DegradationLog log;
+  const ProfileValidator validator;
+  const Expected<Profile> sanitized = validator.sanitize(original, &log);
+  ASSERT_TRUE(sanitized.has_value());
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(sanitized->reuse_samples.size(), original.reuse_samples.size());
+  EXPECT_EQ(sanitized->stride_samples.size(),
+            original.stride_samples.size());
+  EXPECT_EQ(sanitized->total_references, original.total_references);
+}
+
+TEST(ProfileValidator, EmptyProfileIsAnError) {
+  DegradationLog log;
+  const Expected<Profile> result = ProfileValidator().sanitize(Profile{}, &log);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(log.count(DegradationReason::kProfileEmpty), 1u);
+}
+
+TEST(ProfileValidator, InconsistentBookkeepingIsAnError) {
+  Profile p = tiny_profile();
+  p.total_references = 0;  // samples present but window claims empty
+  DegradationLog log;
+  const Expected<Profile> result = ProfileValidator().sanitize(p, &log);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(log.count(DegradationReason::kProfileInconsistent), 1u);
+}
+
+TEST(ProfileValidator, DiscardsImpossibleReuseSamples) {
+  Profile p = tiny_profile();
+  p.reuse_samples.push_back(ReuseSample{3, 4, 5000, 100});  // distance > window
+  p.reuse_samples.push_back(ReuseSample{5, 6, 10, 2000});   // at_ref > window
+  DegradationLog log;
+  const Expected<Profile> result = ProfileValidator().sanitize(p, &log);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->reuse_samples.size(), 1u);
+  EXPECT_EQ(log.count(DegradationReason::kCorruptReuseSample), 1u);
+}
+
+TEST(ProfileValidator, DiscardsImplausibleStrides) {
+  Profile p = tiny_profile();
+  p.stride_samples.push_back(
+      StrideSample{7, std::int64_t{1} << 45, 3, 100});
+  p.stride_samples.push_back(
+      StrideSample{8, -(std::int64_t{1} << 45), 3, 100});
+  DegradationLog log;
+  const Expected<Profile> result = ProfileValidator().sanitize(p, &log);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->stride_samples.size(), 1u);
+  EXPECT_EQ(log.count(DegradationReason::kCorruptStrideSample), 1u);
+}
+
+TEST(ProfileValidator, ClassifiesThinStrideEvidenceLowConfidence) {
+  const ProfileValidator validator;
+  StrideInfo info;
+  info.stride = 64;
+  info.dominance = 1.0;
+
+  LoadVerdict v = validator.classify_stride_evidence(info, 0);
+  EXPECT_EQ(v.confidence, LoadConfidence::kLowConfidence);
+  EXPECT_EQ(v.reason, DegradationReason::kNoStrideSamples);
+
+  v = validator.classify_stride_evidence(info, 3);
+  EXPECT_EQ(v.confidence, LoadConfidence::kLowConfidence);
+  EXPECT_EQ(v.reason, DegradationReason::kInsufficientStrideSamples);
+
+  v = validator.classify_stride_evidence(info, 100);
+  EXPECT_EQ(v.confidence, LoadConfidence::kOk);
+}
+
+TEST(ProfileValidator, ClassifiesLowDominanceAndZeroStride) {
+  const ProfileValidator validator;
+  StrideInfo info;
+  info.stride = 64;
+  info.dominance = 0.5;
+  LoadVerdict v = validator.classify_stride_evidence(info, 100);
+  EXPECT_EQ(v.confidence, LoadConfidence::kLowConfidence);
+  EXPECT_EQ(v.reason, DegradationReason::kLowStrideDominance);
+
+  info.dominance = 0.9;
+  info.stride = 0;
+  v = validator.classify_stride_evidence(info, 100);
+  EXPECT_EQ(v.confidence, LoadConfidence::kLowConfidence);
+  EXPECT_EQ(v.reason, DegradationReason::kZeroStride);
+}
+
+TEST(ProfileValidator, NonFiniteStrideStatsAreInvalid) {
+  const ProfileValidator validator;
+  StrideInfo info;
+  info.stride = 64;
+  info.dominance = std::nan("");
+  const LoadVerdict v = validator.classify_stride_evidence(info, 100);
+  EXPECT_EQ(v.confidence, LoadConfidence::kInvalid);
+  EXPECT_EQ(v.reason, DegradationReason::kNumericHazard);
+}
+
+TEST(ProfileValidator, ModelNumericsHazardsAreInvalid) {
+  const ProfileValidator validator;
+  // Healthy values pass.
+  EXPECT_EQ(validator.classify_model_numerics(0.5, 0.3, 0.1, 120.0, 3.0)
+                .confidence,
+            LoadConfidence::kOk);
+  // NaN miss ratio, out-of-range ratio, negative latency, zero Δ all fail.
+  EXPECT_EQ(validator
+                .classify_model_numerics(std::nan(""), 0.3, 0.1, 120.0, 3.0)
+                .confidence,
+            LoadConfidence::kInvalid);
+  EXPECT_EQ(validator.classify_model_numerics(1.5, 0.3, 0.1, 120.0, 3.0)
+                .confidence,
+            LoadConfidence::kInvalid);
+  EXPECT_EQ(validator.classify_model_numerics(0.5, 0.3, 0.1, -1.0, 3.0)
+                .confidence,
+            LoadConfidence::kInvalid);
+  EXPECT_EQ(validator.classify_model_numerics(0.5, 0.3, 0.1, 120.0, 0.0)
+                .confidence,
+            LoadConfidence::kInvalid);
+}
+
+TEST(DegradationLog, CountsAndRenders) {
+  DegradationLog log;
+  log.record(3, DegradationReason::kLowStrideDominance, "dominance 0.5");
+  log.record(3, DegradationReason::kDistanceUnavailable);
+  log.record(0, DegradationReason::kCorruptReuseSample, "discarded 2");
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_TRUE(log.contains(3));
+  EXPECT_FALSE(log.contains(4));
+  EXPECT_EQ(log.count(DegradationReason::kLowStrideDominance), 1u);
+  const std::string text = log.to_string();
+  EXPECT_NE(text.find("pc3 low_stride_dominance"), std::string::npos);
+  EXPECT_NE(text.find("corrupt_reuse_sample"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace re::core

@@ -148,5 +148,66 @@ TEST(ProfileProgram, DeterministicForSameSeed) {
   EXPECT_EQ(a.dangling_reuse_samples, b.dangling_reuse_samples);
 }
 
+TEST(ProfileProgram, SameSeedGivesBitIdenticalProfiles) {
+  // Stronger than size equality: every recorded sample, count, and piece of
+  // bookkeeping must match field-for-field — the reproducibility contract
+  // the fault-injection harness builds on.
+  const workloads::Program program = workloads::make_benchmark("gcc");
+  const Profile a = profile_program(program, SamplerConfig{500, 7});
+  const Profile b = profile_program(program, SamplerConfig{500, 7});
+  ASSERT_EQ(a.reuse_samples.size(), b.reuse_samples.size());
+  for (std::size_t i = 0; i < a.reuse_samples.size(); ++i) {
+    EXPECT_EQ(a.reuse_samples[i].first_pc, b.reuse_samples[i].first_pc);
+    EXPECT_EQ(a.reuse_samples[i].second_pc, b.reuse_samples[i].second_pc);
+    EXPECT_EQ(a.reuse_samples[i].distance, b.reuse_samples[i].distance);
+    EXPECT_EQ(a.reuse_samples[i].at_ref, b.reuse_samples[i].at_ref);
+  }
+  ASSERT_EQ(a.stride_samples.size(), b.stride_samples.size());
+  for (std::size_t i = 0; i < a.stride_samples.size(); ++i) {
+    EXPECT_EQ(a.stride_samples[i].pc, b.stride_samples[i].pc);
+    EXPECT_EQ(a.stride_samples[i].stride, b.stride_samples[i].stride);
+    EXPECT_EQ(a.stride_samples[i].recurrence, b.stride_samples[i].recurrence);
+    EXPECT_EQ(a.stride_samples[i].at_ref, b.stride_samples[i].at_ref);
+  }
+  EXPECT_EQ(a.dangling_reuse_samples, b.dangling_reuse_samples);
+  EXPECT_EQ(a.dangling_by_pc, b.dangling_by_pc);
+  EXPECT_EQ(a.pc_execution_counts, b.pc_execution_counts);
+  EXPECT_EQ(a.total_references, b.total_references);
+  EXPECT_EQ(a.sample_period, b.sample_period);
+}
+
+TEST(ProfileProgram, DifferentSeedsGiveDifferentSamplePoints) {
+  const workloads::Program program = workloads::make_benchmark("soplex");
+  const Profile a = profile_program(program, SamplerConfig{1000, 42});
+  const Profile b = profile_program(program, SamplerConfig{1000, 43});
+  // Same workload, so similar totals — but not the same sample stream.
+  const bool identical =
+      a.reuse_samples.size() == b.reuse_samples.size() &&
+      a.stride_samples.size() == b.stride_samples.size() &&
+      a.dangling_reuse_samples == b.dangling_reuse_samples;
+  EXPECT_FALSE(identical);
+}
+
+TEST(Sampler, FinishFlushesDanglingWatchesAsInfiniteReuse) {
+  // A line watched but never re-touched is a last-touch: finish() must
+  // count it as dangling (infinite reuse distance) exactly once, and the
+  // flush must not leave the watch armed for a later reuse of the sampler.
+  Sampler s = exact_sampler();
+  s.observe(1, 0x1000);
+  const Profile first = s.finish();
+  EXPECT_EQ(first.dangling_reuse_samples, 1u);
+  EXPECT_EQ(first.dangling_by_pc.at(1), 1u);
+  EXPECT_TRUE(first.reuse_samples.empty());
+
+  // Touching the same line after finish() must open a fresh watch, not
+  // close the stale one from the previous window.
+  s.observe(2, 0x1008);
+  const Profile second = s.finish();
+  EXPECT_TRUE(second.reuse_samples.empty());
+  EXPECT_EQ(second.dangling_reuse_samples, 1u);
+  EXPECT_EQ(second.dangling_by_pc.at(2), 1u);
+  EXPECT_EQ(second.dangling_by_pc.count(1), 0u);
+}
+
 }  // namespace
 }  // namespace re::core

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/sampler.hh"
 #include "workloads/suite.hh"
 
@@ -184,6 +187,50 @@ TEST_P(DistanceMonotoneTest, DistanceGrowsWithLatency) {
 
 INSTANTIATE_TEST_SUITE_P(Latencies, DistanceMonotoneTest,
                          ::testing::Values(50.0, 100.0, 200.0, 400.0));
+
+TEST(PrefetchDistanceChecked, NamesEveryNumericHazard) {
+  StrideInfo info;
+  info.stride = 64;
+  info.dominance = 1.0;
+  info.mean_recurrence = 4.0;
+  PrefetchDistanceParams params;
+
+  // Healthy inputs give a value.
+  EXPECT_TRUE(prefetch_distance_checked(info, params).has_value());
+
+  StrideInfo zero = info;
+  zero.stride = 0;
+  EXPECT_EQ(prefetch_distance_checked(zero, params).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  StrideInfo nan_rec = info;
+  nan_rec.mean_recurrence = std::nan("");
+  EXPECT_EQ(prefetch_distance_checked(nan_rec, params).status().code(),
+            StatusCode::kOutOfRange);
+
+  PrefetchDistanceParams bad = params;
+  bad.latency = 0.0;
+  EXPECT_FALSE(prefetch_distance_checked(info, bad).has_value());
+  bad.latency = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(prefetch_distance_checked(info, bad).has_value());
+
+  bad = params;
+  bad.cycles_per_memop = 0.0;
+  EXPECT_FALSE(prefetch_distance_checked(info, bad).has_value());
+  bad.cycles_per_memop = std::nan("");
+  EXPECT_FALSE(prefetch_distance_checked(info, bad).has_value());
+
+  // A wild corrupt stride must not turn into a garbage distance.
+  StrideInfo wild = info;
+  wild.stride = std::int64_t{1} << 50;
+  const auto overflow = prefetch_distance_checked(wild, params);
+  EXPECT_FALSE(overflow.has_value());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kOutOfRange);
+
+  // The optional wrapper mirrors the checked result.
+  EXPECT_FALSE(prefetch_distance_bytes(wild, params).has_value());
+  EXPECT_TRUE(prefetch_distance_bytes(info, params).has_value());
+}
 
 TEST(StrideAnalysisIntegration, SuiteStreamLoadsAreRegular) {
   // End-to-end: libquantum's two gate sweeps (pc 1 and 2, stride 16) must

@@ -1,0 +1,62 @@
+#include "support/status.hh"
+
+#include <gtest/gtest.h>
+
+namespace re {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  const Status s(StatusCode::kOutOfRange, "latency is NaN");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(s.message(), "latency is NaN");
+  EXPECT_EQ(s.to_string(), "out_of_range: latency is NaN");
+}
+
+TEST(Status, CodeNamesAreStableTokens) {
+  EXPECT_STREQ(status_code_name(StatusCode::kDataLoss), "data_loss");
+  EXPECT_STREQ(status_code_name(StatusCode::kFailedPrecondition),
+               "failed_precondition");
+  EXPECT_STREQ(status_code_name(StatusCode::kInvalidArgument),
+               "invalid_argument");
+}
+
+TEST(Expected, HoldsValue) {
+  const Expected<int> e(7);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(static_cast<bool>(e));
+  EXPECT_EQ(*e, 7);
+  EXPECT_TRUE(e.status().ok());
+  EXPECT_EQ(e.value_or(0), 7);
+}
+
+TEST(Expected, HoldsError) {
+  const Expected<int> e(Status(StatusCode::kDataLoss, "no samples"));
+  EXPECT_FALSE(e.has_value());
+  EXPECT_EQ(e.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(e.value_or(-1), -1);
+}
+
+TEST(Expected, OkStatusIsNormalizedToInternalError) {
+  // Constructing from an ok status would break the value-xor-error
+  // invariant; it degrades to an internal error instead.
+  const Expected<int> e{Status::Ok()};
+  EXPECT_FALSE(e.has_value());
+  EXPECT_EQ(e.status().code(), StatusCode::kInternal);
+}
+
+TEST(Expected, MutableAccess) {
+  Expected<std::string> e(std::string("abc"));
+  e->push_back('d');
+  EXPECT_EQ(e.value(), "abcd");
+}
+
+}  // namespace
+}  // namespace re

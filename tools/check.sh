@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Sanitizer CI lane: build the whole tree under ASan+UBSan and run the
+# tier-1 test suite, so the fault-injection / degradation paths stay
+# sanitizer-clean. Usage:
+#
+#   tools/check.sh [build-dir]        # default build dir: build-asan
+#
+# UBSan failures abort (halt_on_error) so ctest reports them as failures
+# instead of burying them in logs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DRE_SANITIZE=address,undefined
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+export ASAN_OPTIONS="detect_leaks=0:halt_on_error=1"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "sanitizer lane clean"

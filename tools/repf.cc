@@ -9,8 +9,11 @@
 //                 [--stride-centric]
 //   repf run <file|benchmark> [--machine amd|intel] [--hw] [--optimize]
 //   repf coverage <file|benchmark> [--machine amd|intel]
+//   repf faultcheck <file|benchmark> [--machine amd|intel] [--rate PCT]
+//                 [--seed N] [--verbose]
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -18,6 +21,7 @@
 #include <vector>
 
 #include "analysis/functional_sim.hh"
+#include "core/fault_injection.hh"
 #include "core/phases.hh"
 #include "core/pipeline.hh"
 #include "sim/system.hh"
@@ -37,6 +41,11 @@ struct Options {
   bool optimize = false;
   bool enable_nt = true;
   bool stride_centric = false;
+  bool verbose = false;
+  /// Fault rate for `faultcheck` as a fraction; negative = sweep the
+  /// default {0, 5, 20, 50} % ladder.
+  double fault_rate = -1.0;
+  std::uint64_t fault_seed = 0xFA57;
 };
 
 int usage() {
@@ -51,7 +60,11 @@ int usage() {
       "  run <file|benchmark>         simulate  [--machine amd|intel]\n"
       "                               [--hw] [--optimize]\n"
       "  coverage <file|benchmark>    Table-I style coverage row\n"
-      "  phases <file|benchmark>      detect execution phases\n");
+      "  phases <file|benchmark>      detect execution phases\n"
+      "  faultcheck <file|benchmark>  inject profile faults, verify the\n"
+      "                               never-hurts degradation invariant\n"
+      "                               [--machine amd|intel] [--rate PCT]\n"
+      "                               [--seed N] [--verbose]\n");
   return 2;
 }
 
@@ -175,6 +188,67 @@ int cmd_coverage(const Options& opts) {
   return 0;
 }
 
+int cmd_faultcheck(const Options& opts) {
+  const workloads::Program program = load_target(opts.target);
+  const sim::RunResult base =
+      sim::run_single(opts.machine, program, /*hw_prefetch=*/false);
+  const double base_cycles = static_cast<double>(base.apps[0].cycles);
+  constexpr double kEpsilon = 0.01;
+
+  const core::Profile profile =
+      core::profile_program(program, core::SamplerConfig{});
+  const core::OptimizationReport clean =
+      core::optimize_program(program, opts.machine);
+
+  std::vector<double> rates = {0.0, 0.05, 0.2, 0.5};
+  if (opts.fault_rate >= 0.0) rates = {opts.fault_rate};
+
+  std::printf("# faultcheck %s on %s | baseline %llu cycles | ε = %.0f %%\n",
+              program.name.c_str(), opts.machine.name.c_str(),
+              static_cast<unsigned long long>(base.apps[0].cycles),
+              kEpsilon * 100.0);
+  TextTable table({"fault rate", "plans", "suppressed", "vs baseline",
+                   "verdict"});
+  int violations = 0;
+  std::string logs;
+  for (const double rate : rates) {
+    const core::FaultInjector injector(
+        core::FaultConfig::uniform(rate, opts.fault_seed));
+    const core::OptimizationReport report = core::optimize_with_profile(
+        program, injector.inject(profile), opts.machine);
+    const sim::RunResult opt =
+        sim::run_single(opts.machine, report.optimized, false);
+    const double delta =
+        static_cast<double>(opt.apps[0].cycles) / base_cycles - 1.0;
+
+    bool ok = delta <= kEpsilon;
+    for (const core::DelinquentLoad& load : report.delinquent_loads) {
+      const bool planned = std::any_of(
+          report.plans.begin(), report.plans.end(),
+          [&](const core::PrefetchPlan& p) { return p.pc == load.pc; });
+      if (!planned && !report.degradation.contains(load.pc)) ok = false;
+    }
+    if (rate == 0.0 && report.plans.size() != clean.plans.size()) ok = false;
+    if (!ok) ++violations;
+
+    table.add_row({format_percent(rate), std::to_string(report.plans.size()),
+                   std::to_string(report.degradation.size()),
+                   format_percent(delta), ok ? "OK" : "VIOLATION"});
+    if (opts.verbose && !report.degradation.empty()) {
+      logs += "-- degradation log @ " + format_percent(rate) + "\n" +
+              report.degradation.to_string();
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  if (opts.verbose) std::fputs(logs.c_str(), stdout);
+  if (violations > 0) {
+    std::printf("FAILED: %d violation(s)\n", violations);
+    return 1;
+  }
+  std::printf("degradation invariant holds\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -202,6 +276,18 @@ int main(int argc, char** argv) {
       opts.enable_nt = false;
     } else if (arg == "--stride-centric") {
       opts.stride_centric = true;
+    } else if (arg == "--verbose") {
+      opts.verbose = true;
+    } else if (arg == "--rate") {
+      if (++i >= argc) return usage();
+      opts.fault_rate = std::atof(argv[i]) / 100.0;
+      if (opts.fault_rate < 0.0 || opts.fault_rate > 1.0) {
+        std::fprintf(stderr, "--rate must be in [0, 100]\n");
+        return 2;
+      }
+    } else if (arg == "--seed") {
+      if (++i >= argc) return usage();
+      opts.fault_seed = static_cast<std::uint64_t>(std::atoll(argv[i]));
     } else if (!arg.empty() && arg[0] != '-' && opts.target.empty()) {
       opts.target = arg;
     } else {
@@ -218,6 +304,7 @@ int main(int argc, char** argv) {
     if (opts.command == "run") return cmd_run(opts);
     if (opts.command == "coverage") return cmd_coverage(opts);
     if (opts.command == "phases") return cmd_phases(opts);
+    if (opts.command == "faultcheck") return cmd_faultcheck(opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "repf: %s\n", e.what());
     return 1;
