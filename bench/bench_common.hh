@@ -1,12 +1,74 @@
 // Shared helpers for the paper-reproduction bench binaries.
 #pragma once
 
+#include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <variant>
+#include <vector>
 
 #include "sim/config.hh"
+#include "support/json.hh"
 
 namespace re::bench {
+
+/// True when RE_BENCH_SMOKE is set: benches shrink to tiny iteration counts
+/// so the CI smoke lane (tools/check.sh bench) can execute every binary
+/// quickly without letting them rot.
+inline bool smoke_mode() { return std::getenv("RE_BENCH_SMOKE") != nullptr; }
+
+/// Machine-readable bench output: collects headline metrics and writes them
+/// as `BENCH_<name>.json` in the working directory, giving the repo a
+/// tracked perf trajectory alongside the human-readable tables.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  void set(const std::string& key, double value) {
+    metrics_.emplace_back(key, Metric(value));
+  }
+  void set(const std::string& key, std::uint64_t value) {
+    metrics_.emplace_back(key, Metric(static_cast<double>(value)));
+  }
+  void set(const std::string& key, const std::string& value) {
+    metrics_.emplace_back(key, Metric(value));
+  }
+
+  /// Write BENCH_<name>.json; prints a warning and returns false on I/O
+  /// failure (benches should not fail CI over a report file).
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << "{\"bench\": \"" << json::escape(name_) << "\", \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      if (i) out << ", ";
+      out << '"' << json::escape(metrics_[i].first) << "\": ";
+      if (std::holds_alternative<double>(metrics_[i].second)) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.17g",
+                      std::get<double>(metrics_[i].second));
+        out << buf;
+      } else {
+        out << '"' << json::escape(std::get<std::string>(metrics_[i].second))
+            << '"';
+      }
+    }
+    out << "}}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  using Metric = std::variant<double, std::string>;
+  std::string name_;
+  std::vector<std::pair<std::string, Metric>> metrics_;
+};
 
 /// Print the standard header: which paper artifact this binary regenerates
 /// and the (scaled) machine configurations in Table II form.

@@ -14,6 +14,7 @@ int main() {
       "Figure 4: Speedup with different prefetching policies",
       "Single-threaded runs; speedup relative to no-prefetching baseline");
 
+  bench::JsonReport report("fig4_speedup");
   analysis::PlanCache cache;
   for (const sim::MachineConfig& machine :
        {sim::amd_phenom_ii(), sim::intel_sandybridge()}) {
@@ -52,6 +53,12 @@ int main() {
                    format_speedup_percent(sums[3] / n)});
     std::printf("%s\n", table.render().c_str());
     std::printf("%s\n", render_grouped_bars(labels, series).c_str());
+
+    report.set(machine.name + " avg_hw", sums[0] / n);
+    report.set(machine.name + " avg_sw", sums[1] / n);
+    report.set(machine.name + " avg_sw_nt", sums[2] / n);
+    report.set(machine.name + " avg_stride_centric", sums[3] / n);
   }
+  report.write();
   return 0;
 }

@@ -13,6 +13,7 @@ int main() {
   bench::print_header("Figure 6: Average off-chip bandwidth (GB/s)",
                       "Single-threaded runs");
 
+  bench::JsonReport report("fig6_bandwidth");
   analysis::PlanCache cache;
   for (const sim::MachineConfig& machine :
        {sim::amd_phenom_ii(), sim::intel_sandybridge()}) {
@@ -46,6 +47,11 @@ int main() {
                   "prefetching on %s (paper: 19%% AMD / 38%% Intel).\n\n",
                   (1.0 - sums[2] / sums[1]) * 100.0, machine.name.c_str());
     }
+    report.set(machine.name + " avg_baseline_gbps", sums[0] / n);
+    report.set(machine.name + " avg_hw_gbps", sums[1] / n);
+    report.set(machine.name + " avg_sw_nt_gbps", sums[2] / n);
+    report.set(machine.name + " avg_stride_centric_gbps", sums[3] / n);
   }
+  report.write();
   return 0;
 }

@@ -60,7 +60,9 @@ BENCHMARK(BM_CacheFillEvict);
 void BM_SamplerObserve(benchmark::State& state) {
   core::Sampler sampler(core::SamplerConfig{
       static_cast<std::uint64_t>(state.range(0)), 42});
-  workloads::ProgramCursor cursor(workloads::make_benchmark("gcc"));
+  // The cursor holds a reference: the program must outlive it.
+  const workloads::Program program = workloads::make_benchmark("gcc");
+  workloads::ProgramCursor cursor(program);
   for (auto _ : state) {
     auto event = cursor.next();
     if (!event) event = cursor.next();

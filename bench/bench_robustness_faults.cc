@@ -50,6 +50,8 @@ int main() {
   const sim::MachineConfig machine = sim::amd_phenom_ii();
   const std::vector<double> rates = {0.0, 0.05, 0.2, 0.5};
   int violations = 0;
+  bench::JsonReport json("robustness_faults");
+  double worst_delta = 0.0;
 
   for (const std::string& name : workloads::suite_names()) {
     const workloads::Program program = workloads::make_benchmark(name);
@@ -86,6 +88,7 @@ int main() {
         ok = false;
       }
       if (!ok) ++violations;
+      worst_delta = std::max(worst_delta, delta);
 
       table.add_row({format_percent(rate), std::to_string(report.plans.size()),
                      std::to_string(report.degradation.size()),
@@ -94,6 +97,11 @@ int main() {
     }
     std::printf("%s\n", table.render().c_str());
   }
+
+  json.set("violations", static_cast<double>(violations));
+  json.set("worst_delta_vs_baseline", worst_delta);
+  json.set("epsilon", kEpsilon);
+  json.write();
 
   if (violations > 0) {
     std::printf("FAILED: %d degradation-invariant violation(s)\n", violations);

@@ -74,5 +74,14 @@ int main() {
                 (1.0 - static_cast<double>(total_pf_mddli) /
                            static_cast<double>(total_pf_centric)) * 100.0);
   }
+
+  bench::JsonReport report("table1_coverage");
+  report.set("avg_coverage_mddli", sum_cov_mddli / n);
+  report.set("avg_coverage_stride_centric", sum_cov_centric / n);
+  report.set("avg_overhead_mddli", sum_oh_mddli / n);
+  report.set("avg_overhead_stride_centric", sum_oh_centric / n);
+  report.set("total_prefetches_mddli", total_pf_mddli);
+  report.set("total_prefetches_stride_centric", total_pf_centric);
+  report.write();
   return 0;
 }

@@ -10,12 +10,7 @@
 
 namespace re::core {
 
-namespace {
-
-/// Normalized per-PC frequency vector of one window.
-using Signature = std::unordered_map<Pc, double>;
-
-double manhattan(const Signature& a, const Signature& b) {
+double signature_distance(const PhaseSignature& a, const PhaseSignature& b) {
   double distance = 0.0;
   for (const auto& [pc, freq] : a) {
     auto it = b.find(pc);
@@ -27,17 +22,16 @@ double manhattan(const Signature& a, const Signature& b) {
   return distance;
 }
 
-Signature normalize(const std::unordered_map<Pc, std::uint64_t>& counts,
-                    std::uint64_t total) {
-  Signature sig;
+PhaseSignature normalize_signature(
+    const std::unordered_map<Pc, std::uint64_t>& counts,
+    std::uint64_t total) {
+  PhaseSignature sig;
   if (total == 0) return sig;
   for (const auto& [pc, count] : counts) {
     sig[pc] = static_cast<double>(count) / static_cast<double>(total);
   }
   return sig;
 }
-
-}  // namespace
 
 int PhasedProfile::phase_at(std::uint64_t ref) const {
   int id = segments.empty() ? 0 : segments.back().phase_id;
@@ -96,7 +90,7 @@ PhasedProfile profile_with_phases(const workloads::Program& program,
   workloads::ProgramCursor cursor(program);
 
   PhasedProfile out;
-  std::vector<Signature> centroids;
+  std::vector<PhaseSignature> centroids;
 
   std::unordered_map<Pc, std::uint64_t> window_counts;
   std::uint64_t window_start = 0;
@@ -104,12 +98,12 @@ PhasedProfile profile_with_phases(const workloads::Program& program,
 
   auto close_window = [&](std::uint64_t end_ref) {
     if (end_ref == window_start) return;
-    const Signature sig =
-        normalize(window_counts, end_ref - window_start);
+    const PhaseSignature sig =
+        normalize_signature(window_counts, end_ref - window_start);
     int best = -1;
     double best_distance = phase_options.similarity_threshold;
     for (std::size_t i = 0; i < centroids.size(); ++i) {
-      const double d = manhattan(sig, centroids[i]);
+      const double d = signature_distance(sig, centroids[i]);
       if (d < best_distance) {
         best_distance = d;
         best = static_cast<int>(i);

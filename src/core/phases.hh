@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "core/pipeline.hh"
@@ -18,6 +19,20 @@
 #include "workloads/program.hh"
 
 namespace re::core {
+
+/// Normalized per-PC frequency vector fingerprinting one profiling window
+/// (entries sum to 1). Shared between the offline phase clustering below and
+/// the online runtime::PhaseDetector.
+using PhaseSignature = std::unordered_map<Pc, double>;
+
+/// Manhattan (L1) distance between two normalized signatures; lies in
+/// [0, 2], with 0 = identical instruction mixes and 2 = disjoint ones.
+double signature_distance(const PhaseSignature& a, const PhaseSignature& b);
+
+/// Normalize raw per-PC reference counts into a signature. Empty when
+/// `total` is zero.
+PhaseSignature normalize_signature(
+    const std::unordered_map<Pc, std::uint64_t>& counts, std::uint64_t total);
 
 struct PhaseOptions {
   /// References per signature window.

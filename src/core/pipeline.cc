@@ -19,6 +19,16 @@ std::unordered_map<Pc, std::vector<StrideSample>> strides_by_pc(
   return by_pc;
 }
 
+/// Offline Δ from a baseline run, unless the caller measured it online.
+double resolve_cycles_per_memop(const workloads::Program& program,
+                                const sim::MachineConfig& machine,
+                                const OptimizerOptions& options) {
+  if (options.assumed_cycles_per_memop > 0.0) {
+    return options.assumed_cycles_per_memop;
+  }
+  return measure_cycles_per_memop(program, machine);
+}
+
 }  // namespace
 
 double measure_cycles_per_memop(const workloads::Program& program,
@@ -61,7 +71,8 @@ OptimizationReport optimize_with_profile(const workloads::Program& program,
     // Unusable profile: degrade to "do nothing". The input program passes
     // through untouched — never prefetch on evidence we cannot trust.
     report.profile = std::move(profile);
-    report.cycles_per_memop = measure_cycles_per_memop(program, machine);
+    report.cycles_per_memop =
+        resolve_cycles_per_memop(program, machine, options);
     report.optimized = program;
     return report;
   }
@@ -71,7 +82,8 @@ OptimizationReport optimize_with_profile(const workloads::Program& program,
   const StatStack model(report.profile);
 
   // Δ from a plain baseline run (performance counters in the paper).
-  report.cycles_per_memop = measure_cycles_per_memop(program, machine);
+  report.cycles_per_memop =
+      resolve_cycles_per_memop(program, machine, options);
 
   // 4) Delinquent-load identification with cost-benefit filtering.
   report.delinquent_loads = identify_delinquent_loads(

@@ -35,6 +35,11 @@ struct OptimizerOptions {
   bool enable_non_temporal = true;
   /// Cap on profiled references (full run by default).
   std::uint64_t profile_max_refs = ~std::uint64_t{0};
+  /// When positive, use this externally measured Δ (cycles per memory
+  /// operation) instead of running the offline baseline simulation. The
+  /// online adaptive runtime supplies its own windowed measurement here —
+  /// it cannot pause the workload to run a counterfactual baseline.
+  double assumed_cycles_per_memop = 0.0;
 };
 
 /// Everything the analysis produced, for reporting and tests.

@@ -21,7 +21,8 @@ void Sampler::observe(Pc pc, Addr addr) {
     if (it != line_watches_.end()) {
       profile_.reuse_samples.push_back(
           ReuseSample{it->second.first_pc, pc,
-                      ref_count_ - it->second.start_ref - 1, ref_count_});
+                      ref_count_ - it->second.start_ref - 1,
+                      ref_count_ - window_start_ref_});
       line_watches_.erase(it);
     }
   }
@@ -35,7 +36,8 @@ void Sampler::observe(Pc pc, Addr addr) {
           pc,
           static_cast<std::int64_t>(addr) -
               static_cast<std::int64_t>(it->second.last_addr),
-          ref_count_ - it->second.start_ref - 1, ref_count_});
+          ref_count_ - it->second.start_ref - 1,
+          ref_count_ - window_start_ref_});
       pc_watches_.erase(it);
     }
   }
@@ -60,7 +62,7 @@ Profile Sampler::finish() {
     (void)line;
     ++profile_.dangling_by_pc[watch.first_pc];
   }
-  profile_.total_references = ref_count_;
+  profile_.total_references = ref_count_ - window_start_ref_;
   profile_.sample_period = config_.sample_period;
   line_watches_.clear();
   pc_watches_.clear();
@@ -68,12 +70,54 @@ Profile Sampler::finish() {
   Profile out = std::move(profile_);
   profile_ = Profile{};
   ref_count_ = 0;
+  window_start_ref_ = 0;
   // Re-arm the sampling clock: without this a reused sampler would start
   // its next window with the previous window's residual gap (offset by the
   // old ref count), displacing every sample point.
   next_sample_at_ =
       rng_.geometric_gap(static_cast<double>(config_.sample_period));
   return out;
+}
+
+Profile Sampler::harvest(std::uint64_t watch_timeout_refs) {
+  for (auto it = line_watches_.begin(); it != line_watches_.end();) {
+    if (ref_count_ - it->second.start_ref >= watch_timeout_refs) {
+      ++profile_.dangling_reuse_samples;
+      ++profile_.dangling_by_pc[it->second.first_pc];
+      it = line_watches_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = pc_watches_.begin(); it != pc_watches_.end();) {
+    if (ref_count_ - it->second.start_ref >= watch_timeout_refs) {
+      // A stride breakpoint whose PC was not re-executed for a whole
+      // timeout carries no closable sample; drop it silently.
+      it = pc_watches_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  profile_.total_references = ref_count_ - window_start_ref_;
+  profile_.sample_period = config_.sample_period;
+
+  Profile out = std::move(profile_);
+  profile_ = Profile{};
+  window_start_ref_ = ref_count_;
+  // ref clock, open watches and the sampling gap all continue untouched.
+  return out;
+}
+
+void Sampler::flush_open_watches(Profile* into) {
+  if (into != nullptr) {
+    into->dangling_reuse_samples += line_watches_.size();
+    for (const auto& [line, watch] : line_watches_) {
+      (void)line;
+      ++into->dangling_by_pc[watch.first_pc];
+    }
+  }
+  line_watches_.clear();
+  pc_watches_.clear();
 }
 
 Profile profile_program(const workloads::Program& program,

@@ -37,6 +37,24 @@ class Sampler {
   /// return the profile. The sampler can be reused afterwards.
   Profile finish();
 
+  /// Emit the current window's profile WITHOUT resetting the reuse clock:
+  /// open watchpoints survive, so a hot reuse that happens to straddle the
+  /// window boundary closes later at its true distance instead of becoming
+  /// a phantom cold miss. Watches older than `watch_timeout_refs` flush as
+  /// dangling into this window — streaming lines are never re-touched, and
+  /// without the timeout their cold-miss evidence would never materialize.
+  /// Sample positions (`at_ref`) are window-relative; distances and
+  /// recurrences are true global differences, so they may exceed the window
+  /// length (the profile validator bounds them against the accumulated
+  /// profile they are merged into).
+  Profile harvest(std::uint64_t watch_timeout_refs);
+
+  /// Flush every open watchpoint now: line watches become dangling counts
+  /// in `*into` (pass nullptr to drop them), stride breakpoints are
+  /// dropped. Used at phase switches, where an open watch belongs to the
+  /// regime that armed it, not the one that is starting.
+  void flush_open_watches(Profile* into);
+
  private:
   struct LineWatch {
     Pc first_pc = 0;
@@ -51,6 +69,7 @@ class Sampler {
   Rng rng_;
   Profile profile_;
   std::uint64_t ref_count_ = 0;
+  std::uint64_t window_start_ref_ = 0;  // harvest() rebases positions here
   std::uint64_t next_sample_at_ = 0;
   std::unordered_map<Addr, LineWatch> line_watches_;
   std::unordered_map<Pc, PcWatch> pc_watches_;

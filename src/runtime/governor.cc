@@ -1,0 +1,68 @@
+#include "runtime/governor.hh"
+
+#include <algorithm>
+
+namespace re::runtime {
+
+const char* governor_mode_name(GovernorMode mode) {
+  switch (mode) {
+    case GovernorMode::Normal: return "normal";
+    case GovernorMode::Demote: return "demote";
+    case GovernorMode::Suppress: return "suppress";
+  }
+  return "normal";
+}
+
+BandwidthGovernor::BandwidthGovernor(const GovernorOptions& options,
+                                     double dram_bytes_per_cycle)
+    : opts_(options), bytes_per_cycle_(dram_bytes_per_cycle) {
+  if (opts_.release_windows < 1) opts_.release_windows = 1;
+}
+
+GovernorMode BandwidthGovernor::observe_window(
+    const sim::DramStats& cumulative, Cycle now) {
+  const std::uint64_t bytes =
+      cumulative.total_bytes() + cumulative.writeback_bytes();
+  const std::uint64_t delta_bytes = bytes - std::min(bytes, last_bytes_);
+  const Cycle delta_cycles = now > last_cycle_ ? now - last_cycle_ : 0;
+  last_bytes_ = bytes;
+  last_cycle_ = now;
+
+  ++stats_.windows;
+  if (delta_cycles == 0 || bytes_per_cycle_ <= 0.0) {
+    // Degenerate window (clock did not advance): hold the current mode.
+    if (mode_ == GovernorMode::Demote) ++stats_.demote_windows;
+    if (mode_ == GovernorMode::Suppress) ++stats_.suppress_windows;
+    return mode_;
+  }
+  const double utilization =
+      static_cast<double>(delta_bytes) /
+      (static_cast<double>(delta_cycles) * bytes_per_cycle_);
+  last_utilization_ = utilization;
+  stats_.peak_utilization = std::max(stats_.peak_utilization, utilization);
+
+  const GovernorMode target =
+      utilization >= opts_.suppress_utilization ? GovernorMode::Suppress
+      : utilization >= opts_.demote_utilization ? GovernorMode::Demote
+                                                : GovernorMode::Normal;
+
+  if (static_cast<int>(target) > static_cast<int>(mode_)) {
+    mode_ = target;  // escalate immediately
+    calm_streak_ = 0;
+    ++stats_.mode_changes;
+  } else if (static_cast<int>(target) < static_cast<int>(mode_)) {
+    if (++calm_streak_ >= opts_.release_windows) {
+      mode_ = static_cast<GovernorMode>(static_cast<int>(mode_) - 1);
+      calm_streak_ = 0;
+      ++stats_.mode_changes;
+    }
+  } else {
+    calm_streak_ = 0;
+  }
+
+  if (mode_ == GovernorMode::Demote) ++stats_.demote_windows;
+  if (mode_ == GovernorMode::Suppress) ++stats_.suppress_windows;
+  return mode_;
+}
+
+}  // namespace re::runtime

@@ -1,0 +1,75 @@
+// Bandwidth-aware prefetch governor.
+//
+// The paper's resource-efficiency argument (Section VI-B) is that prefetch
+// usefulness is conditional on shared-resource headroom: on a contended
+// channel, prefetch traffic queues behind demand traffic and slows every
+// core down. The governor applies that argument dynamically. Each sampling
+// window it measures utilization of the shared DRAM channel (bytes moved /
+// bytes the channel could move) and ratchets through three modes:
+//
+//   Normal   — plans apply as optimized.
+//   Demote   — every planned prefetch is demoted to non-temporal (fill L1
+//              only, never pollute the shared levels under pressure).
+//   Suppress — prefetching is switched off entirely; demand traffic gets
+//              the whole channel.
+//
+// Escalation is immediate (pressure hurts now); de-escalation requires
+// `release_windows` consecutive calm windows (hysteresis against
+// oscillating around a threshold).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/dram.hh"
+#include "support/types.hh"
+
+namespace re::runtime {
+
+struct GovernorOptions {
+  /// Channel utilization at or above which plans are demoted to NT.
+  double demote_utilization = 0.60;
+  /// Channel utilization at or above which prefetching is suppressed.
+  double suppress_utilization = 0.85;
+  /// Consecutive windows below the relevant threshold before easing one
+  /// mode step.
+  int release_windows = 2;
+};
+
+enum class GovernorMode : int { Normal = 0, Demote = 1, Suppress = 2 };
+
+const char* governor_mode_name(GovernorMode mode);
+
+struct GovernorStats {
+  std::uint64_t windows = 0;
+  std::uint64_t demote_windows = 0;    // windows spent in Demote
+  std::uint64_t suppress_windows = 0;  // windows spent in Suppress
+  std::uint64_t mode_changes = 0;
+  double peak_utilization = 0.0;
+};
+
+class BandwidthGovernor {
+ public:
+  BandwidthGovernor(const GovernorOptions& options,
+                    double dram_bytes_per_cycle);
+
+  /// Feed one window's cumulative DRAM stats (fetches + writebacks) and the
+  /// core-local clock at the window's end; returns the mode to apply until
+  /// the next window.
+  GovernorMode observe_window(const sim::DramStats& cumulative, Cycle now);
+
+  GovernorMode mode() const { return mode_; }
+  double last_utilization() const { return last_utilization_; }
+  const GovernorStats& stats() const { return stats_; }
+
+ private:
+  GovernorOptions opts_;
+  double bytes_per_cycle_;
+  GovernorMode mode_ = GovernorMode::Normal;
+  std::uint64_t last_bytes_ = 0;
+  Cycle last_cycle_ = 0;
+  double last_utilization_ = 0.0;
+  int calm_streak_ = 0;
+  GovernorStats stats_;
+};
+
+}  // namespace re::runtime

@@ -1,0 +1,52 @@
+#include "runtime/online_sampler.hh"
+
+namespace re::runtime {
+
+OnlineSampler::OnlineSampler(const core::SamplerConfig& config,
+                             std::uint64_t window_refs)
+    : sampler_(config),
+      window_refs_(window_refs ? window_refs : 1),
+      // Two windows: long enough to protect hot reuses that straddle a
+      // boundary, short enough that a stream's cold-miss evidence lands
+      // within a couple of windows of the access.
+      watch_timeout_refs_(2 * window_refs_) {}
+
+std::optional<WindowProfile> OnlineSampler::observe(Pc pc, Addr addr,
+                                                    Cycle now) {
+  if (!window_open_) {
+    window_begin_cycle_ = now;
+    window_open_ = true;
+  }
+  sampler_.observe(pc, addr);
+  ++refs_in_window_;
+  if (refs_in_window_ < window_refs_) return std::nullopt;
+
+  WindowProfile window;
+  window.profile = sampler_.harvest(watch_timeout_refs_);
+  window.begin_cycle = window_begin_cycle_;
+  window.end_cycle = now;
+  refs_in_window_ = 0;
+  window_open_ = false;
+  return window;
+}
+
+void merge_window_profile(core::Profile& accumulated,
+                          const core::Profile& window) {
+  accumulated.sample_period = window.sample_period;
+  accumulated.reuse_samples.insert(accumulated.reuse_samples.end(),
+                                   window.reuse_samples.begin(),
+                                   window.reuse_samples.end());
+  accumulated.stride_samples.insert(accumulated.stride_samples.end(),
+                                    window.stride_samples.begin(),
+                                    window.stride_samples.end());
+  accumulated.dangling_reuse_samples += window.dangling_reuse_samples;
+  for (const auto& [pc, count] : window.dangling_by_pc) {
+    accumulated.dangling_by_pc[pc] += count;
+  }
+  for (const auto& [pc, count] : window.pc_execution_counts) {
+    accumulated.pc_execution_counts[pc] += count;
+  }
+  accumulated.total_references += window.total_references;
+}
+
+}  // namespace re::runtime

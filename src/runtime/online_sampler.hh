@@ -1,0 +1,79 @@
+// Windowed online sampling, piggybacked on execution.
+//
+// The offline flow profiles a whole run up front; the adaptive runtime
+// cannot. Instead it feeds every executed reference through the same
+// core::Sampler machinery (hardware-watchpoint analogue, geometric sample
+// gaps) and closes a sub-profile every `window_refs` references. Each
+// completed window carries the window's reuse/stride samples, its exact
+// per-PC reference counts (the phase fingerprint input) and the cycle span
+// it covered (the online Δ measurement).
+//
+// Window truncation bias: naively flushing the sampler at every window
+// boundary would turn every reuse pair that straddles a boundary into a
+// dangling (= cold miss) sample, making L1-resident buffers look like
+// streams. Instead, watchpoints survive window boundaries (core::Sampler::
+// harvest) and only age out after `watch_timeout_refs` — old enough that
+// the reuse would miss in any cache level of interest anyway. Residual
+// bias remains for resident structures whose wrap period exceeds the
+// timeout; it errs toward prefetching more, which the cost-benefit filter
+// and the bandwidth governor both bound. DESIGN.md §7 discusses the
+// trade-off.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/sampler.hh"
+#include "support/types.hh"
+
+namespace re::runtime {
+
+/// One completed sampling window.
+struct WindowProfile {
+  core::Profile profile;  // window-local samples; total_references = refs
+  Cycle begin_cycle = 0;  // core-local clock at the window's first ref
+  Cycle end_cycle = 0;    // core-local clock at the window's last ref
+
+  std::uint64_t refs() const { return profile.total_references; }
+
+  /// Measured cycles per memory operation over this window (the online Δ).
+  double cycles_per_memop() const {
+    if (refs() == 0) return 0.0;
+    return static_cast<double>(end_cycle - begin_cycle) /
+           static_cast<double>(refs());
+  }
+};
+
+class OnlineSampler {
+ public:
+  OnlineSampler(const core::SamplerConfig& config, std::uint64_t window_refs);
+
+  /// Feed one reference; returns the completed window exactly every
+  /// `window_refs` references, std::nullopt otherwise.
+  std::optional<WindowProfile> observe(Pc pc, Addr addr, Cycle now);
+
+  std::uint64_t window_refs() const { return window_refs_; }
+  std::uint64_t refs_in_window() const { return refs_in_window_; }
+
+  /// Flush every open watchpoint immediately — line watches dangle into
+  /// `*into` (nullptr drops them). Call at a phase switch so leftovers are
+  /// attributed to the phase that armed them.
+  void flush_open_watches(core::Profile* into) {
+    sampler_.flush_open_watches(into);
+  }
+
+ private:
+  core::Sampler sampler_;
+  std::uint64_t window_refs_;
+  std::uint64_t watch_timeout_refs_;
+  std::uint64_t refs_in_window_ = 0;
+  Cycle window_begin_cycle_ = 0;
+  bool window_open_ = false;
+};
+
+/// Merge `window`'s samples into an accumulating per-phase profile
+/// (appends samples, sums counts and totals). The sample period must match.
+void merge_window_profile(core::Profile& accumulated,
+                          const core::Profile& window);
+
+}  // namespace re::runtime

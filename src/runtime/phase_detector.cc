@@ -1,0 +1,57 @@
+#include "runtime/phase_detector.hh"
+
+namespace re::runtime {
+
+PhaseDetector::PhaseDetector(const PhaseDetectorOptions& options)
+    : opts_(options) {
+  if (opts_.hysteresis_windows < 1) opts_.hysteresis_windows = 1;
+}
+
+PhaseDecision PhaseDetector::observe(const core::PhaseSignature& signature) {
+  ++windows_;
+  PhaseDecision decision;
+
+  // Nearest centroid under the similarity threshold; none -> new phase.
+  int best = -1;
+  double best_distance = opts_.similarity_threshold;
+  for (std::size_t i = 0; i < centroids_.size(); ++i) {
+    const double d = core::signature_distance(signature, centroids_[i]);
+    if (d < best_distance) {
+      best_distance = d;
+      best = static_cast<int>(i);
+    }
+  }
+  if (best < 0) {
+    best = static_cast<int>(centroids_.size());
+    centroids_.push_back(signature);
+    decision.novel = true;
+  }
+  decision.raw_phase = best;
+
+  if (current_ < 0) {
+    // First window: commit immediately, not a "switch".
+    current_ = best;
+  } else if (best == current_) {
+    candidate_ = -1;
+    candidate_streak_ = 0;
+  } else {
+    if (best == candidate_) {
+      ++candidate_streak_;
+    } else {
+      candidate_ = best;
+      candidate_streak_ = 1;
+    }
+    if (candidate_streak_ >= opts_.hysteresis_windows) {
+      current_ = best;
+      candidate_ = -1;
+      candidate_streak_ = 0;
+      decision.switched = true;
+      ++switches_;
+    }
+  }
+
+  decision.phase = current_;
+  return decision;
+}
+
+}  // namespace re::runtime

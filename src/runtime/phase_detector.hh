@@ -1,0 +1,64 @@
+// Online phase detection with hysteresis.
+//
+// Each completed sampling window is fingerprinted by its normalized per-PC
+// reference mix (core::PhaseSignature — the same math the offline
+// phase clustering uses). The detector matches the fingerprint against the
+// centroids of the phases seen so far; an unmatched window founds a new
+// phase. Unlike the offline pass, switching the *committed* phase requires
+// `hysteresis_windows` consecutive windows agreeing on the new phase, so a
+// single noisy or transition-straddling window cannot thrash the plan
+// overlay (CGO'12 phase guiding, applied online).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/phases.hh"
+
+namespace re::runtime {
+
+struct PhaseDetectorOptions {
+  /// Signature distance below which a window joins an existing phase (same
+  /// scale as core::PhaseOptions::similarity_threshold, range [0, 2]).
+  double similarity_threshold = 0.5;
+  /// Consecutive windows that must match a different phase before the
+  /// committed phase switches. 1 = switch immediately.
+  int hysteresis_windows = 2;
+};
+
+struct PhaseDecision {
+  /// Committed phase after hysteresis (what the controller acts on).
+  int phase = 0;
+  /// Phase this window matched before hysteresis.
+  int raw_phase = 0;
+  /// Committed phase changed with this window.
+  bool switched = false;
+  /// This window founded a new phase.
+  bool novel = false;
+};
+
+class PhaseDetector {
+ public:
+  explicit PhaseDetector(const PhaseDetectorOptions& options = {});
+
+  PhaseDecision observe(const core::PhaseSignature& signature);
+
+  int current_phase() const { return current_ < 0 ? 0 : current_; }
+  int num_phases() const { return static_cast<int>(centroids_.size()); }
+  const core::PhaseSignature& centroid(int phase) const {
+    return centroids_[static_cast<std::size_t>(phase)];
+  }
+  std::uint64_t windows_observed() const { return windows_; }
+  std::uint64_t switches() const { return switches_; }
+
+ private:
+  PhaseDetectorOptions opts_;
+  std::vector<core::PhaseSignature> centroids_;
+  int current_ = -1;    // no window seen yet
+  int candidate_ = -1;  // pending switch target
+  int candidate_streak_ = 0;
+  std::uint64_t windows_ = 0;
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace re::runtime

@@ -1,0 +1,199 @@
+#include "runtime/plan_cache.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "support/json.hh"
+
+namespace re::runtime {
+
+namespace {
+
+constexpr int kSnapshotVersion = 1;
+
+const char* hint_name(workloads::PrefetchHint hint) {
+  switch (hint) {
+    case workloads::PrefetchHint::T0: return "t0";
+    case workloads::PrefetchHint::T1: return "t1";
+    case workloads::PrefetchHint::T2: return "t2";
+    case workloads::PrefetchHint::NTA: return "nta";
+  }
+  return "t0";
+}
+
+Expected<workloads::PrefetchHint> hint_from_name(const std::string& name) {
+  if (name == "t0") return workloads::PrefetchHint::T0;
+  if (name == "t1") return workloads::PrefetchHint::T1;
+  if (name == "t2") return workloads::PrefetchHint::T2;
+  if (name == "nta") return workloads::PrefetchHint::NTA;
+  return Status(StatusCode::kDataLoss, "plan cache: unknown hint '" + name +
+                                           "'");
+}
+
+void append_printf(std::string& out, const char* fmt, ...) {
+  char buf[128];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(const PlanCacheOptions& options) : opts_(options) {
+  if (opts_.capacity == 0) opts_.capacity = 1;
+}
+
+const std::vector<core::PrefetchPlan>* PlanCache::lookup(
+    const core::PhaseSignature& signature) {
+  auto best = entries_.end();
+  double best_distance = opts_.match_threshold;
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    const double d = core::signature_distance(signature, it->signature);
+    if (d < best_distance) {
+      best_distance = d;
+      best = it;
+    }
+  }
+  if (best == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  entries_.splice(entries_.begin(), entries_, best);  // promote to MRU
+  return &entries_.front().plans;
+}
+
+void PlanCache::insert(const core::PhaseSignature& signature,
+                       std::vector<core::PrefetchPlan> plans) {
+  ++stats_.insertions;
+  double best_distance = opts_.match_threshold;
+  auto best = entries_.end();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    const double d = core::signature_distance(signature, it->signature);
+    if (d < best_distance) {
+      best_distance = d;
+      best = it;
+    }
+  }
+  if (best != entries_.end()) {
+    best->plans = std::move(plans);
+    entries_.splice(entries_.begin(), entries_, best);
+    return;
+  }
+  entries_.push_front(Entry{signature, std::move(plans)});
+  while (entries_.size() > opts_.capacity) {
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::string PlanCache::to_json() const {
+  std::string out;
+  append_printf(out, "{\"version\": %d, \"entries\": [", kSnapshotVersion);
+  bool first_entry = true;
+  for (const Entry& entry : entries_) {
+    if (!first_entry) out += ", ";
+    first_entry = false;
+    out += "{\"signature\": [";
+    // Sort by PC so snapshots are byte-stable across hash-map orderings.
+    std::vector<std::pair<Pc, double>> sig(entry.signature.begin(),
+                                           entry.signature.end());
+    std::sort(sig.begin(), sig.end());
+    for (std::size_t i = 0; i < sig.size(); ++i) {
+      if (i) out += ", ";
+      append_printf(out, "[%" PRIu64 ", %.17g]",
+                    static_cast<std::uint64_t>(sig[i].first), sig[i].second);
+    }
+    out += "], \"plans\": [";
+    for (std::size_t i = 0; i < entry.plans.size(); ++i) {
+      const core::PrefetchPlan& plan = entry.plans[i];
+      if (i) out += ", ";
+      append_printf(out,
+                    "{\"pc\": %" PRIu64 ", \"distance_bytes\": %" PRId64
+                    ", \"hint\": \"%s\"}",
+                    static_cast<std::uint64_t>(plan.pc),
+                    static_cast<std::int64_t>(plan.distance_bytes),
+                    hint_name(plan.hint));
+    }
+    out += "]}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+Expected<PlanCache> PlanCache::from_json(const std::string& text,
+                                         const PlanCacheOptions& options) {
+  const Expected<json::Value> doc = json::parse(text);
+  if (!doc) return doc.status();
+  if (!doc->is_object()) {
+    return Status(StatusCode::kDataLoss, "plan cache: root is not an object");
+  }
+  const json::Value* version = doc->find("version");
+  if (!version || !version->is_number() ||
+      static_cast<int>(version->as_number()) != kSnapshotVersion) {
+    return Status(StatusCode::kDataLoss,
+                  "plan cache: missing or unsupported snapshot version");
+  }
+  const json::Value* entries = doc->find("entries");
+  if (!entries || !entries->is_array()) {
+    return Status(StatusCode::kDataLoss, "plan cache: missing entries array");
+  }
+
+  PlanCache cache(options);
+  // Entries were dumped MRU-first; insert coldest-first so the rebuilt LRU
+  // order (and capacity-overflow eviction) matches the original.
+  for (auto it = entries->as_array().rbegin();
+       it != entries->as_array().rend(); ++it) {
+    const json::Value& entry = *it;
+    const json::Value* sig = entry.find("signature");
+    const json::Value* plans = entry.find("plans");
+    if (!sig || !sig->is_array() || !plans || !plans->is_array()) {
+      return Status(StatusCode::kDataLoss,
+                    "plan cache: entry missing signature or plans");
+    }
+    core::PhaseSignature signature;
+    for (const json::Value& pair : sig->as_array()) {
+      if (!pair.is_array() || pair.as_array().size() != 2 ||
+          !pair.as_array()[0].is_number() ||
+          !pair.as_array()[1].is_number()) {
+        return Status(StatusCode::kDataLoss,
+                      "plan cache: signature entries must be [pc, freq]");
+      }
+      const double freq = pair.as_array()[1].as_number();
+      if (!std::isfinite(freq) || freq < 0.0) {
+        return Status(StatusCode::kDataLoss,
+                      "plan cache: non-finite signature frequency");
+      }
+      signature[static_cast<Pc>(pair.as_array()[0].as_number())] = freq;
+    }
+    std::vector<core::PrefetchPlan> plan_list;
+    for (const json::Value& plan : plans->as_array()) {
+      const json::Value* pc = plan.find("pc");
+      const json::Value* distance = plan.find("distance_bytes");
+      const json::Value* hint = plan.find("hint");
+      if (!pc || !pc->is_number() || !distance || !distance->is_number() ||
+          !hint || !hint->is_string()) {
+        return Status(StatusCode::kDataLoss,
+                      "plan cache: plan missing pc/distance_bytes/hint");
+      }
+      const Expected<workloads::PrefetchHint> parsed_hint =
+          hint_from_name(hint->as_string());
+      if (!parsed_hint) return parsed_hint.status();
+      core::PrefetchPlan out;
+      out.pc = static_cast<Pc>(pc->as_number());
+      out.distance_bytes = static_cast<std::int64_t>(distance->as_number());
+      out.hint = *parsed_hint;
+      plan_list.push_back(out);
+    }
+    cache.insert(signature, std::move(plan_list));
+  }
+  cache.stats_ = PlanCacheStats{};  // loading is not a workload
+  return cache;
+}
+
+}  // namespace re::runtime

@@ -1,0 +1,87 @@
+// LRU cache of phase signature -> prefetch-plan set.
+//
+// A revisited phase should hot-swap its plans in O(window) time, not pay a
+// full StatStack -> MDDLI -> stride -> bypass re-optimization. Entries are
+// keyed by the phase's fingerprint and matched by signature distance (the
+// same metric the detector uses), so a cache warmed on one run — or loaded
+// from a snapshot saved by `repf adapt --save-cache` — keeps matching the
+// same phases on the next run even though window boundaries shift. Capacity
+// is bounded LRU: long-running workloads with many transient phases evict
+// the coldest plans first.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <vector>
+
+#include "core/insertion.hh"
+#include "core/phases.hh"
+#include "support/status.hh"
+
+namespace re::runtime {
+
+struct PlanCacheOptions {
+  std::size_t capacity = 16;
+  /// Signature distance below which a lookup matches an entry (same scale
+  /// as PhaseDetectorOptions::similarity_threshold).
+  double match_threshold = 0.5;
+};
+
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+class PlanCache {
+ public:
+  struct Entry {
+    core::PhaseSignature signature;
+    std::vector<core::PrefetchPlan> plans;
+  };
+
+  explicit PlanCache(const PlanCacheOptions& options = {});
+
+  /// Closest entry within the match threshold (promoted to MRU), nullptr on
+  /// miss. Both outcomes are counted in stats().
+  const std::vector<core::PrefetchPlan>* lookup(
+      const core::PhaseSignature& signature);
+
+  /// Insert plans for a signature. A signature matching an existing entry
+  /// replaces that entry's plans (and promotes it); otherwise a new entry is
+  /// added, evicting the LRU entry when over capacity.
+  void insert(const core::PhaseSignature& signature,
+              std::vector<core::PrefetchPlan> plans);
+
+  std::size_t size() const { return entries_.size(); }
+  const PlanCacheStats& stats() const { return stats_; }
+  const PlanCacheOptions& options() const { return opts_; }
+  /// MRU-first entry list (for persistence and tests).
+  const std::list<Entry>& entries() const { return entries_; }
+
+  /// Versioned JSON snapshot of the cache contents (stats are not
+  /// persisted). Format documented in DESIGN.md §7.
+  std::string to_json() const;
+
+  /// Rebuild a cache from a snapshot produced by to_json(). Rejects unknown
+  /// versions and malformed documents with a descriptive status. `options`
+  /// governs the rebuilt cache (entries beyond its capacity are dropped,
+  /// coldest first).
+  static Expected<PlanCache> from_json(const std::string& text,
+                                       const PlanCacheOptions& options = {});
+
+ private:
+  PlanCacheOptions opts_;
+  std::list<Entry> entries_;  // front = MRU
+  PlanCacheStats stats_;
+};
+
+}  // namespace re::runtime

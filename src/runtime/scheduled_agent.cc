@@ -1,0 +1,45 @@
+#include "runtime/scheduled_agent.hh"
+
+namespace re::runtime {
+
+ScheduledPlanAgent::ScheduledPlanAgent(
+    std::vector<core::PhaseSegment> segments,
+    std::vector<std::vector<core::PrefetchPlan>> per_phase_plans)
+    : segments_(std::move(segments)),
+      per_phase_plans_(std::move(per_phase_plans)) {
+  if (!segments_.empty()) install_segment(0);
+}
+
+void ScheduledPlanAgent::install_segment(std::size_t index) {
+  segment_ = index;
+  overlay_.plans.clear();
+  overlay_.active = true;  // an empty phase plan set means "no prefetching"
+  const int phase = segments_[index].phase_id;
+  if (phase < 0 ||
+      static_cast<std::size_t>(phase) >= per_phase_plans_.size()) {
+    return;
+  }
+  for (const core::PrefetchPlan& plan :
+       per_phase_plans_[static_cast<std::size_t>(phase)]) {
+    workloads::PrefetchOp op;
+    op.distance_bytes = plan.distance_bytes;
+    op.hint = plan.hint;
+    overlay_.plans.emplace(plan.pc, op);
+  }
+}
+
+void ScheduledPlanAgent::on_reference(int core, Pc pc, Addr addr, Cycle now,
+                                      sim::MemorySystem& memory) {
+  (void)core;
+  (void)pc;
+  (void)addr;
+  (void)now;
+  (void)memory;
+  ++refs_;
+  while (segment_ + 1 < segments_.size() &&
+         refs_ >= segments_[segment_ + 1].begin_ref) {
+    install_segment(segment_ + 1);
+  }
+}
+
+}  // namespace re::runtime

@@ -1,0 +1,47 @@
+// Oracle plan scheduler: replays a precomputed phase schedule.
+//
+// Given the phase segmentation of a profiled run (core::PhasedProfile
+// segments) and the per-phase plan sets the offline analysis produced, this
+// agent switches the overlay at the exact reference boundaries — zero
+// detection lag, zero warm-up. It is the upper bound the online controller
+// is measured against in bench_online_adaptation ("per-phase oracle"), and
+// doubles as a test harness for the overlay plumbing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/insertion.hh"
+#include "core/phases.hh"
+#include "sim/adaptive.hh"
+
+namespace re::runtime {
+
+class ScheduledPlanAgent final : public sim::CoreAgent {
+ public:
+  /// `segments` must be contiguous and ascending (as produced by
+  /// profile_with_phases); `per_phase_plans` is indexed by phase id.
+  ScheduledPlanAgent(
+      std::vector<core::PhaseSegment> segments,
+      std::vector<std::vector<core::PrefetchPlan>> per_phase_plans);
+
+  void on_reference(int core, Pc pc, Addr addr, Cycle now,
+                    sim::MemorySystem& memory) override;
+  const sim::PlanOverlay* overlay(int core) const override {
+    (void)core;
+    return &overlay_;
+  }
+
+  std::uint64_t references_seen() const { return refs_; }
+
+ private:
+  void install_segment(std::size_t index);
+
+  std::vector<core::PhaseSegment> segments_;
+  std::vector<std::vector<core::PrefetchPlan>> per_phase_plans_;
+  sim::PlanOverlay overlay_;
+  std::size_t segment_ = 0;
+  std::uint64_t refs_ = 0;
+};
+
+}  // namespace re::runtime

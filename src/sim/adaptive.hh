@@ -1,0 +1,62 @@
+// Plan-switch hook for online adaptive prefetching.
+//
+// The offline pipeline bakes prefetches into the program (a static rewrite,
+// the paper's assembler-level insertion). The adaptive runtime instead gives
+// each core a *mutable plan overlay*: a PC -> PrefetchOp map consulted on
+// every executed load. While an overlay is active it replaces the program's
+// baked-in prefetches wholesale, so a controller can hot-swap the entire
+// plan set between two references without touching the program — the
+// simulator analogue of patching prefetch instructions in a running binary.
+#pragma once
+
+#include <unordered_map>
+
+#include "support/types.hh"
+#include "workloads/program.hh"
+
+namespace re::sim {
+
+class MemorySystem;
+
+/// Mutable per-core prefetch-plan overlay. Inactive overlays defer to the
+/// program's baked-in prefetches; an active overlay replaces them entirely
+/// (an active *empty* overlay therefore suppresses all prefetching — the
+/// governor's strongest action).
+struct PlanOverlay {
+  bool active = false;
+  std::unordered_map<Pc, workloads::PrefetchOp> plans;
+
+  const workloads::PrefetchOp* lookup(Pc pc) const {
+    auto it = plans.find(pc);
+    return it == plans.end() ? nullptr : &it->second;
+  }
+
+  void install(Pc pc, workloads::PrefetchOp op) {
+    plans[pc] = op;
+    active = true;
+  }
+
+  void deactivate() {
+    plans.clear();
+    active = false;
+  }
+};
+
+/// Observer + policy hook driven by CoreRunner. `on_reference` fires after
+/// each demand reference completes (including its attached prefetch), so
+/// any overlay mutation it performs takes effect from the next reference
+/// on. The memory system is passed mutable so an agent may inspect shared
+/// state (DRAM stats, queue delay); agents must not issue accesses from the
+/// hook.
+class CoreAgent {
+ public:
+  virtual ~CoreAgent() = default;
+
+  virtual void on_reference(int core, Pc pc, Addr addr, Cycle now,
+                            MemorySystem& memory) = 0;
+
+  /// Overlay consulted for this core's prefetches; nullptr = none.
+  virtual const PlanOverlay* overlay(int core) const = 0;
+};
+
+}  // namespace re::sim

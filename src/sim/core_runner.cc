@@ -3,8 +3,8 @@
 namespace re::sim {
 
 CoreRunner::CoreRunner(int core_index, const workloads::Program& program,
-                       MemorySystem& memory)
-    : core_(core_index), cursor_(program), memory_(&memory) {}
+                       MemorySystem& memory, CoreAgent* agent)
+    : core_(core_index), cursor_(program), memory_(&memory), agent_(agent) {}
 
 void CoreRunner::step() {
   auto event = cursor_.next();
@@ -27,13 +27,23 @@ void CoreRunner::step() {
                                inst.serial_dependent, inst.is_store);
   now_ += inst.compute_cycles;
 
-  if (inst.prefetch) {
+  // An active overlay replaces the program's baked-in prefetches wholesale;
+  // without one the static rewrite applies unchanged.
+  const workloads::PrefetchOp* op = nullptr;
+  const PlanOverlay* overlay = agent_ ? agent_->overlay(core_) : nullptr;
+  if (overlay && overlay->active) {
+    op = overlay->lookup(inst.pc);
+  } else if (inst.prefetch) {
+    op = &*inst.prefetch;
+  }
+  if (op) {
     now_ += memory_->config().prefetch_inst_cost;
     const Addr target = static_cast<Addr>(
-        static_cast<std::int64_t>(event->addr) +
-        inst.prefetch->distance_bytes);
-    memory_->software_prefetch(core_, target, inst.prefetch->hint, now_);
+        static_cast<std::int64_t>(event->addr) + op->distance_bytes);
+    memory_->software_prefetch(core_, target, op->hint, now_);
   }
+
+  if (agent_) agent_->on_reference(core_, inst.pc, event->addr, now_, *memory_);
 }
 
 }  // namespace re::sim

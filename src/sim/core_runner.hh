@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "sim/adaptive.hh"
 #include "sim/memory_system.hh"
 #include "support/types.hh"
 #include "workloads/cursor.hh"
@@ -17,8 +18,10 @@ namespace re::sim {
 
 class CoreRunner {
  public:
+  /// `agent` (optional) observes every reference and may supply a mutable
+  /// prefetch-plan overlay; see sim/adaptive.hh. Must outlive the runner.
   CoreRunner(int core_index, const workloads::Program& program,
-             MemorySystem& memory);
+             MemorySystem& memory, CoreAgent* agent = nullptr);
 
   /// Execute one memory instruction (plus its attached compute and prefetch
   /// work). Advances the local clock.
@@ -42,6 +45,7 @@ class CoreRunner {
   int core_;
   workloads::ProgramCursor cursor_;
   MemorySystem* memory_;
+  CoreAgent* agent_ = nullptr;
   Cycle now_ = 0;
   std::uint64_t completions_ = 0;
   Cycle first_completion_cycle_ = 0;

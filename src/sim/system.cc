@@ -14,7 +14,8 @@ namespace {
 /// shared-resource contention persists for the apps still running.
 RunResult drive(const MachineConfig& machine,
                 std::vector<const workloads::Program*> programs,
-                bool hw_prefetch, bool restart_finished) {
+                bool hw_prefetch, bool restart_finished,
+                const std::vector<CoreAgent*>* agents = nullptr) {
   MachineConfig config = machine;
   config.hw_prefetcher.enabled = hw_prefetch;
 
@@ -22,9 +23,11 @@ RunResult drive(const MachineConfig& machine,
   std::vector<std::unique_ptr<CoreRunner>> cores;
   cores.reserve(programs.size());
   for (std::size_t c = 0; c < programs.size(); ++c) {
+    CoreAgent* agent =
+        agents && c < agents->size() ? (*agents)[c] : nullptr;
     cores.push_back(
         std::make_unique<CoreRunner>(static_cast<int>(c), *programs[c],
-                                     memory));
+                                     memory, agent));
   }
 
   std::size_t remaining = cores.size();
@@ -81,6 +84,22 @@ RunResult run_parallel(const MachineConfig& machine,
   ptrs.reserve(shards.size());
   for (const workloads::Program& shard : shards) ptrs.push_back(&shard);
   return drive(machine, ptrs, hw_prefetch, /*restart_finished=*/false);
+}
+
+RunResult run_single_adaptive(const MachineConfig& machine,
+                              const workloads::Program& program,
+                              bool hw_prefetch, CoreAgent& agent) {
+  const std::vector<CoreAgent*> agents = {&agent};
+  return drive(machine, {&program}, hw_prefetch, /*restart_finished=*/false,
+               &agents);
+}
+
+RunResult run_mix_adaptive(
+    const MachineConfig& machine,
+    const std::vector<const workloads::Program*>& programs, bool hw_prefetch,
+    const std::vector<CoreAgent*>& agents) {
+  return drive(machine, programs, hw_prefetch, /*restart_finished=*/true,
+               &agents);
 }
 
 }  // namespace re::sim

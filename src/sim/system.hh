@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/adaptive.hh"
 #include "sim/config.hh"
 #include "sim/memory_system.hh"
 #include "support/types.hh"
@@ -54,5 +55,20 @@ RunResult run_mix(const MachineConfig& machine,
 RunResult run_parallel(const MachineConfig& machine,
                        const std::vector<workloads::Program>& shards,
                        bool hw_prefetch);
+
+/// Run one program alone on core 0 under an adaptive agent (observer +
+/// mutable plan overlay; see sim/adaptive.hh). The agent must outlive the
+/// call.
+RunResult run_single_adaptive(const MachineConfig& machine,
+                              const workloads::Program& program,
+                              bool hw_prefetch, CoreAgent& agent);
+
+/// Mix-protocol run with one agent per core (entries may be nullptr for
+/// cores that should run unmanaged). `agents` must have one entry per
+/// program.
+RunResult run_mix_adaptive(const MachineConfig& machine,
+                           const std::vector<const workloads::Program*>& programs,
+                           bool hw_prefetch,
+                           const std::vector<CoreAgent*>& agents);
 
 }  // namespace re::sim

@@ -24,6 +24,9 @@ struct AccessEvent {
 class ProgramCursor {
  public:
   explicit ProgramCursor(const Program& program);
+  // The cursor keeps a reference to the program; binding a temporary would
+  // dangle as soon as the full-expression ends.
+  explicit ProgramCursor(Program&&) = delete;
 
   /// Next access of the current run; std::nullopt when one full run (all
   /// loops times outer_reps) has completed. After nullopt, the cursor

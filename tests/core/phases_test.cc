@@ -109,6 +109,120 @@ TEST(Phases, RespectsMaxRefs) {
   EXPECT_EQ(phased.full.total_references, 100000u);
 }
 
+TEST(Phases, SignatureDistanceIsAManhattanMetric) {
+  const PhaseSignature a{{1, 0.5}, {2, 0.5}};
+  const PhaseSignature b{{1, 0.5}, {3, 0.5}};
+  const PhaseSignature c{{4, 1.0}};
+  EXPECT_DOUBLE_EQ(signature_distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(signature_distance(a, b), 1.0);  // pc 2 vs pc 3 swap
+  EXPECT_DOUBLE_EQ(signature_distance(a, c), 2.0);  // fully disjoint
+  EXPECT_DOUBLE_EQ(signature_distance(a, b), signature_distance(b, a));
+  EXPECT_DOUBLE_EQ(signature_distance(a, PhaseSignature{}), 1.0);
+}
+
+TEST(Phases, NormalizeSignatureDividesByTotal) {
+  const std::unordered_map<Pc, std::uint64_t> counts{{1, 30}, {2, 10}};
+  const PhaseSignature sig = normalize_signature(counts, 40);
+  EXPECT_DOUBLE_EQ(sig.at(1), 0.75);
+  EXPECT_DOUBLE_EQ(sig.at(2), 0.25);
+  EXPECT_TRUE(normalize_signature(counts, 0).empty());
+}
+
+TEST(Phases, PhaseAtBoundariesAndPastTheEnd) {
+  PhasedProfile phased;
+  phased.segments = {PhaseSegment{0, 0, 100}, PhaseSegment{1, 100, 250},
+                     PhaseSegment{0, 250, 300}};
+  phased.num_phases = 2;
+  // begin_ref is inclusive, end_ref exclusive.
+  EXPECT_EQ(phased.phase_at(0), 0);
+  EXPECT_EQ(phased.phase_at(99), 0);
+  EXPECT_EQ(phased.phase_at(100), 1);
+  EXPECT_EQ(phased.phase_at(249), 1);
+  EXPECT_EQ(phased.phase_at(250), 0);
+  EXPECT_EQ(phased.phase_at(299), 0);
+  // Past the end of the profiled stream the last segment's phase wins (a
+  // longer run would most plausibly continue it).
+  EXPECT_EQ(phased.phase_at(300), 0);
+  EXPECT_EQ(phased.phase_at(1u << 30), 0);
+}
+
+TEST(Phases, PhaseAtWithNoSegmentsIsPhaseZero) {
+  const PhasedProfile phased;
+  EXPECT_EQ(phased.phase_at(0), 0);
+  EXPECT_EQ(phased.phase_at(12345), 0);
+}
+
+TEST(Phases, PhaseProfileScalesDanglingCountsByReferenceShare) {
+  PhasedProfile phased;
+  phased.segments = {PhaseSegment{0, 0, 750}, PhaseSegment{1, 750, 1000}};
+  phased.num_phases = 2;
+  phased.full.total_references = 1000;
+  phased.full.sample_period = 100;
+  phased.full.dangling_reuse_samples = 40;
+  phased.full.dangling_by_pc[7] = 40;
+  phased.full.pc_execution_counts[7] = 500;
+
+  // Phase 0 covers 75 % of references -> 75 % of the dangling mass.
+  const Profile p0 = phased.phase_profile(0);
+  EXPECT_EQ(p0.total_references, 750u);
+  EXPECT_EQ(p0.dangling_reuse_samples, 30u);
+  EXPECT_EQ(p0.dangling_by_pc.at(7), 30u);
+  EXPECT_EQ(p0.sample_period, 100u);
+
+  const Profile p1 = phased.phase_profile(1);
+  EXPECT_EQ(p1.total_references, 250u);
+  EXPECT_EQ(p1.dangling_reuse_samples, 10u);
+  EXPECT_EQ(p1.dangling_by_pc.at(7), 10u);
+}
+
+TEST(Phases, PhaseProfilePartitionsPositionedSamples) {
+  PhasedProfile phased;
+  phased.segments = {PhaseSegment{0, 0, 500}, PhaseSegment{1, 500, 1000}};
+  phased.num_phases = 2;
+  phased.full.total_references = 1000;
+  phased.full.sample_period = 100;
+  phased.full.reuse_samples = {ReuseSample{1, 1, 10, 100},
+                               ReuseSample{2, 2, 10, 600}};
+  phased.full.stride_samples = {StrideSample{1, 64, 5, 499},
+                                StrideSample{2, 8, 5, 500}};
+
+  const Profile p0 = phased.phase_profile(0);
+  ASSERT_EQ(p0.reuse_samples.size(), 1u);
+  EXPECT_EQ(p0.reuse_samples[0].first_pc, 1u);
+  ASSERT_EQ(p0.stride_samples.size(), 1u);
+  EXPECT_EQ(p0.stride_samples[0].pc, 1u);
+
+  const Profile p1 = phased.phase_profile(1);
+  ASSERT_EQ(p1.reuse_samples.size(), 1u);
+  EXPECT_EQ(p1.reuse_samples[0].first_pc, 2u);
+  ASSERT_EQ(p1.stride_samples.size(), 1u);
+  EXPECT_EQ(p1.stride_samples[0].pc, 2u);
+}
+
+TEST(Phases, DegenerateSinglePhaseProfileCoversEverything) {
+  // A single-loop program: one phase, one segment, and the phase profile
+  // must be the full profile (no samples lost to partitioning).
+  const Program p = [] {
+    Program q;
+    q.name = "uniform";
+    StaticInst s;
+    s.pc = 1;
+    s.pattern = StreamPattern{0, 16, 1 << 20};
+    q.loops.push_back(Loop{{s}, 200000});
+    return q;
+  }();
+  const PhasedProfile phased = profile_with_phases(p, SamplerConfig{500, 7});
+  EXPECT_EQ(phased.num_phases, 1);
+  ASSERT_EQ(phased.segments.size(), 1u);
+  EXPECT_EQ(phased.phase_references(0), phased.full.total_references);
+
+  const Profile sub = phased.phase_profile(0);
+  EXPECT_EQ(sub.reuse_samples.size(), phased.full.reuse_samples.size());
+  EXPECT_EQ(sub.stride_samples.size(), phased.full.stride_samples.size());
+  EXPECT_EQ(sub.dangling_reuse_samples, phased.full.dangling_reuse_samples);
+  EXPECT_EQ(sub.total_references, phased.full.total_references);
+}
+
 TEST(PhaseAwareOptimize, FindsTheStreamLoads) {
   const auto machine = sim::amd_phenom_ii();
   const PhasedOptimizationReport report =

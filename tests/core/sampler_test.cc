@@ -209,5 +209,67 @@ TEST(Sampler, FinishFlushesDanglingWatchesAsInfiniteReuse) {
   EXPECT_EQ(second.dangling_by_pc.count(1), 0u);
 }
 
+TEST(Sampler, HarvestKeepsWatchpointsAliveAcrossWindows) {
+  // A reuse straddling the window boundary must close at its true global
+  // distance in the later window, not flush as a phantom cold miss at the
+  // boundary (the truncation bias harvest() exists to remove).
+  Sampler s = exact_sampler();
+  s.observe(1, 0x1000);  // arm watch on line 0x40
+  s.observe(2, 0x2000);
+  const Profile first = s.harvest(/*watch_timeout_refs=*/1000);
+  EXPECT_EQ(first.total_references, 2u);
+  EXPECT_EQ(first.dangling_reuse_samples, 0u);  // watch survives
+
+  s.observe(3, 0x3000);
+  s.observe(4, 0x1008);  // closes the watch armed in the previous window
+  const Profile second = s.harvest(1000);
+  EXPECT_EQ(second.total_references, 2u);
+  ASSERT_GE(second.reuse_samples.size(), 1u);
+  const ReuseSample& r = second.reuse_samples.front();
+  EXPECT_EQ(r.first_pc, 1u);
+  EXPECT_EQ(r.second_pc, 4u);
+  // True global distance (2 intervening refs), wider than the window.
+  EXPECT_EQ(r.distance, 2u);
+  // Position is window-relative: the close landed on the 2nd ref of the
+  // second window.
+  EXPECT_EQ(r.at_ref, 2u);
+}
+
+TEST(Sampler, HarvestTimesOutStaleWatchesAsDangling) {
+  // Streaming lines are never re-touched: without the age-based timeout
+  // their cold-miss evidence would never materialize. The dangle must be
+  // charged in the window where the timeout fires.
+  Sampler s = exact_sampler();
+  s.observe(9, 0x100000);  // armed, never re-accessed
+  const Profile first = s.harvest(/*watch_timeout_refs=*/3);
+  EXPECT_EQ(first.dangling_reuse_samples, 0u);  // age 0 < 3: still live
+
+  s.observe(10, 0x200000);
+  s.observe(11, 0x300000);
+  s.observe(12, 0x400000);
+  const Profile second = s.harvest(3);
+  // pc 9's watch is now 3 refs old and flushes; the younger ones survive.
+  EXPECT_EQ(second.dangling_reuse_samples, 1u);
+  EXPECT_EQ(second.dangling_by_pc.at(9), 1u);
+  EXPECT_EQ(second.dangling_by_pc.count(10), 0u);
+}
+
+TEST(Sampler, FlushOpenWatchesRedirectsDanglesToCaller) {
+  Sampler s = exact_sampler();
+  s.observe(1, 0x1000);
+  s.observe(2, 0x2000);
+  Profile sink;
+  s.flush_open_watches(&sink);
+  EXPECT_EQ(sink.dangling_reuse_samples, 2u);
+  EXPECT_EQ(sink.dangling_by_pc.at(1), 1u);
+  EXPECT_EQ(sink.dangling_by_pc.at(2), 1u);
+
+  // The watches are gone: a later touch of the same lines opens fresh
+  // watches instead of closing stale ones.
+  s.observe(3, 0x1008);
+  const Profile p = s.harvest(1000);
+  EXPECT_TRUE(p.reuse_samples.empty());
+}
+
 }  // namespace
 }  // namespace re::core

@@ -1,0 +1,193 @@
+#include "runtime/adaptive_controller.hh"
+
+#include <gtest/gtest.h>
+
+#include "runtime/online_sampler.hh"
+#include "sim/system.hh"
+#include "workloads/program.hh"
+
+namespace re::runtime {
+namespace {
+
+using workloads::HotBufferPattern;
+using workloads::Loop;
+using workloads::Program;
+using workloads::StaticInst;
+using workloads::StreamPattern;
+
+/// Alternating streaming / L1-resident phases sharing pc 1 (the bench
+/// workload in miniature).
+Program alternating_program(std::uint64_t iterations = 32768,
+                            std::uint64_t reps = 2) {
+  Program p;
+  p.name = "alt";
+  p.seed = 5;
+  StaticInst a1, a2;
+  a1.pc = 1;
+  a1.pattern = StreamPattern{0, 64, 8 << 20};
+  a2.pc = 2;
+  a2.pattern = StreamPattern{1ULL << 32, 8, 4 << 20};
+  p.loops.push_back(Loop{{a1, a2}, iterations});
+  StaticInst b1, b3;
+  b1.pc = 1;
+  b1.pattern = HotBufferPattern{2ULL << 32, 64, 16 << 10};
+  b3.pc = 3;
+  b3.pattern = HotBufferPattern{3ULL << 32, 8, 16 << 10};
+  p.loops.push_back(Loop{{b1, b3}, iterations});
+  p.outer_reps = reps;
+  return p;
+}
+
+AdaptiveOptions small_window_options() {
+  AdaptiveOptions opts;
+  opts.window_refs = 1024;
+  opts.sampler = core::SamplerConfig{50, 42};
+  opts.phases.hysteresis_windows = 1;
+  opts.min_reoptimize_refs = 8192;
+  return opts;
+}
+
+TEST(OnlineSampler, ClosesWindowsAtExactBoundaries) {
+  OnlineSampler sampler(core::SamplerConfig{10, 1}, 100);
+  int windows = 0;
+  std::uint64_t refs = 0;
+  for (int i = 0; i < 350; ++i) {
+    ++refs;
+    const auto window =
+        sampler.observe(1, static_cast<Addr>(i) * 64, refs * 3);
+    if (window) {
+      ++windows;
+      EXPECT_EQ(window->refs(), 100u);
+      EXPECT_EQ(refs % 100, 0u) << "window must close on the boundary";
+      // 100 refs at 3 cycles each; the first ref opens the window.
+      EXPECT_NEAR(window->cycles_per_memop(), 3.0, 0.1);
+      EXPECT_EQ(window->profile.pc_execution_counts.at(1), 100u);
+    }
+  }
+  EXPECT_EQ(windows, 3);
+  EXPECT_EQ(sampler.refs_in_window(), 50u);
+}
+
+TEST(OnlineSampler, MergeAccumulatesCountsAndSamples) {
+  OnlineSampler sampler(core::SamplerConfig{5, 1}, 200);
+  core::Profile accumulated;
+  for (int i = 0; i < 400; ++i) {
+    // Tight reuse loop so reuse samples actually close within a window.
+    const auto window =
+        sampler.observe(1, static_cast<Addr>(i % 8) * 64, i);
+    if (window) merge_window_profile(accumulated, window->profile);
+  }
+  EXPECT_EQ(accumulated.total_references, 400u);
+  EXPECT_EQ(accumulated.pc_execution_counts.at(1), 400u);
+  EXPECT_GT(accumulated.reuse_samples.size(), 0u);
+  EXPECT_EQ(accumulated.sample_period, 5u);
+}
+
+TEST(AdaptiveController, LearnsPhasesAndServesRevisitsFromTheCache) {
+  const sim::MachineConfig machine = sim::amd_phenom_ii();
+  const Program program = alternating_program();
+  AdaptiveController controller(program, machine, small_window_options());
+  const sim::RunResult run =
+      sim::run_single_adaptive(machine, program, false, controller);
+  ASSERT_GT(run.apps[0].cycles, 0u);
+
+  const AdaptiveStats stats = controller.stats();
+  EXPECT_GT(stats.windows, 0u);
+  EXPECT_GE(stats.phases, 2);
+  EXPECT_GE(stats.phase_switches, 2u);
+  // Both phases eventually got their own optimization pass...
+  EXPECT_GE(stats.reoptimizations, 2u);
+  // ...and the second visit of each phase came from the plan cache.
+  EXPECT_GE(stats.hot_swaps, 1u);
+  EXPECT_GT(stats.cache.hits, 0u);
+  EXPECT_GT(stats.measured_cycles_per_memop, 0.0);
+  // One cache entry per phase: refinements replace the entry in place, so
+  // re-optimizations may exceed the cache size but never the other way.
+  EXPECT_EQ(controller.plan_cache().size(),
+            static_cast<std::size_t>(stats.phases));
+  EXPECT_GE(stats.reoptimizations, static_cast<std::uint64_t>(stats.phases));
+}
+
+TEST(AdaptiveController, OnlinePlansBeatNoPrefetchOnThisWorkload) {
+  const sim::MachineConfig machine = sim::amd_phenom_ii();
+  const Program program = alternating_program();
+  const sim::RunResult baseline = sim::run_single(machine, program, false);
+
+  AdaptiveController controller(program, machine, small_window_options());
+  const sim::RunResult adaptive =
+      sim::run_single_adaptive(machine, program, false, controller);
+
+  // The streaming phase dominates the cycle count; prefetching it must pay
+  // for the whole controller.
+  EXPECT_LT(adaptive.apps[0].cycles, baseline.apps[0].cycles);
+  EXPECT_GT(adaptive.apps[0].mem.sw_prefetches_issued, 0u);
+}
+
+TEST(AdaptiveController, WarmStartHotSwapsWithoutReoptimizing) {
+  const sim::MachineConfig machine = sim::amd_phenom_ii();
+  const Program program = alternating_program();
+  const AdaptiveOptions opts = small_window_options();
+
+  AdaptiveController cold(program, machine, opts);
+  sim::run_single_adaptive(machine, program, false, cold);
+  ASSERT_GE(cold.plan_cache().size(), 2u);
+
+  AdaptiveController warm(program, machine, opts);
+  auto loaded =
+      PlanCache::from_json(cold.plan_cache().to_json(), opts.cache);
+  ASSERT_TRUE(loaded.has_value()) << loaded.status().to_string();
+  warm.plan_cache() = std::move(loaded.value());
+  sim::run_single_adaptive(machine, program, false, warm);
+
+  const AdaptiveStats stats = warm.stats();
+  // Every phase is served from the preloaded cache: any pipeline run the
+  // warm controller does is a refinement of cached plans, never a
+  // from-scratch optimization of a novel phase.
+  EXPECT_EQ(stats.reoptimizations, stats.refinements)
+      << "every phase should be served from the preloaded cache";
+  EXPECT_GE(stats.hot_swaps, 2u);
+  EXPECT_GT(stats.cache.hit_rate(), 0.0);
+}
+
+TEST(AdaptiveController, RefinesPlansWhenMeasuredDeltaDiverges) {
+  const sim::MachineConfig machine = sim::amd_phenom_ii();
+  // Pure stream: the first plans are sized with the unprefetched Δ; once
+  // they start working the measured Δ drops well past the divergence
+  // ratio and the controller must re-optimize in place.
+  Program p;
+  p.name = "stream";
+  p.seed = 9;
+  StaticInst s1;
+  s1.pc = 1;
+  s1.pattern = StreamPattern{0, 64, 8 << 20};
+  s1.compute_cycles = 4;
+  p.loops.push_back(Loop{{s1}, 131072});
+
+  AdaptiveController controller(p, machine, small_window_options());
+  sim::run_single_adaptive(machine, p, false, controller);
+
+  const AdaptiveStats stats = controller.stats();
+  EXPECT_GE(stats.refinements, 1u);
+  EXPECT_GE(stats.reoptimizations, stats.refinements + 1);
+  EXPECT_FALSE(controller.active_plans().empty());
+}
+
+TEST(AdaptiveController, HoldsPreviousPlansBelowTheEvidenceFloor) {
+  const sim::MachineConfig machine = sim::amd_phenom_ii();
+  const Program program = alternating_program(4096, 1);
+  // Evidence floor above the whole run: no phase may ever re-optimize.
+  AdaptiveOptions opts = small_window_options();
+  opts.min_reoptimize_refs = 1 << 30;
+  AdaptiveController controller(program, machine, opts);
+  sim::run_single_adaptive(machine, program, false, controller);
+
+  const AdaptiveStats stats = controller.stats();
+  EXPECT_GT(stats.windows, 0u);
+  EXPECT_EQ(stats.reoptimizations, 0u);
+  EXPECT_EQ(stats.hot_swaps, 0u);
+  // Never installed plans: the overlay must have stayed inactive.
+  EXPECT_FALSE(controller.overlay(0)->active);
+}
+
+}  // namespace
+}  // namespace re::runtime

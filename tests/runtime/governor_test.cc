@@ -1,0 +1,113 @@
+#include "runtime/governor.hh"
+
+#include <gtest/gtest.h>
+
+#include "sim/dram.hh"
+
+namespace re::runtime {
+namespace {
+
+// 64 bytes/cycle channel: with 100-cycle windows, utilization is simply
+// (lines moved in the window) / 100.
+constexpr double kBytesPerCycle = 64.0;
+
+sim::DramStats stats_with(std::uint64_t demand_lines,
+                          std::uint64_t writeback_lines = 0) {
+  sim::DramStats s;
+  s.demand_lines = demand_lines;
+  s.writeback_lines = writeback_lines;
+  return s;
+}
+
+TEST(BandwidthGovernor, StaysNormalUnderLightLoad) {
+  BandwidthGovernor governor({}, kBytesPerCycle);
+  EXPECT_EQ(governor.observe_window(stats_with(10), 100), GovernorMode::Normal);
+  EXPECT_EQ(governor.observe_window(stats_with(20), 200), GovernorMode::Normal);
+  EXPECT_DOUBLE_EQ(governor.last_utilization(), 0.10);
+  EXPECT_EQ(governor.stats().mode_changes, 0u);
+}
+
+TEST(BandwidthGovernor, EscalatesImmediatelyOnPressure) {
+  BandwidthGovernor governor({}, kBytesPerCycle);
+  // 70 % utilization: demote band.
+  EXPECT_EQ(governor.observe_window(stats_with(70), 100), GovernorMode::Demote);
+  // 90 % in the next window: escalate again, straight to suppress.
+  EXPECT_EQ(governor.observe_window(stats_with(160), 200),
+            GovernorMode::Suppress);
+  EXPECT_EQ(governor.stats().mode_changes, 2u);
+  EXPECT_EQ(governor.stats().demote_windows, 1u);
+  EXPECT_EQ(governor.stats().suppress_windows, 1u);
+}
+
+TEST(BandwidthGovernor, CanJumpStraightToSuppress) {
+  BandwidthGovernor governor({}, kBytesPerCycle);
+  EXPECT_EQ(governor.observe_window(stats_with(95), 100),
+            GovernorMode::Suppress);
+}
+
+TEST(BandwidthGovernor, DeEscalatesOneStepAfterCalmStreak) {
+  GovernorOptions opts;
+  opts.release_windows = 2;
+  BandwidthGovernor governor(opts, kBytesPerCycle);
+  std::uint64_t lines = 95;
+  Cycle now = 100;
+  EXPECT_EQ(governor.observe_window(stats_with(lines), now),
+            GovernorMode::Suppress);
+
+  // Two calm windows ease one step (to Demote), two more reach Normal —
+  // never a direct Suppress -> Normal jump.
+  const auto calm = [&]() {
+    lines += 5;
+    now += 100;
+    return governor.observe_window(stats_with(lines), now);
+  };
+  EXPECT_EQ(calm(), GovernorMode::Suppress);
+  EXPECT_EQ(calm(), GovernorMode::Demote);
+  EXPECT_EQ(calm(), GovernorMode::Demote);
+  EXPECT_EQ(calm(), GovernorMode::Normal);
+}
+
+TEST(BandwidthGovernor, PressureResetsTheCalmStreak) {
+  GovernorOptions opts;
+  opts.release_windows = 2;
+  BandwidthGovernor governor(opts, kBytesPerCycle);
+  EXPECT_EQ(governor.observe_window(stats_with(70), 100), GovernorMode::Demote);
+  // calm, pressured, calm: the streak never reaches 2.
+  EXPECT_EQ(governor.observe_window(stats_with(75), 200), GovernorMode::Demote);
+  EXPECT_EQ(governor.observe_window(stats_with(145), 300),
+            GovernorMode::Demote);
+  EXPECT_EQ(governor.observe_window(stats_with(150), 400),
+            GovernorMode::Demote);
+}
+
+TEST(BandwidthGovernor, WritebacksCountAgainstTheChannel) {
+  BandwidthGovernor governor({}, kBytesPerCycle);
+  // 40 fetched + 35 written back = 75 % utilization: demote.
+  EXPECT_EQ(governor.observe_window(stats_with(40, 35), 100),
+            GovernorMode::Demote);
+}
+
+TEST(BandwidthGovernor, DegenerateWindowHoldsTheMode) {
+  BandwidthGovernor governor({}, kBytesPerCycle);
+  EXPECT_EQ(governor.observe_window(stats_with(70), 100), GovernorMode::Demote);
+  // Clock did not advance: no new evidence, keep the mode.
+  EXPECT_EQ(governor.observe_window(stats_with(500), 100),
+            GovernorMode::Demote);
+}
+
+TEST(BandwidthGovernor, TracksPeakUtilization) {
+  BandwidthGovernor governor({}, kBytesPerCycle);
+  governor.observe_window(stats_with(30), 100);
+  governor.observe_window(stats_with(120), 200);
+  governor.observe_window(stats_with(130), 300);
+  EXPECT_DOUBLE_EQ(governor.stats().peak_utilization, 0.90);
+}
+
+TEST(BandwidthGovernor, ModeNamesAreStable) {
+  EXPECT_STREQ(governor_mode_name(GovernorMode::Normal), "normal");
+  EXPECT_STREQ(governor_mode_name(GovernorMode::Demote), "demote");
+  EXPECT_STREQ(governor_mode_name(GovernorMode::Suppress), "suppress");
+}
+
+}  // namespace
+}  // namespace re::runtime

@@ -1,0 +1,101 @@
+#include "runtime/phase_detector.hh"
+
+#include <gtest/gtest.h>
+
+namespace re::runtime {
+namespace {
+
+using core::PhaseSignature;
+
+const PhaseSignature kStream{{1, 0.5}, {2, 0.5}};
+const PhaseSignature kHot{{1, 0.5}, {3, 0.5}};      // distance 1.0 to kStream
+const PhaseSignature kGather{{4, 0.5}, {5, 0.5}};   // distance 2.0 to both
+
+TEST(PhaseDetector, FirstWindowCommitsWithoutASwitch) {
+  PhaseDetector detector;
+  const PhaseDecision d = detector.observe(kStream);
+  EXPECT_EQ(d.phase, 0);
+  EXPECT_TRUE(d.novel);
+  EXPECT_FALSE(d.switched);
+  EXPECT_EQ(detector.num_phases(), 1);
+  EXPECT_EQ(detector.switches(), 0u);
+}
+
+TEST(PhaseDetector, SimilarWindowsJoinTheSamePhase) {
+  PhaseDetector detector;
+  detector.observe(kStream);
+  // A slightly perturbed mix is within the 0.5 threshold.
+  const PhaseDecision d = detector.observe({{1, 0.55}, {2, 0.45}});
+  EXPECT_EQ(d.raw_phase, 0);
+  EXPECT_FALSE(d.novel);
+  EXPECT_EQ(detector.num_phases(), 1);
+}
+
+TEST(PhaseDetector, DistinctSignaturesFoundDistinctPhases) {
+  PhaseDetector detector;
+  detector.observe(kStream);
+  detector.observe(kHot);
+  detector.observe(kGather);
+  EXPECT_EQ(detector.num_phases(), 3);
+}
+
+TEST(PhaseDetector, HysteresisAbsorbsASingleDeviantWindow) {
+  PhaseDetectorOptions opts;
+  opts.hysteresis_windows = 2;
+  PhaseDetector detector(opts);
+  detector.observe(kStream);
+
+  // One deviant window: raw phase moves, committed phase must not.
+  PhaseDecision d = detector.observe(kHot);
+  EXPECT_EQ(d.raw_phase, 1);
+  EXPECT_EQ(d.phase, 0);
+  EXPECT_FALSE(d.switched);
+
+  // Returning home resets the candidate streak.
+  detector.observe(kStream);
+  d = detector.observe(kHot);
+  EXPECT_EQ(d.phase, 0) << "streak must restart after an interruption";
+
+  // Two consecutive windows commit the switch.
+  d = detector.observe(kHot);
+  EXPECT_TRUE(d.switched);
+  EXPECT_EQ(d.phase, 1);
+  EXPECT_EQ(detector.switches(), 1u);
+}
+
+TEST(PhaseDetector, HysteresisOneSwitchesImmediately) {
+  PhaseDetectorOptions opts;
+  opts.hysteresis_windows = 1;
+  PhaseDetector detector(opts);
+  detector.observe(kStream);
+  const PhaseDecision d = detector.observe(kHot);
+  EXPECT_TRUE(d.switched);
+  EXPECT_EQ(d.phase, 1);
+}
+
+TEST(PhaseDetector, AlternatingPhasesAreRecognizedOnRevisit) {
+  PhaseDetectorOptions opts;
+  opts.hysteresis_windows = 1;
+  PhaseDetector detector(opts);
+  for (int rep = 0; rep < 3; ++rep) {
+    detector.observe(kStream);
+    detector.observe(kHot);
+  }
+  // Revisits match existing centroids — no phase inflation.
+  EXPECT_EQ(detector.num_phases(), 2);
+  EXPECT_EQ(detector.switches(), 5u);
+  EXPECT_EQ(detector.windows_observed(), 6u);
+}
+
+TEST(PhaseDetector, CentroidIsTheFoundingSignature) {
+  PhaseDetector detector;
+  detector.observe(kStream);
+  detector.observe(kGather);
+  EXPECT_DOUBLE_EQ(core::signature_distance(detector.centroid(0), kStream),
+                   0.0);
+  EXPECT_DOUBLE_EQ(core::signature_distance(detector.centroid(1), kGather),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace re::runtime

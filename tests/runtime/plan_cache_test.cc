@@ -1,0 +1,140 @@
+#include "runtime/plan_cache.hh"
+
+#include <gtest/gtest.h>
+
+#include "workloads/program.hh"
+
+namespace re::runtime {
+namespace {
+
+using core::PhaseSignature;
+using core::PrefetchPlan;
+using workloads::PrefetchHint;
+
+const PhaseSignature kSigA{{1, 0.5}, {2, 0.5}};
+const PhaseSignature kSigB{{1, 0.5}, {3, 0.5}};
+const PhaseSignature kSigC{{4, 1.0}};
+
+std::vector<PrefetchPlan> plans_for(Pc pc, std::int64_t distance,
+                                    PrefetchHint hint = PrefetchHint::T0) {
+  return {PrefetchPlan{pc, distance, hint}};
+}
+
+TEST(PlanCache, MissThenHit) {
+  PlanCache cache;
+  EXPECT_EQ(cache.lookup(kSigA), nullptr);
+  cache.insert(kSigA, plans_for(1, 512));
+  const auto* plans = cache.lookup(kSigA);
+  ASSERT_NE(plans, nullptr);
+  EXPECT_EQ((*plans)[0].pc, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+}
+
+TEST(PlanCache, MatchesWithinThresholdNotBeyond) {
+  PlanCache cache;
+  cache.insert(kSigA, plans_for(1, 512));
+  // Distance 0.2 to kSigA: matches under the default 0.5 threshold.
+  EXPECT_NE(cache.lookup(PhaseSignature{{1, 0.6}, {2, 0.4}}), nullptr);
+  // kSigB is at distance 1.0: a miss.
+  EXPECT_EQ(cache.lookup(kSigB), nullptr);
+}
+
+TEST(PlanCache, InsertOnMatchingSignatureReplacesPlans) {
+  PlanCache cache;
+  cache.insert(kSigA, plans_for(1, 512));
+  cache.insert(kSigA, plans_for(1, 1024));
+  EXPECT_EQ(cache.size(), 1u);
+  const auto* plans = cache.lookup(kSigA);
+  ASSERT_NE(plans, nullptr);
+  EXPECT_EQ((*plans)[0].distance_bytes, 1024);
+}
+
+TEST(PlanCache, EvictsLeastRecentlyUsed) {
+  PlanCacheOptions opts;
+  opts.capacity = 2;
+  PlanCache cache(opts);
+  cache.insert(kSigA, plans_for(1, 512));
+  cache.insert(kSigB, plans_for(3, 256));
+  // Touch A so B becomes the LRU victim.
+  EXPECT_NE(cache.lookup(kSigA), nullptr);
+  cache.insert(kSigC, plans_for(4, 128));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_NE(cache.lookup(kSigA), nullptr);
+  EXPECT_NE(cache.lookup(kSigC), nullptr);
+  EXPECT_EQ(cache.lookup(kSigB), nullptr);
+}
+
+TEST(PlanCache, JsonRoundTripPreservesEntriesAndOrder) {
+  PlanCache cache;
+  cache.insert(kSigA, plans_for(1, 512, PrefetchHint::NTA));
+  cache.insert(kSigB, plans_for(3, -256, PrefetchHint::T2));
+  cache.insert(kSigC, {});  // empty plan set = "no prefetching here"
+
+  const std::string snapshot = cache.to_json();
+  auto restored = PlanCache::from_json(snapshot);
+  ASSERT_TRUE(restored.has_value()) << restored.status().to_string();
+  EXPECT_EQ(restored->size(), 3u);
+
+  // MRU order survives: C, B, A.
+  auto it = restored->entries().begin();
+  EXPECT_DOUBLE_EQ(core::signature_distance(it->signature, kSigC), 0.0);
+  EXPECT_TRUE(it->plans.empty());
+  ++it;
+  EXPECT_EQ(it->plans[0].pc, 3u);
+  EXPECT_EQ(it->plans[0].distance_bytes, -256);
+  EXPECT_EQ(it->plans[0].hint, PrefetchHint::T2);
+  ++it;
+  EXPECT_EQ(it->plans[0].pc, 1u);
+  EXPECT_EQ(it->plans[0].hint, PrefetchHint::NTA);
+
+  // Stats are a property of a run, not of the snapshot.
+  EXPECT_EQ(restored->stats().hits, 0u);
+  EXPECT_EQ(restored->stats().insertions, 0u);
+
+  // A second dump is byte-identical (deterministic serialization).
+  EXPECT_EQ(restored->to_json(), snapshot);
+}
+
+TEST(PlanCache, FromJsonRespectsTheNewCapacity) {
+  PlanCache cache;
+  cache.insert(kSigA, plans_for(1, 512));
+  cache.insert(kSigB, plans_for(3, 256));
+  cache.insert(kSigC, plans_for(4, 128));
+
+  PlanCacheOptions small;
+  small.capacity = 2;
+  auto restored = PlanCache::from_json(cache.to_json(), small);
+  ASSERT_TRUE(restored.has_value());
+  // Coldest entry (A) fell off; the two hottest survive.
+  EXPECT_EQ(restored->size(), 2u);
+  EXPECT_NE(restored->lookup(kSigC), nullptr);
+  EXPECT_NE(restored->lookup(kSigB), nullptr);
+  EXPECT_EQ(restored->lookup(kSigA), nullptr);
+}
+
+TEST(PlanCache, FromJsonRejectsBadDocuments) {
+  const char* bad[] = {
+      "",                                          // not JSON
+      "[1, 2]",                                    // root not an object
+      "{\"entries\": []}",                         // missing version
+      "{\"version\": 99, \"entries\": []}",        // unsupported version
+      "{\"version\": 1}",                          // missing entries
+      "{\"version\": 1, \"entries\": [{}]}",       // entry lacks fields
+      "{\"version\": 1, \"entries\": [{\"signature\": [[1]], "
+      "\"plans\": []}]}",                          // malformed pair
+      "{\"version\": 1, \"entries\": [{\"signature\": [[1, 0.5]], "
+      "\"plans\": [{\"pc\": 1, \"distance_bytes\": 64, "
+      "\"hint\": \"bogus\"}]}]}",                  // unknown hint
+  };
+  for (const char* text : bad) {
+    const auto restored = PlanCache::from_json(text);
+    EXPECT_FALSE(restored.has_value()) << "accepted: " << text;
+    EXPECT_EQ(restored.status().code(), StatusCode::kDataLoss) << text;
+  }
+}
+
+}  // namespace
+}  // namespace re::runtime

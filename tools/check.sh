@@ -1,25 +1,85 @@
 #!/usr/bin/env bash
-# Sanitizer CI lane: build the whole tree under ASan+UBSan and run the
-# tier-1 test suite, so the fault-injection / degradation paths stay
-# sanitizer-clean. Usage:
+# CI lanes beyond the tier-1 build+ctest. Usage:
 #
-#   tools/check.sh [build-dir]        # default build dir: build-asan
+#   tools/check.sh [lane] [build-dir]
 #
-# UBSan failures abort (halt_on_error) so ctest reports them as failures
-# instead of burying them in logs.
+# Lanes:
+#   asan    (default) build under ASan+UBSan, run the tier-1 test suite.
+#           Default build dir: build-asan.
+#   werror  build the whole tree with -Werror (RE_WERROR=ON).
+#           Default build dir: build-werror.
+#   bench   smoke-run every bench_* binary with tiny iteration counts
+#           (RE_BENCH_SMOKE=1, RE_MIX_COUNT=2); each must exit 0.
+#           Default build dir: build (reuses the tier-1 build).
+#
+# Back-compat: an unknown first argument is treated as the build dir for
+# the asan lane (the original single-lane interface).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-asan}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-cmake -B "$BUILD_DIR" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DRE_SANITIZE=address,undefined
-cmake --build "$BUILD_DIR" -j "$JOBS"
+LANE="${1:-asan}"
+case "$LANE" in
+  asan|werror|bench) shift || true ;;
+  *) LANE=asan ;;  # first arg is a build dir, keep it in $1
+esac
 
-export ASAN_OPTIONS="detect_leaks=0:halt_on_error=1"
-export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+run_asan() {
+  local build_dir="${1:-build-asan}"
+  cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRE_SANITIZE=address,undefined
+  cmake --build "$build_dir" -j "$JOBS"
 
-echo "sanitizer lane clean"
+  # UBSan failures abort (halt_on_error) so ctest reports them as failures
+  # instead of burying them in logs.
+  export ASAN_OPTIONS="detect_leaks=0:halt_on_error=1"
+  export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+
+  echo "sanitizer lane clean"
+}
+
+run_werror() {
+  local build_dir="${1:-build-werror}"
+  cmake -B "$build_dir" -S . -DRE_WERROR=ON
+  cmake --build "$build_dir" -j "$JOBS"
+  echo "werror lane clean"
+}
+
+run_bench() {
+  local build_dir="${1:-build}"
+  if [[ ! -d "$build_dir" ]]; then
+    cmake -B "$build_dir" -S .
+  fi
+  cmake --build "$build_dir" -j "$JOBS"
+
+  export RE_BENCH_SMOKE=1
+  export RE_MIX_COUNT=2
+  local failed=0
+  for bench in "$build_dir"/bench/bench_*; do
+    [[ -x "$bench" && ! -d "$bench" ]] || continue
+    local name
+    name="$(basename "$bench")"
+    echo "== smoke: $name"
+    # Run from the build's bench dir so BENCH_*.json reports land there.
+    case "$name" in
+      bench_micro_components)
+        # google-benchmark binary: cap each micro-bench at a token runtime
+        # (plain seconds — the "Nx" repetition syntax needs benchmark >= 1.8).
+        (cd "$build_dir/bench" && "./$name" --benchmark_min_time=0.01) \
+          > /dev/null || failed=1 ;;
+      *)
+        (cd "$build_dir/bench" && "./$name") > /dev/null || failed=1 ;;
+    esac
+    [[ "$failed" == 1 ]] && { echo "FAILED: $name"; exit 1; }
+  done
+  echo "bench smoke lane clean"
+}
+
+case "$LANE" in
+  asan) run_asan "${1:-}" ;;
+  werror) run_werror "${1:-}" ;;
+  bench) run_bench "${1:-}" ;;
+esac

@@ -9,8 +9,14 @@
 //                 [--stride-centric]
 //   repf run <file|benchmark> [--machine amd|intel] [--hw] [--optimize]
 //   repf coverage <file|benchmark> [--machine amd|intel]
+//   repf phases <file|benchmark> [--window N] [--threshold X]
+//   repf adapt <file|benchmark> [--machine amd|intel] [--window N]
+//                 [--threshold X] [--save-cache FILE] [--load-cache FILE]
+//                 [--verbose]
 //   repf faultcheck <file|benchmark> [--machine amd|intel] [--rate PCT]
 //                 [--seed N] [--verbose]
+//
+// Every command also understands --help.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +30,8 @@
 #include "core/fault_injection.hh"
 #include "core/phases.hh"
 #include "core/pipeline.hh"
+#include "runtime/adaptive_controller.hh"
+#include "runtime/plan_cache.hh"
 #include "sim/system.hh"
 #include "support/text_table.hh"
 #include "workloads/dsl.hh"
@@ -42,30 +50,106 @@ struct Options {
   bool enable_nt = true;
   bool stride_centric = false;
   bool verbose = false;
+  bool help = false;
   /// Fault rate for `faultcheck` as a fraction; negative = sweep the
   /// default {0, 5, 20, 50} % ladder.
   double fault_rate = -1.0;
   std::uint64_t fault_seed = 0xFA57;
+  /// Phase/adaptation window in references (0 = command default).
+  std::uint64_t window = 0;
+  /// Phase-signature similarity threshold (0 = command default).
+  double threshold = 0.0;
+  std::string save_cache;
+  std::string load_cache;
 };
 
 int usage() {
   std::fprintf(
       stderr,
-      "usage: repf <command> [args]\n"
+      "usage: repf <command> [args]   (repf <command> --help for details)\n"
       "  list                         list built-in workload models\n"
       "  dump <benchmark>             print a workload in the DSL\n"
       "  optimize <file|benchmark>    run the pipeline, print the annotated\n"
-      "                               listing  [--machine amd|intel]\n"
-      "                               [--no-nt] [--stride-centric]\n"
-      "  run <file|benchmark>         simulate  [--machine amd|intel]\n"
-      "                               [--hw] [--optimize]\n"
+      "                               listing\n"
+      "  run <file|benchmark>         simulate under a chosen policy\n"
       "  coverage <file|benchmark>    Table-I style coverage row\n"
       "  phases <file|benchmark>      detect execution phases\n"
+      "  adapt <file|benchmark>       run the online adaptive controller,\n"
+      "                               compare vs baseline and static plan\n"
       "  faultcheck <file|benchmark>  inject profile faults, verify the\n"
-      "                               never-hurts degradation invariant\n"
-      "                               [--machine amd|intel] [--rate PCT]\n"
-      "                               [--seed N] [--verbose]\n");
+      "                               never-hurts degradation invariant\n");
   return 2;
+}
+
+/// Detailed per-command help. Returns nullptr for unknown commands.
+const char* help_for(const std::string& command) {
+  if (command == "list") {
+    return "repf list\n"
+           "  Print every built-in workload model (paper Table I) with its\n"
+           "  dynamic reference count and static load count.\n";
+  }
+  if (command == "dump") {
+    return "repf dump <benchmark>\n"
+           "  Print a built-in workload in the trace-program DSL, suitable\n"
+           "  for editing and feeding back to any other command.\n";
+  }
+  if (command == "optimize") {
+    return "repf optimize <file|benchmark> [options]\n"
+           "  Run the full sampling -> StatStack -> MDDLI -> stride ->\n"
+           "  bypass pipeline and print the annotated listing with the\n"
+           "  inserted prefetches.\n"
+           "    --machine amd|intel   target machine model (default amd)\n"
+           "    --no-nt               disable non-temporal (bypass) hints\n"
+           "    --stride-centric      use the stride-centric baseline pass\n"
+           "                          instead of the MDDLI pipeline\n";
+  }
+  if (command == "run") {
+    return "repf run <file|benchmark> [options]\n"
+           "  Simulate one program alone on core 0 and print run metrics.\n"
+           "    --machine amd|intel   target machine model (default amd)\n"
+           "    --hw                  enable the hardware prefetcher\n"
+           "    --optimize            software-prefetch via the pipeline\n"
+           "                          before running\n";
+  }
+  if (command == "coverage") {
+    return "repf coverage <file|benchmark> [--machine amd|intel]\n"
+           "  Measure miss coverage and overhead (paper Table I columns)\n"
+           "  for the MDDLI-filtered and stride-centric passes.\n";
+  }
+  if (command == "phases") {
+    return "repf phases <file|benchmark> [options]\n"
+           "  Profile the program, fingerprint fixed-size windows by their\n"
+           "  per-PC frequency signatures and cluster them into phases.\n"
+           "    --window N      window size in references (default 65536)\n"
+           "    --threshold X   signature Manhattan-distance threshold in\n"
+           "                    [0, 2] below which windows share a phase\n"
+           "                    (default 0.5)\n";
+  }
+  if (command == "adapt") {
+    return "repf adapt <file|benchmark> [options]\n"
+           "  Run the online adaptive prefetch runtime (windowed sampling,\n"
+           "  phase detection, plan cache, bandwidth governor) against the\n"
+           "  no-prefetch baseline and the offline static plan.\n"
+           "    --machine amd|intel   target machine model (default amd)\n"
+           "    --window N            adaptation window in references\n"
+           "                          (default 1024)\n"
+           "    --threshold X         phase-match threshold in [0, 2]\n"
+           "                          (default 0.5)\n"
+           "    --save-cache FILE     write the learned plan cache as JSON\n"
+           "    --load-cache FILE     warm-start from a saved plan cache\n"
+           "    --verbose             also print the cached plan sets\n";
+  }
+  if (command == "faultcheck") {
+    return "repf faultcheck <file|benchmark> [options]\n"
+           "  Inject sampling faults into the profile and verify the\n"
+           "  never-hurts degradation invariant end-to-end.\n"
+           "    --machine amd|intel   target machine model (default amd)\n"
+           "    --rate PCT            single fault rate in percent\n"
+           "                          (default: sweep 0/5/20/50)\n"
+           "    --seed N              fault-injection seed\n"
+           "    --verbose             print the degradation logs\n";
+  }
+  return nullptr;
 }
 
 workloads::Program load_target(const std::string& target) {
@@ -152,8 +236,11 @@ int cmd_run(const Options& opts) {
 
 int cmd_phases(const Options& opts) {
   const workloads::Program program = load_target(opts.target);
+  core::PhaseOptions phase_options;
+  if (opts.window > 0) phase_options.window_refs = opts.window;
+  if (opts.threshold > 0.0) phase_options.similarity_threshold = opts.threshold;
   const core::PhasedProfile phased =
-      core::profile_with_phases(program, {});
+      core::profile_with_phases(program, {}, phase_options);
   std::printf("%d phase(s) over %llu references\n", phased.num_phases,
               static_cast<unsigned long long>(
                   phased.full.total_references));
@@ -185,6 +272,106 @@ int cmd_coverage(const Options& opts) {
                  format_double(cov_c.overhead(), 1),
                  std::to_string(cov_c.prefetches_executed)});
   std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_adapt(const Options& opts) {
+  const workloads::Program program = load_target(opts.target);
+
+  runtime::AdaptiveOptions aopts;
+  aopts.window_refs = 1024;
+  aopts.sampler = core::SamplerConfig{50, 42};
+  aopts.phases.hysteresis_windows = 1;
+  if (opts.window > 0) aopts.window_refs = opts.window;
+  if (opts.threshold > 0.0) {
+    aopts.phases.similarity_threshold = opts.threshold;
+    aopts.cache.match_threshold = opts.threshold;
+  }
+
+  runtime::AdaptiveController controller(program, opts.machine, aopts);
+  if (!opts.load_cache.empty()) {
+    std::ifstream in(opts.load_cache);
+    if (!in) {
+      std::fprintf(stderr, "repf: cannot read %s\n", opts.load_cache.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto loaded = runtime::PlanCache::from_json(text.str(), aopts.cache);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "repf: %s: %s\n", opts.load_cache.c_str(),
+                   loaded.status().to_string().c_str());
+      return 1;
+    }
+    controller.plan_cache() = std::move(loaded.value());
+    std::printf("# warm start: %zu cached plan set(s) from %s\n",
+                controller.plan_cache().size(), opts.load_cache.c_str());
+  }
+
+  const sim::RunResult base = sim::run_single(opts.machine, program, false);
+  const core::OptimizationReport merged =
+      core::optimize_program(program, opts.machine);
+  const sim::RunResult stat =
+      sim::run_single(opts.machine, merged.optimized, false);
+  const sim::RunResult adaptive =
+      sim::run_single_adaptive(opts.machine, program, false, controller);
+  const runtime::AdaptiveStats stats = controller.stats();
+
+  const double base_cycles = static_cast<double>(base.apps[0].cycles);
+  TextTable runs({"configuration", "cycles", "speedup vs baseline"});
+  const auto row = [&](const char* name, const sim::RunResult& r) {
+    runs.add_row({name, std::to_string(r.apps[0].cycles),
+                  format_double(base_cycles /
+                                    static_cast<double>(r.apps[0].cycles),
+                                3)});
+  };
+  row("baseline (no prefetch)", base);
+  row("static plan (offline)", stat);
+  row("online adaptive", adaptive);
+  std::fputs(runs.render().c_str(), stdout);
+
+  TextTable table({"adaptive runtime metric", "value"});
+  table.add_row({"windows", std::to_string(stats.windows)});
+  table.add_row({"phases detected", std::to_string(stats.phases)});
+  table.add_row({"phase switches", std::to_string(stats.phase_switches)});
+  table.add_row({"re-optimizations", std::to_string(stats.reoptimizations)});
+  table.add_row({"  of which refinements", std::to_string(stats.refinements)});
+  table.add_row({"plan hot-swaps", std::to_string(stats.hot_swaps)});
+  table.add_row({"plan-cache hit rate",
+                 format_percent(stats.cache.hit_rate())});
+  table.add_row({"measured Δ (cycles/memop)",
+                 format_double(stats.measured_cycles_per_memop, 2)});
+  table.add_row({"governor demote windows",
+                 std::to_string(stats.governor.demote_windows)});
+  table.add_row({"governor suppress windows",
+                 std::to_string(stats.governor.suppress_windows)});
+  table.add_row({"governor peak utilization",
+                 format_percent(stats.governor.peak_utilization)});
+  std::fputs(table.render().c_str(), stdout);
+
+  if (opts.verbose) {
+    std::printf("plan cache (MRU first):\n");
+    std::size_t i = 0;
+    for (const auto& entry : controller.plan_cache().entries()) {
+      std::printf("  entry %zu: %zu plan(s)\n", i++, entry.plans.size());
+      for (const auto& plan : entry.plans) {
+        std::printf("    pc%-3u %s %+lld\n", plan.pc,
+                    core::hint_mnemonic(plan.hint),
+                    static_cast<long long>(plan.distance_bytes));
+      }
+    }
+  }
+
+  if (!opts.save_cache.empty()) {
+    std::ofstream out(opts.save_cache);
+    if (!out) {
+      std::fprintf(stderr, "repf: cannot write %s\n", opts.save_cache.c_str());
+      return 1;
+    }
+    out << controller.plan_cache().to_json();
+    std::printf("# saved %zu cached plan set(s) to %s\n",
+                controller.plan_cache().size(), opts.save_cache.c_str());
+  }
   return 0;
 }
 
@@ -288,12 +475,47 @@ int main(int argc, char** argv) {
     } else if (arg == "--seed") {
       if (++i >= argc) return usage();
       opts.fault_seed = static_cast<std::uint64_t>(std::atoll(argv[i]));
+    } else if (arg == "--window") {
+      if (++i >= argc) return usage();
+      const long long window = std::atoll(argv[i]);
+      if (window <= 0) {
+        std::fprintf(stderr, "--window must be positive\n");
+        return 2;
+      }
+      opts.window = static_cast<std::uint64_t>(window);
+    } else if (arg == "--threshold") {
+      if (++i >= argc) return usage();
+      opts.threshold = std::atof(argv[i]);
+      if (opts.threshold <= 0.0 || opts.threshold > 2.0) {
+        std::fprintf(stderr, "--threshold must be in (0, 2]\n");
+        return 2;
+      }
+    } else if (arg == "--save-cache") {
+      if (++i >= argc) return usage();
+      opts.save_cache = argv[i];
+    } else if (arg == "--load-cache") {
+      if (++i >= argc) return usage();
+      opts.load_cache = argv[i];
+    } else if (arg == "--help" || arg == "-h") {
+      opts.help = true;
     } else if (!arg.empty() && arg[0] != '-' && opts.target.empty()) {
       opts.target = arg;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 2;
     }
+  }
+
+  if (opts.command == "--help" || opts.command == "-h" ||
+      opts.command == "help") {
+    usage();
+    return 0;
+  }
+  if (opts.help) {
+    const char* help = help_for(opts.command);
+    if (!help) return usage();
+    std::fputs(help, stdout);
+    return 0;
   }
 
   try {
@@ -304,6 +526,7 @@ int main(int argc, char** argv) {
     if (opts.command == "run") return cmd_run(opts);
     if (opts.command == "coverage") return cmd_coverage(opts);
     if (opts.command == "phases") return cmd_phases(opts);
+    if (opts.command == "adapt") return cmd_adapt(opts);
     if (opts.command == "faultcheck") return cmd_faultcheck(opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "repf: %s\n", e.what());
