@@ -38,33 +38,67 @@ class JsonReport {
   }
 
   /// Write BENCH_<name>.json; prints a warning and returns false on I/O
-  /// failure (benches should not fail CI over a report file).
+  /// failure (benches should not fail CI over a report file). The name is
+  /// sanitized for the filename (a bench name is free text and must not be
+  /// able to escape the working directory or produce an unopenable path),
+  /// and the file is written atomically — temp file then rename — so a
+  /// crashed or concurrent bench never leaves a truncated report behind.
   bool write() const {
-    const std::string path = "BENCH_" + name_ + ".json";
-    std::ofstream out(path);
-    if (!out) {
-      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
-      return false;
-    }
-    out << "{\"bench\": \"" << json::escape(name_) << "\", \"metrics\": {";
-    for (std::size_t i = 0; i < metrics_.size(); ++i) {
-      if (i) out << ", ";
-      out << '"' << json::escape(metrics_[i].first) << "\": ";
-      if (std::holds_alternative<double>(metrics_[i].second)) {
-        char buf[64];
-        std::snprintf(buf, sizeof buf, "%.17g",
-                      std::get<double>(metrics_[i].second));
-        out << buf;
-      } else {
-        out << '"' << json::escape(std::get<std::string>(metrics_[i].second))
-            << '"';
+    const std::string path = "BENCH_" + filename_slug(name_) + ".json";
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp);
+      if (!out) {
+        std::fprintf(stderr, "warning: cannot write %s\n", tmp.c_str());
+        return false;
+      }
+      out << "{\"bench\": \"" << json::escape(name_) << "\", \"metrics\": {";
+      for (std::size_t i = 0; i < metrics_.size(); ++i) {
+        if (i) out << ", ";
+        out << '"' << json::escape(metrics_[i].first) << "\": ";
+        if (std::holds_alternative<double>(metrics_[i].second)) {
+          char buf[64];
+          std::snprintf(buf, sizeof buf, "%.17g",
+                        std::get<double>(metrics_[i].second));
+          out << buf;
+        } else {
+          out << '"' << json::escape(std::get<std::string>(metrics_[i].second))
+              << '"';
+        }
+      }
+      out << "}}\n";
+      out.flush();
+      if (!out) {
+        std::fprintf(stderr, "warning: short write to %s\n", tmp.c_str());
+        std::remove(tmp.c_str());
+        return false;
       }
     }
-    out << "}}\n";
-    return static_cast<bool>(out);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::fprintf(stderr, "warning: cannot rename %s to %s\n", tmp.c_str(),
+                   path.c_str());
+      std::remove(tmp.c_str());
+      return false;
+    }
+    return true;
   }
 
  private:
+  /// Keep [A-Za-z0-9._-]; any other byte (separators, spaces, shell
+  /// metacharacters) becomes '_'. Leading dots are also replaced so the
+  /// report can never be a hidden file or a ".." path component.
+  static std::string filename_slug(const std::string& name) {
+    std::string slug;
+    slug.reserve(name.size());
+    for (char c : name) {
+      const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                        (c == '.' && !slug.empty());
+      slug.push_back(safe ? c : '_');
+    }
+    return slug.empty() ? "unnamed" : slug;
+  }
+
   using Metric = std::variant<double, std::string>;
   std::string name_;
   std::vector<std::pair<std::string, Metric>> metrics_;

@@ -1,6 +1,6 @@
 #include "core/sampler.hh"
 
-#include "workloads/cursor.hh"
+#include "core/trace_replay.hh"
 
 namespace re::core {
 
@@ -123,14 +123,9 @@ void Sampler::flush_open_watches(Profile* into) {
 Profile profile_program(const workloads::Program& program,
                         const SamplerConfig& config, std::uint64_t max_refs) {
   Sampler sampler(config);
-  workloads::ProgramCursor cursor(program);
-  std::uint64_t refs = 0;
-  while (refs < max_refs) {
-    auto event = cursor.next();
-    if (!event) break;
-    sampler.observe(event->inst->pc, event->addr);
-    ++refs;
-  }
+  replay_program(
+      program, [&](Pc pc, Addr addr) { sampler.observe(pc, addr); },
+      max_refs);
   return sampler.finish();
 }
 

@@ -1,0 +1,21 @@
+#include "core/trace_replay.hh"
+
+#include "workloads/cursor.hh"
+
+namespace re::core {
+
+std::uint64_t replay_program(const workloads::Program& program,
+                             const TraceObserver& observer,
+                             std::uint64_t max_refs) {
+  workloads::ProgramCursor cursor(program);
+  std::uint64_t refs = 0;
+  while (refs < max_refs) {
+    auto event = cursor.next();
+    if (!event) break;
+    observer(event->inst->pc, event->addr);
+    ++refs;
+  }
+  return refs;
+}
+
+}  // namespace re::core

@@ -1,0 +1,29 @@
+// Exact-trace replay hook.
+//
+// Every consumer of a workload's full (unsampled) access stream — the
+// sampling profiler, the phase fingerprinter, and the differential
+// verification oracle (src/verify/) — iterates the same ProgramCursor.
+// Routing them through one entry point guarantees that "the trace" means
+// the identical (pc, addr) sequence everywhere: an estimator validated by
+// verify::ExactLruModel is validated against the very stream it sampled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "support/types.hh"
+#include "workloads/program.hh"
+
+namespace re::core {
+
+/// Observer of one memory reference, in program order.
+using TraceObserver = std::function<void(Pc pc, Addr addr)>;
+
+/// Replay one full run of `program` (optionally capped at `max_refs`
+/// references), invoking `observer` for every access. Returns the number of
+/// references replayed.
+std::uint64_t replay_program(const workloads::Program& program,
+                             const TraceObserver& observer,
+                             std::uint64_t max_refs = ~std::uint64_t{0});
+
+}  // namespace re::core

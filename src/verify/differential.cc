@@ -1,0 +1,238 @@
+#include "verify/differential.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <set>
+
+#include "core/statstack.hh"
+#include "core/trace_replay.hh"
+#include "verify/exact_lru.hh"
+
+namespace re::verify {
+
+namespace {
+
+void append_f(std::string& out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_f(std::string& out, const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  out += buf;
+}
+
+/// Exact-side flatness test mirroring core::mrc_flat_between_l1_and_llc,
+/// also reporting the drop fraction for the dead-band check.
+bool exact_flat(const ExactMrc& mrc, const sim::MachineConfig& machine,
+                double drop_threshold, double* drop_out) {
+  *drop_out = 0.0;
+  if (mrc.empty()) return true;
+  const double mr_l1 = mrc.miss_ratio_bytes(machine.l1.size_bytes);
+  if (mr_l1 <= 0.0) return true;
+  const double mr_llc = mrc.miss_ratio_bytes(machine.llc.size_bytes);
+  *drop_out = (mr_l1 - mr_llc) / mr_l1;
+  return *drop_out <= drop_threshold;
+}
+
+double estimated_drop(const core::MissRatioCurve& mrc,
+                      const sim::MachineConfig& machine) {
+  if (mrc.empty()) return 0.0;
+  const double mr_l1 = mrc.miss_ratio_bytes(machine.l1.size_bytes);
+  if (mr_l1 <= 0.0) return 0.0;
+  return (mr_l1 - mrc.miss_ratio_bytes(machine.llc.size_bytes)) / mr_l1;
+}
+
+}  // namespace
+
+double family_app_error_bound(TraceFamily family) {
+  return family == TraceFamily::kPhaseMixed ? 0.10 : 0.02;
+}
+
+double DifferentialResult::max_application_error() const {
+  double worst = 0.0;
+  for (const MrcComparison& c : application) {
+    worst = std::max(worst, c.abs_error());
+  }
+  return worst;
+}
+
+double DifferentialResult::mddli_agreement() const {
+  if (loads.empty()) return 1.0;
+  std::size_t agree = 0;
+  for (const LoadComparison& l : loads) agree += l.mddli_agrees() ? 1 : 0;
+  return static_cast<double>(agree) / static_cast<double>(loads.size());
+}
+
+double DifferentialResult::bypass_agreement() const {
+  if (loads.empty()) return 1.0;
+  std::size_t agree = 0;
+  for (const LoadComparison& l : loads) agree += l.bypass_agrees() ? 1 : 0;
+  return static_cast<double>(agree) / static_cast<double>(loads.size());
+}
+
+std::string DifferentialResult::to_string() const {
+  std::string out;
+  append_f(out, "differential %s machine=%s\n", trace.c_str(),
+           machine.c_str());
+  append_f(out, "  references=%llu reuse_samples=%llu period=%llu\n",
+           static_cast<unsigned long long>(references),
+           static_cast<unsigned long long>(reuse_samples),
+           static_cast<unsigned long long>(sample_period));
+  for (const MrcComparison& c : application) {
+    append_f(out,
+             "  app-mrc %-3s lines=%-6llu exact=%.6f est=%.6f err=%.6f\n",
+             c.level, static_cast<unsigned long long>(c.cache_lines), c.exact,
+             c.estimated, c.abs_error());
+  }
+  for (const LoadComparison& l : loads) {
+    append_f(out,
+             "  load pc%-3llu l1 exact=%.4f est=%.4f"
+             " mddli=%c/%c%s bypass=%c/%c%s\n",
+             static_cast<unsigned long long>(l.pc), l.exact_l1,
+             l.estimated_l1, l.exact_delinquent ? 'D' : '-',
+             l.estimated_delinquent ? 'D' : '-',
+             l.mddli_borderline ? "~" : "", l.exact_bypass ? 'B' : '-',
+             l.estimated_bypass ? 'B' : '-', l.bypass_borderline ? "~" : "");
+  }
+  append_f(out,
+           "  summary max_app_err=%.6f mddli_agree=%.4f bypass_agree=%.4f\n",
+           max_application_error(), mddli_agreement(), bypass_agreement());
+  return out;
+}
+
+DifferentialResult run_differential(const workloads::Program& program,
+                                    const sim::MachineConfig& machine,
+                                    const DifferentialOptions& options) {
+  const std::uint64_t refs =
+      std::min(program.total_references(), options.max_refs);
+
+  core::SamplerConfig sampler_config = options.sampler;
+  if (sampler_config.sample_period == 0) {
+    sampler_config.sample_period = std::max<std::uint64_t>(1, refs / 16384);
+  }
+
+  // One replay feeds both sides, so they judge the identical stream.
+  core::Sampler sampler(sampler_config);
+  ExactLruModel exact;
+  core::replay_program(
+      program,
+      [&](Pc pc, Addr addr) {
+        sampler.observe(pc, addr);
+        exact.observe(pc, addr);
+      },
+      options.max_refs);
+  core::Profile profile = sampler.finish();
+  exact.finalize();
+
+  const core::StatStack model(profile);
+  const core::ReuseGraph graph(profile);
+
+  DifferentialResult result;
+  result.trace = program.name;
+  result.machine = machine.name;
+  result.references = exact.accesses();
+  result.reuse_samples =
+      profile.reuse_samples.size() + profile.dangling_reuse_samples;
+  result.sample_period = sampler_config.sample_period;
+
+  const struct {
+    const char* level;
+    std::uint64_t lines;
+  } levels[] = {{"L1", machine.l1.num_lines()},
+                {"L2", machine.l2.num_lines()},
+                {"LLC", machine.llc.num_lines()}};
+  for (const auto& [level, lines] : levels) {
+    result.application.push_back(
+        {level, lines, exact.application_mrc().miss_ratio_lines(lines),
+         model.application_mrc().miss_ratio_lines(lines)});
+  }
+
+  const std::vector<core::DelinquentLoad> delinquent =
+      core::identify_delinquent_loads(model, profile, machine, options.mddli);
+
+  // Compare every static load of the program (sorted, deduplicated).
+  std::set<Pc> pcs;
+  for (const workloads::Loop& loop : program.loops) {
+    for (const workloads::StaticInst& inst : loop.body) pcs.insert(inst.pc);
+  }
+
+  const double eps = options.decision_epsilon;
+  for (Pc pc : pcs) {
+    LoadComparison cmp;
+    cmp.pc = pc;
+
+    // --- MDDLI: exact side re-derives the paper's cost-benefit test from
+    // ground-truth curves; estimator side is the production pass verbatim.
+    const ExactMrc& exact_mrc = exact.pc_mrc(pc);
+    cmp.exact_l1 = exact_mrc.miss_ratio_bytes(machine.l1.size_bytes);
+    const double exact_l2 = exact_mrc.miss_ratio_bytes(machine.l2.size_bytes);
+    const double exact_llc =
+        exact_mrc.miss_ratio_bytes(machine.llc.size_bytes);
+    const double exact_lat =
+        core::average_miss_latency(machine, cmp.exact_l1, exact_l2, exact_llc);
+    cmp.exact_delinquent =
+        exact_lat > 0.0 &&
+        cmp.exact_l1 > options.mddli.alpha / exact_lat;
+
+    const core::MissRatioCurve& est_mrc = model.pc_mrc(pc);
+    cmp.estimated_l1 = est_mrc.miss_ratio_bytes(machine.l1.size_bytes);
+    const double est_lat = core::average_miss_latency(
+        machine, cmp.estimated_l1,
+        est_mrc.miss_ratio_bytes(machine.l2.size_bytes),
+        est_mrc.miss_ratio_bytes(machine.llc.size_bytes));
+    cmp.estimated_delinquent =
+        std::any_of(delinquent.begin(), delinquent.end(),
+                    [pc](const core::DelinquentLoad& d) { return d.pc == pc; });
+
+    cmp.mddli_borderline =
+        (exact_lat > 0.0 &&
+         std::abs(cmp.exact_l1 - options.mddli.alpha / exact_lat) <= eps) ||
+        (est_lat > 0.0 &&
+         std::abs(cmp.estimated_l1 - options.mddli.alpha / est_lat) <= eps);
+
+    // --- Bypass: same structure. The exact reuse graph plays the role of
+    // the sampled one; a reuser whose MRC drop sits within the dead band of
+    // the flatness threshold makes the whole decision borderline.
+    cmp.estimated_bypass =
+        core::should_bypass(pc, graph, model, machine, options.bypass);
+
+    std::vector<Pc> exact_reusers =
+        exact.reusers_of(pc, options.bypass.min_edge_weight);
+    if (std::find(exact_reusers.begin(), exact_reusers.end(), pc) ==
+        exact_reusers.end()) {
+      exact_reusers.push_back(pc);
+    }
+    cmp.exact_bypass = true;
+    for (Pc reuser : exact_reusers) {
+      double drop = 0.0;
+      const bool flat = exact_flat(exact.pc_mrc(reuser), machine,
+                                   options.bypass.drop_threshold, &drop);
+      if (!flat) cmp.exact_bypass = false;
+      if (std::abs(drop - options.bypass.drop_threshold) <= eps) {
+        cmp.bypass_borderline = true;
+      }
+    }
+    std::vector<Pc> est_reusers =
+        graph.reusers_of(pc, options.bypass.min_edge_weight);
+    if (std::find(est_reusers.begin(), est_reusers.end(), pc) ==
+        est_reusers.end()) {
+      est_reusers.push_back(pc);
+    }
+    for (Pc reuser : est_reusers) {
+      const double drop = estimated_drop(model.pc_mrc(reuser), machine);
+      if (std::abs(drop - options.bypass.drop_threshold) <= eps) {
+        cmp.bypass_borderline = true;
+      }
+    }
+
+    result.loads.push_back(cmp);
+  }
+  return result;
+}
+
+}  // namespace re::verify

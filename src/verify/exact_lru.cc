@@ -1,0 +1,135 @@
+#include "verify/exact_lru.hh"
+
+#include <algorithm>
+
+#include "core/trace_replay.hh"
+
+namespace re::verify {
+
+ExactMrc::ExactMrc(std::vector<RefCount> sorted_distances, std::uint64_t cold)
+    : distances_(std::move(sorted_distances)), cold_(cold) {}
+
+double ExactMrc::miss_ratio_lines(std::uint64_t cache_lines) const {
+  const std::uint64_t total = access_count();
+  if (total == 0) return 0.0;
+  // An access hits iff stack distance < cache size; cold accesses always
+  // miss. A zero-line cache misses everything.
+  auto it = std::lower_bound(distances_.begin(), distances_.end(),
+                             static_cast<RefCount>(cache_lines));
+  const std::uint64_t misses =
+      cold_ + static_cast<std::uint64_t>(distances_.end() - it);
+  return static_cast<double>(misses) / static_cast<double>(total);
+}
+
+ExactLruModel::ExactLruModel() : bit_(1, 0) {}
+
+void ExactLruModel::fenwick_add(std::uint64_t pos, int delta) {
+  for (; pos < bit_.size(); pos += pos & (~pos + 1)) {
+    bit_[pos] = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(bit_[pos]) + delta);
+  }
+}
+
+std::uint64_t ExactLruModel::fenwick_sum(std::uint64_t pos) const {
+  std::uint64_t sum = 0;
+  for (; pos > 0; pos -= pos & (~pos + 1)) sum += bit_[pos];
+  return sum;
+}
+
+void ExactLruModel::observe(Pc pc, Addr addr) {
+  const Addr line = line_of(addr);
+  const std::uint64_t now = ++time_;
+  // Append position `now` to the Fenwick tree. A plain zero-extend would be
+  // wrong: node `now` covers the range (now - lowbit(now), now], and earlier
+  // positions in that range were added while this node did not exist yet, so
+  // their counts must be folded in at append time.
+  const std::uint64_t low = now & (~now + 1);
+  bit_.push_back(static_cast<std::uint32_t>(
+      fenwick_sum(now - 1) - fenwick_sum(now - low)));
+
+  PcAccumulator& acc = per_pc_raw_[pc];
+  ++acc.accesses;
+
+  auto it = last_time_.find(line);
+  if (it == last_time_.end()) {
+    // First touch: cold miss at every cache size.
+    ++app_cold_;
+    ++acc.cold;
+  } else {
+    // Stack distance = distinct lines touched since the previous access =
+    // marked last-access stamps in (prev, now).
+    const std::uint64_t prev = it->second;
+    const RefCount distance = fenwick_sum(now - 1) - fenwick_sum(prev);
+    app_distances_.push_back(distance);
+    acc.distances.push_back(distance);
+    fenwick_add(prev, -1);
+
+    const Pc from = last_pc_[line];
+    ++edges_[from][pc];
+    ++edge_totals_[from];
+  }
+  fenwick_add(now, +1);
+  last_time_[line] = now;
+  last_pc_[line] = pc;
+}
+
+void ExactLruModel::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  std::sort(app_distances_.begin(), app_distances_.end());
+  application_ = ExactMrc(std::move(app_distances_), app_cold_);
+  pcs_.reserve(per_pc_raw_.size());
+  for (auto& [pc, acc] : per_pc_raw_) {
+    std::sort(acc.distances.begin(), acc.distances.end());
+    per_pc_.emplace(pc, ExactMrc(std::move(acc.distances), acc.cold));
+    pcs_.push_back(pc);
+  }
+  std::sort(pcs_.begin(), pcs_.end());
+}
+
+const ExactMrc& ExactLruModel::pc_mrc(Pc pc) const {
+  auto it = per_pc_.find(pc);
+  return it == per_pc_.end() ? empty_ : it->second;
+}
+
+std::uint64_t ExactLruModel::accesses_of(Pc pc) const {
+  auto it = per_pc_raw_.find(pc);
+  return it == per_pc_raw_.end() ? 0 : it->second.accesses;
+}
+
+std::uint64_t ExactLruModel::reuse_edge_count(Pc from, Pc to) const {
+  auto it = edges_.find(from);
+  if (it == edges_.end()) return 0;
+  auto jt = it->second.find(to);
+  return jt == it->second.end() ? 0 : jt->second;
+}
+
+std::uint64_t ExactLruModel::reuse_out_degree(Pc from) const {
+  auto it = edge_totals_.find(from);
+  return it == edge_totals_.end() ? 0 : it->second;
+}
+
+std::vector<Pc> ExactLruModel::reusers_of(Pc pc, double min_fraction) const {
+  std::vector<Pc> out;
+  auto it = edges_.find(pc);
+  if (it == edges_.end()) return out;
+  const double total = static_cast<double>(edge_totals_.at(pc));
+  for (const auto& [to, count] : it->second) {
+    if (static_cast<double>(count) / total >= min_fraction) {
+      out.push_back(to);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ExactLruModel exact_model_of(const workloads::Program& program,
+                             std::uint64_t max_refs) {
+  ExactLruModel model;
+  core::replay_program(
+      program, [&](Pc pc, Addr addr) { model.observe(pc, addr); }, max_refs);
+  model.finalize();
+  return model;
+}
+
+}  // namespace re::verify

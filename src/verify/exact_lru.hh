@@ -1,0 +1,122 @@
+// Exact-LRU reference model: ground truth for StatStack.
+//
+// Computes *true* stack distances for every access of a full (unsampled)
+// trace with the classic Fenwick-tree algorithm (Bennett & Kruskal '75 /
+// Almási et al. '02): maintain a 0/1 tree over timestamps where a 1 marks
+// the most recent access to some line; the stack distance of an access is
+// the number of marked positions after the line's previous access. An
+// access to a fully-associative LRU cache of S lines hits iff its stack
+// distance is < S, so true miss-ratio curves — application-level and
+// per-instruction — follow with no modeling assumptions at all.
+//
+// This is the oracle the differential harness (verify::run_differential)
+// holds the StatStack estimator against, the same bar PPT-Multicore and
+// Barai et al. use to validate their analytical MRC models.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "support/types.hh"
+#include "workloads/program.hh"
+
+namespace re::verify {
+
+/// Exact miss-ratio curve over one population of accesses: the multiset of
+/// their true stack distances plus the cold (first-touch) accesses, which
+/// miss at every cache size.
+class ExactMrc {
+ public:
+  ExactMrc() = default;
+  ExactMrc(std::vector<RefCount> sorted_distances, std::uint64_t cold);
+
+  /// True LRU miss ratio for a fully-associative cache of `cache_lines`
+  /// lines. 0 for an empty population.
+  double miss_ratio_lines(std::uint64_t cache_lines) const;
+  double miss_ratio_bytes(std::uint64_t bytes) const {
+    return miss_ratio_lines(bytes / kLineSize);
+  }
+
+  std::uint64_t access_count() const {
+    return distances_.size() + cold_;
+  }
+  std::uint64_t cold_count() const { return cold_; }
+  bool empty() const { return access_count() == 0; }
+
+ private:
+  std::vector<RefCount> distances_;  // ascending
+  std::uint64_t cold_ = 0;
+};
+
+/// Full-trace exact-LRU model: application and per-PC miss-ratio curves
+/// plus the exact data-reuse successor graph (which PC touches a line next
+/// after each PC — ground truth for the bypass analysis).
+class ExactLruModel {
+ public:
+  ExactLruModel();
+
+  /// Feed one memory reference, in program order.
+  void observe(Pc pc, Addr addr);
+
+  /// Build the queryable curves from everything observed so far. Must be
+  /// called (once) before the query methods; observe() may not be called
+  /// afterwards.
+  void finalize();
+
+  /// Whole-trace curve (cold misses included).
+  const ExactMrc& application_mrc() const { return application_; }
+
+  /// Per-instruction curve of the accesses *executed by* `pc` (empty curve
+  /// for unknown PCs) — the exact analogue of StatStack::pc_mrc.
+  const ExactMrc& pc_mrc(Pc pc) const;
+
+  /// PCs that executed at least one access, ascending.
+  const std::vector<Pc>& pcs() const { return pcs_; }
+
+  std::uint64_t accesses() const { return time_; }
+  std::uint64_t accesses_of(Pc pc) const;
+
+  /// Exact reuse successor counts: edge (a -> b) counts the times a line
+  /// last touched by `a` was next touched by `b`.
+  std::uint64_t reuse_edge_count(Pc from, Pc to) const;
+  std::uint64_t reuse_out_degree(Pc from) const;
+
+  /// Successor PCs of `pc` carrying at least `min_fraction` of its outgoing
+  /// reuse edges, ascending (mirrors core::ReuseGraph::reusers_of).
+  std::vector<Pc> reusers_of(Pc pc, double min_fraction) const;
+
+ private:
+  struct PcAccumulator {
+    std::vector<RefCount> distances;
+    std::uint64_t cold = 0;
+    std::uint64_t accesses = 0;
+  };
+
+  void fenwick_add(std::uint64_t pos, int delta);
+  std::uint64_t fenwick_sum(std::uint64_t pos) const;  // prefix [1, pos]
+
+  std::uint64_t time_ = 0;          // accesses observed (1-based stamps)
+  std::vector<std::uint32_t> bit_;  // Fenwick tree over timestamps
+  std::unordered_map<Addr, std::uint64_t> last_time_;  // line -> stamp
+  std::unordered_map<Addr, Pc> last_pc_;               // line -> last PC
+
+  std::vector<RefCount> app_distances_;
+  std::uint64_t app_cold_ = 0;
+  std::unordered_map<Pc, PcAccumulator> per_pc_raw_;
+  std::unordered_map<Pc, std::unordered_map<Pc, std::uint64_t>> edges_;
+  std::unordered_map<Pc, std::uint64_t> edge_totals_;
+
+  bool finalized_ = false;
+  ExactMrc application_;
+  std::unordered_map<Pc, ExactMrc> per_pc_;
+  std::vector<Pc> pcs_;
+  ExactMrc empty_;
+};
+
+/// Convenience: replay one full run of `program` (capped at `max_refs`)
+/// through a fresh model and finalize it.
+ExactLruModel exact_model_of(const workloads::Program& program,
+                             std::uint64_t max_refs = ~std::uint64_t{0});
+
+}  // namespace re::verify

@@ -1,0 +1,95 @@
+#include "verify/golden.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "core/pipeline.hh"
+#include "workloads/suite.hh"
+
+namespace re::verify {
+
+namespace {
+
+std::vector<std::string> significant_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') continue;
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+}  // namespace
+
+std::vector<GoldenEntry> compute_suite_plans(
+    const sim::MachineConfig& machine) {
+  std::vector<GoldenEntry> entries;
+  for (const std::string& name : workloads::suite_names()) {
+    const workloads::Program program =
+        workloads::make_benchmark(name, workloads::InputSet::Reference);
+    core::OptimizationReport report = core::optimize_program(program, machine);
+    entries.push_back({name, std::move(report.plans)});
+  }
+  return entries;
+}
+
+std::string render_golden(const std::vector<GoldenEntry>& entries,
+                          const std::string& machine_name) {
+  std::ostringstream out;
+  out << "# golden prefetch plans | machine=" << machine_name
+      << " | format=1\n";
+  out << "# Regenerate after a reviewed pipeline change:\n";
+  out << "#   tools/check.sh verify --bless\n";
+  out << "#   (or: repf verify --bless --golden tests/golden"
+         " [--machine intel])\n";
+  for (const GoldenEntry& entry : entries) {
+    out << "benchmark " << entry.benchmark << "\n";
+    if (entry.plans.empty()) {
+      out << "  none\n";
+      continue;
+    }
+    for (const core::PrefetchPlan& plan : entry.plans) {
+      out << "  pc" << plan.pc << " " << core::hint_mnemonic(plan.hint) << " "
+          << (plan.distance_bytes >= 0 ? "+" : "") << plan.distance_bytes
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string golden_filename(const std::string& machine_name) {
+  std::string slug;
+  for (char c : machine_name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug.push_back('_');
+    }
+  }
+  return "plans_" + slug + ".golden";
+}
+
+std::string diff_golden(const std::string& expected,
+                        const std::string& actual) {
+  const std::vector<std::string> want = significant_lines(expected);
+  const std::vector<std::string> got = significant_lines(actual);
+  std::ostringstream diff;
+  const std::size_t n = std::max(want.size(), got.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string* w = i < want.size() ? &want[i] : nullptr;
+    const std::string* g = i < got.size() ? &got[i] : nullptr;
+    if (w && g && *w == *g) continue;
+    if (w) diff << "-" << *w << "\n";
+    if (g) diff << "+" << *g << "\n";
+  }
+  return diff.str();
+}
+
+}  // namespace re::verify

@@ -1,0 +1,40 @@
+// Golden-plan snapshots: the full pipeline's prefetch plans for the
+// 12-benchmark suite, rendered in a stable text format and committed under
+// tests/golden/. A plan change — a new distance, a hint flip, a load
+// appearing or vanishing — shows up as a readable diff instead of silently
+// shifting downstream performance numbers. Re-blessing is deliberate:
+// `repf verify --bless` rewrites the snapshot after a reviewed change.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/insertion.hh"
+#include "sim/config.hh"
+
+namespace re::verify {
+
+struct GoldenEntry {
+  std::string benchmark;
+  std::vector<core::PrefetchPlan> plans;
+};
+
+/// Run the full optimization pipeline (default options, Reference inputs)
+/// over the whole suite on `machine`, in Table I order.
+std::vector<GoldenEntry> compute_suite_plans(const sim::MachineConfig& machine);
+
+/// Render entries in the golden format. Comment lines (leading '#') carry
+/// the machine tag and the re-bless instructions; they are ignored by
+/// comparison so they can evolve freely.
+std::string render_golden(const std::vector<GoldenEntry>& entries,
+                          const std::string& machine_name);
+
+/// Snapshot file name for a machine: "plans_<machine>.golden".
+std::string golden_filename(const std::string& machine_name);
+
+/// Compare two renderings, ignoring comments and blank lines. Returns an
+/// empty string when equivalent, else a line-oriented -expected/+actual
+/// diff suitable for test failure messages.
+std::string diff_golden(const std::string& expected, const std::string& actual);
+
+}  // namespace re::verify

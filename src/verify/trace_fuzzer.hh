@@ -1,0 +1,63 @@
+// Deterministic trace fuzzer: seeded generators of access-pattern families
+// with known analytic ground truth.
+//
+// Each family builds a workloads::Program (so the fuzzed trace flows
+// through the identical cursor/replay machinery as the real workloads)
+// whose parameters — footprints, strides, loop counts — are pseudo-random
+// functions of (seed, variant). The generator also emits *analytic
+// expectations*: points of the application miss-ratio curve that follow
+// from first principles (e.g. a cyclic sweep over N lines misses everything
+// below N lines and only compulsory misses above). The layering is:
+//
+//   analytic truth  -> validates ->  ExactLruModel  -> validates -> StatStack
+//
+// so the oracle itself is pinned before it is trusted to judge the
+// estimator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/program.hh"
+
+namespace re::verify {
+
+/// The fuzzed access-stream families. Kept order-stable: tools print and
+/// iterate them by this order.
+enum class TraceFamily : std::uint8_t {
+  kStrided,       // one long cyclic stride sweep per load
+  kSubLine,       // sub-line strides (intra-line reuse, i = C/stride)
+  kPointerChase,  // serial xorshift walk, no regular stride
+  kBlocked,       // tiled kernel: repeated sweeps over one block at a time
+  kPhaseMixed,    // alternating strided / gather phases
+  kHotCold,       // L1-resident hot buffer + streaming cold loads
+};
+
+const std::vector<TraceFamily>& all_trace_families();
+const char* trace_family_name(TraceFamily family);
+
+/// One analytically-known point of the application miss-ratio curve.
+struct MrcExpectation {
+  std::uint64_t cache_lines = 0;
+  double miss_ratio = 0.0;
+  double tolerance = 0.0;  // absolute
+};
+
+struct FuzzedTrace {
+  TraceFamily family = TraceFamily::kStrided;
+  std::uint64_t seed = 0;
+  std::uint64_t variant = 0;
+  workloads::Program program;
+  /// Analytic ground-truth MRC points (empty for families whose exact
+  /// shape is not closed-form, e.g. pointer chasing).
+  std::vector<MrcExpectation> expectations;
+};
+
+/// Build one deterministic fuzzed trace. The same (family, seed, variant)
+/// always yields the identical program; different seeds/variants vary the
+/// parameters within family-appropriate ranges.
+FuzzedTrace make_trace(TraceFamily family, std::uint64_t seed,
+                       std::uint64_t variant = 0);
+
+}  // namespace re::verify

@@ -135,6 +135,14 @@ AccessPattern parse_pattern(const std::string& kind, const Fields& fields,
     return HotBufferPattern{base, field_signed(fields, "stride", line),
                             field_size(fields, "footprint", line)};
   }
+  if (kind == "blocked") {
+    return BlockedPattern{
+        base, field_signed(fields, "stride", line),
+        field_size(fields, "block", line),
+        field_size(fields, "footprint", line),
+        static_cast<std::uint32_t>(
+            field_size_or(fields, "revisits", 1, line))};
+  }
   throw DslParseError(line, "unknown pattern kind: " + kind);
 }
 
@@ -210,6 +218,12 @@ struct PatternPrinter {
   void operator()(const HotBufferPattern& p) const {
     out << "hot base=" << base_str(p.base) << " stride=" << p.stride
         << " footprint=" << size_str(p.footprint);
+  }
+  void operator()(const BlockedPattern& p) const {
+    out << "blocked base=" << base_str(p.base) << " stride=" << p.stride
+        << " block=" << size_str(p.block_bytes)
+        << " footprint=" << size_str(p.footprint)
+        << " revisits=" << p.revisits;
   }
 };
 

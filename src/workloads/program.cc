@@ -1,5 +1,6 @@
 #include "workloads/program.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <utility>
 
@@ -72,6 +73,23 @@ struct PatternVisitor {
   Addr operator()(const HotBufferPattern& p) const {
     const std::uint64_t i = state.iteration++;
     return wrap(p.base, p.stride * static_cast<std::int64_t>(i), p.footprint);
+  }
+
+  Addr operator()(const BlockedPattern& p) const {
+    const std::uint64_t i = state.iteration++;
+    const std::uint64_t stride_mag = static_cast<std::uint64_t>(
+        p.stride < 0 ? -p.stride : p.stride);
+    const std::uint64_t elems =
+        stride_mag ? std::max<std::uint64_t>(1, p.block_bytes / stride_mag)
+                   : 1;
+    const std::uint64_t pos = i % elems;
+    const std::uint64_t sweep = i / elems;
+    const std::uint64_t block =
+        sweep / std::max<std::uint32_t>(1, p.revisits);
+    const Addr block_off =
+        p.footprint ? (block * p.block_bytes) % p.footprint : 0;
+    return wrap(p.base + block_off,
+                p.stride * static_cast<std::int64_t>(pos), p.block_bytes);
   }
 };
 

@@ -82,9 +82,23 @@ struct HotBufferPattern {
   std::uint64_t footprint = 32 << 10;
 };
 
+/// Tiled (cache-blocked) traversal: the footprint is split into consecutive
+/// blocks of `block_bytes`; each block is swept `revisits` times in
+/// stride-sized steps before the walk advances to the next block (wrapping
+/// at the footprint). Models blocked kernels whose data reuse lives at the
+/// block size, not the footprint — the classic reason an MRC has a knee.
+struct BlockedPattern {
+  Addr base = 0;
+  std::int64_t stride = 64;
+  std::uint64_t block_bytes = 16 << 10;
+  std::uint64_t footprint = 1 << 20;
+  std::uint32_t revisits = 4;  // sweeps per block before advancing
+};
+
 using AccessPattern =
     std::variant<StreamPattern, StridedPattern, PointerChasePattern,
-                 GatherPattern, ShortStreamPattern, HotBufferPattern>;
+                 GatherPattern, ShortStreamPattern, HotBufferPattern,
+                 BlockedPattern>;
 
 /// Runtime iteration state of one static instruction's pattern.
 struct PatternState {

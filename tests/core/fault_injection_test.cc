@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "core/pipeline.hh"
+#include "testutil.hh"
 #include "sim/system.hh"
 #include "workloads/dsl.hh"
 #include "workloads/suite.hh"
@@ -15,7 +16,7 @@ namespace {
 
 Profile clean_profile(const std::string& benchmark = "libquantum") {
   return profile_program(workloads::make_benchmark(benchmark),
-                         SamplerConfig{1000, 42});
+                         SamplerConfig{1000, re::testing::test_seed()});
 }
 
 bool profiles_equal(const Profile& a, const Profile& b) {
@@ -57,15 +58,15 @@ TEST(FaultInjector, ZeroRatesAreIdentity) {
 
 TEST(FaultInjector, DeterministicForSameSeed) {
   const Profile original = clean_profile();
-  const FaultInjector injector(FaultConfig::uniform(0.2, 7));
+  const FaultInjector injector(FaultConfig::uniform(0.2, re::testing::test_seed()));
   EXPECT_TRUE(profiles_equal(injector.inject(original),
                              injector.inject(original)));
 }
 
 TEST(FaultInjector, DifferentSeedsPerturbDifferently) {
   const Profile original = clean_profile();
-  const Profile a = FaultInjector(FaultConfig::uniform(0.2, 1)).inject(original);
-  const Profile b = FaultInjector(FaultConfig::uniform(0.2, 2)).inject(original);
+  const Profile a = FaultInjector(FaultConfig::uniform(0.2, re::testing::test_seed() + 1)).inject(original);
+  const Profile b = FaultInjector(FaultConfig::uniform(0.2, re::testing::test_seed() + 2)).inject(original);
   EXPECT_FALSE(profiles_equal(a, b));
 }
 
@@ -124,7 +125,7 @@ TEST(FaultInjector, DuplicationInflatesSampleCounts) {
 TEST(Degradation, FullSampleLossEmitsNothingAndPreservesProgram) {
   const auto machine = sim::amd_phenom_ii();
   const auto program = workloads::make_benchmark("libquantum");
-  Profile profile = profile_program(program, SamplerConfig{1000, 42});
+  Profile profile = profile_program(program, SamplerConfig{1000, re::testing::test_seed()});
 
   FaultConfig config;
   config.drop_rate = 1.0;  // 100 % sample loss
@@ -173,7 +174,7 @@ TEST(Degradation, StrideOutliersAreSuppressedNotPrefetched) {
   // discarded by the validator, and the affected loads appear in the log.
   const auto machine = sim::amd_phenom_ii();
   const auto program = workloads::make_benchmark("libquantum");
-  Profile profile = profile_program(program, SamplerConfig{1000, 42});
+  Profile profile = profile_program(program, SamplerConfig{1000, re::testing::test_seed()});
   FaultConfig config;
   config.stride_outlier_rate = 1.0;
   Profile faulted = FaultInjector(config).inject(profile);

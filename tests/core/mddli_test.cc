@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "testutil.hh"
+
 #include "core/sampler.hh"
 #include "workloads/suite.hh"
 
@@ -48,7 +50,7 @@ TEST(AverageMissLatency, ClampsInvertedCurves) {
 /// Build a profile where pc 1 streams (always misses) and pc 2 sweeps a
 /// small L1-resident buffer (never misses beyond L1 warmup).
 Profile two_pc_profile() {
-  Sampler s(SamplerConfig{3, 5});
+  Sampler s(SamplerConfig{3, re::testing::test_seed()});
   for (std::uint64_t i = 0; i < 60000; ++i) {
     s.observe(1, i * kLineSize);                       // stream
     s.observe(2, (i % 16) * kLineSize + (1 << 30));    // 1 kB hot buffer
@@ -79,7 +81,7 @@ TEST(Mddli, HighAlphaRejectsEverything) {
 }
 
 TEST(Mddli, MinSamplesFiltersNoisyPcs) {
-  Sampler s(SamplerConfig{1, 5});
+  Sampler s(SamplerConfig{1, re::testing::test_seed()});
   // pc 3 appears only a handful of times.
   for (int i = 0; i < 5; ++i) {
     s.observe(3, static_cast<Addr>(i) * kLineSize);
@@ -95,7 +97,7 @@ TEST(Mddli, MinSamplesFiltersNoisyPcs) {
 
 TEST(Mddli, OrdersByEstimatedMissesDescending) {
   const workloads::Program program = workloads::make_benchmark("mcf");
-  const Profile profile = profile_program(program, SamplerConfig{500, 21});
+  const Profile profile = profile_program(program, SamplerConfig{500, re::testing::test_seed()});
   const StatStack model(profile);
   const auto loads =
       identify_delinquent_loads(model, profile, sim::amd_phenom_ii());
@@ -111,7 +113,7 @@ TEST_P(MddliBoundaryTest, ThresholdIsStrict) {
   // Synthetic single-PC profile with exact miss ratio p to DRAM: the load
   // passes iff p > alpha / dram_latency.
   const double p = GetParam();
-  Sampler s(SamplerConfig{1, 3});
+  Sampler s(SamplerConfig{1, re::testing::test_seed()});
   const int total = 10000;
   const int misses = static_cast<int>(p * total);
   // `misses` streaming lines (dangle) + hits (immediate reuse).

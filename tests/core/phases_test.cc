@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "testutil.hh"
+
 #include "sim/system.hh"
 #include "workloads/suite.hh"
 
@@ -19,7 +21,7 @@ using workloads::StreamPattern;
 Program two_phase_program(std::uint64_t reps = 4) {
   Program p;
   p.name = "two-phase";
-  p.seed = 11;
+  p.seed = re::testing::test_seed();
   StaticInst s1, s2;
   s1.pc = 1;
   s1.pattern = StreamPattern{0, 16, 1 << 20};

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "testutil.hh"
 #include "workloads/cursor.hh"
 #include "workloads/suite.hh"
 
@@ -13,10 +14,12 @@ using workloads::Program;
 using workloads::StaticInst;
 using workloads::StreamPattern;
 
+std::uint64_t seed() { return re::testing::test_seed(); }
+
 /// Feed a synthetic (pc, addr) stream with period-1 sampling so every
 /// reference is a sample point — the sampler then behaves like an exact
 /// reuse/stride tracker and we can check its records analytically.
-Sampler exact_sampler() { return Sampler(SamplerConfig{1, 99}); }
+Sampler exact_sampler() { return Sampler(SamplerConfig{1, seed()}); }
 
 TEST(Sampler, RecordsReuseDistanceOfSameLine) {
   Sampler s = exact_sampler();
@@ -79,7 +82,7 @@ TEST(Sampler, DanglingWatchpointsAttributedToFirstPc) {
 }
 
 TEST(Sampler, CountsPcExecutionsExactly) {
-  Sampler s(SamplerConfig{1000, 1});
+  Sampler s(SamplerConfig{1000, seed()});
   for (int i = 0; i < 10; ++i) s.observe(4, static_cast<Addr>(i) * 4096);
   for (int i = 0; i < 3; ++i) s.observe(5, static_cast<Addr>(i) * 8192);
   const Profile p = s.finish();
@@ -90,7 +93,7 @@ TEST(Sampler, CountsPcExecutionsExactly) {
 }
 
 TEST(Sampler, SparseSamplingMatchesConfiguredRate) {
-  Sampler s(SamplerConfig{100, 42});
+  Sampler s(SamplerConfig{100, seed()});
   // Stream of unique lines: every sample dangles, so the dangling count is
   // the number of sample points taken.
   for (Addr i = 0; i < 100000; ++i) s.observe(1, i * kLineSize);
@@ -114,24 +117,24 @@ TEST(Sampler, FinishResetsForReuse) {
 TEST(ProfileProgram, CapsAtMaxRefs) {
   workloads::Program program;
   program.name = "p";
-  program.seed = 1;
+  program.seed = seed();
   StaticInst inst;
   inst.pc = 1;
   inst.pattern = StreamPattern{0, 64, 1 << 20};
   program.loops.push_back(Loop{{inst}, 100000});
-  const Profile p = profile_program(program, SamplerConfig{10, 3}, 5000);
+  const Profile p = profile_program(program, SamplerConfig{10, seed()}, 5000);
   EXPECT_EQ(p.total_references, 5000u);
 }
 
 TEST(ProfileProgram, StrideSamplesReflectProgramStride) {
   workloads::Program program;
   program.name = "p";
-  program.seed = 1;
+  program.seed = seed();
   StaticInst inst;
   inst.pc = 1;
   inst.pattern = StreamPattern{0, 24, 1 << 22};
   program.loops.push_back(Loop{{inst}, 50000});
-  const Profile p = profile_program(program, SamplerConfig{50, 3});
+  const Profile p = profile_program(program, SamplerConfig{50, seed()});
   ASSERT_GT(p.stride_samples.size(), 100u);
   for (const StrideSample& ss : p.stride_samples) {
     EXPECT_EQ(ss.stride, 24);
@@ -141,8 +144,8 @@ TEST(ProfileProgram, StrideSamplesReflectProgramStride) {
 
 TEST(ProfileProgram, DeterministicForSameSeed) {
   const workloads::Program program = workloads::make_benchmark("soplex");
-  const Profile a = profile_program(program, SamplerConfig{1000, 42});
-  const Profile b = profile_program(program, SamplerConfig{1000, 42});
+  const Profile a = profile_program(program, SamplerConfig{1000, seed()});
+  const Profile b = profile_program(program, SamplerConfig{1000, seed()});
   EXPECT_EQ(a.reuse_samples.size(), b.reuse_samples.size());
   EXPECT_EQ(a.stride_samples.size(), b.stride_samples.size());
   EXPECT_EQ(a.dangling_reuse_samples, b.dangling_reuse_samples);
@@ -153,8 +156,8 @@ TEST(ProfileProgram, SameSeedGivesBitIdenticalProfiles) {
   // bookkeeping must match field-for-field — the reproducibility contract
   // the fault-injection harness builds on.
   const workloads::Program program = workloads::make_benchmark("gcc");
-  const Profile a = profile_program(program, SamplerConfig{500, 7});
-  const Profile b = profile_program(program, SamplerConfig{500, 7});
+  const Profile a = profile_program(program, SamplerConfig{500, seed()});
+  const Profile b = profile_program(program, SamplerConfig{500, seed()});
   ASSERT_EQ(a.reuse_samples.size(), b.reuse_samples.size());
   for (std::size_t i = 0; i < a.reuse_samples.size(); ++i) {
     EXPECT_EQ(a.reuse_samples[i].first_pc, b.reuse_samples[i].first_pc);
@@ -178,8 +181,8 @@ TEST(ProfileProgram, SameSeedGivesBitIdenticalProfiles) {
 
 TEST(ProfileProgram, DifferentSeedsGiveDifferentSamplePoints) {
   const workloads::Program program = workloads::make_benchmark("soplex");
-  const Profile a = profile_program(program, SamplerConfig{1000, 42});
-  const Profile b = profile_program(program, SamplerConfig{1000, 43});
+  const Profile a = profile_program(program, SamplerConfig{1000, seed()});
+  const Profile b = profile_program(program, SamplerConfig{1000, seed() + 1});
   // Same workload, so similar totals — but not the same sample stream.
   const bool identical =
       a.reuse_samples.size() == b.reuse_samples.size() &&

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "testutil.hh"
+
 #include "runtime/online_sampler.hh"
 #include "sim/system.hh"
 #include "workloads/program.hh"
@@ -21,7 +23,7 @@ Program alternating_program(std::uint64_t iterations = 32768,
                             std::uint64_t reps = 2) {
   Program p;
   p.name = "alt";
-  p.seed = 5;
+  p.seed = re::testing::test_seed();
   StaticInst a1, a2;
   a1.pc = 1;
   a1.pattern = StreamPattern{0, 64, 8 << 20};
@@ -156,7 +158,7 @@ TEST(AdaptiveController, RefinesPlansWhenMeasuredDeltaDiverges) {
   // ratio and the controller must re-optimize in place.
   Program p;
   p.name = "stream";
-  p.seed = 9;
+  p.seed = re::testing::test_seed();
   StaticInst s1;
   s1.pc = 1;
   s1.pattern = StreamPattern{0, 64, 8 << 20};

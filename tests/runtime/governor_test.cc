@@ -110,4 +110,61 @@ TEST(BandwidthGovernor, ModeNamesAreStable) {
 }
 
 }  // namespace
+
+// Boundary semantics: both thresholds are inclusive (utilization exactly at
+// the threshold escalates). With the 64 B/cycle channel and 100-cycle
+// windows, N lines put utilization at exactly N/100.
+TEST(BandwidthGovernor, ExactDemoteThresholdEscalates) {
+  BandwidthGovernor at({}, kBytesPerCycle);
+  EXPECT_EQ(at.observe_window(stats_with(60), 100), GovernorMode::Demote);
+
+  BandwidthGovernor below({}, kBytesPerCycle);
+  EXPECT_EQ(below.observe_window(stats_with(59), 100), GovernorMode::Normal);
+}
+
+TEST(BandwidthGovernor, ExactSuppressThresholdEscalates) {
+  BandwidthGovernor at({}, kBytesPerCycle);
+  EXPECT_EQ(at.observe_window(stats_with(85), 100), GovernorMode::Suppress);
+
+  BandwidthGovernor below({}, kBytesPerCycle);
+  EXPECT_EQ(below.observe_window(stats_with(84), 100), GovernorMode::Demote);
+}
+
+// A window sitting exactly on the threshold of the current mode is not
+// calm: it must reset the release streak, even though it does not escalate.
+TEST(BandwidthGovernor, ThresholdWindowResetsTheCalmStreak) {
+  BandwidthGovernor governor({}, kBytesPerCycle);  // release_windows = 2
+  std::uint64_t lines = 0;
+  const auto window = [&](std::uint64_t n) {
+    static Cycle now = 0;
+    lines += n;
+    now += 100;
+    return governor.observe_window(stats_with(lines), now);
+  };
+  EXPECT_EQ(window(70), GovernorMode::Demote);   // escalate
+  EXPECT_EQ(window(10), GovernorMode::Demote);   // calm streak 1
+  EXPECT_EQ(window(60), GovernorMode::Demote);   // exactly at threshold
+  EXPECT_EQ(window(10), GovernorMode::Demote);   // streak restarts at 1
+  EXPECT_EQ(window(10), GovernorMode::Normal);   // streak 2 -> release
+}
+
+// De-escalation from Suppress is one step at a time: windows in the demote
+// band release to Demote, never straight to Normal.
+TEST(BandwidthGovernor, SuppressReleasesThroughDemoteBand) {
+  BandwidthGovernor governor({}, kBytesPerCycle);
+  std::uint64_t lines = 0;
+  Cycle now = 0;
+  const auto window = [&](std::uint64_t n) {
+    lines += n;
+    now += 100;
+    return governor.observe_window(stats_with(lines), now);
+  };
+  EXPECT_EQ(window(90), GovernorMode::Suppress);
+  EXPECT_EQ(window(70), GovernorMode::Suppress);  // calm-for-suppress 1
+  EXPECT_EQ(window(70), GovernorMode::Demote);    // released one step
+  EXPECT_EQ(window(70), GovernorMode::Demote);    // 0.70 >= 0.60: holds
+  EXPECT_EQ(window(10), GovernorMode::Demote);
+  EXPECT_EQ(window(10), GovernorMode::Normal);
+}
+
 }  // namespace re::runtime

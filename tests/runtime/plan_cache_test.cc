@@ -136,5 +136,48 @@ TEST(PlanCache, FromJsonRejectsBadDocuments) {
   }
 }
 
+
+// Eviction under persistence: the MRU order written by to_json() must keep
+// steering eviction after a reload, so a warmed snapshot behaves exactly
+// like the live cache it was taken from.
+TEST(PlanCache, EvictionOrderSurvivesPersistence) {
+  PlanCacheOptions opts;
+  opts.capacity = 2;
+  PlanCache cache(opts);
+  cache.insert(kSigA, plans_for(1, 512));
+  cache.insert(kSigB, plans_for(3, 256));
+  // Promote A: live order is now A (MRU), B (LRU).
+  EXPECT_NE(cache.lookup(kSigA), nullptr);
+
+  auto restored = PlanCache::from_json(cache.to_json(), opts);
+  ASSERT_TRUE(restored.has_value());
+
+  // Inserting into the rebuilt cache must evict B — the LRU at snapshot
+  // time — not A.
+  restored->insert(kSigC, plans_for(4, 128));
+  EXPECT_EQ(restored->size(), 2u);
+  EXPECT_EQ(restored->stats().evictions, 1u);
+  EXPECT_NE(restored->lookup(kSigA), nullptr);
+  EXPECT_NE(restored->lookup(kSigC), nullptr);
+  EXPECT_EQ(restored->lookup(kSigB), nullptr);
+}
+
+TEST(PlanCache, SnapshotTakenAfterEvictionExcludesTheVictim) {
+  PlanCacheOptions opts;
+  opts.capacity = 2;
+  PlanCache cache(opts);
+  cache.insert(kSigA, plans_for(1, 512));
+  cache.insert(kSigB, plans_for(3, 256));
+  cache.insert(kSigC, plans_for(4, 128));  // evicts A
+  ASSERT_EQ(cache.stats().evictions, 1u);
+
+  auto restored = PlanCache::from_json(cache.to_json(), opts);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->size(), 2u);
+  EXPECT_EQ(restored->lookup(kSigA), nullptr);
+  EXPECT_NE(restored->lookup(kSigB), nullptr);
+  EXPECT_NE(restored->lookup(kSigC), nullptr);
+}
+
 }  // namespace
 }  // namespace re::runtime

@@ -2,18 +2,24 @@
 
 #include <gtest/gtest.h>
 
+#include "testutil.hh"
+
 namespace re {
 namespace {
 
+// All statistical bounds below hold for any seed by wide margins (>= 4
+// sigma); RE_TEST_SEED lets a suspected seed-sensitivity be swept directly.
+std::uint64_t seed() { return re::testing::test_seed(); }
+
 TEST(Rng, SameSeedSameSequence) {
-  Rng a(42), b(42);
+  Rng a(seed()), b(seed());
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(a.next(1000), b.next(1000));
   }
 }
 
 TEST(Rng, DifferentSeedsDiverge) {
-  Rng a(1), b(2);
+  Rng a(seed() + 1), b(seed() + 2);
   int differing = 0;
   for (int i = 0; i < 100; ++i) {
     if (a.next(1 << 30) != b.next(1 << 30)) ++differing;
@@ -22,14 +28,14 @@ TEST(Rng, DifferentSeedsDiverge) {
 }
 
 TEST(Rng, NextStaysInRange) {
-  Rng rng(7);
+  Rng rng(seed());
   for (int i = 0; i < 1000; ++i) {
     EXPECT_LT(rng.next(17), 17u);
   }
 }
 
 TEST(Rng, RangeIsInclusive) {
-  Rng rng(7);
+  Rng rng(seed());
   bool saw_lo = false, saw_hi = false;
   for (int i = 0; i < 2000; ++i) {
     const std::uint64_t v = rng.range(3, 5);
@@ -43,7 +49,7 @@ TEST(Rng, RangeIsInclusive) {
 }
 
 TEST(Rng, UniformInUnitInterval) {
-  Rng rng(9);
+  Rng rng(seed());
   double sum = 0.0;
   for (int i = 0; i < 10000; ++i) {
     const double u = rng.uniform();
@@ -55,7 +61,7 @@ TEST(Rng, UniformInUnitInterval) {
 }
 
 TEST(Rng, GeometricGapHasRequestedMean) {
-  Rng rng(11);
+  Rng rng(seed());
   const double mean = 1000.0;
   double sum = 0.0;
   const int n = 20000;
@@ -68,7 +74,7 @@ TEST(Rng, GeometricGapHasRequestedMean) {
 }
 
 TEST(Rng, GeometricGapDegenerateMeanIsOne) {
-  Rng rng(13);
+  Rng rng(seed());
   for (int i = 0; i < 10; ++i) {
     EXPECT_EQ(rng.geometric_gap(0.5), 1u);
     EXPECT_EQ(rng.geometric_gap(1.0), 1u);
@@ -76,7 +82,7 @@ TEST(Rng, GeometricGapDegenerateMeanIsOne) {
 }
 
 TEST(Rng, ForkProducesIndependentChildSeeds) {
-  Rng parent(5);
+  Rng parent(seed());
   Rng c1(parent.fork());
   Rng c2(parent.fork());
   int same = 0;
@@ -87,7 +93,7 @@ TEST(Rng, ForkProducesIndependentChildSeeds) {
 }
 
 TEST(Rng, ChanceRespectsProbability) {
-  Rng rng(17);
+  Rng rng(seed());
   int hits = 0;
   for (int i = 0; i < 10000; ++i) {
     if (rng.chance(0.25)) ++hits;

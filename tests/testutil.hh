@@ -1,0 +1,56 @@
+// Shared test utilities.
+//
+// Every randomized test derives its seed from test_seed() instead of an
+// ad-hoc per-file constant, so one environment variable reproduces (or
+// stress-sweeps) any stochastic failure:
+//
+//   RE_TEST_SEED=1337 ctest -L unit
+//
+// When a test fails, the active seed is printed next to the failure so the
+// exact run can be replayed.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace re::testing {
+
+/// The seed every randomized test should use: RE_TEST_SEED if set and
+/// parseable, else 42.
+inline std::uint64_t test_seed() {
+  if (const char* env = std::getenv("RE_TEST_SEED")) {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(env, &end, 0);
+    if (end != env && *end == '\0') {
+      return static_cast<std::uint64_t>(value);
+    }
+  }
+  return 42;
+}
+
+namespace internal {
+
+/// Prints the active seed after any failed test, so the log always carries
+/// the reproduction command.
+class SeedReporter : public ::testing::EmptyTestEventListener {
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    if (info.result() != nullptr && info.result()->Failed()) {
+      std::printf("[   SEED   ] reproduce with RE_TEST_SEED=%llu\n",
+                  static_cast<unsigned long long>(test_seed()));
+    }
+  }
+};
+
+// Registered during static initialization: gtest's listener list exists
+// before InitGoogleTest, and an inline variable registers exactly once per
+// binary however many translation units include this header.
+inline const bool seed_reporter_registered = [] {
+  ::testing::UnitTest::GetInstance()->listeners().Append(new SeedReporter);
+  return true;
+}();
+
+}  // namespace internal
+}  // namespace re::testing

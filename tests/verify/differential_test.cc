@@ -1,0 +1,99 @@
+// The differential oracle: StatStack fed sparse samples must agree with the
+// exact-LRU model fed the full trace, on the same replay. These bounds are
+// the acceptance criteria for the whole estimation pipeline; loosening them
+// requires a reviewed change, not a tweak.
+#include "verify/differential.hh"
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+#include "testutil.hh"
+#include "verify/trace_fuzzer.hh"
+
+namespace re::verify {
+namespace {
+
+TEST(Differential, EstimatesTrackExactModelAcrossAllFamilies) {
+  const std::uint64_t seed = re::testing::test_seed();
+  const sim::MachineConfig machine = sim::amd_phenom_ii();
+  std::size_t strict_families = 0;
+  for (const TraceFamily family : all_trace_families()) {
+    double worst = 0.0;
+    for (std::uint64_t variant = 0; variant < 2; ++variant) {
+      const FuzzedTrace trace = make_trace(family, seed, variant);
+      const DifferentialResult result =
+          run_differential(trace.program, machine);
+      EXPECT_EQ(result.references, trace.program.total_references());
+      EXPECT_GT(result.reuse_samples, 0u);
+      worst = std::max(worst, result.max_application_error());
+      EXPECT_LE(result.max_application_error(),
+                family_app_error_bound(family))
+          << result.to_string();
+      EXPECT_GE(result.mddli_agreement(), kMinDecisionAgreement)
+          << result.to_string();
+      EXPECT_GE(result.bypass_agreement(), kMinDecisionAgreement)
+          << result.to_string();
+    }
+    if (worst <= 0.02) ++strict_families;
+  }
+  // Acceptance floor: at least 5 of the 6 families inside the strict 2 %
+  // application-MRC bound (phasemix is the documented exception).
+  EXPECT_GE(strict_families, 5u);
+}
+
+TEST(Differential, ReportIsReproducible) {
+  const std::uint64_t seed = re::testing::test_seed();
+  const sim::MachineConfig machine = sim::intel_sandybridge();
+  const FuzzedTrace trace = make_trace(TraceFamily::kHotCold, seed);
+  const DifferentialResult a = run_differential(trace.program, machine);
+  const DifferentialResult b = run_differential(trace.program, machine);
+  EXPECT_EQ(a.to_string(), b.to_string());
+}
+
+TEST(Differential, ReportCarriesEverySection) {
+  const FuzzedTrace trace =
+      make_trace(TraceFamily::kStrided, re::testing::test_seed());
+  const DifferentialResult result =
+      run_differential(trace.program, sim::amd_phenom_ii());
+  const std::string report = result.to_string();
+  EXPECT_NE(report.find("differential " + trace.program.name),
+            std::string::npos);
+  EXPECT_NE(report.find("app-mrc L1"), std::string::npos);
+  EXPECT_NE(report.find("app-mrc L2"), std::string::npos);
+  EXPECT_NE(report.find("app-mrc LLC"), std::string::npos);
+  EXPECT_NE(report.find("load pc1"), std::string::npos);
+  EXPECT_NE(report.find("summary max_app_err="), std::string::npos);
+  ASSERT_EQ(result.application.size(), 3u);
+  EXPECT_FALSE(result.loads.empty());
+}
+
+TEST(Differential, ExplicitSamplePeriodIsHonored) {
+  const FuzzedTrace trace =
+      make_trace(TraceFamily::kStrided, re::testing::test_seed());
+  DifferentialOptions options;
+  options.sampler.sample_period = 97;
+  const DifferentialResult result =
+      run_differential(trace.program, sim::amd_phenom_ii(), options);
+  EXPECT_EQ(result.sample_period, 97u);
+}
+
+// The hot/cold family is the bypass litmus test: the never-reused stream
+// load must be a bypass candidate on BOTH sides, and the hot-buffer load on
+// neither.
+TEST(Differential, HotColdBypassDecisionsAgreeInDetail) {
+  const std::uint64_t seed = re::testing::test_seed();
+  const FuzzedTrace trace = make_trace(TraceFamily::kHotCold, seed);
+  const DifferentialResult result =
+      run_differential(trace.program, sim::amd_phenom_ii());
+  ASSERT_EQ(result.loads.size(), 2u);
+  for (const LoadComparison& load : result.loads) {
+    EXPECT_TRUE(load.bypass_agrees()) << result.to_string();
+    if (load.pc == 2) {
+      EXPECT_TRUE(load.estimated_bypass) << result.to_string();
+      EXPECT_TRUE(load.exact_bypass) << result.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace re::verify

@@ -1,0 +1,115 @@
+#include "verify/exact_lru.hh"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hh"
+#include "verify/trace_fuzzer.hh"
+#include "workloads/program.hh"
+
+namespace re::verify {
+namespace {
+
+Addr line_addr(std::uint64_t line) { return line * kLineSize; }
+
+// Hand-checkable trace: lines A B C A B B. Stack distances: three cold
+// first-touches, then A at distance 2 ({B,C}), B at distance 2 ({C,A}),
+// B at distance 0.
+TEST(ExactLruModel, HandTraceDistances) {
+  ExactLruModel model;
+  model.observe(1, line_addr(0));  // A cold
+  model.observe(1, line_addr(1));  // B cold
+  model.observe(1, line_addr(2));  // C cold
+  model.observe(1, line_addr(0));  // A, distance 2
+  model.observe(2, line_addr(1));  // B, distance 2
+  model.observe(2, line_addr(1));  // B, distance 0
+  model.finalize();
+
+  const ExactMrc& app = model.application_mrc();
+  EXPECT_EQ(app.access_count(), 6u);
+  EXPECT_EQ(app.cold_count(), 3u);
+  // 1 line: only the distance-0 access hits.
+  EXPECT_DOUBLE_EQ(app.miss_ratio_lines(1), 5.0 / 6.0);
+  // 2 lines: same (both reuses sit at distance 2).
+  EXPECT_DOUBLE_EQ(app.miss_ratio_lines(2), 5.0 / 6.0);
+  // 3 lines: only the cold misses remain.
+  EXPECT_DOUBLE_EQ(app.miss_ratio_lines(3), 0.5);
+  // Zero-line cache misses everything.
+  EXPECT_DOUBLE_EQ(app.miss_ratio_lines(0), 1.0);
+}
+
+TEST(ExactLruModel, PerPcAttributionAndReuseEdges) {
+  ExactLruModel model;
+  model.observe(1, line_addr(0));
+  model.observe(1, line_addr(1));
+  model.observe(1, line_addr(2));
+  model.observe(1, line_addr(0));
+  model.observe(2, line_addr(1));  // line last touched by pc1 -> edge 1->2
+  model.observe(2, line_addr(1));  // line last touched by pc2 -> edge 2->2
+  model.finalize();
+
+  EXPECT_EQ(model.accesses(), 6u);
+  EXPECT_EQ(model.accesses_of(1), 4u);
+  EXPECT_EQ(model.accesses_of(2), 2u);
+  EXPECT_EQ((std::vector<Pc>{1, 2}), model.pcs());
+
+  // The distance-0 B access belongs to pc2's curve.
+  EXPECT_DOUBLE_EQ(model.pc_mrc(2).miss_ratio_lines(1), 0.5);
+  EXPECT_DOUBLE_EQ(model.pc_mrc(2).miss_ratio_lines(3), 0.0);
+  // pc1: 3 cold + one distance-2 reuse.
+  EXPECT_DOUBLE_EQ(model.pc_mrc(1).miss_ratio_lines(3), 3.0 / 4.0);
+  // Unknown PC has an empty curve.
+  EXPECT_TRUE(model.pc_mrc(99).empty());
+  EXPECT_DOUBLE_EQ(model.pc_mrc(99).miss_ratio_lines(1), 0.0);
+
+  EXPECT_EQ(model.reuse_edge_count(1, 1), 1u);  // A -> A
+  EXPECT_EQ(model.reuse_edge_count(1, 2), 1u);  // B(pc1) -> B(pc2)
+  EXPECT_EQ(model.reuse_edge_count(2, 2), 1u);
+  EXPECT_EQ(model.reuse_out_degree(1), 2u);
+  EXPECT_EQ((std::vector<Pc>{1, 2}), model.reusers_of(1, 0.05));
+  EXPECT_TRUE(model.reusers_of(99, 0.05).empty());
+}
+
+// The oracle itself is pinned by analytic ground truth: for every fuzzer
+// family that carries closed-form MRC points, the exact model must hit them
+// to within the (tight) stated tolerance.
+TEST(ExactLruModel, MatchesAnalyticGroundTruth) {
+  const std::uint64_t seed = re::testing::test_seed();
+  for (const TraceFamily family : all_trace_families()) {
+    for (std::uint64_t variant = 0; variant < 2; ++variant) {
+      const FuzzedTrace trace = make_trace(family, seed, variant);
+      if (trace.expectations.empty()) continue;
+      const ExactLruModel model = exact_model_of(trace.program);
+      EXPECT_EQ(model.accesses(), trace.program.total_references());
+      for (const MrcExpectation& expect : trace.expectations) {
+        EXPECT_NEAR(model.application_mrc().miss_ratio_lines(
+                        expect.cache_lines),
+                    expect.miss_ratio, expect.tolerance)
+            << trace.program.name << " at " << expect.cache_lines
+            << " lines";
+      }
+    }
+  }
+}
+
+// True LRU miss ratios can only fall as the cache grows (stack inclusion).
+TEST(ExactLruModel, MrcMonotoneInCacheSize) {
+  const FuzzedTrace trace =
+      make_trace(TraceFamily::kPointerChase, re::testing::test_seed());
+  const ExactLruModel model = exact_model_of(trace.program);
+  double prev = 1.0;
+  for (std::uint64_t lines = 1; lines <= 1u << 16; lines *= 2) {
+    const double mr = model.application_mrc().miss_ratio_lines(lines);
+    EXPECT_LE(mr, prev + 1e-12) << "MRC rose at " << lines << " lines";
+    prev = mr;
+  }
+}
+
+TEST(ExactLruModel, MaxRefsCapsTheReplay) {
+  const FuzzedTrace trace =
+      make_trace(TraceFamily::kStrided, re::testing::test_seed());
+  const ExactLruModel model = exact_model_of(trace.program, 1000);
+  EXPECT_EQ(model.accesses(), 1000u);
+}
+
+}  // namespace
+}  // namespace re::verify

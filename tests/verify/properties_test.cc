@@ -1,0 +1,221 @@
+// Property-based invariants over fuzzed traces: whatever the (seeded)
+// parameters, these must hold for every trace the fuzzer can produce.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "core/pipeline.hh"
+#include "core/profile_validator.hh"
+#include "core/sampler.hh"
+#include "core/statstack.hh"
+#include "sim/config.hh"
+#include "testutil.hh"
+#include "verify/exact_lru.hh"
+#include "verify/trace_fuzzer.hh"
+
+namespace re::verify {
+namespace {
+
+core::OptimizerOptions fast_options() {
+  core::OptimizerOptions options;
+  // Skip the baseline timing simulation; the properties under test concern
+  // the analysis passes, not the measured Δ.
+  options.assumed_cycles_per_memop = 3.0;
+  return options;
+}
+
+// StatStack's estimated application MRC must be monotone non-increasing in
+// cache size — the estimator maps a fixed reuse-distance distribution
+// through a survival function, so any rise is an implementation bug.
+TEST(Properties, EstimatedMrcMonotoneInCacheSize) {
+  const std::uint64_t seed = re::testing::test_seed();
+  for (const TraceFamily family : all_trace_families()) {
+    const FuzzedTrace trace = make_trace(family, seed);
+    const core::Profile profile = core::profile_program(
+        trace.program,
+        {std::max<std::uint64_t>(
+             1, trace.program.total_references() / 16384),
+         seed});
+    const core::StatStack model(profile);
+    double prev = 1.0;
+    for (std::uint64_t lines = 16; lines <= 1u << 16; lines *= 2) {
+      const double mr = model.application_mrc().miss_ratio_lines(lines);
+      EXPECT_LE(mr, prev + 1e-9)
+          << trace.program.name << ": MRC rose at " << lines << " lines";
+      prev = mr;
+    }
+  }
+}
+
+// The whole pipeline is deterministic: identical inputs give byte-identical
+// plans (this is what makes `repf verify` reproducible and the golden
+// snapshots stable).
+TEST(Properties, OptimizationPlansAreDeterministic) {
+  const std::uint64_t seed = re::testing::test_seed();
+  const sim::MachineConfig machine = sim::amd_phenom_ii();
+  for (const TraceFamily family : all_trace_families()) {
+    const FuzzedTrace trace = make_trace(family, seed);
+    const core::OptimizationReport a =
+        core::optimize_program(trace.program, machine, fast_options());
+    const core::OptimizationReport b =
+        core::optimize_program(trace.program, machine, fast_options());
+    ASSERT_EQ(a.plans.size(), b.plans.size()) << trace.program.name;
+    for (std::size_t i = 0; i < a.plans.size(); ++i) {
+      EXPECT_EQ(a.plans[i].pc, b.plans[i].pc);
+      EXPECT_EQ(a.plans[i].distance_bytes, b.plans[i].distance_bytes);
+      EXPECT_EQ(a.plans[i].hint, b.plans[i].hint);
+    }
+  }
+}
+
+// Paper Section VI-A: the prefetch distance is capped at half the loop's
+// references (P <= R/2, in bytes: |distance| <= executions/2 * |stride|),
+// and is never shorter than one cache line.
+TEST(Properties, PrefetchDistanceRespectsTheHalfLoopCap) {
+  const std::uint64_t seed = re::testing::test_seed();
+  const sim::MachineConfig machine = sim::amd_phenom_ii();
+  std::size_t plans_checked = 0;
+  for (const TraceFamily family : all_trace_families()) {
+    for (std::uint64_t variant = 0; variant < 2; ++variant) {
+      const FuzzedTrace trace = make_trace(family, seed, variant);
+      const core::OptimizationReport report =
+          core::optimize_program(trace.program, machine, fast_options());
+      for (const core::PrefetchPlan& plan : report.plans) {
+        const std::int64_t stride = [&] {
+          for (const core::StrideInfo& info : report.stride_infos) {
+            if (info.pc == plan.pc) return info.stride;
+          }
+          return std::int64_t{0};
+        }();
+        ASSERT_NE(stride, 0) << "plan for pc" << plan.pc
+                             << " without stride info";
+        const double r = static_cast<double>(
+            report.profile.executions_of(plan.pc));
+        const double cap = std::max(
+            r / 2.0 * static_cast<double>(std::llabs(stride)),
+            static_cast<double>(kLineSize));
+        EXPECT_LE(static_cast<double>(std::llabs(plan.distance_bytes)), cap)
+            << trace.program.name << " pc" << plan.pc;
+        EXPECT_GE(std::llabs(plan.distance_bytes),
+                  static_cast<std::int64_t>(kLineSize));
+        ++plans_checked;
+      }
+    }
+  }
+  EXPECT_GT(plans_checked, 0u);
+}
+
+// Bypass soundness against ground truth: a load may only be demoted to
+// PREFETCHNTA when every instruction that (actually, per the exact model)
+// reuses its lines has a flat MRC between L1 and LLC — i.e. the data truly
+// gains nothing from residing in the shared levels.
+TEST(Properties, NonTemporalPlansOnlyForFlatReusers) {
+  const std::uint64_t seed = re::testing::test_seed();
+  const sim::MachineConfig machine = sim::amd_phenom_ii();
+  const FuzzedTrace trace = make_trace(TraceFamily::kHotCold, seed);
+  const core::OptimizationReport report =
+      core::optimize_program(trace.program, machine, fast_options());
+  const ExactLruModel exact = exact_model_of(trace.program);
+
+  bool saw_nta = false;
+  for (const core::PrefetchPlan& plan : report.plans) {
+    if (plan.hint != workloads::PrefetchHint::NTA) continue;
+    saw_nta = true;
+    std::vector<Pc> reusers = exact.reusers_of(plan.pc, 0.05);
+    reusers.push_back(plan.pc);
+    for (Pc reuser : reusers) {
+      const ExactMrc& mrc = exact.pc_mrc(reuser);
+      if (mrc.empty()) continue;
+      const double mr_l1 = mrc.miss_ratio_bytes(machine.l1.size_bytes);
+      if (mr_l1 <= 0.0) continue;
+      const double drop =
+          (mr_l1 - mrc.miss_ratio_bytes(machine.llc.size_bytes)) / mr_l1;
+      EXPECT_LE(drop, 0.10 + 0.02)
+          << "NTA plan for pc" << plan.pc << " but reuser pc" << reuser
+          << " gains " << drop << " from shared caches";
+    }
+  }
+  // The family is constructed so the cold stream earns an NTA plan.
+  EXPECT_TRUE(saw_nta);
+}
+
+core::Profile small_profile() {
+  core::Profile profile;
+  profile.total_references = 1000;
+  profile.sample_period = 10;
+  profile.reuse_samples.push_back({1, 1, 5, 100});
+  profile.reuse_samples.push_back({1, 2, 40, 400});
+  profile.stride_samples.push_back({1, 64, 10, 200});
+  profile.pc_execution_counts[1] = 500;
+  profile.pc_execution_counts[2] = 500;
+  return profile;
+}
+
+// Sanitizing discards corrupt samples, never invents new ones, and is
+// idempotent: a sanitized profile passes a second pass untouched.
+TEST(Properties, ValidatorSanitizeDiscardsAndIsIdempotent) {
+  core::Profile profile = small_profile();
+  // Internally impossible: reuse beyond the profiled window, stride sample
+  // positioned beyond the window, implausible stride magnitude.
+  profile.reuse_samples.push_back({1, 2, 5000, 100});
+  profile.stride_samples.push_back({1, 64, 10, 5000});
+  profile.stride_samples.push_back({1, std::int64_t{1} << 50, 10, 300});
+
+  const core::ProfileValidator validator;
+  core::DegradationLog log;
+  const Expected<core::Profile> clean = validator.sanitize(profile, &log);
+  ASSERT_TRUE(clean.has_value());
+  EXPECT_EQ(clean->reuse_samples.size(), 2u);
+  EXPECT_EQ(clean->stride_samples.size(), 1u);
+  // One log entry per discard class, with the count in the detail text.
+  EXPECT_EQ(log.count(core::DegradationReason::kCorruptReuseSample), 1u);
+  EXPECT_EQ(log.count(core::DegradationReason::kCorruptStrideSample), 1u);
+
+  core::DegradationLog second_log;
+  const Expected<core::Profile> again = validator.sanitize(*clean, &second_log);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(second_log.empty());
+  EXPECT_EQ(again->reuse_samples.size(), clean->reuse_samples.size());
+  EXPECT_EQ(again->stride_samples.size(), clean->stride_samples.size());
+}
+
+// Classification can only gate, never promote: thin or irregular evidence
+// must not come back kOk, NaN poisoning must come back kInvalid, and a
+// profile with nothing usable is an error, not a silent pass.
+TEST(Properties, ValidatorNeverUpgradesBadEvidence) {
+  const core::ProfileValidator validator;
+
+  core::StrideInfo thin;
+  thin.pc = 1;
+  thin.regular = true;
+  thin.stride = 64;
+  thin.dominance = 1.0;
+  EXPECT_NE(validator.classify_stride_evidence(thin, 2).confidence,
+            core::LoadConfidence::kOk);
+
+  core::StrideInfo irregular = thin;
+  irregular.regular = false;
+  irregular.dominance = 0.4;
+  EXPECT_NE(validator.classify_stride_evidence(irregular, 100).confidence,
+            core::LoadConfidence::kOk);
+
+  core::StrideInfo good = thin;
+  EXPECT_EQ(validator.classify_stride_evidence(good, 100).confidence,
+            core::LoadConfidence::kOk);
+
+  EXPECT_EQ(validator
+                .classify_model_numerics(std::nan(""), 0.1, 0.1, 100.0, 3.0)
+                .confidence,
+            core::LoadConfidence::kInvalid);
+  EXPECT_EQ(validator.classify_model_numerics(0.2, 0.1, 0.05, 100.0, 3.0)
+                .confidence,
+            core::LoadConfidence::kOk);
+
+  core::Profile empty;
+  core::DegradationLog log;
+  EXPECT_FALSE(validator.sanitize(empty, &log).has_value());
+}
+
+}  // namespace
+}  // namespace re::verify

@@ -1,0 +1,85 @@
+#include "verify/trace_fuzzer.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "testutil.hh"
+#include "workloads/dsl.hh"
+
+namespace re::verify {
+namespace {
+
+TEST(TraceFuzzer, SameKeyIsByteDeterministic) {
+  const std::uint64_t seed = re::testing::test_seed();
+  for (const TraceFamily family : all_trace_families()) {
+    const FuzzedTrace a = make_trace(family, seed, 1);
+    const FuzzedTrace b = make_trace(family, seed, 1);
+    EXPECT_EQ(workloads::print_program(a.program),
+              workloads::print_program(b.program));
+    ASSERT_EQ(a.expectations.size(), b.expectations.size());
+    for (std::size_t i = 0; i < a.expectations.size(); ++i) {
+      EXPECT_EQ(a.expectations[i].cache_lines, b.expectations[i].cache_lines);
+      EXPECT_DOUBLE_EQ(a.expectations[i].miss_ratio,
+                       b.expectations[i].miss_ratio);
+    }
+  }
+}
+
+TEST(TraceFuzzer, SeedsAndVariantsChangeTheTrace) {
+  const std::uint64_t seed = re::testing::test_seed();
+  for (const TraceFamily family : all_trace_families()) {
+    const std::string base =
+        workloads::print_program(make_trace(family, seed, 0).program);
+    EXPECT_NE(base,
+              workloads::print_program(make_trace(family, seed, 1).program))
+        << trace_family_name(family) << ": variant did not vary";
+    EXPECT_NE(base, workloads::print_program(
+                        make_trace(family, seed + 1, 0).program))
+        << trace_family_name(family) << ": seed did not vary";
+  }
+}
+
+TEST(TraceFuzzer, FamiliesHaveUniqueNamesAndSaneSizes) {
+  const std::uint64_t seed = re::testing::test_seed();
+  std::set<std::string> names;
+  EXPECT_EQ(all_trace_families().size(), 6u);
+  for (const TraceFamily family : all_trace_families()) {
+    const FuzzedTrace trace = make_trace(family, seed);
+    EXPECT_TRUE(names.insert(trace.program.name).second);
+    EXPECT_NE(trace.program.name.find(trace_family_name(family)),
+              std::string::npos);
+    // Large enough for sparse sampling to be meaningful, small enough for
+    // the tier-1 suite to replay exactly. (phasemix bottoms out near 18k;
+    // the tightly-bounded families keep a 50k floor in the fuzzer itself.)
+    EXPECT_GE(trace.program.total_references(), 15000u);
+    EXPECT_LE(trace.program.total_references(), 500000u);
+    // The DSL round-trip must hold for fuzzed programs too.
+    const workloads::Program reparsed =
+        workloads::parse_program(workloads::print_program(trace.program));
+    EXPECT_EQ(workloads::print_program(reparsed),
+              workloads::print_program(trace.program));
+  }
+}
+
+TEST(TraceFuzzer, ExpectationsAreWellFormed) {
+  const std::uint64_t seed = re::testing::test_seed();
+  std::size_t with_truth = 0;
+  for (const TraceFamily family : all_trace_families()) {
+    const FuzzedTrace trace = make_trace(family, seed);
+    if (!trace.expectations.empty()) ++with_truth;
+    for (const MrcExpectation& e : trace.expectations) {
+      EXPECT_GT(e.cache_lines, 0u);
+      EXPECT_GE(e.miss_ratio, 0.0);
+      EXPECT_LE(e.miss_ratio, 1.0);
+      EXPECT_GT(e.tolerance, 0.0);
+    }
+  }
+  // Four of the six families carry closed-form ground truth (chase and
+  // phasemix intentionally do not).
+  EXPECT_EQ(with_truth, 4u);
+}
+
+}  // namespace
+}  // namespace re::verify

@@ -4,13 +4,25 @@
 #   tools/check.sh [lane] [build-dir]
 #
 # Lanes:
-#   asan    (default) build under ASan+UBSan, run the tier-1 test suite.
-#           Default build dir: build-asan.
-#   werror  build the whole tree with -Werror (RE_WERROR=ON).
-#           Default build dir: build-werror.
-#   bench   smoke-run every bench_* binary with tiny iteration counts
-#           (RE_BENCH_SMOKE=1, RE_MIX_COUNT=2); each must exit 0.
-#           Default build dir: build (reuses the tier-1 build).
+#   asan     (default) build under ASan+UBSan, run the tier-1 test suite.
+#            Default build dir: build-asan.
+#   werror   build the whole tree with -Werror (RE_WERROR=ON).
+#            Default build dir: build-werror.
+#   bench    smoke-run every bench_* binary with tiny iteration counts
+#            (RE_BENCH_SMOKE=1, RE_MIX_COUNT=2); each must exit 0.
+#            Default build dir: build (reuses the tier-1 build).
+#   verify   run the differential-verification lane: `ctest -L verify`,
+#            then `repf verify` against the committed golden plans for both
+#            machines, run twice and compared byte-for-byte (determinism).
+#            `tools/check.sh verify --bless` re-blesses the goldens instead.
+#            Default build dir: build.
+#   coverage Debug build with RE_COVERAGE=ON, full ctest, gcov aggregate
+#            over src/; fails if line coverage drops more than 2 points
+#            below the baseline recorded in DESIGN.md ("Coverage baseline:
+#            NN.N %"). Default build dir: build-cov.
+#   unit | integration
+#            ctest label shortcuts against the tier-1 build
+#            (`ctest -L unit` / `ctest -L integration`).
 #
 # Back-compat: an unknown first argument is treated as the build dir for
 # the asan lane (the original single-lane interface).
@@ -21,7 +33,7 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 
 LANE="${1:-asan}"
 case "$LANE" in
-  asan|werror|bench) shift || true ;;
+  asan|werror|bench|verify|coverage|unit|integration) shift || true ;;
   *) LANE=asan ;;  # first arg is a build dir, keep it in $1
 esac
 
@@ -78,8 +90,105 @@ run_bench() {
   echo "bench smoke lane clean"
 }
 
+ensure_build() {
+  local build_dir="$1"
+  if [[ ! -d "$build_dir" ]]; then
+    cmake -B "$build_dir" -S .
+  fi
+  cmake --build "$build_dir" -j "$JOBS"
+}
+
+run_label() {
+  local label="$1" build_dir="${2:-build}"
+  ensure_build "$build_dir"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS" -L "$label"
+  echo "$label lane clean"
+}
+
+run_verify() {
+  local build_dir="build"
+  local bless=0
+  if [[ "${1:-}" == "--bless" ]]; then
+    bless=1
+    shift || true
+  fi
+  build_dir="${1:-build}"
+  ensure_build "$build_dir"
+
+  if [[ "$bless" == 1 ]]; then
+    "$build_dir/tools/repf" verify --bless --golden tests/golden
+    "$build_dir/tools/repf" verify --bless --golden tests/golden --machine intel
+    echo "goldens re-blessed under tests/golden/"
+    return
+  fi
+
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS" -L verify
+
+  # The oracle sweep must pass against the committed goldens on both
+  # machines — and be byte-identical across runs (the determinism contract
+  # behind golden snapshots and RE_TEST_SEED reproduction).
+  local out_a out_b
+  out_a="$(mktemp)" ; out_b="$(mktemp)"
+  trap 'rm -f "$out_a" "$out_b"' RETURN
+  for machine in amd intel; do
+    "$build_dir/tools/repf" verify --golden tests/golden --machine "$machine" \
+      > "$out_a"
+    "$build_dir/tools/repf" verify --golden tests/golden --machine "$machine" \
+      > "$out_b"
+    cmp -s "$out_a" "$out_b" || {
+      echo "FAILED: repf verify --machine $machine is not deterministic"
+      diff "$out_a" "$out_b" | head -20
+      exit 1
+    }
+    echo "== repf verify --machine $machine: clean + deterministic"
+  done
+  echo "verify lane clean"
+}
+
+run_coverage() {
+  local build_dir="${1:-build-cov}"
+  cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DRE_COVERAGE=ON
+  cmake --build "$build_dir" -j "$JOBS"
+  ctest --test-dir "$build_dir" -j "$JOBS" --output-on-failure > /dev/null
+
+  # Aggregate line coverage over src/ with plain gcov (no gcovr/lcov in the
+  # image): sum per-file "Lines executed" over every instrumented object.
+  local pct
+  pct="$(
+    cd "$build_dir" &&
+    find src -name '*.gcda' | while read -r gcda; do
+      gcov -n "${gcda%.gcda}.o" 2>/dev/null
+    done | awk '
+      /^File/ { f=$2; keep = index(f, "/src/") || index(f, "src/") == 2 }
+      /^Lines executed/ && keep {
+        split($0, a, ":"); split(a[2], b, "% of ")
+        covered += b[1] / 100.0 * b[2]; total += b[2]
+      }
+      END { if (total) printf "%.1f", 100.0 * covered / total; else printf "0.0" }'
+  )"
+  echo "line coverage over src/: ${pct}%"
+
+  local baseline
+  baseline="$(sed -n 's/.*Coverage baseline: \([0-9.]*\) %.*/\1/p' DESIGN.md | head -1)"
+  if [[ -z "$baseline" ]]; then
+    echo "no coverage baseline recorded in DESIGN.md; current is ${pct}%"
+    exit 1
+  fi
+  awk -v p="$pct" -v b="$baseline" 'BEGIN { exit !(p + 2.0 >= b) }' || {
+    echo "FAILED: coverage ${pct}% is more than 2 points below baseline ${baseline}%"
+    exit 1
+  }
+  echo "coverage lane clean (baseline ${baseline}%)"
+}
+
 case "$LANE" in
   asan) run_asan "${1:-}" ;;
   werror) run_werror "${1:-}" ;;
   bench) run_bench "${1:-}" ;;
+  verify) run_verify "${1:-}" "${2:-}" ;;
+  coverage) run_coverage "${1:-}" ;;
+  unit) run_label unit "${1:-}" ;;
+  integration) run_label integration "${1:-}" ;;
 esac

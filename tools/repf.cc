@@ -15,6 +15,8 @@
 //                 [--verbose]
 //   repf faultcheck <file|benchmark> [--machine amd|intel] [--rate PCT]
 //                 [--seed N] [--verbose]
+//   repf verify [--machine amd|intel] [--seed N] [--families a,b,...]
+//                 [--golden DIR] [--bless] [--verbose]
 //
 // Every command also understands --help.
 #include <algorithm>
@@ -34,6 +36,9 @@
 #include "runtime/plan_cache.hh"
 #include "sim/system.hh"
 #include "support/text_table.hh"
+#include "verify/differential.hh"
+#include "verify/golden.hh"
+#include "verify/trace_fuzzer.hh"
 #include "workloads/dsl.hh"
 #include "workloads/suite.hh"
 
@@ -55,6 +60,13 @@ struct Options {
   /// default {0, 5, 20, 50} % ladder.
   double fault_rate = -1.0;
   std::uint64_t fault_seed = 0xFA57;
+  /// Fuzzer seed for `verify` (also set by --seed; own default).
+  std::uint64_t verify_seed = 42;
+  /// Comma-separated fuzzer family names for `verify` (empty = all).
+  std::string families;
+  /// Golden-plan snapshot directory for `verify`; empty skips the check.
+  std::string golden_dir;
+  bool bless = false;
   /// Phase/adaptation window in references (0 = command default).
   std::uint64_t window = 0;
   /// Phase-signature similarity threshold (0 = command default).
@@ -77,7 +89,9 @@ int usage() {
       "  adapt <file|benchmark>       run the online adaptive controller,\n"
       "                               compare vs baseline and static plan\n"
       "  faultcheck <file|benchmark>  inject profile faults, verify the\n"
-      "                               never-hurts degradation invariant\n");
+      "                               never-hurts degradation invariant\n"
+      "  verify                       differential oracle (StatStack vs\n"
+      "                               exact LRU) and golden-plan snapshots\n");
   return 2;
 }
 
@@ -148,6 +162,24 @@ const char* help_for(const std::string& command) {
            "                          (default: sweep 0/5/20/50)\n"
            "    --seed N              fault-injection seed\n"
            "    --verbose             print the degradation logs\n";
+  }
+  if (command == "verify") {
+    return "repf verify [options]\n"
+           "  Run the differential verification harness: fuzzed traces with\n"
+           "  known analytic truth are replayed once into both the sampled\n"
+           "  StatStack estimator and an exact-LRU reference model, and the\n"
+           "  miss-ratio curves plus MDDLI/bypass decisions are compared.\n"
+           "  Output is deterministic: same seed, same bytes.\n"
+           "    --machine amd|intel   target machine model (default amd)\n"
+           "    --seed N              fuzzer seed (default 42)\n"
+           "    --families a,b,...    restrict to these fuzzer families\n"
+           "                          (strided subline chase blocked\n"
+           "                          phasemix hotcold; default all)\n"
+           "    --golden DIR          also check the suite's prefetch plans\n"
+           "                          against DIR/plans_<machine>.golden\n"
+           "    --bless               rewrite the golden snapshot instead\n"
+           "                          of checking it\n"
+           "    --verbose             print the full per-trace reports\n";
   }
   return nullptr;
 }
@@ -436,6 +468,105 @@ int cmd_faultcheck(const Options& opts) {
   return 0;
 }
 
+int cmd_verify(const Options& opts) {
+  std::vector<verify::TraceFamily> families;
+  if (opts.families.empty()) {
+    families = verify::all_trace_families();
+  } else {
+    std::istringstream list(opts.families);
+    std::string name;
+    while (std::getline(list, name, ',')) {
+      bool found = false;
+      for (verify::TraceFamily family : verify::all_trace_families()) {
+        if (name == verify::trace_family_name(family)) {
+          families.push_back(family);
+          found = true;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "unknown fuzzer family: %s\n", name.c_str());
+        return 2;
+      }
+    }
+  }
+
+  constexpr std::uint64_t kVariants = 2;
+  std::printf("# repf verify | machine=%s | seed=%llu | %zu families x %llu"
+              " variants\n",
+              opts.machine.name.c_str(),
+              static_cast<unsigned long long>(opts.verify_seed),
+              families.size(), static_cast<unsigned long long>(kVariants));
+
+  bool failed = false;
+  std::string reports;
+  std::printf("== differential oracle: StatStack vs exact LRU\n");
+  TextTable table({"family", "var", "refs", "samples", "max app err", "bound",
+                   "mddli", "bypass", "verdict"});
+  for (const verify::TraceFamily family : families) {
+    for (std::uint64_t variant = 0; variant < kVariants; ++variant) {
+      const verify::FuzzedTrace trace =
+          verify::make_trace(family, opts.verify_seed, variant);
+      const verify::DifferentialResult result =
+          verify::run_differential(trace.program, opts.machine);
+      const double bound = verify::family_app_error_bound(family);
+      const bool ok =
+          result.max_application_error() <= bound &&
+          result.mddli_agreement() >= verify::kMinDecisionAgreement &&
+          result.bypass_agreement() >= verify::kMinDecisionAgreement;
+      if (!ok) failed = true;
+      table.add_row({verify::trace_family_name(family),
+                     std::to_string(variant),
+                     std::to_string(result.references),
+                     std::to_string(result.reuse_samples),
+                     format_percent(result.max_application_error()),
+                     format_percent(bound),
+                     format_percent(result.mddli_agreement()),
+                     format_percent(result.bypass_agreement()),
+                     ok ? "OK" : "FAIL"});
+      if (opts.verbose || !ok) reports += result.to_string();
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::fputs(reports.c_str(), stdout);
+
+  if (!opts.golden_dir.empty()) {
+    const std::string path =
+        opts.golden_dir + "/" + verify::golden_filename(opts.machine.name);
+    const std::string rendered = verify::render_golden(
+        verify::compute_suite_plans(opts.machine), opts.machine.name);
+    if (opts.bless) {
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "repf: cannot write %s\n", path.c_str());
+        return 1;
+      }
+      out << rendered;
+      std::printf("== golden plans: blessed %s\n", path.c_str());
+    } else {
+      std::ifstream in(path);
+      if (!in) {
+        std::printf("== golden plans: %s missing (run with --bless)\n",
+                    path.c_str());
+        failed = true;
+      } else {
+        std::ostringstream text;
+        text << in.rdbuf();
+        const std::string diff = verify::diff_golden(text.str(), rendered);
+        if (diff.empty()) {
+          std::printf("== golden plans: %s matches\n", path.c_str());
+        } else {
+          std::printf("== golden plans: %s DIFFERS (-golden/+current)\n%s",
+                      path.c_str(), diff.c_str());
+          failed = true;
+        }
+      }
+    }
+  }
+
+  std::printf(failed ? "verify FAILED\n" : "verify clean\n");
+  return failed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -475,6 +606,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--seed") {
       if (++i >= argc) return usage();
       opts.fault_seed = static_cast<std::uint64_t>(std::atoll(argv[i]));
+      opts.verify_seed = opts.fault_seed;
+    } else if (arg == "--families") {
+      if (++i >= argc) return usage();
+      opts.families = argv[i];
+    } else if (arg == "--golden") {
+      if (++i >= argc) return usage();
+      opts.golden_dir = argv[i];
+    } else if (arg == "--bless") {
+      opts.bless = true;
     } else if (arg == "--window") {
       if (++i >= argc) return usage();
       const long long window = std::atoll(argv[i]);
@@ -520,6 +660,7 @@ int main(int argc, char** argv) {
 
   try {
     if (opts.command == "list") return cmd_list();
+    if (opts.command == "verify") return cmd_verify(opts);
     if (opts.target.empty()) return usage();
     if (opts.command == "dump") return cmd_dump(opts);
     if (opts.command == "optimize") return cmd_optimize(opts);
