@@ -4,13 +4,13 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <string>
 #include <utility>
 #include <variant>
 #include <vector>
 
 #include "sim/config.hh"
+#include "support/atomic_file.hh"
 #include "support/json.hh"
 
 namespace re::bench {
@@ -41,43 +41,30 @@ class JsonReport {
   /// failure (benches should not fail CI over a report file). The name is
   /// sanitized for the filename (a bench name is free text and must not be
   /// able to escape the working directory or produce an unopenable path),
-  /// and the file is written atomically — temp file then rename — so a
-  /// crashed or concurrent bench never leaves a truncated report behind.
+  /// and the write goes through the shared atomic temp-file + rename helper
+  /// (support/atomic_file.hh) so a crashed or concurrent bench never leaves
+  /// a truncated report behind.
   bool write() const {
     const std::string path = "BENCH_" + filename_slug(name_) + ".json";
-    const std::string tmp = path + ".tmp";
-    {
-      std::ofstream out(tmp);
-      if (!out) {
-        std::fprintf(stderr, "warning: cannot write %s\n", tmp.c_str());
-        return false;
-      }
-      out << "{\"bench\": \"" << json::escape(name_) << "\", \"metrics\": {";
-      for (std::size_t i = 0; i < metrics_.size(); ++i) {
-        if (i) out << ", ";
-        out << '"' << json::escape(metrics_[i].first) << "\": ";
-        if (std::holds_alternative<double>(metrics_[i].second)) {
-          char buf[64];
-          std::snprintf(buf, sizeof buf, "%.17g",
-                        std::get<double>(metrics_[i].second));
-          out << buf;
-        } else {
-          out << '"' << json::escape(std::get<std::string>(metrics_[i].second))
-              << '"';
-        }
-      }
-      out << "}}\n";
-      out.flush();
-      if (!out) {
-        std::fprintf(stderr, "warning: short write to %s\n", tmp.c_str());
-        std::remove(tmp.c_str());
-        return false;
+    std::string doc = "{\"bench\": \"" + json::escape(name_) +
+                      "\", \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      if (i) doc += ", ";
+      doc += '"' + json::escape(metrics_[i].first) + "\": ";
+      if (std::holds_alternative<double>(metrics_[i].second)) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.17g",
+                      std::get<double>(metrics_[i].second));
+        doc += buf;
+      } else {
+        doc += '"' + json::escape(std::get<std::string>(metrics_[i].second)) +
+               '"';
       }
     }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-      std::fprintf(stderr, "warning: cannot rename %s to %s\n", tmp.c_str(),
-                   path.c_str());
-      std::remove(tmp.c_str());
+    doc += "}}\n";
+    const Status status = support::write_file_atomic(path, doc);
+    if (!status.ok()) {
+      std::fprintf(stderr, "warning: %s\n", status.to_string().c_str());
       return false;
     }
     return true;

@@ -26,7 +26,12 @@ void AdaptiveController::on_reference(int core, Pc pc, Addr addr, Cycle now,
                                       sim::MemorySystem& memory) {
   (void)core;
   std::optional<WindowProfile> window = sampler_.observe(pc, addr, now);
-  if (window) close_window(*window, now, memory);
+  if (window) {
+    if (window_fault_injector_ != nullptr) {
+      window->profile = window_fault_injector_->inject(window->profile);
+    }
+    close_window(*window, now, memory);
+  }
 }
 
 void AdaptiveController::close_window(const WindowProfile& window, Cycle now,
@@ -125,7 +130,8 @@ void AdaptiveController::close_window(const WindowProfile& window, Cycle now,
     }
   }
 
-  const GovernorMode mode = governor_.observe_window(memory.dram_stats(), now);
+  const GovernorMode mode = governor_.observe_window(
+      dram_override_ != nullptr ? *dram_override_ : memory.dram_stats(), now);
   if (mode != applied_mode_) {
     applied_mode_ = mode;
     plans_dirty = true;

@@ -36,6 +36,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/fault_injection.hh"
 #include "core/pipeline.hh"
 #include "runtime/governor.hh"
 #include "runtime/online_sampler.hh"
@@ -123,6 +124,26 @@ class AdaptiveController final : public sim::CoreAgent {
     return active_plans_;
   }
 
+  /// Cheap heartbeat counter for supervision: windows closed so far.
+  std::uint64_t windows_closed() const { return stats_.windows; }
+  /// Δ EWMA as currently measured (the supervisor's sanity probe).
+  double measured_cycles_per_memop() const { return delta_cpm_; }
+
+  // Chaos/fault-injection seams (runtime/chaos.hh). Production runs leave
+  // both null; the injector and stats must outlive their installation.
+  //
+  /// Corrupt every subsequently closed window's sub-profile through the
+  /// given injector before the controller consumes it (mid-run profile
+  /// corruption — the online analogue of PR 1's offline fault models).
+  void set_window_fault_injector(const core::FaultInjector* injector) {
+    window_fault_injector_ = injector;
+  }
+  /// Feed the governor the given (frozen) DRAM stats instead of the live
+  /// channel telemetry — models loss of the bandwidth signal.
+  void set_dram_override(const sim::DramStats* stats) {
+    dram_override_ = stats;
+  }
+
  private:
   void close_window(const WindowProfile& window, Cycle now,
                     sim::MemorySystem& memory);
@@ -155,6 +176,9 @@ class AdaptiveController final : public sim::CoreAgent {
 
   /// Accumulated windowed sub-profile per detected phase.
   std::unordered_map<int, core::Profile> phase_profiles_;
+
+  const core::FaultInjector* window_fault_injector_ = nullptr;
+  const sim::DramStats* dram_override_ = nullptr;
 
   AdaptiveStats stats_;
 };

@@ -5,7 +5,10 @@
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <unordered_set>
 
+#include "support/atomic_file.hh"
+#include "support/checksum.hh"
 #include "support/json.hh"
 
 namespace re::runtime {
@@ -13,6 +16,8 @@ namespace re::runtime {
 namespace {
 
 constexpr int kSnapshotVersion = 1;
+constexpr int kJournalVersion = 2;
+constexpr const char* kJournalMagic = "re-plan-cache";
 
 const char* hint_name(workloads::PrefetchHint hint) {
   switch (hint) {
@@ -40,6 +45,93 @@ void append_printf(std::string& out, const char* fmt, ...) {
   std::vsnprintf(buf, sizeof buf, fmt, args);
   va_end(args);
   out += buf;
+}
+
+/// Canonical serialization of one entry. Shared by both snapshot formats
+/// and by the journal's CRC computation, so a reloaded entry re-serializes
+/// byte-identically.
+std::string entry_to_json(const PlanCache::Entry& entry) {
+  std::string out = "{\"signature\": [";
+  // Sort by PC so snapshots are byte-stable across hash-map orderings.
+  std::vector<std::pair<Pc, double>> sig(entry.signature.begin(),
+                                         entry.signature.end());
+  std::sort(sig.begin(), sig.end());
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    if (i) out += ", ";
+    append_printf(out, "[%" PRIu64 ", %.17g]",
+                  static_cast<std::uint64_t>(sig[i].first), sig[i].second);
+  }
+  out += "], \"plans\": [";
+  for (std::size_t i = 0; i < entry.plans.size(); ++i) {
+    const core::PrefetchPlan& plan = entry.plans[i];
+    if (i) out += ", ";
+    append_printf(out,
+                  "{\"pc\": %" PRIu64 ", \"distance_bytes\": %" PRId64
+                  ", \"hint\": \"%s\"}",
+                  static_cast<std::uint64_t>(plan.pc),
+                  static_cast<std::int64_t>(plan.distance_bytes),
+                  hint_name(plan.hint));
+  }
+  out += "]}";
+  return out;
+}
+
+/// Parse and validate one entry object: required fields present, finite
+/// frequencies, no duplicate signature or plan PCs (a duplicate key means
+/// the snapshot was hand-edited or corrupted — both sides of the duplicate
+/// cannot be trusted).
+Expected<PlanCache::Entry> entry_from_json(const json::Value& entry) {
+  const json::Value* sig = entry.find("signature");
+  const json::Value* plans = entry.find("plans");
+  if (!sig || !sig->is_array() || !plans || !plans->is_array()) {
+    return Status(StatusCode::kDataLoss,
+                  "plan cache: entry missing signature or plans");
+  }
+  PlanCache::Entry out;
+  for (const json::Value& pair : sig->as_array()) {
+    if (!pair.is_array() || pair.as_array().size() != 2 ||
+        !pair.as_array()[0].is_number() || !pair.as_array()[1].is_number()) {
+      return Status(StatusCode::kDataLoss,
+                    "plan cache: signature entries must be [pc, freq]");
+    }
+    const double freq = pair.as_array()[1].as_number();
+    if (!std::isfinite(freq) || freq < 0.0) {
+      return Status(StatusCode::kDataLoss,
+                    "plan cache: non-finite signature frequency");
+    }
+    const Pc pc = static_cast<Pc>(pair.as_array()[0].as_number());
+    if (out.signature.count(pc)) {
+      return Status(StatusCode::kDataLoss,
+                    "plan cache: duplicate signature pc " +
+                        std::to_string(pc));
+    }
+    out.signature[pc] = freq;
+  }
+  std::unordered_set<Pc> plan_pcs;
+  for (const json::Value& plan : plans->as_array()) {
+    const json::Value* pc = plan.find("pc");
+    const json::Value* distance = plan.find("distance_bytes");
+    const json::Value* hint = plan.find("hint");
+    if (!pc || !pc->is_number() || !distance || !distance->is_number() ||
+        !hint || !hint->is_string()) {
+      return Status(StatusCode::kDataLoss,
+                    "plan cache: plan missing pc/distance_bytes/hint");
+    }
+    const Expected<workloads::PrefetchHint> parsed_hint =
+        hint_from_name(hint->as_string());
+    if (!parsed_hint) return parsed_hint.status();
+    core::PrefetchPlan parsed;
+    parsed.pc = static_cast<Pc>(pc->as_number());
+    parsed.distance_bytes = static_cast<std::int64_t>(distance->as_number());
+    parsed.hint = *parsed_hint;
+    if (!plan_pcs.insert(parsed.pc).second) {
+      return Status(StatusCode::kDataLoss,
+                    "plan cache: duplicate plan pc " +
+                        std::to_string(parsed.pc));
+    }
+    out.plans.push_back(parsed);
+  }
+  return out;
 }
 
 }  // namespace
@@ -99,28 +191,7 @@ std::string PlanCache::to_json() const {
   for (const Entry& entry : entries_) {
     if (!first_entry) out += ", ";
     first_entry = false;
-    out += "{\"signature\": [";
-    // Sort by PC so snapshots are byte-stable across hash-map orderings.
-    std::vector<std::pair<Pc, double>> sig(entry.signature.begin(),
-                                           entry.signature.end());
-    std::sort(sig.begin(), sig.end());
-    for (std::size_t i = 0; i < sig.size(); ++i) {
-      if (i) out += ", ";
-      append_printf(out, "[%" PRIu64 ", %.17g]",
-                    static_cast<std::uint64_t>(sig[i].first), sig[i].second);
-    }
-    out += "], \"plans\": [";
-    for (std::size_t i = 0; i < entry.plans.size(); ++i) {
-      const core::PrefetchPlan& plan = entry.plans[i];
-      if (i) out += ", ";
-      append_printf(out,
-                    "{\"pc\": %" PRIu64 ", \"distance_bytes\": %" PRId64
-                    ", \"hint\": \"%s\"}",
-                    static_cast<std::uint64_t>(plan.pc),
-                    static_cast<std::int64_t>(plan.distance_bytes),
-                    hint_name(plan.hint));
-    }
-    out += "]}";
+    out += entry_to_json(entry);
   }
   out += "]}\n";
   return out;
@@ -149,51 +220,143 @@ Expected<PlanCache> PlanCache::from_json(const std::string& text,
   // order (and capacity-overflow eviction) matches the original.
   for (auto it = entries->as_array().rbegin();
        it != entries->as_array().rend(); ++it) {
-    const json::Value& entry = *it;
-    const json::Value* sig = entry.find("signature");
-    const json::Value* plans = entry.find("plans");
-    if (!sig || !sig->is_array() || !plans || !plans->is_array()) {
-      return Status(StatusCode::kDataLoss,
-                    "plan cache: entry missing signature or plans");
-    }
-    core::PhaseSignature signature;
-    for (const json::Value& pair : sig->as_array()) {
-      if (!pair.is_array() || pair.as_array().size() != 2 ||
-          !pair.as_array()[0].is_number() ||
-          !pair.as_array()[1].is_number()) {
-        return Status(StatusCode::kDataLoss,
-                      "plan cache: signature entries must be [pc, freq]");
-      }
-      const double freq = pair.as_array()[1].as_number();
-      if (!std::isfinite(freq) || freq < 0.0) {
-        return Status(StatusCode::kDataLoss,
-                      "plan cache: non-finite signature frequency");
-      }
-      signature[static_cast<Pc>(pair.as_array()[0].as_number())] = freq;
-    }
-    std::vector<core::PrefetchPlan> plan_list;
-    for (const json::Value& plan : plans->as_array()) {
-      const json::Value* pc = plan.find("pc");
-      const json::Value* distance = plan.find("distance_bytes");
-      const json::Value* hint = plan.find("hint");
-      if (!pc || !pc->is_number() || !distance || !distance->is_number() ||
-          !hint || !hint->is_string()) {
-        return Status(StatusCode::kDataLoss,
-                      "plan cache: plan missing pc/distance_bytes/hint");
-      }
-      const Expected<workloads::PrefetchHint> parsed_hint =
-          hint_from_name(hint->as_string());
-      if (!parsed_hint) return parsed_hint.status();
-      core::PrefetchPlan out;
-      out.pc = static_cast<Pc>(pc->as_number());
-      out.distance_bytes = static_cast<std::int64_t>(distance->as_number());
-      out.hint = *parsed_hint;
-      plan_list.push_back(out);
-    }
-    cache.insert(signature, std::move(plan_list));
+    Expected<Entry> entry = entry_from_json(*it);
+    if (!entry) return entry.status();
+    cache.insert(entry->signature, std::move(entry->plans));
   }
   cache.stats_ = PlanCacheStats{};  // loading is not a workload
   return cache;
+}
+
+std::string PlanCache::to_journal() const {
+  std::string out;
+  append_printf(out, "{\"format\": \"%s\", \"version\": %d, \"entries\": %zu}\n",
+                kJournalMagic, kJournalVersion, entries_.size());
+  for (const Entry& entry : entries_) {
+    const std::string payload = entry_to_json(entry);
+    out += "{\"crc\": \"" + support::crc32_hex(support::crc32(payload)) +
+           "\", \"entry\": " + payload + "}\n";
+  }
+  return out;
+}
+
+Expected<PlanCache::LoadReport> PlanCache::from_journal(
+    const std::string& text, const PlanCacheOptions& options) {
+  std::size_t pos = text.find('\n');
+  if (pos == std::string::npos) pos = text.size();
+  const Expected<json::Value> header = json::parse(text.substr(0, pos));
+  if (!header) {
+    return Status(StatusCode::kDataLoss,
+                  "plan cache journal: unreadable header (" +
+                      header.status().message() + ")");
+  }
+  const json::Value* format = header->find("format");
+  const json::Value* version = header->find("version");
+  const json::Value* count = header->find("entries");
+  if (!format || !format->is_string() ||
+      format->as_string() != kJournalMagic) {
+    return Status(StatusCode::kDataLoss,
+                  "plan cache journal: missing or wrong format magic");
+  }
+  if (!version || !version->is_number() ||
+      static_cast<int>(version->as_number()) != kJournalVersion) {
+    return Status(StatusCode::kDataLoss,
+                  "plan cache journal: unsupported version");
+  }
+  if (!count || !count->is_number() || count->as_number() < 0.0) {
+    return Status(StatusCode::kDataLoss,
+                  "plan cache journal: missing entry count");
+  }
+  const std::size_t promised = static_cast<std::size_t>(count->as_number());
+
+  LoadReport report{PlanCache(options), 0, 0, 0, {}};
+  std::vector<Entry> recovered;  // file order = MRU first
+  std::size_t line_no = 1;
+  while (pos < text.size()) {
+    ++line_no;
+    const std::size_t begin = pos + 1;
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    pos = end;
+    const std::string line = text.substr(begin, end - begin);
+    if (line.empty()) continue;
+    const auto quarantine = [&](const std::string& why) {
+      ++report.quarantined;
+      report.quarantine_log.push_back("line " + std::to_string(line_no) +
+                                      ": " + why);
+    };
+    const Expected<json::Value> record = json::parse(line);
+    if (!record) {
+      quarantine("unparseable record (" + record.status().message() + ")");
+      continue;
+    }
+    const json::Value* crc = record->find("crc");
+    const json::Value* entry = record->find("entry");
+    if (!crc || !crc->is_string() || !entry) {
+      quarantine("record missing crc or entry");
+      continue;
+    }
+    Expected<Entry> parsed = entry_from_json(*entry);
+    if (!parsed) {
+      quarantine(parsed.status().message());
+      continue;
+    }
+    // The CRC was taken over the canonical payload text; re-serializing the
+    // parsed entry reproduces those exact bytes, so any in-flight mutation
+    // of values (not just structure) fails the check.
+    const std::string canonical = entry_to_json(*parsed);
+    if (support::crc32_hex(support::crc32(canonical)) != crc->as_string()) {
+      quarantine("crc mismatch");
+      continue;
+    }
+    recovered.push_back(std::move(*parsed));
+  }
+
+  if (recovered.size() + report.quarantined < promised) {
+    report.missing = promised - recovered.size() - report.quarantined;
+    report.quarantine_log.push_back(
+        "truncated: header promised " + std::to_string(promised) +
+        " entries, file holds " +
+        std::to_string(recovered.size() + report.quarantined));
+  }
+
+  // Coldest-first insertion rebuilds the LRU order (see from_json).
+  for (auto it = recovered.rbegin(); it != recovered.rend(); ++it) {
+    report.cache.insert(it->signature, std::move(it->plans));
+  }
+  report.loaded = report.cache.size();
+  report.cache.stats_ = PlanCacheStats{};
+  return report;
+}
+
+Expected<PlanCache::LoadReport> PlanCache::load(
+    const std::string& text, const PlanCacheOptions& options) {
+  // Journal iff the first non-blank line carries the format magic.
+  const std::size_t first = text.find_first_not_of(" \t\r\n");
+  if (first != std::string::npos) {
+    std::size_t eol = text.find('\n', first);
+    if (eol == std::string::npos) eol = text.size();
+    if (text.substr(first, eol - first).find(kJournalMagic) !=
+        std::string::npos) {
+      return from_journal(text.substr(first), options);
+    }
+  }
+  Expected<PlanCache> legacy = from_json(text, options);
+  if (!legacy) return legacy.status();
+  LoadReport report{std::move(*legacy), 0, 0, 0, {}};
+  report.loaded = report.cache.size();
+  return report;
+}
+
+Status PlanCache::save(const std::string& path) const {
+  return support::write_file_atomic(path, to_journal());
+}
+
+Expected<PlanCache::LoadReport> PlanCache::load_file(
+    const std::string& path, const PlanCacheOptions& options) {
+  Expected<std::string> text = support::read_file(path);
+  if (!text) return text.status();
+  return load(*text, options);
 }
 
 }  // namespace re::runtime

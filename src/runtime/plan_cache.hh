@@ -8,6 +8,14 @@
 // same phases on the next run even though window boundaries shift. Capacity
 // is bounded LRU: long-running workloads with many transient phases evict
 // the coldest plans first.
+//
+// Persistence is crash-consistent (DESIGN.md §10): the journal format (v2)
+// writes one CRC-guarded line per entry under a versioned header, so a
+// corrupted or truncated snapshot loses only the damaged entries — they are
+// quarantined and counted while every intact entry is reloaded. The legacy
+// whole-document JSON snapshot (v1) is still read, strictly and
+// all-or-nothing. Writes go through the shared atomic temp-file + rename
+// helper so a kill mid-write never tears the file.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +49,8 @@ struct PlanCacheStats {
   }
 };
 
+struct PlanCacheLoadReport;
+
 class PlanCache {
  public:
   struct Entry {
@@ -72,16 +82,58 @@ class PlanCache {
   std::string to_json() const;
 
   /// Rebuild a cache from a snapshot produced by to_json(). Rejects unknown
-  /// versions and malformed documents with a descriptive status. `options`
-  /// governs the rebuilt cache (entries beyond its capacity are dropped,
-  /// coldest first).
+  /// versions, malformed documents, duplicate signature/plan PCs and
+  /// missing required fields with a descriptive status — a legacy snapshot
+  /// is trusted whole or not at all. `options` governs the rebuilt cache
+  /// (entries beyond its capacity are dropped, coldest first).
   static Expected<PlanCache> from_json(const std::string& text,
                                        const PlanCacheOptions& options = {});
+
+  /// Crash-consistent journal snapshot (v2): a versioned header line
+  /// followed by one line per entry, each carrying the CRC-32 of its
+  /// canonical payload. MRU-first, byte-deterministic.
+  std::string to_journal() const;
+
+  /// What a journal load recovered (defined after the class: the report
+  /// carries a rebuilt cache by value).
+  using LoadReport = PlanCacheLoadReport;
+
+  /// Load a journal produced by to_journal(): quarantine-and-continue.
+  /// Only an unreadable header (wrong magic/version) fails the whole load.
+  static Expected<LoadReport> from_journal(const std::string& text,
+                                           const PlanCacheOptions& options = {});
+
+  /// Load either format: sniffs the journal header and falls back to the
+  /// strict legacy JSON loader (which reports quarantined = 0 on success).
+  static Expected<LoadReport> load(const std::string& text,
+                                   const PlanCacheOptions& options = {});
+
+  /// Persist the journal via the shared atomic temp-file + rename writer.
+  Status save(const std::string& path) const;
+
+  /// Read `path` and load() it.
+  static Expected<LoadReport> load_file(const std::string& path,
+                                        const PlanCacheOptions& options = {});
 
  private:
   PlanCacheOptions opts_;
   std::list<Entry> entries_;  // front = MRU
   PlanCacheStats stats_;
+};
+
+/// What a journal load recovered. `missing` counts entries the header
+/// promised but the file no longer holds (truncated tail); `quarantined`
+/// counts lines present but corrupt (bad JSON, failed CRC, invalid
+/// fields). Both are skipped; every intact entry loads.
+struct PlanCacheLoadReport {
+  PlanCache cache;
+  std::size_t loaded = 0;
+  std::size_t quarantined = 0;
+  std::size_t missing = 0;
+  /// One human-readable reason per quarantined/missing entry.
+  std::vector<std::string> quarantine_log;
+
+  bool degraded() const { return quarantined > 0 || missing > 0; }
 };
 
 }  // namespace re::runtime

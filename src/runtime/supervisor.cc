@@ -1,0 +1,424 @@
+#include "runtime/supervisor.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "runtime/chaos.hh"
+#include "sim/memory_system.hh"
+
+namespace re::runtime {
+
+const char* domain_state_name(DomainState state) {
+  switch (state) {
+    case DomainState::Armed: return "armed";
+    case DomainState::Backoff: return "backoff";
+    case DomainState::HalfOpen: return "half-open";
+    case DomainState::Open: return "open";
+  }
+  return "unknown";
+}
+
+const char* trip_cause_name(TripCause cause) {
+  switch (cause) {
+    case TripCause::None: return "none";
+    case TripCause::Watchdog: return "watchdog";
+    case TripCause::ClockFault: return "clock";
+    case TripCause::PlanFault: return "plan";
+    case TripCause::GovernorFault: return "governor";
+  }
+  return "unknown";
+}
+
+std::string DomainStats::to_string() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "state=%s trips=%d last=%s watchdog=%" PRIu64 " clock=%" PRIu64
+      " plan=%" PRIu64 " governor=%" PRIu64 " rollbacks=%" PRIu64
+      " restarts=%" PRIu64 " recoveries=%" PRIu64 " healthy_windows=%" PRIu64
+      " refs=%" PRIu64 " backoff_refs=%" PRIu64 " recovery_windows=%" PRIu64,
+      domain_state_name(state), trips, trip_cause_name(last_trip),
+      watchdog_fires, clock_faults, plan_faults, governor_faults, rollbacks,
+      restarts, recoveries, healthy_windows, refs_seen, backoff_refs,
+      last_recovery_windows);
+  return buf;
+}
+
+/// One core's failure domain: the (disposable) controller plus everything
+/// the supervisor needs to judge it from the outside.
+struct Supervisor::Domain {
+  Domain(int core_index, std::uint64_t seed)
+      : core(core_index), rng(seed) {}
+
+  int core;
+  std::unique_ptr<AdaptiveController> controller;
+  /// LKG mirror consulted by the simulator. Updated only from validated
+  /// windows while Armed; during Backoff/HalfOpen it keeps the last good
+  /// plans in force; in Open it is active+empty (no-prefetch).
+  sim::PlanOverlay overlay;
+  Rng rng;  // backoff jitter
+  DomainStats stats;
+
+  // Heartbeat / health bookkeeping.
+  std::uint64_t refs_since_window = 0;       // all refs seen since last close
+  std::uint64_t delivered_since_window = 0;  // refs the controller received
+  std::uint64_t last_windows = 0;            // controller windows at last check
+  Cycle last_now = 0;          // last clock delivered (monotonicity guard)
+  Cycle last_window_now = 0;   // delivered clock at the previous window close
+  std::uint64_t last_dram_bytes = 0;  // supervisor's own channel meter
+  Cycle last_dram_cycle = 0;
+  int governor_streak = 0;
+  /// Running cycles-per-memop the domain considers plausible. Deliberately
+  /// NOT reset on trip/restart: a controller restarted mid-skew must be
+  /// judged against the pre-fault baseline, not re-baselined on the faulty
+  /// clock.
+  double cpm_ewma = 0.0;
+  int suspect_streak = 0;
+  /// Trips since the last completed half-open probe: drives the backoff
+  /// exponent and the circuit breaker (stats.trips stays cumulative).
+  int consecutive_trips = 0;
+
+  // Backoff / half-open bookkeeping.
+  std::uint64_t backoff_remaining = 0;  // refs until restart
+  int probe_windows = 0;
+  std::uint64_t refs_at_trip = 0;
+
+  // Last-known-good plan-cache snapshot for warm restarts.
+  std::string lkg_cache;
+  std::uint64_t lkg_insertions = 0;
+
+  // Chaos seams currently installed on the controller.
+  const core::FaultInjector* applied_injector = nullptr;
+  bool blackout = false;
+  sim::DramStats frozen_dram;
+};
+
+Supervisor::Supervisor(const std::vector<const workloads::Program*>& programs,
+                       const sim::MachineConfig& machine,
+                       const SupervisorOptions& options)
+    : programs_(programs), machine_(machine), opts_(options) {
+  Rng master(opts_.seed);
+  domains_.reserve(programs_.size());
+  for (std::size_t i = 0; i < programs_.size(); ++i) {
+    auto domain = std::make_unique<Domain>(static_cast<int>(i), master.fork());
+    domain->controller = std::make_unique<AdaptiveController>(
+        *programs_[i], machine_, opts_.adaptive);
+    domains_.push_back(std::move(domain));
+  }
+}
+
+Supervisor::~Supervisor() = default;
+
+const sim::PlanOverlay* Supervisor::overlay(int core) const {
+  return &domains_[static_cast<std::size_t>(core)]->overlay;
+}
+
+const DomainStats& Supervisor::domain_stats(int core) const {
+  return domains_[static_cast<std::size_t>(core)]->stats;
+}
+
+DomainState Supervisor::domain_state(int core) const {
+  return domains_[static_cast<std::size_t>(core)]->stats.state;
+}
+
+const AdaptiveController* Supervisor::controller(int core) const {
+  return domains_[static_cast<std::size_t>(core)]->controller.get();
+}
+
+bool Supervisor::any_open() const {
+  for (const auto& domain : domains_) {
+    if (domain->stats.state == DomainState::Open) return true;
+  }
+  return false;
+}
+
+int Supervisor::total_trips() const {
+  int trips = 0;
+  for (const auto& domain : domains_) trips += domain->stats.trips;
+  return trips;
+}
+
+void Supervisor::on_reference(int core, Pc pc, Addr addr, Cycle now,
+                              sim::MemorySystem& memory) {
+  Domain& domain = *domains_[static_cast<std::size_t>(core)];
+  const std::uint64_t ref_index = domain.stats.refs_seen++;
+
+  RefChaos chaos;
+  if (chaos_ != nullptr) chaos = chaos_->advance(core, ref_index);
+
+  switch (domain.stats.state) {
+    case DomainState::Open:
+      return;  // circuit broken: the core runs no-prefetch, untouched
+    case DomainState::Backoff:
+      ++domain.stats.backoff_refs;
+      if (domain.backoff_remaining > 0) --domain.backoff_remaining;
+      if (domain.backoff_remaining == 0) restart(domain);
+      return;
+    case DomainState::Armed:
+    case DomainState::HalfOpen:
+      break;
+  }
+
+  AdaptiveController& controller = *domain.controller;
+
+  // (Re-)install chaos seams. The supervisor does this mechanically on
+  // behalf of the harness; it draws no conclusions from it — detection below
+  // works purely from symptoms.
+  if (chaos.governor_blackout != domain.blackout) {
+    if (chaos.governor_blackout) {
+      domain.frozen_dram = memory.dram_stats();
+      controller.set_dram_override(&domain.frozen_dram);
+    } else {
+      controller.set_dram_override(nullptr);
+    }
+    domain.blackout = chaos.governor_blackout;
+  }
+  if (chaos.profile_injector != domain.applied_injector) {
+    controller.set_window_fault_injector(chaos.profile_injector);
+    domain.applied_injector = chaos.profile_injector;
+  }
+
+  // Heartbeat: every reference the core executes is one the controller was
+  // supposed to account toward a window, delivered or not.
+  ++domain.refs_since_window;
+
+  if (chaos.drop) {
+    // Reference swallowed before the controller (stalled sampler). Only the
+    // watchdog can see this.
+    if (domain.refs_since_window >
+        opts_.heartbeat_grace_windows * opts_.adaptive.window_refs) {
+      trip(domain, TripCause::Watchdog);
+    }
+    return;
+  }
+
+  const Cycle seen = now + static_cast<Cycle>(chaos.clock_skew);
+
+  // Monotonicity guard: the delivered clock must never run backwards.
+  if (domain.last_now != 0 && seen < domain.last_now) {
+    trip(domain, TripCause::ClockFault);
+    return;
+  }
+  domain.last_now = seen;
+
+  controller.on_reference(core, pc, addr, seen, memory);
+  ++domain.delivered_since_window;
+
+  if (controller.windows_closed() > domain.last_windows) {
+    domain.last_windows = controller.windows_closed();
+    const std::uint64_t delivered = domain.delivered_since_window;
+    domain.refs_since_window = 0;
+    domain.delivered_since_window = 0;
+    validate_window(domain, seen, now, delivered, memory);
+  } else if (domain.refs_since_window >
+             opts_.heartbeat_grace_windows * opts_.adaptive.window_refs) {
+    trip(domain, TripCause::Watchdog);
+  }
+}
+
+void Supervisor::validate_window(Domain& domain, Cycle seen, Cycle now,
+                                 std::uint64_t delivered_refs,
+                                 sim::MemorySystem& memory) {
+  AdaptiveController& controller = *domain.controller;
+
+  // Clock sanity, measured by the supervisor itself: cycles the delivered
+  // clock advanced per delivered reference over the window just closed. An
+  // in-order core stalls a few hundred cycles per reference at worst; a
+  // drifting clock shows thousands.
+  if (domain.last_window_now != 0 && delivered_refs > 0) {
+    const double window_cpm =
+        static_cast<double>(seen - domain.last_window_now) /
+        static_cast<double>(delivered_refs);
+    if (!(window_cpm <= opts_.max_cycles_per_memop)) {
+      trip(domain, TripCause::ClockFault);
+      return;
+    }
+    // Relative plausibility: moderate skew hides below the absolute bound
+    // but still dwarfs the domain's own history. A suspect window is never
+    // mirrored (its plans were computed from a clock we do not trust);
+    // repeated suspects trip. The EWMA inflates each suspect window so a
+    // genuine persistent regime change is accepted after a bounded number
+    // of windows instead of tripping forever.
+    if (domain.cpm_ewma > 0.0 &&
+        window_cpm > opts_.suspicious_cpm_factor * domain.cpm_ewma) {
+      domain.last_window_now = seen;
+      domain.cpm_ewma *= 1.5;
+      const sim::DramStats& live = memory.dram_stats();
+      domain.last_dram_bytes = live.total_bytes() + live.writeback_bytes();
+      domain.last_dram_cycle = now;
+      if (++domain.suspect_streak >= opts_.clock_suspect_windows) {
+        trip(domain, TripCause::ClockFault);
+      }
+      return;
+    }
+    domain.suspect_streak = 0;
+    domain.cpm_ewma = domain.cpm_ewma == 0.0
+                          ? window_cpm
+                          : 0.75 * domain.cpm_ewma + 0.25 * window_cpm;
+  }
+  domain.last_window_now = seen;
+  if (!std::isfinite(controller.measured_cycles_per_memop())) {
+    trip(domain, TripCause::ClockFault);
+    return;
+  }
+
+  // Plan sanity: bounded count, bounded distances.
+  const std::vector<core::PrefetchPlan>& plans = controller.active_plans();
+  if (plans.size() > opts_.max_plans_per_core) {
+    trip(domain, TripCause::PlanFault);
+    return;
+  }
+  for (const core::PrefetchPlan& plan : plans) {
+    if (plan.distance_bytes > opts_.max_plan_distance_bytes ||
+        plan.distance_bytes < -opts_.max_plan_distance_bytes) {
+      trip(domain, TripCause::PlanFault);
+      return;
+    }
+  }
+
+  // Governor cross-check: meter the shared channel independently (true
+  // clock, live stats) and compare with what the governor claims to see. A
+  // divergent window is never mirrored — a blinded governor de-escalates
+  // and turns prefetching loose on a saturated channel, and the plans it
+  // releases must not reach the simulator while the signal is in doubt.
+  const sim::DramStats& live = memory.dram_stats();
+  const std::uint64_t bytes = live.total_bytes() + live.writeback_bytes();
+  bool divergent = false;
+  if (domain.last_dram_cycle != 0 && now > domain.last_dram_cycle &&
+      machine_.dram_bytes_per_cycle > 0.0) {
+    const double capacity =
+        machine_.dram_bytes_per_cycle *
+        static_cast<double>(now - domain.last_dram_cycle);
+    const double observed =
+        static_cast<double>(bytes - domain.last_dram_bytes) / capacity;
+    const double reported = controller.governor().last_utilization();
+    divergent = std::abs(observed - reported) > opts_.governor_divergence;
+    if (divergent) {
+      ++domain.governor_streak;
+    } else {
+      domain.governor_streak = 0;
+    }
+    if (domain.governor_streak >= opts_.governor_divergence_windows) {
+      trip(domain, TripCause::GovernorFault);
+      return;
+    }
+  }
+  domain.last_dram_bytes = bytes;
+  domain.last_dram_cycle = now;
+  if (divergent) return;  // hold the LKG mirror, stall any half-open probe
+
+  // Window is healthy.
+  ++domain.stats.healthy_windows;
+  if (domain.stats.state == DomainState::HalfOpen) {
+    if (++domain.probe_windows >= opts_.half_open_probe_windows) {
+      domain.stats.state = DomainState::Armed;
+      ++domain.stats.recoveries;
+      domain.consecutive_trips = 0;  // the breaker re-arms fully
+      const std::uint64_t window_refs =
+          std::max<std::uint64_t>(opts_.adaptive.window_refs, 1);
+      domain.stats.last_recovery_windows =
+          (domain.stats.refs_seen - domain.refs_at_trip + window_refs - 1) /
+          window_refs;
+    }
+  }
+  if (domain.stats.state == DomainState::Armed) mirror_overlay(domain);
+}
+
+void Supervisor::mirror_overlay(Domain& domain) {
+  domain.overlay = *domain.controller->overlay(domain.core);
+
+  // Refresh the LKG plan-cache snapshot whenever the cache has changed
+  // under a validated window (insertions only ever grow).
+  const std::uint64_t insertions =
+      domain.controller->plan_cache().stats().insertions;
+  if (insertions != domain.lkg_insertions) {
+    domain.lkg_cache = domain.controller->plan_cache().to_journal();
+    domain.lkg_insertions = insertions;
+  }
+}
+
+void Supervisor::trip(Domain& domain, TripCause cause) {
+  DomainStats& stats = domain.stats;
+  stats.last_trip = cause;
+  ++stats.trips;
+  ++domain.consecutive_trips;
+  switch (cause) {
+    case TripCause::Watchdog: ++stats.watchdog_fires; break;
+    case TripCause::ClockFault: ++stats.clock_faults; break;
+    case TripCause::PlanFault: ++stats.plan_faults; break;
+    case TripCause::GovernorFault: ++stats.governor_faults; break;
+    case TripCause::None: break;
+  }
+  // The overlay keeps whatever the last *validated* window installed — that
+  // is the rollback: the tripped controller's half-adapted state is simply
+  // never mirrored.
+  if (domain.overlay.active) ++stats.rollbacks;
+
+  // Discard the suspect controller wholesale (its sampler, detector and
+  // governor state are all untrusted now) and detach the seams with it.
+  domain.controller.reset();
+  domain.applied_injector = nullptr;
+  domain.blackout = false;
+  domain.refs_since_window = 0;
+  domain.delivered_since_window = 0;
+  domain.last_windows = 0;
+  domain.governor_streak = 0;
+  domain.suspect_streak = 0;
+  domain.probe_windows = 0;
+  domain.refs_at_trip = stats.refs_seen;
+
+  if (domain.consecutive_trips >= opts_.max_trips) {
+    // Circuit open: degrade this core to no-prefetch (the guaranteed-safe
+    // baseline) permanently. Other domains are untouched.
+    stats.state = DomainState::Open;
+    domain.overlay.plans.clear();
+    domain.overlay.active = true;
+    return;
+  }
+
+  stats.state = DomainState::Backoff;
+  const int exponent = std::min(domain.consecutive_trips - 1,
+                                30);  // >= 1 here; cap the shift
+  std::uint64_t windows = opts_.backoff_base_windows
+                          << static_cast<unsigned>(exponent);
+  windows = std::min(std::max<std::uint64_t>(windows, 1),
+                     std::max<std::uint64_t>(opts_.max_backoff_windows, 1));
+  const double jitter =
+      1.0 + opts_.backoff_jitter * (2.0 * domain.rng.uniform() - 1.0);
+  const double refs = static_cast<double>(windows) *
+                      static_cast<double>(opts_.adaptive.window_refs) *
+                      std::max(jitter, 0.0);
+  domain.backoff_remaining = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(refs), 1);
+}
+
+void Supervisor::restart(Domain& domain) {
+  domain.controller = std::make_unique<AdaptiveController>(
+      *programs_[static_cast<std::size_t>(domain.core)], machine_,
+      opts_.adaptive);
+  if (opts_.restart_from_lkg_cache && !domain.lkg_cache.empty()) {
+    Expected<PlanCache::LoadReport> warm =
+        PlanCache::load(domain.lkg_cache, opts_.adaptive.cache);
+    if (warm.has_value()) {
+      domain.controller->plan_cache() = std::move(warm.value().cache);
+    }
+  }
+  ++domain.stats.restarts;
+  domain.stats.state = DomainState::HalfOpen;
+  domain.probe_windows = 0;
+  domain.refs_since_window = 0;
+  domain.delivered_since_window = 0;
+  domain.last_windows = 0;
+  // Re-sync the clock and channel baselines: the new controller starts a
+  // fresh timeline and the supervisor must not judge it against the old one.
+  domain.last_now = 0;
+  domain.last_window_now = 0;
+  domain.last_dram_cycle = 0;
+  domain.last_dram_bytes = 0;
+  domain.governor_streak = 0;
+  domain.lkg_insertions = 0;
+}
+
+}  // namespace re::runtime

@@ -1,0 +1,209 @@
+// Supervision layer for the online adaptive runtime: per-core failure
+// domains around AdaptiveController.
+//
+// The controller (PR 2) assumes every component stays healthy. On real
+// hardware the pieces it depends on fail independently: the sampling window
+// stalls (PMU interrupt storms, watchpoint exhaustion), the clock it reads
+// skews, the bandwidth telemetry feeding the governor goes dark, and the
+// profile stream can corrupt mid-run. The paper's never-hurts contract
+// (Section VI-B) does not allow any of those to poison prefetch decisions —
+// let alone decisions on *other* cores.
+//
+// The Supervisor wraps each core's controller in an isolated failure
+// domain:
+//
+//   * heartbeat watchdog — the controller must close a sampling window at
+//     least every `heartbeat_grace_windows x window_refs` delivered
+//     references; a silent controller is tripped (exactly one fire per
+//     missed heartbeat).
+//   * health validation — every closed window is checked: the measured Δ
+//     must stay finite and bounded, the active plan set must stay sane
+//     (bounded distances, bounded count), the clock must stay monotonic,
+//     and the governor's reported utilization must track the supervisor's
+//     own independent measurement of the shared channel (divergence for
+//     several consecutive windows = bandwidth signal loss).
+//   * last-known-good rollback — the overlay the simulator consults is the
+//     domain's own mirror, updated only from validated windows; a tripped
+//     controller's half-written plans are therefore never visible.
+//   * exponential-backoff re-arm — a tripped domain discards the suspect
+//     controller, waits base x 2^(trips-1) windows (seeded jitter via
+//     support/rng.hh), then restarts a fresh controller warm-started from
+//     the last-known-good plan-cache snapshot and probes it in half-open
+//     mode before trusting it again.
+//   * circuit breaker — after `max_trips` consecutive trips (a completed
+//     half-open probe resets the count) the domain opens for good: that
+//     core degrades to no-prefetch (the guaranteed-safe baseline) and
+//     stays there; the other cores' domains never notice.
+//
+// State machine (DESIGN.md §10):
+//
+//   Armed --fault--> Tripped --(rollback)--> Backoff --expiry--> HalfOpen
+//     ^                                                             |
+//     +------- probe healthy windows (resets the trip count) -------+
+//   any state --consecutive trips == max_trips--> Open (terminal)
+//
+// The Supervisor is a sim::CoreAgent managing all cores of a mix: pass the
+// same instance as every core's agent; on_reference and overlay dispatch on
+// the core index. Chaos faults are injected at this boundary (see
+// runtime/chaos.hh) so the supervisor proves recovery against the symptoms,
+// never against knowledge of the injection.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/adaptive_controller.hh"
+#include "sim/adaptive.hh"
+#include "sim/config.hh"
+#include "support/rng.hh"
+#include "workloads/program.hh"
+
+namespace re::runtime {
+
+class ChaosInjector;  // runtime/chaos.hh
+
+/// Recovery state of one core's failure domain.
+enum class DomainState : int {
+  Armed = 0,    // controller trusted; overlay mirrors it window by window
+  Backoff = 1,  // tripped; controller discarded, LKG overlay active
+  HalfOpen = 2, // restarted controller on probation, LKG overlay active
+  Open = 3,     // circuit broken: no-prefetch for good
+};
+
+const char* domain_state_name(DomainState state);
+
+/// Why a domain tripped (for stats and logs).
+enum class TripCause : int {
+  None = 0,
+  Watchdog,          // missed heartbeat: no window closed within grace
+  ClockFault,        // non-monotonic clock or unbounded measured Δ
+  PlanFault,         // active plans failed the sanity bounds
+  GovernorFault,     // reported utilization diverged from the channel
+};
+
+const char* trip_cause_name(TripCause cause);
+
+struct SupervisorOptions {
+  /// Configuration for every per-core controller (including restarts).
+  AdaptiveOptions adaptive;
+
+  /// Windows of silence tolerated before the watchdog fires. The grace is
+  /// measured in delivered references: grace_refs = this x window_refs.
+  std::uint64_t heartbeat_grace_windows = 4;
+  /// Measured Δ (cycles/memop EWMA) above this is insane — no in-order core
+  /// spends thousands of cycles per reference; a skewed clock does.
+  double max_cycles_per_memop = 10000.0;
+  /// Relative clock plausibility: a window whose cycles-per-memop jumps
+  /// above `suspicious_cpm_factor` x the domain's running EWMA is held back
+  /// from the mirror (moderate skew hides below the absolute bound); after
+  /// `clock_suspect_windows` consecutive suspect windows the domain trips.
+  /// The EWMA survives trips so a restart mid-skew cannot re-baseline on the
+  /// faulty clock; it is inflated on every suspect window so a genuine,
+  /// persistent regime change is eventually accepted instead of tripping
+  /// forever.
+  double suspicious_cpm_factor = 8.0;
+  int clock_suspect_windows = 2;
+  /// Plan sanity: |distance_bytes| above this bound trips the domain.
+  std::int64_t max_plan_distance_bytes = 16 << 20;
+  /// Plan sanity: more active plans than this trips the domain.
+  std::size_t max_plans_per_core = 512;
+  /// Governor health: |reported - observed| channel utilization above this
+  /// for `governor_divergence_windows` consecutive windows is signal loss.
+  double governor_divergence = 0.35;
+  int governor_divergence_windows = 3;
+
+  /// Backoff after the t-th consecutive trip lasts base x 2^(t-1) windows
+  /// (capped), stretched by seeded jitter in [1 - jitter, 1 + jitter].
+  std::uint64_t backoff_base_windows = 8;
+  std::uint64_t max_backoff_windows = 512;
+  double backoff_jitter = 0.25;
+  /// Consecutive healthy windows a restarted controller must produce in
+  /// half-open mode before the domain re-arms.
+  int half_open_probe_windows = 3;
+  /// Consecutive trips (with no successful recovery in between) after which
+  /// the circuit opens for good (no-prefetch). A completed half-open probe
+  /// resets the count — a domain that keeps proving health never opens, no
+  /// matter how long it runs.
+  int max_trips = 5;
+  /// Warm-start restarted controllers from the last-known-good plan-cache
+  /// snapshot (taken at validated windows).
+  bool restart_from_lkg_cache = true;
+  /// Master seed for the per-domain backoff jitter (forked per core).
+  std::uint64_t seed = 0x5EED5AFE;
+};
+
+struct DomainStats {
+  DomainState state = DomainState::Armed;
+  TripCause last_trip = TripCause::None;
+  int trips = 0;
+  std::uint64_t watchdog_fires = 0;
+  std::uint64_t clock_faults = 0;
+  std::uint64_t plan_faults = 0;
+  std::uint64_t governor_faults = 0;
+  std::uint64_t rollbacks = 0;       // trips that fell back to LKG plans
+  std::uint64_t restarts = 0;        // fresh controllers armed after backoff
+  std::uint64_t recoveries = 0;      // half-open probes that re-armed
+  std::uint64_t healthy_windows = 0; // validated windows mirrored to the sim
+  std::uint64_t refs_seen = 0;
+  std::uint64_t backoff_refs = 0;    // references spent in Backoff
+  /// Windows between the most recent trip and the re-arm that cleared it
+  /// (0 until the first recovery) — the bench's recovery-time bound.
+  std::uint64_t last_recovery_windows = 0;
+
+  std::string to_string() const;
+};
+
+class Supervisor final : public sim::CoreAgent {
+ public:
+  /// One failure domain per program/core. The programs and machine config
+  /// must outlive the supervisor (controllers are rebuilt from them on
+  /// re-arm).
+  Supervisor(const std::vector<const workloads::Program*>& programs,
+             const sim::MachineConfig& machine,
+             const SupervisorOptions& options = {});
+  ~Supervisor() override;
+
+  // sim::CoreAgent (pass this instance as every core's agent):
+  void on_reference(int core, Pc pc, Addr addr, Cycle now,
+                    sim::MemorySystem& memory) override;
+  const sim::PlanOverlay* overlay(int core) const override;
+
+  /// Attach a chaos injector (nullptr detaches). Faults are applied at the
+  /// supervision boundary of every subsequent reference. The injector must
+  /// outlive the supervisor or be detached first.
+  void set_chaos(ChaosInjector* chaos) { chaos_ = chaos; }
+
+  int cores() const { return static_cast<int>(domains_.size()); }
+  const DomainStats& domain_stats(int core) const;
+  DomainState domain_state(int core) const;
+  /// The live controller of a domain (nullptr while tripped/backoff/open).
+  const AdaptiveController* controller(int core) const;
+
+  /// True when any domain's circuit is permanently open.
+  bool any_open() const;
+  /// Total trips across all domains.
+  int total_trips() const;
+
+ private:
+  struct Domain;
+
+  void trip(Domain& domain, TripCause cause);
+  void restart(Domain& domain);
+  /// Health checks at a window close. `seen` is the clock as delivered to
+  /// the controller (possibly chaos-skewed); `now` is the true core clock
+  /// the supervisor meters the channel with.
+  void validate_window(Domain& domain, Cycle seen, Cycle now,
+                       std::uint64_t delivered_refs,
+                       sim::MemorySystem& memory);
+  void mirror_overlay(Domain& domain);
+
+  std::vector<const workloads::Program*> programs_;
+  sim::MachineConfig machine_;
+  SupervisorOptions opts_;
+  std::vector<std::unique_ptr<Domain>> domains_;
+  ChaosInjector* chaos_ = nullptr;
+};
+
+}  // namespace re::runtime

@@ -1,0 +1,43 @@
+#include "support/atomic_file.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace re::support {
+
+Status write_file_atomic(const std::string& path,
+                         const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status(StatusCode::kUnavailable, "cannot open " + tmp);
+    }
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status(StatusCode::kDataLoss, "short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status(StatusCode::kUnavailable,
+                  "cannot rename " + tmp + " to " + path);
+  }
+  return Status::Ok();
+}
+
+Expected<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status(StatusCode::kUnavailable, "cannot read " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+}  // namespace re::support

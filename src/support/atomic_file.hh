@@ -1,0 +1,26 @@
+// Atomic file writes: the one tested temp-file + rename code path.
+//
+// Both the bench JSON reports and the plan-cache journal must never leave a
+// torn file behind — a reader that races a writer (or a process killed
+// mid-write) sees either the complete old contents or the complete new
+// contents, never a prefix. POSIX rename(2) within one directory gives that
+// guarantee; this helper owns the temp-file naming, the short-write check
+// and the cleanup so every persistence site shares one code path.
+#pragma once
+
+#include <string>
+
+#include "support/status.hh"
+
+namespace re::support {
+
+/// Write `contents` to `path` atomically: write `path`.tmp, flush, rename
+/// over `path`. On any failure the temp file is removed and `path` is left
+/// untouched (old contents intact). Errors carry kUnavailable (cannot open
+/// or rename) or kDataLoss (short write).
+Status write_file_atomic(const std::string& path, const std::string& contents);
+
+/// Read a whole file. kUnavailable when it cannot be opened.
+Expected<std::string> read_file(const std::string& path);
+
+}  // namespace re::support

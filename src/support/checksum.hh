@@ -1,0 +1,24 @@
+// Payload checksums for crash-consistent persistence.
+//
+// The plan-cache journal (and any future on-disk state) guards each record
+// with a CRC so a torn write, bit rot, or a truncated tail is detected and
+// quarantined instead of silently feeding garbage back into the runtime.
+// CRC-32 (the IEEE 802.3 polynomial, as used by zip/png) is plenty for
+// record-level corruption detection and keeps the format inspectable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace re::support {
+
+/// CRC-32 (reflected, polynomial 0xEDB88320) of `data`. Matches the common
+/// zlib/png checksum: crc32("123456789") == 0xCBF43926.
+std::uint32_t crc32(std::string_view data);
+
+/// Fixed-width lower-case hex rendering of a CRC ("00000000".."ffffffff");
+/// keeps journal lines byte-stable across platforms and printf quirks.
+std::string crc32_hex(std::uint32_t crc);
+
+}  // namespace re::support

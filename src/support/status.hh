@@ -25,6 +25,10 @@ enum class StatusCode {
   kFailedPrecondition,
   /// Input data is present but corrupt or too degraded to trust.
   kDataLoss,
+  /// A component (file, runtime domain, circuit) is down right now; the
+  /// operation may succeed later or on another domain. Used by the recovery
+  /// paths: a tripped circuit breaker, an unreadable snapshot file.
+  kUnavailable,
   /// A bug in this library (should never be produced by degraded input).
   kInternal,
 };
@@ -37,6 +41,7 @@ constexpr const char* status_code_name(StatusCode code) {
     case StatusCode::kOutOfRange: return "out_of_range";
     case StatusCode::kFailedPrecondition: return "failed_precondition";
     case StatusCode::kDataLoss: return "data_loss";
+    case StatusCode::kUnavailable: return "unavailable";
     case StatusCode::kInternal: return "internal";
   }
   return "unknown";

@@ -1,0 +1,202 @@
+#include "runtime/chaos.hh"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hh"
+
+#include "workloads/program.hh"
+
+namespace re::runtime {
+namespace {
+
+using workloads::HotBufferPattern;
+using workloads::Loop;
+using workloads::Program;
+using workloads::StaticInst;
+using workloads::StreamPattern;
+
+Program mix_program(std::uint64_t seed_offset) {
+  Program p;
+  p.name = "chaos-app-" + std::to_string(seed_offset);
+  p.seed = re::testing::test_seed() + seed_offset;
+  StaticInst a, b;
+  a.pc = 1;
+  a.pattern = StreamPattern{seed_offset << 36, 64, 4 << 20};
+  b.pc = 2;
+  b.pattern = HotBufferPattern{(seed_offset + 8) << 36, 64, 16 << 10};
+  p.loops.push_back(Loop{{a, b}, 32768});
+  p.outer_reps = 2;
+  return p;
+}
+
+ChaosConfig small_config(double rate) {
+  ChaosConfig config;
+  config.fault_rate = rate;
+  config.horizon_refs = 1 << 17;
+  config.mean_episode_refs = 8192;
+  config.cores = 2;
+  config.seed = re::testing::test_seed();
+  return config;
+}
+
+SupervisorOptions small_supervisor_options() {
+  SupervisorOptions opts;
+  opts.adaptive.window_refs = 1024;
+  opts.adaptive.sampler = core::SamplerConfig{50, 42};
+  opts.adaptive.phases.hysteresis_windows = 1;
+  opts.adaptive.min_reoptimize_refs = 8192;
+  opts.heartbeat_grace_windows = 4;
+  opts.backoff_base_windows = 2;
+  opts.half_open_probe_windows = 2;
+  // Back-to-back episodes can chain trips before a probe completes (the
+  // probe stalls into the next episode); give the breaker a budget matched
+  // to this schedule's fault density.
+  opts.max_trips = 8;
+  opts.seed = re::testing::test_seed();
+  return opts;
+}
+
+TEST(ChaosSchedule, SameSeedReproducesByteIdenticalSchedules) {
+  const ChaosConfig config = small_config(0.3);
+  const std::string once = ChaosSchedule::generate(config).to_string();
+  const std::string twice = ChaosSchedule::generate(config).to_string();
+  EXPECT_EQ(once, twice);
+  EXPECT_FALSE(ChaosSchedule::generate(config).episodes().empty());
+}
+
+TEST(ChaosSchedule, ZeroFaultRateGeneratesNothing) {
+  const ChaosSchedule schedule = ChaosSchedule::generate(small_config(0.0));
+  EXPECT_TRUE(schedule.episodes().empty());
+  EXPECT_EQ(schedule.last_faulted_ref(0), 0u);
+}
+
+TEST(ChaosSchedule, EpisodesStayInsideTheActiveSpan) {
+  const ChaosConfig config = small_config(0.5);
+  const ChaosSchedule schedule = ChaosSchedule::generate(config);
+  const std::uint64_t active_limit = static_cast<std::uint64_t>(
+      static_cast<double>(config.horizon_refs) * config.active_fraction);
+  ASSERT_FALSE(schedule.episodes().empty());
+  for (const ChaosEpisode& episode : schedule.episodes()) {
+    EXPECT_LT(episode.begin_ref, episode.end_ref);
+    EXPECT_LE(episode.end_ref, active_limit);
+    EXPECT_GE(episode.core, 0);
+    EXPECT_LT(episode.core, config.cores);
+    if (episode.kind == ChaosFaultKind::ClockSkew) {
+      EXPECT_NE(episode.magnitude, 0);
+    }
+    if (episode.kind == ChaosFaultKind::ProfileCorruption) {
+      EXPECT_GE(episode.magnitude, 20);
+      EXPECT_LE(episode.magnitude, 80);
+    }
+  }
+  // Every faulted core gets a clean tail to recover in.
+  for (int core = 0; core < config.cores; ++core) {
+    EXPECT_LE(schedule.last_faulted_ref(core), active_limit);
+  }
+}
+
+TEST(ChaosInjector, ReplaysEpisodeSemanticsExactly) {
+  ChaosConfig config;
+  config.cores = 2;
+  const ChaosSchedule schedule = ChaosSchedule::from_episodes(
+      config,
+      {
+          ChaosEpisode{ChaosFaultKind::WindowDrop, 0, 10, 20, 0},
+          ChaosEpisode{ChaosFaultKind::ClockSkew, 0, 30, 40, 500},
+          ChaosEpisode{ChaosFaultKind::GovernorBlackout, 1, 5, 15, 0},
+          ChaosEpisode{ChaosFaultKind::ProfileCorruption, 1, 20, 30, 50},
+      });
+  ChaosInjector injector(schedule);
+
+  const core::FaultInjector* seen_injector = nullptr;
+  for (std::uint64_t ref = 0; ref < 50; ++ref) {
+    const RefChaos on_core0 = injector.advance(0, ref);
+    EXPECT_EQ(on_core0.drop, ref >= 10 && ref < 20) << "ref " << ref;
+    if (ref >= 30 && ref < 40) {
+      EXPECT_EQ(on_core0.clock_skew,
+                500 * static_cast<std::int64_t>(ref - 30));
+    } else {
+      EXPECT_EQ(on_core0.clock_skew, 0);
+    }
+    EXPECT_FALSE(on_core0.governor_blackout);
+    EXPECT_EQ(on_core0.profile_injector, nullptr);
+
+    const RefChaos on_core1 = injector.advance(1, ref);
+    EXPECT_EQ(on_core1.governor_blackout, ref >= 5 && ref < 15);
+    if (ref >= 20 && ref < 30) {
+      ASSERT_NE(on_core1.profile_injector, nullptr);
+      if (seen_injector == nullptr) seen_injector = on_core1.profile_injector;
+      // The injector instance is stable across the episode.
+      EXPECT_EQ(on_core1.profile_injector, seen_injector);
+    } else {
+      EXPECT_EQ(on_core1.profile_injector, nullptr);
+    }
+  }
+}
+
+TEST(ChaosCacheCrash, QuarantinesCorruptionAndSurvivesTornWrites) {
+  const CacheCrashReport report = chaos_cache_crash_check(
+      re::testing::test_seed(), 64, "chaos_cache_crash_test.json");
+  EXPECT_EQ(report.trials, 64u);
+  // The crash-consistency contract: body corruption never refuses the load
+  // and every entry is accounted for (loaded, quarantined or missing).
+  EXPECT_EQ(report.failed_loads, 0u) << report.to_string();
+  EXPECT_EQ(report.accounting_errors, 0u) << report.to_string();
+  EXPECT_EQ(report.clean_loads + report.degraded_loads, report.trials);
+  // A kill mid-write leaves the previous snapshot fully loadable.
+  EXPECT_TRUE(report.survives_torn_write);
+  // Single-point corruption loses at most a suffix of the file; across the
+  // sweep most entries come back.
+  EXPECT_GT(report.entries_recovered,
+            report.trials * report.entries_per_trial / 2);
+}
+
+TEST(ChaosRun, FixedSeedIsByteDeterministic) {
+  const sim::MachineConfig machine = sim::amd_phenom_ii();
+  const Program app0 = mix_program(0);
+  const Program app1 = mix_program(1);
+  const std::vector<const workloads::Program*> programs{&app0, &app1};
+  const ChaosConfig config = small_config(0.3);
+  const SupervisorOptions opts = small_supervisor_options();
+
+  const ChaosRunResult once =
+      run_chaos_mix(machine, programs, false, config, opts);
+  const ChaosRunResult twice =
+      run_chaos_mix(machine, programs, false, config, opts);
+
+  EXPECT_EQ(once.schedule.to_string(), twice.schedule.to_string());
+  ASSERT_EQ(once.chaotic.apps.size(), twice.chaotic.apps.size());
+  for (std::size_t i = 0; i < once.chaotic.apps.size(); ++i) {
+    EXPECT_EQ(once.chaotic.apps[i].cycles, twice.chaotic.apps[i].cycles);
+  }
+  ASSERT_EQ(once.domains.size(), twice.domains.size());
+  for (std::size_t i = 0; i < once.domains.size(); ++i) {
+    EXPECT_EQ(once.domains[i].to_string(), twice.domains[i].to_string());
+  }
+}
+
+TEST(ChaosRun, SupervisedRunUnderFaultsNeverLosesToNoPrefetch) {
+  const sim::MachineConfig machine = sim::amd_phenom_ii();
+  const Program app0 = mix_program(0);
+  const Program app1 = mix_program(1);
+  const std::vector<const workloads::Program*> programs{&app0, &app1};
+
+  const ChaosRunResult result = run_chaos_mix(
+      machine, programs, false, small_config(0.4),
+      small_supervisor_options());
+
+  ASSERT_GT(result.chaotic.elapsed_cycles, 0u);
+  ASSERT_GT(result.baseline.elapsed_cycles, 0u);
+  // The paper's never-hurts contract, held under fault injection: the
+  // supervised runtime may lose its prefetch benefit to faults, but must
+  // not run slower than not prefetching at all (small epsilon for
+  // perturbed-warmup noise).
+  EXPECT_LE(result.worst_vs_baseline, 1.01) << "chaotic run lost to the "
+                                            << "no-prefetch baseline";
+  // Faulted domains act: something tripped, rolled back or recovered, and
+  // no domain ended permanently broken at this fault rate.
+  EXPECT_FALSE(result.any_open);
+}
+
+}  // namespace
+}  // namespace re::runtime

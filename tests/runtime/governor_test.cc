@@ -148,6 +148,51 @@ TEST(BandwidthGovernor, ThresholdWindowResetsTheCalmStreak) {
   EXPECT_EQ(window(10), GovernorMode::Normal);   // streak 2 -> release
 }
 
+// Re-arm edges: a degenerate window (clock did not advance) carries no
+// evidence either way, so it must neither escalate, release, nor advance
+// the calm streak — the release clock simply pauses.
+TEST(BandwidthGovernor, DegenerateWindowDoesNotAdvanceTheCalmStreak) {
+  BandwidthGovernor governor({}, kBytesPerCycle);  // release_windows = 2
+  EXPECT_EQ(governor.observe_window(stats_with(70), 100), GovernorMode::Demote);
+  EXPECT_EQ(governor.observe_window(stats_with(75), 200),
+            GovernorMode::Demote);  // calm streak 1
+  // Clock frozen: held, streak still 1.
+  EXPECT_EQ(governor.observe_window(stats_with(75), 200),
+            GovernorMode::Demote);
+  // One more calm window completes the streak and releases.
+  EXPECT_EQ(governor.observe_window(stats_with(80), 300),
+            GovernorMode::Normal);
+}
+
+// release_windows below 1 is meaningless (the governor could never ease);
+// the constructor clamps it so a single calm window re-arms.
+TEST(BandwidthGovernor, ReleaseWindowsClampToAtLeastOne) {
+  GovernorOptions opts;
+  opts.release_windows = 0;
+  BandwidthGovernor governor(opts, kBytesPerCycle);
+  EXPECT_EQ(governor.observe_window(stats_with(70), 100), GovernorMode::Demote);
+  EXPECT_EQ(governor.observe_window(stats_with(75), 200),
+            GovernorMode::Normal);
+}
+
+// Full re-arm round trip: escalation and the eventual release both count as
+// mode changes, and the mode windows are attributed to the mode that ruled
+// the window.
+TEST(BandwidthGovernor, FullReArmRoundTripCountsModeChanges) {
+  GovernorOptions opts;
+  opts.release_windows = 1;
+  BandwidthGovernor governor(opts, kBytesPerCycle);
+  EXPECT_EQ(governor.observe_window(stats_with(90), 100),
+            GovernorMode::Suppress);
+  EXPECT_EQ(governor.observe_window(stats_with(95), 200),
+            GovernorMode::Demote);
+  EXPECT_EQ(governor.observe_window(stats_with(100), 300),
+            GovernorMode::Normal);
+  EXPECT_EQ(governor.stats().mode_changes, 3u);
+  EXPECT_EQ(governor.stats().suppress_windows, 1u);
+  EXPECT_EQ(governor.stats().demote_windows, 1u);
+}
+
 // De-escalation from Suppress is one step at a time: windows in the demote
 // band release to Demote, never straight to Normal.
 TEST(BandwidthGovernor, SuppressReleasesThroughDemoteBand) {

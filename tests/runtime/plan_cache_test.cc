@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "workloads/program.hh"
 
 namespace re::runtime {
@@ -160,6 +162,165 @@ TEST(PlanCache, EvictionOrderSurvivesPersistence) {
   EXPECT_NE(restored->lookup(kSigA), nullptr);
   EXPECT_NE(restored->lookup(kSigC), nullptr);
   EXPECT_EQ(restored->lookup(kSigB), nullptr);
+}
+
+TEST(PlanCache, FromJsonRejectsDuplicateSignaturePcs) {
+  const char* text =
+      "{\"version\": 1, \"entries\": [{\"signature\": "
+      "[[1, 0.5], [1, 0.5]], \"plans\": []}]}";
+  const auto restored = PlanCache::from_json(text);
+  ASSERT_FALSE(restored.has_value());
+  EXPECT_EQ(restored.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(restored.status().message().find("duplicate signature pc"),
+            std::string::npos)
+      << restored.status().to_string();
+}
+
+TEST(PlanCache, FromJsonRejectsDuplicatePlanPcs) {
+  const char* text =
+      "{\"version\": 1, \"entries\": [{\"signature\": [[1, 1.0]], "
+      "\"plans\": ["
+      "{\"pc\": 5, \"distance_bytes\": 64, \"hint\": \"t0\"}, "
+      "{\"pc\": 5, \"distance_bytes\": 128, \"hint\": \"nta\"}]}]}";
+  const auto restored = PlanCache::from_json(text);
+  ASSERT_FALSE(restored.has_value());
+  EXPECT_EQ(restored.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(restored.status().message().find("duplicate plan pc"),
+            std::string::npos)
+      << restored.status().to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Crash-consistent journal (v2).
+
+PlanCache journal_fixture() {
+  PlanCache cache;
+  cache.insert(kSigA, plans_for(1, 512, PrefetchHint::NTA));
+  cache.insert(kSigB, plans_for(3, -256, PrefetchHint::T2));
+  cache.insert(kSigC, {});
+  return cache;
+}
+
+TEST(PlanCacheJournal, RoundTripPreservesEntriesOrderAndBytes) {
+  const PlanCache cache = journal_fixture();
+  const std::string journal = cache.to_journal();
+
+  auto loaded = PlanCache::from_journal(journal);
+  ASSERT_TRUE(loaded.has_value()) << loaded.status().to_string();
+  EXPECT_EQ(loaded->loaded, 3u);
+  EXPECT_EQ(loaded->quarantined, 0u);
+  EXPECT_EQ(loaded->missing, 0u);
+  EXPECT_FALSE(loaded->degraded());
+
+  // MRU order survives: C (empty plans), then B, then A.
+  auto it = loaded->cache.entries().begin();
+  EXPECT_TRUE(it->plans.empty());
+  ++it;
+  EXPECT_EQ(it->plans[0].pc, 3u);
+  EXPECT_EQ(it->plans[0].distance_bytes, -256);
+  ++it;
+  EXPECT_EQ(it->plans[0].hint, PrefetchHint::NTA);
+
+  // Deterministic serialization: a re-dump is byte-identical.
+  EXPECT_EQ(loaded->cache.to_journal(), journal);
+}
+
+TEST(PlanCacheJournal, QuarantinesAFlippedByteAndKeepsTheRest) {
+  const std::string journal = journal_fixture().to_journal();
+  // Corrupt a digit inside the *second* entry line (the first line is the
+  // header).
+  const std::size_t header_end = journal.find('\n') + 1;
+  const std::size_t second_entry = journal.find('\n', header_end) + 1;
+  std::string damaged = journal;
+  const std::size_t victim = journal.find("distance_bytes", second_entry);
+  ASSERT_NE(victim, std::string::npos);
+  damaged[victim + 17] ^= 0x01;  // mutate a payload byte under the CRC
+
+  auto loaded = PlanCache::from_journal(damaged);
+  ASSERT_TRUE(loaded.has_value()) << loaded.status().to_string();
+  EXPECT_EQ(loaded->quarantined + loaded->missing, 1u);
+  EXPECT_EQ(loaded->loaded, 2u);
+  EXPECT_TRUE(loaded->degraded());
+  ASSERT_FALSE(loaded->quarantine_log.empty());
+  EXPECT_NE(loaded->quarantine_log[0].find("line 3"), std::string::npos)
+      << loaded->quarantine_log[0];
+}
+
+TEST(PlanCacheJournal, ValueMutationThatStillParsesFailsTheCrc) {
+  const std::string journal = journal_fixture().to_journal();
+  // Change "-256" to "-257": valid JSON, valid fields — only the CRC can
+  // catch it.
+  std::string damaged = journal;
+  const std::size_t victim = damaged.find("-256");
+  ASSERT_NE(victim, std::string::npos);
+  damaged[victim + 3] = '7';
+
+  auto loaded = PlanCache::from_journal(damaged);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->quarantined, 1u);
+  ASSERT_FALSE(loaded->quarantine_log.empty());
+  EXPECT_NE(loaded->quarantine_log[0].find("crc mismatch"),
+            std::string::npos);
+}
+
+TEST(PlanCacheJournal, CountsEntriesLostToATruncatedTail) {
+  const std::string journal = journal_fixture().to_journal();
+  // Drop the final entry line entirely (truncate at its leading newline).
+  const std::size_t last_line =
+      journal.rfind('\n', journal.size() - 2) + 1;
+  auto loaded = PlanCache::from_journal(journal.substr(0, last_line));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->loaded, 2u);
+  EXPECT_EQ(loaded->quarantined, 0u);
+  EXPECT_EQ(loaded->missing, 1u);
+  ASSERT_FALSE(loaded->quarantine_log.empty());
+  EXPECT_NE(loaded->quarantine_log.back().find("truncated"),
+            std::string::npos);
+}
+
+TEST(PlanCacheJournal, RefusesABrokenHeaderOutright) {
+  const std::string journal = journal_fixture().to_journal();
+  // Wrong magic: the whole file is untrusted — no partial recovery.
+  std::string damaged = journal;
+  const std::size_t magic = damaged.find("re-plan-cache");
+  ASSERT_NE(magic, std::string::npos);
+  damaged[magic] = 'x';
+  const auto loaded = PlanCache::from_journal(damaged);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(PlanCacheJournal, LoadSniffsJournalAndLegacyFormats) {
+  const PlanCache cache = journal_fixture();
+
+  auto from_journal = PlanCache::load(cache.to_journal());
+  ASSERT_TRUE(from_journal.has_value());
+  EXPECT_EQ(from_journal->loaded, 3u);
+
+  auto from_legacy = PlanCache::load(cache.to_json());
+  ASSERT_TRUE(from_legacy.has_value());
+  EXPECT_EQ(from_legacy->loaded, 3u);
+  EXPECT_FALSE(from_legacy->degraded());
+
+  // The rebuilt caches agree entry for entry.
+  EXPECT_EQ(from_journal->cache.to_journal(), from_legacy->cache.to_journal());
+}
+
+TEST(PlanCacheJournal, SaveAndLoadFileRoundTripThroughDisk) {
+  const std::string path = "plan_cache_journal_test.json";
+  const PlanCache cache = journal_fixture();
+  ASSERT_TRUE(cache.save(path).ok());
+
+  auto loaded = PlanCache::load_file(path);
+  ASSERT_TRUE(loaded.has_value()) << loaded.status().to_string();
+  EXPECT_EQ(loaded->loaded, 3u);
+  EXPECT_EQ(loaded->cache.to_journal(), cache.to_journal());
+  std::remove(path.c_str());
+
+  // A missing file is unavailable, not data loss: callers may start cold.
+  const auto missing = PlanCache::load_file("plan_cache_no_such_file.json");
+  ASSERT_FALSE(missing.has_value());
+  EXPECT_EQ(missing.status().code(), StatusCode::kUnavailable);
 }
 
 TEST(PlanCache, SnapshotTakenAfterEvictionExcludesTheVictim) {

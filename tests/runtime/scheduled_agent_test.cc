@@ -1,0 +1,98 @@
+#include "runtime/scheduled_agent.hh"
+
+#include <gtest/gtest.h>
+
+#include "sim/memory_system.hh"
+
+namespace re::runtime {
+namespace {
+
+using core::PhaseSegment;
+using core::PrefetchPlan;
+using workloads::PrefetchHint;
+
+std::vector<PrefetchPlan> plan_for(Pc pc, std::int64_t distance) {
+  return {PrefetchPlan{pc, distance, PrefetchHint::T0}};
+}
+
+/// Drive `refs` references through the agent (addresses and clock are
+/// irrelevant to the scheduler — it counts references only).
+void drive(ScheduledPlanAgent& agent, sim::MemorySystem& memory,
+           std::uint64_t refs) {
+  for (std::uint64_t i = 0; i < refs; ++i) {
+    agent.on_reference(0, 1, i * 64, i * 4, memory);
+  }
+}
+
+struct ScheduledAgentTest : ::testing::Test {
+  sim::MachineConfig machine = sim::amd_phenom_ii();
+  sim::MemorySystem memory{machine, 1};
+};
+
+TEST_F(ScheduledAgentTest, InstallsTheFirstSegmentAtConstruction) {
+  ScheduledPlanAgent agent({PhaseSegment{0, 0, 100}},
+                           {plan_for(7, 512)});
+  const sim::PlanOverlay* overlay = agent.overlay(0);
+  ASSERT_NE(overlay, nullptr);
+  EXPECT_TRUE(overlay->active);
+  ASSERT_NE(overlay->lookup(7), nullptr);
+  EXPECT_EQ(overlay->lookup(7)->distance_bytes, 512);
+  EXPECT_EQ(agent.references_seen(), 0u);
+}
+
+TEST_F(ScheduledAgentTest, EmptyScheduleLeavesTheOverlayInactive) {
+  ScheduledPlanAgent agent({}, {});
+  EXPECT_FALSE(agent.overlay(0)->active);
+  drive(agent, memory, 10);
+  EXPECT_FALSE(agent.overlay(0)->active);
+  EXPECT_EQ(agent.references_seen(), 10u);
+}
+
+TEST_F(ScheduledAgentTest, SwitchesAtTheExactSegmentBoundary) {
+  ScheduledPlanAgent agent(
+      {PhaseSegment{0, 0, 100}, PhaseSegment{1, 100, 200}},
+      {plan_for(7, 512), plan_for(9, 256)});
+
+  drive(agent, memory, 99);
+  EXPECT_NE(agent.overlay(0)->lookup(7), nullptr) << "still in segment 0";
+  EXPECT_EQ(agent.overlay(0)->lookup(9), nullptr);
+
+  // The 100th reference crosses begin_ref = 100: segment 1 installs.
+  drive(agent, memory, 1);
+  EXPECT_EQ(agent.overlay(0)->lookup(7), nullptr);
+  ASSERT_NE(agent.overlay(0)->lookup(9), nullptr);
+  EXPECT_EQ(agent.overlay(0)->lookup(9)->distance_bytes, 256);
+}
+
+TEST_F(ScheduledAgentTest, SkipsOverDegenerateSegmentsInOneStep) {
+  // Segment 1 is empty (begin == end == 100): a single reference landing at
+  // 100 must fall through to segment 2 immediately.
+  ScheduledPlanAgent agent(
+      {PhaseSegment{0, 0, 100}, PhaseSegment{1, 100, 100},
+       PhaseSegment{2, 100, 200}},
+      {plan_for(7, 512), plan_for(9, 256), plan_for(11, 128)});
+  drive(agent, memory, 100);
+  EXPECT_EQ(agent.overlay(0)->lookup(9), nullptr);
+  EXPECT_NE(agent.overlay(0)->lookup(11), nullptr);
+}
+
+TEST_F(ScheduledAgentTest, OutOfRangePhaseIdYieldsActiveEmptyOverlay) {
+  // Phase 5 has no plan set: the overlay must stay active (replacing the
+  // program's baked-in prefetches with nothing = suppress) rather than
+  // falling back to stale plans.
+  ScheduledPlanAgent agent({PhaseSegment{5, 0, 100}}, {plan_for(7, 512)});
+  EXPECT_TRUE(agent.overlay(0)->active);
+  EXPECT_TRUE(agent.overlay(0)->plans.empty());
+}
+
+TEST_F(ScheduledAgentTest, HoldsTheLastSegmentPastTheScheduleEnd) {
+  ScheduledPlanAgent agent(
+      {PhaseSegment{0, 0, 50}, PhaseSegment{1, 50, 100}},
+      {plan_for(7, 512), plan_for(9, 256)});
+  drive(agent, memory, 500);  // far beyond the last segment's end_ref
+  EXPECT_NE(agent.overlay(0)->lookup(9), nullptr);
+  EXPECT_EQ(agent.references_seen(), 500u);
+}
+
+}  // namespace
+}  // namespace re::runtime

@@ -1,0 +1,240 @@
+#include "runtime/supervisor.hh"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hh"
+
+#include "runtime/chaos.hh"
+#include "sim/memory_system.hh"
+#include "workloads/program.hh"
+
+namespace re::runtime {
+namespace {
+
+using workloads::Loop;
+using workloads::Program;
+using workloads::StaticInst;
+using workloads::StreamPattern;
+
+/// A long streaming program: the supervisor tests drive references by hand,
+/// so the program only needs to exist as the controllers' plan source.
+Program stream_program() {
+  Program p;
+  p.name = "stream";
+  p.seed = re::testing::test_seed();
+  StaticInst s;
+  s.pc = 1;
+  s.pattern = StreamPattern{0, 64, 8 << 20};
+  p.loops.push_back(Loop{{s}, 1 << 20});
+  return p;
+}
+
+/// Small windows, tight grace, no re-optimization: the tests exercise the
+/// recovery state machine, not plan quality.
+SupervisorOptions tight_options() {
+  SupervisorOptions opts;
+  opts.adaptive.window_refs = 64;
+  opts.adaptive.sampler = core::SamplerConfig{16, 7};
+  opts.adaptive.min_reoptimize_refs = 1 << 30;  // never optimize
+  opts.heartbeat_grace_windows = 2;  // 128 refs of silence trip
+  opts.backoff_base_windows = 2;
+  opts.backoff_jitter = 0.25;
+  opts.half_open_probe_windows = 2;
+  opts.max_trips = 5;
+  opts.seed = re::testing::test_seed();
+  return opts;
+}
+
+/// Hand-driven harness: feeds synthetic references to the supervisor on a
+/// 4-cycles-per-reference clock, one independent stream per core.
+struct Harness {
+  explicit Harness(int cores, const SupervisorOptions& opts = tight_options())
+      : machine(sim::amd_phenom_ii()),
+        program(stream_program()),
+        programs(static_cast<std::size_t>(cores), &program),
+        memory(machine, cores),
+        supervisor(programs, machine, opts) {}
+
+  void drive(int core, std::uint64_t refs) {
+    State& state = states[static_cast<std::size_t>(core)];
+    for (std::uint64_t k = 0; k < refs; ++k) {
+      state.now += 4;
+      supervisor.on_reference(core, 1, state.next_addr, state.now, memory);
+      state.next_addr += 64;
+    }
+  }
+
+  sim::MachineConfig machine;
+  Program program;
+  std::vector<const workloads::Program*> programs;
+  sim::MemorySystem memory;
+  Supervisor supervisor;
+  struct State {
+    Cycle now = 0;
+    Addr next_addr = 0;
+  };
+  State states[8];
+};
+
+ChaosSchedule drop_schedule(std::uint64_t begin, std::uint64_t end,
+                            int core = 0) {
+  ChaosConfig config;
+  config.cores = core + 1;
+  return ChaosSchedule::from_episodes(
+      config, {ChaosEpisode{ChaosFaultKind::WindowDrop, core, begin, end, 0}});
+}
+
+TEST(Supervisor, HealthyRunStaysArmedAndMirrorsWindows) {
+  Harness h(1);
+  h.drive(0, 1024);
+  const DomainStats& stats = h.supervisor.domain_stats(0);
+  EXPECT_EQ(stats.state, DomainState::Armed);
+  EXPECT_EQ(stats.trips, 0);
+  // 1024 refs / 64-ref windows = 16 closes, all validated.
+  EXPECT_EQ(stats.healthy_windows, 16u);
+  EXPECT_NE(h.supervisor.controller(0), nullptr);
+  // Warm-up, no plans installed: the mirror stays inactive (defer to the
+  // program), which is the controller's own overlay state.
+  EXPECT_FALSE(h.supervisor.overlay(0)->active);
+}
+
+TEST(Supervisor, WatchdogFiresExactlyOncePerMissedHeartbeat) {
+  Harness h(1);
+  ChaosInjector injector(drop_schedule(100, 300));
+  h.supervisor.set_chaos(&injector);
+  h.drive(0, 1024);
+
+  const DomainStats& stats = h.supervisor.domain_stats(0);
+  // One silence of 200 refs against a 128-ref grace: exactly one fire, one
+  // trip, one restart — and the half-open probe re-armed the domain.
+  EXPECT_EQ(stats.watchdog_fires, 1u);
+  EXPECT_EQ(stats.trips, 1);
+  EXPECT_EQ(stats.last_trip, TripCause::Watchdog);
+  EXPECT_EQ(stats.restarts, 1u);
+  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_EQ(stats.state, DomainState::Armed);
+  EXPECT_GT(stats.last_recovery_windows, 0u);
+  EXPECT_GT(stats.backoff_refs, 0u);
+}
+
+TEST(Supervisor, TrippedDomainHoldsTheLastKnownGoodOverlay) {
+  Harness h(1);
+  ChaosInjector injector(drop_schedule(100, 100000));
+  h.supervisor.set_chaos(&injector);
+  h.drive(0, 400);  // enough to trip once (grace 128 past ref 100)
+
+  const DomainStats& stats = h.supervisor.domain_stats(0);
+  ASSERT_GE(stats.trips, 1);
+  // The suspect controller is gone, but the simulator still has an overlay
+  // to consult — the domain's own last-known-good mirror.
+  if (stats.state == DomainState::Backoff) {
+    EXPECT_EQ(h.supervisor.controller(0), nullptr);
+  }
+  EXPECT_NE(h.supervisor.overlay(0), nullptr);
+}
+
+TEST(Supervisor, BackoffIsDeterministicUnderTheSeed) {
+  const auto run_once = [] {
+    Harness h(1);
+    ChaosInjector injector(drop_schedule(100, 300));
+    h.supervisor.set_chaos(&injector);
+    h.drive(0, 1024);
+    return h.supervisor.domain_stats(0).to_string();
+  };
+  // Same seed, same synthetic stream: byte-identical recovery timeline
+  // (including the jittered backoff length embedded in backoff_refs).
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Supervisor, CircuitOpensAfterMaxTripsAndDegradesToNoPrefetch) {
+  SupervisorOptions opts = tight_options();
+  opts.max_trips = 3;
+  Harness h(2, opts);
+  // Core 0 never stops dropping; core 1 is untouched.
+  ChaosInjector injector(drop_schedule(0, 1u << 30));
+  h.supervisor.set_chaos(&injector);
+  for (int round = 0; round < 8; ++round) {
+    h.drive(0, 1024);
+    h.drive(1, 1024);
+  }
+
+  const DomainStats& failed = h.supervisor.domain_stats(0);
+  EXPECT_EQ(failed.state, DomainState::Open);
+  EXPECT_EQ(failed.trips, 3);
+  EXPECT_EQ(failed.watchdog_fires, 3u);
+  EXPECT_TRUE(h.supervisor.any_open());
+  EXPECT_EQ(h.supervisor.controller(0), nullptr);
+  // Open = active + empty overlay: prefetching suppressed for good.
+  EXPECT_TRUE(h.supervisor.overlay(0)->active);
+  EXPECT_TRUE(h.supervisor.overlay(0)->plans.empty());
+
+  // Failure domain isolation: the sibling core never noticed.
+  const DomainStats& healthy = h.supervisor.domain_stats(1);
+  EXPECT_EQ(healthy.state, DomainState::Armed);
+  EXPECT_EQ(healthy.trips, 0);
+  EXPECT_GT(healthy.healthy_windows, 0u);
+  EXPECT_NE(h.supervisor.controller(1), nullptr);
+}
+
+TEST(Supervisor, HalfOpenProbeRestoresFullOperation) {
+  Harness h(1);
+  ChaosInjector injector(drop_schedule(100, 300));
+  h.supervisor.set_chaos(&injector);
+  h.drive(0, 2048);
+
+  const DomainStats& stats = h.supervisor.domain_stats(0);
+  ASSERT_EQ(stats.recoveries, 1u);
+  EXPECT_EQ(stats.state, DomainState::Armed);
+  // A re-armed domain is fully operational: live controller, windows
+  // validated and mirrored again after the recovery.
+  EXPECT_NE(h.supervisor.controller(0), nullptr);
+  EXPECT_GT(h.supervisor.controller(0)->windows_closed(), 0u);
+  EXPECT_GT(stats.healthy_windows,
+            static_cast<std::uint64_t>(2));  // more than just the probe
+}
+
+TEST(Supervisor, NonMonotonicClockTripsImmediately) {
+  Harness h(1);
+  ChaosConfig config;
+  config.cores = 1;
+  ChaosInjector injector(ChaosSchedule::from_episodes(
+      config,
+      {ChaosEpisode{ChaosFaultKind::ClockSkew, 0, 100, 200, -5000}}));
+  h.supervisor.set_chaos(&injector);
+  h.drive(0, 512);
+
+  const DomainStats& stats = h.supervisor.domain_stats(0);
+  EXPECT_GE(stats.clock_faults, 1u);
+  EXPECT_GE(stats.trips, 1);
+  EXPECT_EQ(stats.last_trip, TripCause::ClockFault);
+}
+
+TEST(Supervisor, RunawayClockDriftTripsAtTheWindowBound) {
+  Harness h(1);
+  ChaosConfig config;
+  config.cores = 1;
+  // +20000 cycles/ref of drift across three windows: the supervisor's own
+  // window meter must blow the cycles-per-memop bound at the second close.
+  ChaosInjector injector(ChaosSchedule::from_episodes(
+      config, {ChaosEpisode{ChaosFaultKind::ClockSkew, 0, 0, 200, 20000}}));
+  h.supervisor.set_chaos(&injector);
+  h.drive(0, 512);
+
+  const DomainStats& stats = h.supervisor.domain_stats(0);
+  EXPECT_GE(stats.clock_faults, 1u);
+  EXPECT_EQ(stats.last_trip, TripCause::ClockFault);
+}
+
+TEST(Supervisor, StateAndCauseNamesAreStable) {
+  EXPECT_STREQ(domain_state_name(DomainState::Armed), "armed");
+  EXPECT_STREQ(domain_state_name(DomainState::Backoff), "backoff");
+  EXPECT_STREQ(domain_state_name(DomainState::HalfOpen), "half-open");
+  EXPECT_STREQ(domain_state_name(DomainState::Open), "open");
+  EXPECT_STREQ(trip_cause_name(TripCause::Watchdog), "watchdog");
+  EXPECT_STREQ(trip_cause_name(TripCause::ClockFault), "clock");
+  EXPECT_STREQ(trip_cause_name(TripCause::PlanFault), "plan");
+  EXPECT_STREQ(trip_cause_name(TripCause::GovernorFault), "governor");
+}
+
+}  // namespace
+}  // namespace re::runtime

@@ -1,0 +1,78 @@
+#include "support/atomic_file.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "support/checksum.hh"
+
+namespace re::support {
+namespace {
+
+/// Scratch file in the test's working directory, removed on destruction.
+struct ScratchFile {
+  explicit ScratchFile(std::string name) : path(std::move(name)) {}
+  ~ScratchFile() {
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+  }
+  std::string path;
+};
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+TEST(AtomicFile, WriteThenReadRoundTrips) {
+  ScratchFile scratch("atomic_file_test_roundtrip.txt");
+  // Embedded NUL: binary-mode writes must not truncate.
+  const std::string payload("line one\nline two\0binary tail", 29);
+  ASSERT_TRUE(write_file_atomic(scratch.path, payload).ok());
+  const Expected<std::string> read = read_file(scratch.path);
+  ASSERT_TRUE(read.has_value()) << read.status().to_string();
+  EXPECT_EQ(*read, payload);
+  // The temp file was renamed away, not left behind.
+  EXPECT_FALSE(file_exists(scratch.path + ".tmp"));
+}
+
+TEST(AtomicFile, OverwriteReplacesTheWholeFile) {
+  ScratchFile scratch("atomic_file_test_overwrite.txt");
+  ASSERT_TRUE(write_file_atomic(scratch.path, "a much longer first version")
+                  .ok());
+  ASSERT_TRUE(write_file_atomic(scratch.path, "short").ok());
+  const Expected<std::string> read = read_file(scratch.path);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(*read, "short");
+}
+
+TEST(AtomicFile, WriteToUnwritableDirectoryReportsUnavailable) {
+  const Status status =
+      write_file_atomic("no_such_directory/sub/file.txt", "payload");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST(AtomicFile, ReadMissingFileReportsUnavailable) {
+  const Expected<std::string> read =
+      read_file("atomic_file_test_does_not_exist.txt");
+  EXPECT_FALSE(read.has_value());
+  EXPECT_EQ(read.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(Checksum, MatchesTheCrc32CheckValue) {
+  // The canonical CRC-32 check value (reflected, poly 0xEDB88320).
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+  // Any corruption flips the sum.
+  EXPECT_NE(crc32("123456789"), crc32("123456780"));
+}
+
+TEST(Checksum, HexRenderingIsFixedWidthLowerCase) {
+  EXPECT_EQ(crc32_hex(0xCBF43926u), "cbf43926");
+  EXPECT_EQ(crc32_hex(0x0000000Au), "0000000a");
+  EXPECT_EQ(crc32_hex(0u), "00000000");
+}
+
+}  // namespace
+}  // namespace re::support

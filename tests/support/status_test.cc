@@ -26,6 +26,15 @@ TEST(Status, CodeNamesAreStableTokens) {
                "failed_precondition");
   EXPECT_STREQ(status_code_name(StatusCode::kInvalidArgument),
                "invalid_argument");
+  EXPECT_STREQ(status_code_name(StatusCode::kUnavailable), "unavailable");
+}
+
+TEST(Status, UnavailableIsDistinctFromDataLoss) {
+  // Recovery paths branch on the difference: unavailable = retry later /
+  // start cold, data loss = the bytes are there but cannot be trusted.
+  const Status down(StatusCode::kUnavailable, "circuit open");
+  EXPECT_EQ(down.to_string(), "unavailable: circuit open");
+  EXPECT_NE(down, Status(StatusCode::kDataLoss, "circuit open"));
 }
 
 TEST(Expected, HoldsValue) {

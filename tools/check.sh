@@ -16,6 +16,11 @@
 #            machines, run twice and compared byte-for-byte (determinism).
 #            `tools/check.sh verify --bless` re-blesses the goldens instead.
 #            Default build dir: build.
+#   chaos    run the chaos-engineering lane under ASan+UBSan: `ctest -L
+#            chaos`, then a seeded `repf chaos --crash-check` sweep, run
+#            twice and compared byte-for-byte (the schedule-determinism
+#            contract: a failing seed from CI reproduces locally with one
+#            flag). Default build dir: build-asan.
 #   coverage Debug build with RE_COVERAGE=ON, full ctest, gcov aggregate
 #            over src/; fails if line coverage drops more than 2 points
 #            below the baseline recorded in DESIGN.md ("Coverage baseline:
@@ -33,7 +38,7 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 
 LANE="${1:-asan}"
 case "$LANE" in
-  asan|werror|bench|verify|coverage|unit|integration) shift || true ;;
+  asan|werror|bench|verify|chaos|coverage|unit|integration) shift || true ;;
   *) LANE=asan ;;  # first arg is a build dir, keep it in $1
 esac
 
@@ -145,6 +150,36 @@ run_verify() {
   echo "verify lane clean"
 }
 
+run_chaos() {
+  # Recovery paths are exactly where latent memory bugs hide (controllers
+  # torn down mid-window, overlays swapped under the simulator), so this
+  # lane runs the whole harness under ASan+UBSan.
+  local build_dir="${1:-build-asan}"
+  cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRE_SANITIZE=address,undefined
+  cmake --build "$build_dir" -j "$JOBS"
+
+  export ASAN_OPTIONS="detect_leaks=0:halt_on_error=1"
+  export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS" -L chaos
+
+  # The full fault-rate sweep plus the plan-cache kill/corruption check,
+  # run twice and compared byte-for-byte: same seed, same bytes.
+  local out_a out_b
+  out_a="$(mktemp)" ; out_b="$(mktemp)"
+  trap 'rm -f "$out_a" "$out_b"' RETURN
+  (cd "$build_dir" && tools/repf chaos --crash-check) > "$out_a"
+  (cd "$build_dir" && tools/repf chaos --crash-check) > "$out_b"
+  cmp -s "$out_a" "$out_b" || {
+    echo "FAILED: repf chaos is not deterministic"
+    diff "$out_a" "$out_b" | head -20
+    exit 1
+  }
+  echo "== repf chaos --crash-check: gates hold + deterministic"
+  echo "chaos lane clean"
+}
+
 run_coverage() {
   local build_dir="${1:-build-cov}"
   cmake -B "$build_dir" -S . \
@@ -188,6 +223,7 @@ case "$LANE" in
   werror) run_werror "${1:-}" ;;
   bench) run_bench "${1:-}" ;;
   verify) run_verify "${1:-}" "${2:-}" ;;
+  chaos) run_chaos "${1:-}" ;;
   coverage) run_coverage "${1:-}" ;;
   unit) run_label unit "${1:-}" ;;
   integration) run_label integration "${1:-}" ;;

@@ -17,8 +17,15 @@
 //                 [--seed N] [--verbose]
 //   repf verify [--machine amd|intel] [--seed N] [--families a,b,...]
 //                 [--golden DIR] [--bless] [--verbose]
+//   repf chaos [--machine amd|intel] [--rate PCT] [--seed N] [--cores N]
+//                 [--crash-check] [--verbose]
 //
 // Every command also understands --help.
+//
+// Exit codes: 0 success; 1 operational failure (bad file, I/O error,
+// verify mismatch); 2 invalid usage; 3 runtime-degradation gate failure
+// (faultcheck or chaos invariant violated — the output names the seed that
+// reproduces it).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -33,7 +40,9 @@
 #include "core/phases.hh"
 #include "core/pipeline.hh"
 #include "runtime/adaptive_controller.hh"
+#include "runtime/chaos.hh"
 #include "runtime/plan_cache.hh"
+#include "runtime/supervisor.hh"
 #include "sim/system.hh"
 #include "support/text_table.hh"
 #include "verify/differential.hh"
@@ -45,6 +54,12 @@
 namespace {
 
 using namespace re;
+
+// Exit-code policy (documented in usage()): distinct codes let CI tell a
+// broken invocation from a broken invariant.
+constexpr int kExitFailure = 1;   // operational failure (I/O, bad input file)
+constexpr int kExitUsage = 2;     // invalid arguments
+constexpr int kExitDegraded = 3;  // never-hurts / recovery gate violated
 
 struct Options {
   std::string command;
@@ -62,6 +77,12 @@ struct Options {
   std::uint64_t fault_seed = 0xFA57;
   /// Fuzzer seed for `verify` (also set by --seed; own default).
   std::uint64_t verify_seed = 42;
+  /// Schedule seed for `chaos` (also set by --seed; own default).
+  std::uint64_t chaos_seed = 0xC4A05;
+  /// Cores in the `chaos` synthetic mix.
+  int chaos_cores = 2;
+  /// Also run the plan-cache kill-and-restart sweep in `chaos`.
+  bool crash_check = false;
   /// Comma-separated fuzzer family names for `verify` (empty = all).
   std::string families;
   /// Golden-plan snapshot directory for `verify`; empty skips the check.
@@ -91,8 +112,12 @@ int usage() {
       "  faultcheck <file|benchmark>  inject profile faults, verify the\n"
       "                               never-hurts degradation invariant\n"
       "  verify                       differential oracle (StatStack vs\n"
-      "                               exact LRU) and golden-plan snapshots\n");
-  return 2;
+      "                               exact LRU) and golden-plan snapshots\n"
+      "  chaos                        replay a seeded fault schedule against\n"
+      "                               the supervised runtime, check recovery\n"
+      "exit codes: 0 ok, 1 operational failure, 2 invalid usage,\n"
+      "            3 degradation-gate violation (output names the seed)\n");
+  return kExitUsage;
 }
 
 /// Detailed per-command help. Returns nullptr for unknown commands.
@@ -162,6 +187,26 @@ const char* help_for(const std::string& command) {
            "                          (default: sweep 0/5/20/50)\n"
            "    --seed N              fault-injection seed\n"
            "    --verbose             print the degradation logs\n";
+  }
+  if (command == "chaos") {
+    return "repf chaos [options]\n"
+           "  Generate a seeded schedule of fault episodes (window drops,\n"
+           "  clock skew, governor blackout, profile corruption), replay it\n"
+           "  against the supervised adaptive runtime on a synthetic\n"
+           "  multi-core mix, and check the recovery gates: the chaotic run\n"
+           "  never loses more than 1 % to the no-prefetch baseline, every\n"
+           "  recovery completes within 64 windows, no circuit opens, and a\n"
+           "  zero-fault schedule trips nothing. Output is deterministic:\n"
+           "  same seed, same bytes. Exits 3 if any gate fails.\n"
+           "    --machine amd|intel   target machine model (default amd)\n"
+           "    --rate PCT            single fault rate in percent\n"
+           "                          (default: sweep 0/10/25/50)\n"
+           "    --seed N              schedule seed (default 0xC4A05)\n"
+           "    --cores N             cores in the synthetic mix (default 2)\n"
+           "    --crash-check         also sweep plan-cache kill/corruption\n"
+           "                          crash consistency\n"
+           "    --verbose             print the fault schedule and per-core\n"
+           "                          domain stats\n";
   }
   if (command == "verify") {
     return "repf verify [options]\n"
@@ -322,22 +367,26 @@ int cmd_adapt(const Options& opts) {
 
   runtime::AdaptiveController controller(program, opts.machine, aopts);
   if (!opts.load_cache.empty()) {
-    std::ifstream in(opts.load_cache);
-    if (!in) {
-      std::fprintf(stderr, "repf: cannot read %s\n", opts.load_cache.c_str());
-      return 1;
-    }
-    std::ostringstream text;
-    text << in.rdbuf();
-    auto loaded = runtime::PlanCache::from_json(text.str(), aopts.cache);
+    // Crash-consistent load: understands both the CRC journal written by
+    // --save-cache and legacy JSON; corrupt entries are quarantined, not
+    // fatal (warm-starting from a partial cache beats cold-starting).
+    auto loaded = runtime::PlanCache::load_file(opts.load_cache, aopts.cache);
     if (!loaded.has_value()) {
       std::fprintf(stderr, "repf: %s: %s\n", opts.load_cache.c_str(),
                    loaded.status().to_string().c_str());
-      return 1;
+      return kExitFailure;
     }
-    controller.plan_cache() = std::move(loaded.value());
+    runtime::PlanCache::LoadReport report = std::move(loaded.value());
+    controller.plan_cache() = std::move(report.cache);
     std::printf("# warm start: %zu cached plan set(s) from %s\n",
                 controller.plan_cache().size(), opts.load_cache.c_str());
+    if (report.degraded()) {
+      std::printf("# degraded load: %zu loaded, %zu quarantined, %zu missing\n",
+                  report.loaded, report.quarantined, report.missing);
+      for (const std::string& line : report.quarantine_log) {
+        std::printf("#   quarantined: %s\n", line.c_str());
+      }
+    }
   }
 
   const sim::RunResult base = sim::run_single(opts.machine, program, false);
@@ -395,12 +444,14 @@ int cmd_adapt(const Options& opts) {
   }
 
   if (!opts.save_cache.empty()) {
-    std::ofstream out(opts.save_cache);
-    if (!out) {
-      std::fprintf(stderr, "repf: cannot write %s\n", opts.save_cache.c_str());
-      return 1;
+    // Atomic, checksummed journal (temp file + rename): a kill mid-save
+    // leaves any previous snapshot intact.
+    const Status saved = controller.plan_cache().save(opts.save_cache);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "repf: %s: %s\n", opts.save_cache.c_str(),
+                   saved.to_string().c_str());
+      return kExitFailure;
     }
-    out << controller.plan_cache().to_json();
     std::printf("# saved %zu cached plan set(s) to %s\n",
                 controller.plan_cache().size(), opts.save_cache.c_str());
   }
@@ -461,10 +512,128 @@ int cmd_faultcheck(const Options& opts) {
   std::fputs(table.render().c_str(), stdout);
   if (opts.verbose) std::fputs(logs.c_str(), stdout);
   if (violations > 0) {
-    std::printf("FAILED: %d violation(s)\n", violations);
-    return 1;
+    std::printf("FAILED: %d violation(s) (reproduce with --seed %llu)\n",
+                violations,
+                static_cast<unsigned long long>(opts.fault_seed));
+    return kExitDegraded;
   }
   std::printf("degradation invariant holds\n");
+  return 0;
+}
+
+/// Per-core stream + hot-buffer mix in disjoint address spaces — the same
+/// shape the chaos tests and bench_chaos_recovery use, so a CI failure
+/// reproduces here with one flag.
+workloads::Program chaos_mix_program(std::uint64_t core) {
+  workloads::Program p;
+  p.name = "chaos-app-" + std::to_string(core);
+  p.seed = 42 + core;
+  workloads::StaticInst a, b;
+  a.pc = 1;
+  a.pattern = workloads::StreamPattern{core << 36, 64, 4 << 20};
+  b.pc = 2;
+  b.pattern = workloads::HotBufferPattern{(core + 8) << 36, 64, 16 << 10};
+  p.loops.push_back(workloads::Loop{{a, b}, 32768});
+  p.outer_reps = 2;
+  return p;
+}
+
+int cmd_chaos(const Options& opts) {
+  std::vector<workloads::Program> storage;
+  for (int c = 0; c < opts.chaos_cores; ++c) {
+    storage.push_back(chaos_mix_program(static_cast<std::uint64_t>(c)));
+  }
+  std::vector<const workloads::Program*> programs;
+  for (const workloads::Program& p : storage) programs.push_back(&p);
+
+  runtime::SupervisorOptions sopts;
+  sopts.adaptive.window_refs = 1024;
+  sopts.adaptive.sampler = core::SamplerConfig{50, 42};
+  sopts.adaptive.phases.hysteresis_windows = 1;
+  sopts.adaptive.min_reoptimize_refs = 8192;
+  sopts.heartbeat_grace_windows = 4;
+  sopts.backoff_base_windows = 2;
+  sopts.half_open_probe_windows = 2;
+  sopts.max_trips = 8;
+  sopts.seed = opts.chaos_seed;
+
+  std::vector<double> rates = {0.0, 0.1, 0.25, 0.5};
+  if (opts.fault_rate >= 0.0) rates = {opts.fault_rate};
+
+  std::printf("# repf chaos | machine=%s | seed=%llu | %d core(s)\n",
+              opts.machine.name.c_str(),
+              static_cast<unsigned long long>(opts.chaos_seed),
+              opts.chaos_cores);
+  TextTable table({"fault rate", "episodes", "trips", "rollbacks",
+                   "recoveries", "opens", "worst rec (win)", "vs no-pf",
+                   "verdict"});
+  int violations = 0;
+  std::string details;
+  for (const double rate : rates) {
+    runtime::ChaosConfig config;
+    config.fault_rate = rate;
+    config.horizon_refs = storage[0].total_references();
+    config.mean_episode_refs = 8192;
+    config.cores = opts.chaos_cores;
+    config.seed = opts.chaos_seed;
+
+    const runtime::ChaosRunResult result =
+        runtime::run_chaos_mix(opts.machine, programs, false, config, sopts);
+
+    int opens = 0;
+    std::uint64_t rollbacks = 0, recoveries = 0;
+    for (const runtime::DomainStats& d : result.domains) {
+      if (d.state == runtime::DomainState::Open) ++opens;
+      rollbacks += d.rollbacks;
+      recoveries += d.recoveries;
+    }
+    // The recovery gates: never-hurts within 1 %, recovery within 64
+    // windows, no permanently open circuit, no false-positive trips on a
+    // clean schedule.
+    bool ok = result.worst_vs_baseline <= 1.01 &&
+              result.worst_recovery_windows <= 64 && opens == 0;
+    if (rate == 0.0 && result.total_trips != 0) ok = false;
+    if (!ok) ++violations;
+
+    table.add_row({format_percent(rate, 0),
+                   std::to_string(result.schedule.episodes().size()),
+                   std::to_string(result.total_trips),
+                   std::to_string(rollbacks), std::to_string(recoveries),
+                   std::to_string(opens),
+                   std::to_string(result.worst_recovery_windows),
+                   format_double(result.worst_vs_baseline, 4),
+                   ok ? "OK" : "VIOLATION"});
+    if (opts.verbose) {
+      details += "-- schedule @ " + format_percent(rate, 0) + "\n" +
+                 result.schedule.to_string();
+      for (int core = 0; core < static_cast<int>(result.domains.size());
+           ++core) {
+        details += "   core " + std::to_string(core) + ": " +
+                   result.domains[core].to_string() + "\n";
+      }
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  if (opts.verbose) std::fputs(details.c_str(), stdout);
+
+  if (opts.crash_check) {
+    const runtime::CacheCrashReport crash = runtime::chaos_cache_crash_check(
+        opts.chaos_seed, 64, "repf_chaos_cache_scratch.json");
+    const bool ok = crash.failed_loads == 0 && crash.accounting_errors == 0 &&
+                    crash.survives_torn_write;
+    std::printf("cache crash check: %s -> %s\n", crash.to_string().c_str(),
+                ok ? "OK" : "VIOLATION");
+    if (!ok) ++violations;
+  }
+
+  if (violations > 0) {
+    std::printf("chaos FAILED: %d gate violation(s) (reproduce with "
+                "--seed %llu)\n",
+                violations,
+                static_cast<unsigned long long>(opts.chaos_seed));
+    return kExitDegraded;
+  }
+  std::printf("chaos recovery gates hold\n");
   return 0;
 }
 
@@ -607,6 +776,17 @@ int main(int argc, char** argv) {
       if (++i >= argc) return usage();
       opts.fault_seed = static_cast<std::uint64_t>(std::atoll(argv[i]));
       opts.verify_seed = opts.fault_seed;
+      opts.chaos_seed = opts.fault_seed;
+    } else if (arg == "--cores") {
+      if (++i >= argc) return usage();
+      const long long cores = std::atoll(argv[i]);
+      if (cores < 1 || cores > 16) {
+        std::fprintf(stderr, "--cores must be in [1, 16]\n");
+        return kExitUsage;
+      }
+      opts.chaos_cores = static_cast<int>(cores);
+    } else if (arg == "--crash-check") {
+      opts.crash_check = true;
     } else if (arg == "--families") {
       if (++i >= argc) return usage();
       opts.families = argv[i];
@@ -661,6 +841,7 @@ int main(int argc, char** argv) {
   try {
     if (opts.command == "list") return cmd_list();
     if (opts.command == "verify") return cmd_verify(opts);
+    if (opts.command == "chaos") return cmd_chaos(opts);
     if (opts.target.empty()) return usage();
     if (opts.command == "dump") return cmd_dump(opts);
     if (opts.command == "optimize") return cmd_optimize(opts);
