@@ -20,6 +20,18 @@ namespace re::bench {
 /// quickly without letting them rot.
 inline bool smoke_mode() { return std::getenv("RE_BENCH_SMOKE") != nullptr; }
 
+/// Engine worker count for benches that fan out over the deterministic
+/// executor. RE_BENCH_JOBS overrides (clamped to [1, 256]); default 1 keeps
+/// every bench's default output byte-identical to the serial path.
+inline int bench_jobs() {
+  const char* env = std::getenv("RE_BENCH_JOBS");
+  if (env == nullptr) return 1;
+  const long jobs = std::strtol(env, nullptr, 10);
+  if (jobs < 1) return 1;
+  if (jobs > 256) return 256;
+  return static_cast<int>(jobs);
+}
+
 /// Machine-readable bench output: collects headline metrics and writes them
 /// as `BENCH_<name>.json` in the working directory, giving the repo a
 /// tracked perf trajectory alongside the human-readable tables.

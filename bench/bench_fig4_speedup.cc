@@ -5,6 +5,7 @@
 
 #include "analysis/experiments.hh"
 #include "bench_common.hh"
+#include "engine/executor.hh"
 #include "support/series_chart.hh"
 #include "support/text_table.hh"
 
@@ -15,6 +16,9 @@ int main() {
       "Single-threaded runs; speedup relative to no-prefetching baseline");
 
   bench::JsonReport report("fig4_speedup");
+  // RE_BENCH_JOBS fans the per-benchmark work out over the engine executor;
+  // the output is byte-identical at any value (ordered reduction).
+  const engine::Executor executor(bench::bench_jobs());
   analysis::PlanCache cache;
   for (const sim::MachineConfig& machine :
        {sim::amd_phenom_ii(), sim::intel_sandybridge()}) {
@@ -27,9 +31,9 @@ int main() {
 
     double sums[4] = {0, 0, 0, 0};
     int n = 0;
-    for (const std::string& name : workloads::suite_names()) {
-      const analysis::BenchmarkEvaluation eval =
-          analysis::evaluate_benchmark(machine, name, cache);
+    for (const analysis::BenchmarkEvaluation& eval : analysis::evaluate_suite(
+             machine, workloads::suite_names(), cache, &executor)) {
+      const std::string& name = eval.name;
       const double hw = eval.speedup(analysis::Policy::Hardware);
       const double sw = eval.speedup(analysis::Policy::Software);
       const double nt = eval.speedup(analysis::Policy::SoftwareNT);

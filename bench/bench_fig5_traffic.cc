@@ -7,6 +7,7 @@
 
 #include "analysis/experiments.hh"
 #include "bench_common.hh"
+#include "engine/executor.hh"
 #include "support/text_table.hh"
 
 int main() {
@@ -15,6 +16,7 @@ int main() {
       "Figure 5: Increase in data volume fetched from DRAM",
       "Single-threaded runs; increase relative to no-prefetching baseline");
 
+  const engine::Executor executor(bench::bench_jobs());
   analysis::PlanCache cache;
   for (const sim::MachineConfig& machine :
        {sim::amd_phenom_ii(), sim::intel_sandybridge()}) {
@@ -24,9 +26,9 @@ int main() {
     double sums[4] = {0, 0, 0, 0};
     double hw_bytes = 0.0, nt_bytes = 0.0;
     int n = 0;
-    for (const std::string& name : workloads::suite_names()) {
-      const analysis::BenchmarkEvaluation eval =
-          analysis::evaluate_benchmark(machine, name, cache);
+    for (const analysis::BenchmarkEvaluation& eval : analysis::evaluate_suite(
+             machine, workloads::suite_names(), cache, &executor)) {
+      const std::string& name = eval.name;
       const double hw = eval.traffic_increase(analysis::Policy::Hardware);
       const double sw = eval.traffic_increase(analysis::Policy::Software);
       const double nt = eval.traffic_increase(analysis::Policy::SoftwareNT);

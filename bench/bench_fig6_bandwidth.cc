@@ -6,6 +6,7 @@
 
 #include "analysis/experiments.hh"
 #include "bench_common.hh"
+#include "engine/executor.hh"
 #include "support/text_table.hh"
 
 int main() {
@@ -14,6 +15,7 @@ int main() {
                       "Single-threaded runs");
 
   bench::JsonReport report("fig6_bandwidth");
+  const engine::Executor executor(bench::bench_jobs());
   analysis::PlanCache cache;
   for (const sim::MachineConfig& machine :
        {sim::amd_phenom_ii(), sim::intel_sandybridge()}) {
@@ -22,9 +24,9 @@ int main() {
                      "Soft Pref.+NT", "Stride-centric"});
     double sums[4] = {0, 0, 0, 0};
     int n = 0;
-    for (const std::string& name : workloads::suite_names()) {
-      const analysis::BenchmarkEvaluation eval =
-          analysis::evaluate_benchmark(machine, name, cache);
+    for (const analysis::BenchmarkEvaluation& eval : analysis::evaluate_suite(
+             machine, workloads::suite_names(), cache, &executor)) {
+      const std::string& name = eval.name;
       const double base = eval.bandwidth_gbps(analysis::Policy::Baseline);
       const double hw = eval.bandwidth_gbps(analysis::Policy::Hardware);
       const double nt = eval.bandwidth_gbps(analysis::Policy::SoftwareNT);

@@ -32,20 +32,28 @@ const core::OptimizationReport& PlanCache::report(
       throw std::invalid_argument("no optimization report for this policy");
   }
   const std::string key = machine.name + "/" + benchmark + "/" + variant;
-  auto it = reports_.find(key);
-  if (it != reports_.end()) return it->second;
 
-  const workloads::Program reference =
-      workloads::make_benchmark(benchmark, workloads::InputSet::Reference);
-  core::OptimizerOptions opts = options_;
-  core::OptimizationReport report;
-  if (policy == Policy::StrideCentric) {
-    report = core::stride_centric_optimize(reference, machine, opts);
-  } else {
-    opts.enable_non_temporal = (policy == Policy::SoftwareNT);
-    report = core::optimize_program(reference, machine, opts);
+  Entry* entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_ptr<Entry>& slot = reports_[key];
+    if (slot == nullptr) slot = std::make_unique<Entry>();
+    entry = slot.get();
   }
-  return reports_.emplace(key, std::move(report)).first->second;
+  // The expensive profile+optimize runs outside the map lock: distinct
+  // benchmarks/variants proceed in parallel, the same key computes once.
+  std::call_once(entry->once, [&] {
+    const workloads::Program reference =
+        workloads::make_benchmark(benchmark, workloads::InputSet::Reference);
+    core::OptimizerOptions opts = options_;
+    if (policy == Policy::StrideCentric) {
+      entry->report = core::stride_centric_optimize(reference, machine, opts);
+    } else {
+      opts.enable_non_temporal = (policy == Policy::SoftwareNT);
+      entry->report = core::optimize_program(reference, machine, opts);
+    }
+  });
+  return entry->report;
 }
 
 workloads::Program PlanCache::prepare(const sim::MachineConfig& machine,
@@ -95,6 +103,24 @@ BenchmarkEvaluation evaluate_benchmark(const sim::MachineConfig& machine,
     eval.runs.emplace(policy, sim::run_single(machine, program, hw));
   }
   return eval;
+}
+
+std::vector<BenchmarkEvaluation> evaluate_suite(
+    const sim::MachineConfig& machine,
+    const std::vector<std::string>& benchmarks, PlanCache& cache,
+    const engine::Executor* executor, workloads::InputSet input) {
+  const auto evaluate = [&](std::size_t i) {
+    return evaluate_benchmark(machine, benchmarks[i], cache, input);
+  };
+  if (executor != nullptr) {
+    return executor->map(benchmarks.size(), evaluate);
+  }
+  std::vector<BenchmarkEvaluation> out;
+  out.reserve(benchmarks.size());
+  for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+    out.push_back(evaluate(i));
+  }
+  return out;
 }
 
 std::vector<double> MixEvaluation::times(Policy policy) const {

@@ -12,10 +12,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.hh"
+#include "engine/executor.hh"
 #include "sim/config.hh"
 #include "sim/system.hh"
 #include "workloads/mix.hh"
@@ -31,6 +34,11 @@ const char* policy_name(Policy policy);
 /// each bench binary profiles and optimizes a benchmark exactly once.
 /// Profiling always uses the Reference input (paper Section VII-D: a single
 /// input profile is used for both target architectures and all runs).
+///
+/// Thread-safe: evaluate_suite fans benchmark evaluations out over engine
+/// workers that share one cache. Each key's report is computed exactly once
+/// (call_once) outside the map lock, so distinct benchmarks optimize in
+/// parallel, and returned references stay stable (entries never move).
 class PlanCache {
  public:
   explicit PlanCache(core::OptimizerOptions options = {});
@@ -49,8 +57,14 @@ class PlanCache {
   const core::OptimizerOptions& options() const { return options_; }
 
  private:
+  struct Entry {
+    std::once_flag once;
+    core::OptimizationReport report;
+  };
+
   core::OptimizerOptions options_;
-  std::map<std::string, core::OptimizationReport> reports_;
+  std::mutex mutex_;  // guards the map shape only, never the optimize
+  std::map<std::string, std::unique_ptr<Entry>> reports_;
 };
 
 /// Single-benchmark evaluation (Figures 4-6): one run per policy.
@@ -66,6 +80,17 @@ struct BenchmarkEvaluation {
 BenchmarkEvaluation evaluate_benchmark(
     const sim::MachineConfig& machine, const std::string& benchmark,
     PlanCache& cache,
+    workloads::InputSet input = workloads::InputSet::Reference);
+
+/// Evaluate a whole suite, fanning the per-benchmark work (profile,
+/// optimize under every policy, five simulated runs) out over `executor`'s
+/// workers. Ordered reduction: results arrive in `benchmarks` order and are
+/// byte-identical to the serial loop at any worker count. Null executor =
+/// serial.
+std::vector<BenchmarkEvaluation> evaluate_suite(
+    const sim::MachineConfig& machine,
+    const std::vector<std::string>& benchmarks, PlanCache& cache,
+    const engine::Executor* executor = nullptr,
     workloads::InputSet input = workloads::InputSet::Reference);
 
 /// Mixed-workload evaluation (Figures 7-11): Baseline, Hardware and

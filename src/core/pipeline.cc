@@ -1,35 +1,14 @@
 #include "core/pipeline.hh"
 
-#include <algorithm>
-#include <unordered_map>
-
 #include "sim/system.hh"
 
+// The optimization entry points declared in this header are stage-graph
+// configurations since PR 5; their definitions live in engine/pipeline.cc
+// (re_engine). Only the baseline Δ probe remains here: it is the one piece
+// phase detection (core/phases.cc) needs, and it must not drag the engine
+// into re_core.
+
 namespace re::core {
-
-namespace {
-
-/// Index stride samples by PC once.
-std::unordered_map<Pc, std::vector<StrideSample>> strides_by_pc(
-    const Profile& profile) {
-  std::unordered_map<Pc, std::vector<StrideSample>> by_pc;
-  for (const StrideSample& s : profile.stride_samples) {
-    by_pc[s.pc].push_back(s);
-  }
-  return by_pc;
-}
-
-/// Offline Δ from a baseline run, unless the caller measured it online.
-double resolve_cycles_per_memop(const workloads::Program& program,
-                                const sim::MachineConfig& machine,
-                                const OptimizerOptions& options) {
-  if (options.assumed_cycles_per_memop > 0.0) {
-    return options.assumed_cycles_per_memop;
-  }
-  return measure_cycles_per_memop(program, machine);
-}
-
-}  // namespace
 
 double measure_cycles_per_memop(const workloads::Program& program,
                                 const sim::MachineConfig& machine) {
@@ -38,146 +17,6 @@ double measure_cycles_per_memop(const workloads::Program& program,
   if (run.apps.empty() || run.apps[0].references == 0) return 1.0;
   return static_cast<double>(run.apps[0].cycles) /
          static_cast<double>(run.apps[0].references);
-}
-
-OptimizationReport optimize_program(const workloads::Program& program,
-                                    const sim::MachineConfig& machine,
-                                    const OptimizerOptions& options) {
-  // 1-2) Integrated sampling pass: data-reuse + stride samples.
-  return optimize_with_profile(
-      program, profile_program(program, options.sampler,
-                               options.profile_max_refs),
-      machine, options);
-}
-
-OptimizationReport optimize_with_profile(const workloads::Program& program,
-                                         Profile profile,
-                                         const sim::MachineConfig& machine,
-                                         const OptimizerOptions& options) {
-  OptimizationReport report;
-  report.benchmark = program.name;
-
-  // Skip-not-guess: the validator mirrors the stride-analysis gates, so a
-  // clean profile yields byte-identical plans; degraded evidence only ever
-  // removes prefetches, and every removal lands in the DegradationLog.
-  ValidatorOptions vopts;
-  vopts.min_stride_samples = options.stride.min_samples;
-  vopts.dominance_threshold = options.stride.dominance_threshold;
-  const ProfileValidator validator(vopts);
-
-  Expected<Profile> sanitized =
-      validator.sanitize(profile, &report.degradation);
-  if (!sanitized) {
-    // Unusable profile: degrade to "do nothing". The input program passes
-    // through untouched — never prefetch on evidence we cannot trust.
-    report.profile = std::move(profile);
-    report.cycles_per_memop =
-        resolve_cycles_per_memop(program, machine, options);
-    report.optimized = program;
-    return report;
-  }
-  report.profile = std::move(*sanitized);
-
-  // 3) Fast cache modeling.
-  const StatStack model(report.profile);
-
-  // Δ from a plain baseline run (performance counters in the paper).
-  report.cycles_per_memop =
-      resolve_cycles_per_memop(program, machine, options);
-
-  // 4) Delinquent-load identification with cost-benefit filtering.
-  report.delinquent_loads = identify_delinquent_loads(
-      model, report.profile, machine, options.mddli);
-
-  // 5-6) Stride analysis, prefetch distance and bypass analysis for the
-  // selected loads. Each load must clear the validator at every step; a
-  // failed check suppresses the prefetch and records why.
-  const auto by_pc = strides_by_pc(report.profile);
-  const ReuseGraph graph(report.profile);
-  for (const DelinquentLoad& load : report.delinquent_loads) {
-    const LoadVerdict numerics = validator.classify_model_numerics(
-        load.l1_miss_ratio, load.l2_miss_ratio, load.llc_miss_ratio,
-        load.avg_miss_latency, report.cycles_per_memop);
-    if (numerics.confidence != LoadConfidence::kOk) {
-      report.degradation.record(load.pc, numerics.reason, numerics.detail);
-      continue;
-    }
-
-    auto it = by_pc.find(load.pc);
-    if (it == by_pc.end()) {
-      report.degradation.record(load.pc, DegradationReason::kNoStrideSamples);
-      continue;
-    }
-    const StrideInfo info =
-        analyze_strides(load.pc, it->second, options.stride);
-    report.stride_infos.push_back(info);
-    const LoadVerdict stride_verdict =
-        validator.classify_stride_evidence(info, it->second.size());
-    if (stride_verdict.confidence != LoadConfidence::kOk) {
-      report.degradation.record(load.pc, stride_verdict.reason,
-                                stride_verdict.detail);
-      continue;
-    }
-
-    PrefetchDistanceParams params;
-    params.latency = load.avg_miss_latency;
-    params.cycles_per_memop = report.cycles_per_memop;
-    params.loop_references = report.profile.executions_of(load.pc);
-    const Expected<std::int64_t> distance =
-        prefetch_distance_checked(info, params);
-    if (!distance) {
-      report.degradation.record(load.pc,
-                                DegradationReason::kDistanceUnavailable,
-                                distance.status().to_string());
-      continue;
-    }
-
-    PrefetchPlan plan;
-    plan.pc = load.pc;
-    plan.distance_bytes = *distance;
-    plan.hint = options.enable_non_temporal &&
-                        should_bypass(load.pc, graph, model, machine,
-                                      options.bypass)
-                    ? workloads::PrefetchHint::NTA
-                    : workloads::PrefetchHint::T0;
-    report.plans.push_back(plan);
-  }
-
-  report.optimized = insert_prefetches(program, report.plans);
-  return report;
-}
-
-OptimizationReport stride_centric_optimize(const workloads::Program& program,
-                                           const sim::MachineConfig& machine,
-                                           const OptimizerOptions& options) {
-  OptimizationReport report;
-  report.benchmark = program.name;
-  report.profile =
-      profile_program(program, options.sampler, options.profile_max_refs);
-  report.cycles_per_memop = measure_cycles_per_memop(program, machine);
-
-  // No cache model, no cost-benefit: every regular-strided load gets a
-  // prefetch, with a constant assumed memory latency and no loop cap.
-  report.stride_infos = analyze_all_strides(report.profile, options.stride);
-  for (const StrideInfo& info : report.stride_infos) {
-    if (!info.regular) continue;
-
-    PrefetchDistanceParams params;
-    params.latency = static_cast<double>(machine.dram_latency);
-    params.cycles_per_memop = report.cycles_per_memop;
-    params.loop_references = ~std::uint64_t{0};  // no cap
-    const auto distance = prefetch_distance_bytes(info, params);
-    if (!distance) continue;
-
-    PrefetchPlan plan;
-    plan.pc = info.pc;
-    plan.distance_bytes = *distance;
-    plan.hint = workloads::PrefetchHint::T0;
-    report.plans.push_back(plan);
-  }
-
-  report.optimized = insert_prefetches(program, report.plans);
-  return report;
 }
 
 }  // namespace re::core

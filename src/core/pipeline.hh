@@ -35,11 +35,15 @@ struct OptimizerOptions {
   bool enable_non_temporal = true;
   /// Cap on profiled references (full run by default).
   std::uint64_t profile_max_refs = ~std::uint64_t{0};
-  /// When positive, use this externally measured Δ (cycles per memory
-  /// operation) instead of running the offline baseline simulation. The
-  /// online adaptive runtime supplies its own windowed measurement here —
-  /// it cannot pause the workload to run a counterfactual baseline.
+  /// Δ (cycles per memory operation) knobs, resolved by the engine with
+  /// one precedence rule (engine/delta.hh): assumed > measured >
+  /// baseline-sim. `assumed` is a statement of intent (tests, ablations,
+  /// replays); `measured` is an online observation of the running program
+  /// (the adaptive runtime's EWMA — it cannot pause the workload to run a
+  /// counterfactual baseline); when both are unset the offline baseline
+  /// simulation supplies Δ.
   double assumed_cycles_per_memop = 0.0;
+  double measured_cycles_per_memop = 0.0;
 };
 
 /// Everything the analysis produced, for reporting and tests.

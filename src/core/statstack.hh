@@ -26,6 +26,11 @@
 #include "support/histogram.hh"
 #include "support/types.hh"
 
+namespace re::engine {
+class Executor;
+class ArtifactStore;
+}  // namespace re::engine
+
 namespace re::core {
 
 /// Piecewise-linear expected-stack-distance function built from the sampled
@@ -90,6 +95,14 @@ class MissRatioCurve {
 class StatStack {
  public:
   explicit StatStack(const Profile& profile);
+
+  /// Engine-aware build: per-PC curve construction fans out over
+  /// `executor`'s workers (ordered reduction — the model is byte-identical
+  /// to the serial build at any worker count), and `store` supplies the
+  /// interned PC table plus reusable grouping arenas so repeated windowed
+  /// solves allocate nothing in steady state. Either argument may be null.
+  StatStack(const Profile& profile, const engine::Executor* executor,
+            engine::ArtifactStore* store);
 
   const StackDistanceSolver& solver() const { return *solver_; }
 

@@ -1,0 +1,21 @@
+#include "engine/delta.hh"
+
+namespace re::engine {
+
+const char* delta_source_name(DeltaSource source) {
+  switch (source) {
+    case DeltaSource::kAssumed: return "assumed";
+    case DeltaSource::kMeasured: return "measured";
+    case DeltaSource::kBaselineSim: return "baseline-sim";
+  }
+  return "?";
+}
+
+DeltaEstimate resolve_delta(double assumed, double measured,
+                            const std::function<double()>& baseline_sim) {
+  if (assumed > 0.0) return {assumed, DeltaSource::kAssumed};
+  if (measured > 0.0) return {measured, DeltaSource::kMeasured};
+  return {baseline_sim(), DeltaSource::kBaselineSim};
+}
+
+}  // namespace re::engine

@@ -1,0 +1,69 @@
+// Unified Δ (cycles per memory operation) resolution.
+//
+// The paper measures Δ per benchmark with performance counters and feeds
+// it into Mowry's prefetch-distance formula. The repo grew three
+// independent copies of the surrounding logic — the offline pipeline's
+// "assumed or baseline-sim" fallback, the adaptive controller's EWMA of
+// windowed measurements, and the experiment drivers' direct baseline
+// probes. This is the one shared implementation, with one precedence rule:
+//
+//     assumed  >  measured  >  baseline-sim
+//
+//   * assumed  — an explicitly configured Δ (tests, ablations, replays of
+//                stored profiles on a machine the program never ran on).
+//                Always wins: it is a statement of intent.
+//   * measured — an online observation of the running program (the
+//                adaptive runtime's EWMA). Preferred over simulation
+//                because it reflects the *current* plans and phase.
+//   * baseline-sim — a counterfactual single-core run with prefetching
+//                off. The offline default; an online system cannot pause
+//                the workload to obtain it, which is exactly why
+//                `measured` outranks it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace re::engine {
+
+enum class DeltaSource { kAssumed, kMeasured, kBaselineSim };
+
+const char* delta_source_name(DeltaSource source);
+
+struct DeltaEstimate {
+  double cycles_per_memop = 0.0;
+  DeltaSource source = DeltaSource::kBaselineSim;
+};
+
+/// Apply the precedence rule. `assumed` and `measured` count only when
+/// positive; `baseline_sim` is invoked lazily (it runs a full simulation)
+/// and only when both knobs are unset.
+DeltaEstimate resolve_delta(double assumed, double measured,
+                            const std::function<double()>& baseline_sim);
+
+/// The online Δ estimator: an EWMA over per-window measurements. The
+/// default weight rides out single turbulent windows while still tracking
+/// a phase change within a few windows (0.7^8 leaves ~6 % of the old
+/// regime after the settle period the controller uses).
+class DeltaEwma {
+ public:
+  explicit DeltaEwma(double weight = 0.3) : weight_(weight) {}
+
+  /// Fold in one window's measurement; non-positive observations are
+  /// ignored (an empty window measures nothing).
+  void observe(double cycles_per_memop) {
+    if (cycles_per_memop <= 0.0) return;
+    value_ = value_ <= 0.0 ? cycles_per_memop
+                           : (1.0 - weight_) * value_ +
+                                 weight_ * cycles_per_memop;
+  }
+
+  /// Current estimate; 0 until the first observation.
+  double value() const { return value_; }
+
+ private:
+  double weight_;
+  double value_ = 0.0;
+};
+
+}  // namespace re::engine

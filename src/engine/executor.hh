@@ -1,0 +1,68 @@
+// Deterministic thread-pool executor for the analysis engine.
+//
+// The engine's determinism contract (DESIGN.md §11) is enforced here: a
+// fan-out over n independent units produces artifacts that are
+// byte-identical to the serial path at any worker count, because
+//
+//   * every unit writes only its own slot — results are collected into a
+//     vector indexed by the unit's original position (ordered reduction;
+//     scheduling order never leaks into the output), and
+//   * the order in which idle workers *claim* units is a seeded
+//     pseudo-random permutation of [0, n) (seeded work-splitting): load
+//     balancing is reproducible run-to-run instead of depending on which
+//     thread won a race, and a perf anomaly reproduces from the seed.
+//
+// jobs <= 1 runs inline on the calling thread with zero threading overhead
+// — the serial path is the parallel path with one worker, not a separate
+// code path that could drift. Nested map()/for_each() calls from inside a
+// worker run inline on that worker for the same reason (and to avoid
+// deadlocking a fixed-size pool).
+//
+// Exceptions thrown by units are captured and the one from the
+// lowest-indexed unit is rethrown after all workers join, so error
+// reporting is deterministic too.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <vector>
+
+namespace re::engine {
+
+class Executor {
+ public:
+  /// `jobs` is clamped to at least 1. The seed drives work-splitting only;
+  /// it can never affect artifact bytes.
+  explicit Executor(int jobs, std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  int jobs() const { return jobs_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Run fn(i) for every i in [0, n), spreading units over the workers.
+  /// fn must only touch state owned by unit i (or immutable shared state).
+  void for_each(std::size_t n,
+                const std::function<void(std::size_t)>& fn) const;
+
+  /// Ordered map: returns {fn(0), fn(1), ..., fn(n-1)} — always in index
+  /// order, regardless of which worker computed which unit.
+  template <typename Fn>
+  auto map(std::size_t n, Fn&& fn) const
+      -> std::vector<decltype(fn(std::size_t{}))> {
+    using R = decltype(fn(std::size_t{}));
+    std::vector<R> results(n);
+    for_each(n, [&](std::size_t i) { results[i] = fn(i); });
+    return results;
+  }
+
+  /// True while the calling thread is one of this executor's workers
+  /// (nested fan-outs run inline).
+  static bool in_worker();
+
+ private:
+  int jobs_ = 1;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace re::engine

@@ -1,0 +1,53 @@
+#include "engine/options.hh"
+
+#include <cstdio>
+
+namespace re::engine {
+
+core::SamplerConfig make_sampler_config(const AnalysisKnobs& knobs) {
+  core::SamplerConfig config;
+  config.sample_period = knobs.sample_period;
+  config.seed = knobs.sample_seed;
+  return config;
+}
+
+core::OptimizerOptions make_optimizer_options(const AnalysisKnobs& knobs) {
+  core::OptimizerOptions options;
+  options.sampler = make_sampler_config(knobs);
+  options.mddli = knobs.mddli;
+  options.stride = knobs.stride;
+  options.bypass = knobs.bypass;
+  options.enable_non_temporal = knobs.enable_non_temporal;
+  options.profile_max_refs = knobs.profile_max_refs;
+  options.assumed_cycles_per_memop = knobs.assumed_cycles_per_memop;
+  options.measured_cycles_per_memop = knobs.measured_cycles_per_memop;
+  return options;
+}
+
+std::string describe_knobs(const AnalysisKnobs& knobs) {
+  std::string out;
+  char buf[128];
+  const auto line = [&out, &buf](const char* format, auto... args) {
+    std::snprintf(buf, sizeof buf, format, args...);
+    out += buf;
+  };
+  line("sample_period=%llu\n",
+       static_cast<unsigned long long>(knobs.sample_period));
+  line("sample_seed=%llu\n",
+       static_cast<unsigned long long>(knobs.sample_seed));
+  line("profile_max_refs=%llu\n",
+       static_cast<unsigned long long>(knobs.profile_max_refs));
+  line("enable_non_temporal=%d\n", knobs.enable_non_temporal ? 1 : 0);
+  line("assumed_cycles_per_memop=%g\n", knobs.assumed_cycles_per_memop);
+  line("measured_cycles_per_memop=%g\n", knobs.measured_cycles_per_memop);
+  line("mddli.alpha=%g\n", knobs.mddli.alpha);
+  line("stride.min_samples=%llu\n",
+       static_cast<unsigned long long>(knobs.stride.min_samples));
+  line("stride.dominance_threshold=%g\n", knobs.stride.dominance_threshold);
+  line("bypass.drop_threshold=%g\n", knobs.bypass.drop_threshold);
+  line("bypass.min_edge_weight=%llu\n",
+       static_cast<unsigned long long>(knobs.bypass.min_edge_weight));
+  return out;
+}
+
+}  // namespace re::engine

@@ -1,0 +1,47 @@
+// Central knob plumbing for the analysis engine.
+//
+// Before PR 5, every consumer hand-assembled SamplerConfig and
+// OptimizerOptions from its own flag soup (repf commands, bench binaries,
+// the adaptive runtime), and knobs silently diverged — the online sampler's
+// period lived in one place, the offline profiler's in another, and a knob
+// added to OptimizerOptions had to be wired N times. AnalysisKnobs is the
+// one audited set; the make_* builders below are the only places that
+// translate knobs into the structs the pipeline consumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/pipeline.hh"
+
+namespace re::engine {
+
+/// Every externally tunable analysis knob, with the repo-wide defaults.
+/// Field-by-field provenance:
+///   sample_period / sample_seed    -> core::SamplerConfig
+///   profile_max_refs               -> OptimizerOptions::profile_max_refs
+///   enable_non_temporal            -> OptimizerOptions::enable_non_temporal
+///   assumed / measured Δ           -> OptimizerOptions Δ knobs
+///                                     (precedence: engine/delta.hh)
+///   mddli / stride / bypass        -> passed through unchanged
+struct AnalysisKnobs {
+  std::uint64_t sample_period = 1000;
+  std::uint64_t sample_seed = 42;
+  std::uint64_t profile_max_refs = ~std::uint64_t{0};
+  bool enable_non_temporal = true;
+  double assumed_cycles_per_memop = 0.0;
+  double measured_cycles_per_memop = 0.0;
+  core::MddliOptions mddli;
+  core::StrideAnalysisOptions stride;
+  core::BypassOptions bypass;
+};
+
+core::SamplerConfig make_sampler_config(const AnalysisKnobs& knobs);
+
+core::OptimizerOptions make_optimizer_options(const AnalysisKnobs& knobs);
+
+/// One "knob=value" per line — the audit trail `repf` prints under
+/// --verbose so a run's effective configuration is reviewable.
+std::string describe_knobs(const AnalysisKnobs& knobs);
+
+}  // namespace re::engine

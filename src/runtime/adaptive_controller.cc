@@ -1,15 +1,9 @@
 #include "runtime/adaptive_controller.hh"
 
+#include "engine/pipeline.hh"
 #include "sim/memory_system.hh"
 
 namespace re::runtime {
-
-namespace {
-/// EWMA weight for the online Δ measurement: heavy enough on history to
-/// ride out single turbulent windows, light enough to track phase changes
-/// within a few windows.
-constexpr double kDeltaEwma = 0.3;
-}  // namespace
 
 AdaptiveController::AdaptiveController(const workloads::Program& program,
                                        const sim::MachineConfig& machine,
@@ -40,13 +34,9 @@ void AdaptiveController::close_window(const WindowProfile& window, Cycle now,
 
   // Online Δ: measured under the *current* plans, which is the only Δ an
   // online system can observe (the paper measures its Δ offline with
-  // performance counters).
-  const double cpm = window.cycles_per_memop();
-  if (cpm > 0.0) {
-    delta_cpm_ =
-        delta_cpm_ <= 0.0 ? cpm : (1.0 - kDeltaEwma) * delta_cpm_ +
-                                      kDeltaEwma * cpm;
-  }
+  // performance counters). The EWMA lives in engine/delta.hh — the one
+  // shared Δ implementation.
+  delta_ewma_.observe(window.cycles_per_memop());
 
   const core::PhaseSignature signature = core::normalize_signature(
       window.profile.pc_execution_counts, window.refs());
@@ -103,14 +93,15 @@ void AdaptiveController::close_window(const WindowProfile& window, Cycle now,
              ++windows_since_plan_change_ >= opts_.refine_settle_windows &&
              phase_profiles_[active_phase_].total_references >=
                  opts_.min_reoptimize_refs) {
+    const double delta_cpm = delta_ewma_.value();
     if (plan_cpm_ <= 0.0) {
       // Hot-swapped plans carry no Δ; arm the baseline from measurement.
-      plan_cpm_ = delta_cpm_;
+      plan_cpm_ = delta_cpm;
     } else {
       bool diverged = false;
-      if (opts_.refine_divergence_ratio > 1.0 && delta_cpm_ > 0.0) {
-        const double ratio = delta_cpm_ > plan_cpm_ ? delta_cpm_ / plan_cpm_
-                                                    : plan_cpm_ / delta_cpm_;
+      if (opts_.refine_divergence_ratio > 1.0 && delta_cpm > 0.0) {
+        const double ratio = delta_cpm > plan_cpm_ ? delta_cpm / plan_cpm_
+                                                   : plan_cpm_ / delta_cpm;
         diverged = ratio >= opts_.refine_divergence_ratio;
       }
       const std::uint64_t acc_refs =
@@ -141,9 +132,13 @@ void AdaptiveController::close_window(const WindowProfile& window, Cycle now,
 
 void AdaptiveController::reoptimize(int phase) {
   core::OptimizerOptions options = opts_.optimizer;
-  if (delta_cpm_ > 0.0) options.assumed_cycles_per_memop = delta_cpm_;
-  const core::OptimizationReport report = core::optimize_with_profile(
-      *program_, phase_profiles_[phase], machine_, options);
+  // The windowed EWMA enters as *measured* Δ: an explicitly configured
+  // assumed Δ still outranks it (engine/delta.hh precedence), and with
+  // neither set the engine falls back to the baseline simulation.
+  options.measured_cycles_per_memop = delta_ewma_.value();
+  const engine::EngineContext ctx{opts_.executor, &store_};
+  const core::OptimizationReport report = engine::run_optimize_with_profile(
+      *program_, phase_profiles_[phase], machine_, options, ctx);
 
   active_plans_ = report.plans;
   active_phase_ = phase;
@@ -174,7 +169,7 @@ AdaptiveStats AdaptiveController::stats() const {
   AdaptiveStats out = stats_;
   out.phases = detector_.num_phases();
   out.phase_switches = detector_.switches();
-  out.measured_cycles_per_memop = delta_cpm_;
+  out.measured_cycles_per_memop = delta_ewma_.value();
   out.cache = cache_.stats();
   out.governor = governor_.stats();
   return out;

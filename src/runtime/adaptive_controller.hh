@@ -38,6 +38,8 @@
 
 #include "core/fault_injection.hh"
 #include "core/pipeline.hh"
+#include "engine/delta.hh"
+#include "engine/store.hh"
 #include "runtime/governor.hh"
 #include "runtime/online_sampler.hh"
 #include "runtime/phase_detector.hh"
@@ -81,6 +83,10 @@ struct AdaptiveOptions {
   /// sparse evidence and miss cold PCs). Also fires once at the profile
   /// cap. <= 1 disables.
   double refine_growth_factor = 4.0;
+  /// Optional engine executor for the per-window re-optimizations (fans out
+  /// per-PC MRC construction and per-load analysis). Non-owning; must
+  /// outlive the controller. Null = serial.
+  const engine::Executor* executor = nullptr;
 };
 
 struct AdaptiveStats {
@@ -127,7 +133,7 @@ class AdaptiveController final : public sim::CoreAgent {
   /// Cheap heartbeat counter for supervision: windows closed so far.
   std::uint64_t windows_closed() const { return stats_.windows; }
   /// Δ EWMA as currently measured (the supervisor's sanity probe).
-  double measured_cycles_per_memop() const { return delta_cpm_; }
+  double measured_cycles_per_memop() const { return delta_ewma_.value(); }
 
   // Chaos/fault-injection seams (runtime/chaos.hh). Production runs leave
   // both null; the injector and stats must outlive their installation.
@@ -165,7 +171,11 @@ class AdaptiveController final : public sim::CoreAgent {
   int active_phase_ = -1;     // phase the active plans belong to
   int last_raw_phase_ = -1;   // raw phase of the previous window
   GovernorMode applied_mode_ = GovernorMode::Normal;
-  double delta_cpm_ = 0.0;  // EWMA of measured cycles/memop (online Δ)
+  engine::DeltaEwma delta_ewma_;  // measured cycles/memop (online Δ)
+  /// Engine scratch reused across the per-window re-optimizations: hot PCs
+  /// keep their interned index and grouping buffers keep their capacity,
+  /// so steady-state windows allocate nothing in the StatStack solve.
+  engine::ArtifactStore store_;
 
   // Refinement bookkeeping for the active plans: the Δ and profile size
   // they were computed with (0 = unknown, e.g. hot-swapped from the cache;

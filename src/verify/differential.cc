@@ -8,6 +8,7 @@
 
 #include "core/statstack.hh"
 #include "core/trace_replay.hh"
+#include "engine/pipeline.hh"
 #include "verify/exact_lru.hh"
 
 namespace re::verify {
@@ -126,11 +127,21 @@ DifferentialResult run_differential(const workloads::Program& program,
         exact.observe(pc, addr);
       },
       options.max_refs);
-  core::Profile profile = sampler.finish();
   exact.finalize();
 
-  const core::StatStack model(profile);
-  const core::ReuseGraph graph(profile);
+  // The estimator side is the production engine verbatim: the same
+  // statstack → mddli stage configuration every optimize entry point runs
+  // (engine/pipeline.hh), bound to the sampled profile.
+  engine::OptimizeArtifacts artifacts;
+  artifacts.program = &program;
+  artifacts.machine = &machine;
+  artifacts.options.mddli = options.mddli;
+  artifacts.profile_bound = true;
+  artifacts.report.profile = sampler.finish();
+  engine::run_graph(engine::estimator_graph(), artifacts, {});
+  const core::Profile& profile = artifacts.report.profile;
+  const core::StatStack& model = *artifacts.model;
+  const core::ReuseGraph& graph = *artifacts.reuse_graph;
 
   DifferentialResult result;
   result.trace = program.name;
@@ -152,8 +163,8 @@ DifferentialResult run_differential(const workloads::Program& program,
          model.application_mrc().miss_ratio_lines(lines)});
   }
 
-  const std::vector<core::DelinquentLoad> delinquent =
-      core::identify_delinquent_loads(model, profile, machine, options.mddli);
+  const std::vector<core::DelinquentLoad>& delinquent =
+      artifacts.report.delinquent_loads;
 
   // Compare every static load of the program (sorted, deduplicated).
   std::set<Pc> pcs;

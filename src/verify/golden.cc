@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/pipeline.hh"
+#include "engine/executor.hh"
 #include "workloads/suite.hh"
 
 namespace re::verify {
@@ -28,13 +29,19 @@ std::vector<std::string> significant_lines(const std::string& text) {
 }  // namespace
 
 std::vector<GoldenEntry> compute_suite_plans(
-    const sim::MachineConfig& machine) {
-  std::vector<GoldenEntry> entries;
-  for (const std::string& name : workloads::suite_names()) {
+    const sim::MachineConfig& machine, const engine::Executor* executor) {
+  const std::vector<std::string> names = workloads::suite_names();
+  const auto compute = [&](std::size_t i) {
     const workloads::Program program =
-        workloads::make_benchmark(name, workloads::InputSet::Reference);
+        workloads::make_benchmark(names[i], workloads::InputSet::Reference);
     core::OptimizationReport report = core::optimize_program(program, machine);
-    entries.push_back({name, std::move(report.plans)});
+    return GoldenEntry{names[i], std::move(report.plans)};
+  };
+  if (executor != nullptr) return executor->map(names.size(), compute);
+  std::vector<GoldenEntry> entries;
+  entries.reserve(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    entries.push_back(compute(i));
   }
   return entries;
 }

@@ -12,6 +12,10 @@
 #include "core/insertion.hh"
 #include "sim/config.hh"
 
+namespace re::engine {
+class Executor;
+}  // namespace re::engine
+
 namespace re::verify {
 
 struct GoldenEntry {
@@ -20,8 +24,13 @@ struct GoldenEntry {
 };
 
 /// Run the full optimization pipeline (default options, Reference inputs)
-/// over the whole suite on `machine`, in Table I order.
-std::vector<GoldenEntry> compute_suite_plans(const sim::MachineConfig& machine);
+/// over the whole suite on `machine`, in Table I order. With an executor,
+/// benchmarks fan out over its workers; entries stay in Table I order and
+/// are byte-identical to the serial path at any worker count — this is the
+/// oracle `repf verify --golden --jobs N` checks.
+std::vector<GoldenEntry> compute_suite_plans(
+    const sim::MachineConfig& machine,
+    const engine::Executor* executor = nullptr);
 
 /// Render entries in the golden format. Comment lines (leading '#') carry
 /// the machine tag and the re-bless instructions; they are ignored by

@@ -1,0 +1,133 @@
+// Deterministic-executor unit tests: ordered reduction, seeded
+// work-splitting that never leaks into results, inline nesting, and
+// deterministic exception propagation.
+#include "engine/executor.hh"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "testutil.hh"
+
+namespace re::engine {
+namespace {
+
+TEST(Executor, JobsClampedToAtLeastOne) {
+  EXPECT_EQ(Executor(0).jobs(), 1);
+  EXPECT_EQ(Executor(-3).jobs(), 1);
+  EXPECT_EQ(Executor(4).jobs(), 4);
+}
+
+TEST(Executor, ForEachVisitsEveryUnitExactlyOnce) {
+  for (const int jobs : {1, 2, 7, 16}) {
+    constexpr std::size_t kUnits = 257;  // not a multiple of any worker count
+    std::vector<std::atomic<int>> visits(kUnits);
+    const Executor executor(jobs);
+    executor.for_each(kUnits, [&](std::size_t i) { ++visits[i]; });
+    for (std::size_t i = 0; i < kUnits; ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "unit " << i << " at jobs " << jobs;
+    }
+  }
+}
+
+TEST(Executor, MapReturnsResultsInIndexOrder) {
+  const auto unit = [](std::size_t i) { return i * i + 1; };
+  const Executor serial(1);
+  const std::vector<std::size_t> expected = serial.map(100, unit);
+  for (const int jobs : {2, 7, 16}) {
+    const Executor executor(jobs);
+    EXPECT_EQ(executor.map(100, unit), expected) << "jobs " << jobs;
+  }
+}
+
+TEST(Executor, SeedNeverAffectsResults) {
+  const auto unit = [](std::size_t i) { return std::to_string(i * 3); };
+  const Executor a(4, /*seed=*/1);
+  const Executor b(4, /*seed=*/0xDEADBEEF);
+  EXPECT_EQ(a.map(64, unit), b.map(64, unit));
+}
+
+TEST(Executor, SerialRethrowsFirstExceptionInIndexOrder) {
+  const Executor executor(1);
+  try {
+    executor.for_each(100, [](std::size_t i) {
+      if (i == 17 || i == 42 || i == 91) {
+        throw std::runtime_error("unit " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "unit 17");
+  }
+}
+
+TEST(Executor, SingleFailingUnitIsRethrownAtAnyJobs) {
+  for (const int jobs : {2, 7, 16}) {
+    const Executor executor(jobs);
+    try {
+      executor.for_each(100, [](std::size_t i) {
+        if (i == 42) throw std::runtime_error("unit 42");
+      });
+      FAIL() << "expected a rethrow at jobs " << jobs;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "unit 42") << "jobs " << jobs;
+    }
+  }
+}
+
+TEST(Executor, ParallelRethrowComesFromAFailingUnit) {
+  // After the first failure the pool drains fast (not-yet-started units are
+  // skipped), so the guarantee is: the rethrown exception belongs to the
+  // lowest-indexed unit *that threw* — always one of the failing units.
+  const Executor executor(7);
+  try {
+    executor.for_each(100, [](std::size_t i) {
+      if (i == 17 || i == 42 || i == 91) {
+        throw std::runtime_error("unit " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_TRUE(what == "unit 17" || what == "unit 42" || what == "unit 91")
+        << what;
+  }
+}
+
+TEST(Executor, NestedFanOutRunsInlineOnWorkers) {
+  const Executor outer(4);
+  const Executor inner(4);
+  std::atomic<int> nested_on_worker{0};
+  const std::vector<int> sums = outer.map(8, [&](std::size_t i) {
+    // A nested fan-out must not deadlock the fixed pool; it runs inline on
+    // the claiming worker.
+    int sum = 0;
+    std::vector<int> parts(16, 0);
+    inner.for_each(16, [&](std::size_t j) {
+      if (Executor::in_worker()) ++nested_on_worker;
+      parts[j] = static_cast<int>(i * 100 + j);
+    });
+    for (const int p : parts) sum += p;
+    return sum;
+  });
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    int expected = 0;
+    for (int j = 0; j < 16; ++j) expected += static_cast<int>(i) * 100 + j;
+    EXPECT_EQ(sums[i], expected);
+  }
+  EXPECT_GT(nested_on_worker.load(), 0);
+}
+
+TEST(Executor, ZeroUnitsIsANoOp) {
+  const Executor executor(4);
+  bool ran = false;
+  executor.for_each(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(executor.map(0, [](std::size_t i) { return i; }).empty());
+}
+
+}  // namespace
+}  // namespace re::engine

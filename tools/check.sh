@@ -17,10 +17,15 @@
 #            `tools/check.sh verify --bless` re-blesses the goldens instead.
 #            Default build dir: build.
 #   chaos    run the chaos-engineering lane under ASan+UBSan: `ctest -L
-#            chaos`, then a seeded `repf chaos --crash-check` sweep, run
-#            twice and compared byte-for-byte (the schedule-determinism
-#            contract: a failing seed from CI reproduces locally with one
-#            flag). Default build dir: build-asan.
+#            chaos`, then a seeded `repf chaos --crash-check --jobs 2`
+#            sweep, run twice and compared byte-for-byte (the
+#            schedule-determinism contract: a failing seed from CI
+#            reproduces locally with one flag). Default build dir:
+#            build-asan.
+#   tsan     build under ThreadSanitizer (RE_SANITIZE=thread), run the
+#            unit, verify and engine test labels, then `repf verify
+#            --golden --jobs 8` on both machines — the engine's concurrency
+#            under the race detector. Default build dir: build-tsan.
 #   coverage Debug build with RE_COVERAGE=ON, full ctest, gcov aggregate
 #            over src/; fails if line coverage drops more than 2 points
 #            below the baseline recorded in DESIGN.md ("Coverage baseline:
@@ -38,7 +43,7 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 
 LANE="${1:-asan}"
 case "$LANE" in
-  asan|werror|bench|verify|chaos|coverage|unit|integration) shift || true ;;
+  asan|werror|bench|verify|chaos|tsan|coverage|unit|integration) shift || true ;;
   *) LANE=asan ;;  # first arg is a build dir, keep it in $1
 esac
 
@@ -130,22 +135,23 @@ run_verify() {
   ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS" -L verify
 
   # The oracle sweep must pass against the committed goldens on both
-  # machines — and be byte-identical across runs (the determinism contract
-  # behind golden snapshots and RE_TEST_SEED reproduction).
+  # machines — and be byte-identical between the serial path and an
+  # 8-worker engine fan-out (the determinism contract behind golden
+  # snapshots, RE_TEST_SEED reproduction, and --jobs).
   local out_a out_b
   out_a="$(mktemp)" ; out_b="$(mktemp)"
   trap 'rm -f "$out_a" "$out_b"' RETURN
   for machine in amd intel; do
     "$build_dir/tools/repf" verify --golden tests/golden --machine "$machine" \
-      > "$out_a"
+      --jobs 1 > "$out_a"
     "$build_dir/tools/repf" verify --golden tests/golden --machine "$machine" \
-      > "$out_b"
+      --jobs 8 > "$out_b"
     cmp -s "$out_a" "$out_b" || {
-      echo "FAILED: repf verify --machine $machine is not deterministic"
+      echo "FAILED: repf verify --machine $machine differs at --jobs 1 vs 8"
       diff "$out_a" "$out_b" | head -20
       exit 1
     }
-    echo "== repf verify --machine $machine: clean + deterministic"
+    echo "== repf verify --machine $machine: clean + identical at --jobs 1/8"
   done
   echo "verify lane clean"
 }
@@ -169,15 +175,42 @@ run_chaos() {
   local out_a out_b
   out_a="$(mktemp)" ; out_b="$(mktemp)"
   trap 'rm -f "$out_a" "$out_b"' RETURN
-  (cd "$build_dir" && tools/repf chaos --crash-check) > "$out_a"
-  (cd "$build_dir" && tools/repf chaos --crash-check) > "$out_b"
+  # --jobs 2 exercises the engine fan-out on the recovery path; the
+  # byte-for-byte comparison doubles as the determinism gate for it.
+  (cd "$build_dir" && tools/repf chaos --crash-check --jobs 2) > "$out_a"
+  (cd "$build_dir" && tools/repf chaos --crash-check --jobs 2) > "$out_b"
   cmp -s "$out_a" "$out_b" || {
     echo "FAILED: repf chaos is not deterministic"
     diff "$out_a" "$out_b" | head -20
     exit 1
   }
-  echo "== repf chaos --crash-check: gates hold + deterministic"
+  echo "== repf chaos --crash-check --jobs 2: gates hold + deterministic"
   echo "chaos lane clean"
+}
+
+run_tsan() {
+  # The engine fans analysis out over a thread pool; this lane is the race
+  # detector for it. The engine label carries the dedicated stress tests
+  # (64 concurrent windowed solves, plan-cache contention); unit and verify
+  # cover the refactored consumers.
+  local build_dir="${1:-build-tsan}"
+  cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRE_SANITIZE=thread
+  cmake --build "$build_dir" -j "$JOBS"
+
+  export TSAN_OPTIONS="halt_on_error=1"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS" \
+    -L 'unit|verify|engine'
+
+  # The golden sweep at 8 workers: every fan-out in the verify path runs
+  # under TSan, and the plans must still match the committed snapshots.
+  for machine in amd intel; do
+    "$build_dir/tools/repf" verify --golden tests/golden \
+      --machine "$machine" --jobs 8 > /dev/null
+    echo "== repf verify --machine $machine --jobs 8: clean under TSan"
+  done
+  echo "tsan lane clean"
 }
 
 run_coverage() {
@@ -224,6 +257,7 @@ case "$LANE" in
   bench) run_bench "${1:-}" ;;
   verify) run_verify "${1:-}" "${2:-}" ;;
   chaos) run_chaos "${1:-}" ;;
+  tsan) run_tsan "${1:-}" ;;
   coverage) run_coverage "${1:-}" ;;
   unit) run_label unit "${1:-}" ;;
   integration) run_label integration "${1:-}" ;;

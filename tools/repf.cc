@@ -6,21 +6,25 @@
 //   repf list
 //   repf dump <benchmark>
 //   repf optimize <file|benchmark> [--machine amd|intel] [--no-nt]
-//                 [--stride-centric]
+//                 [--stride-centric] [--verbose]
 //   repf run <file|benchmark> [--machine amd|intel] [--hw] [--optimize]
+//                 [--jobs N] [--json FILE]
 //   repf coverage <file|benchmark> [--machine amd|intel]
 //   repf phases <file|benchmark> [--window N] [--threshold X]
 //   repf adapt <file|benchmark> [--machine amd|intel] [--window N]
 //                 [--threshold X] [--save-cache FILE] [--load-cache FILE]
-//                 [--verbose]
+//                 [--jobs N] [--verbose]
 //   repf faultcheck <file|benchmark> [--machine amd|intel] [--rate PCT]
-//                 [--seed N] [--verbose]
+//                 [--seed N] [--jobs N] [--verbose]
 //   repf verify [--machine amd|intel] [--seed N] [--families a,b,...]
-//                 [--golden DIR] [--bless] [--verbose]
+//                 [--golden DIR] [--bless] [--jobs N] [--json FILE]
+//                 [--verbose]
 //   repf chaos [--machine amd|intel] [--rate PCT] [--seed N] [--cores N]
-//                 [--crash-check] [--verbose]
+//                 [--crash-check] [--jobs N] [--verbose]
 //
-// Every command also understands --help.
+// Every command also understands --help. --jobs N fans independent units
+// (benchmarks, fuzzed traces, fault rates, per-PC curve builds) out over
+// the engine's deterministic executor; output is byte-identical at any N.
 //
 // Exit codes: 0 success; 1 operational failure (bad file, I/O error,
 // verify mismatch); 2 invalid usage; 3 runtime-degradation gate failure
@@ -39,11 +43,17 @@
 #include "core/fault_injection.hh"
 #include "core/phases.hh"
 #include "core/pipeline.hh"
+#include "engine/executor.hh"
+#include "engine/options.hh"
+#include "engine/pipeline.hh"
+#include "engine/store.hh"
 #include "runtime/adaptive_controller.hh"
 #include "runtime/chaos.hh"
 #include "runtime/plan_cache.hh"
 #include "runtime/supervisor.hh"
 #include "sim/system.hh"
+#include "support/atomic_file.hh"
+#include "support/json.hh"
 #include "support/text_table.hh"
 #include "verify/differential.hh"
 #include "verify/golden.hh"
@@ -94,6 +104,12 @@ struct Options {
   double threshold = 0.0;
   std::string save_cache;
   std::string load_cache;
+  /// Engine worker count (--jobs). 1 = serial; any N yields byte-identical
+  /// output (the executor's determinism contract).
+  int jobs = 1;
+  /// Also write the command's report as JSON to this path (atomic write);
+  /// `run` and `verify` honor it.
+  std::string json_path;
 };
 
 int usage() {
@@ -140,7 +156,9 @@ const char* help_for(const std::string& command) {
            "    --machine amd|intel   target machine model (default amd)\n"
            "    --no-nt               disable non-temporal (bypass) hints\n"
            "    --stride-centric      use the stride-centric baseline pass\n"
-           "                          instead of the MDDLI pipeline\n";
+           "                          instead of the MDDLI pipeline\n"
+           "    --verbose             also print the effective analysis\n"
+           "                          knobs (audit trail)\n";
   }
   if (command == "run") {
     return "repf run <file|benchmark> [options]\n"
@@ -148,7 +166,11 @@ const char* help_for(const std::string& command) {
            "    --machine amd|intel   target machine model (default amd)\n"
            "    --hw                  enable the hardware prefetcher\n"
            "    --optimize            software-prefetch via the pipeline\n"
-           "                          before running\n";
+           "                          before running\n"
+           "    --jobs N              engine workers for the optimize step\n"
+           "                          (byte-identical output at any N)\n"
+           "    --json FILE           also write the metrics as JSON\n"
+           "                          (atomic temp-file + rename)\n";
   }
   if (command == "coverage") {
     return "repf coverage <file|benchmark> [--machine amd|intel]\n"
@@ -176,6 +198,8 @@ const char* help_for(const std::string& command) {
            "                          (default 0.5)\n"
            "    --save-cache FILE     write the learned plan cache as JSON\n"
            "    --load-cache FILE     warm-start from a saved plan cache\n"
+           "    --jobs N              engine workers for the offline plan\n"
+           "                          and per-window re-optimizations\n"
            "    --verbose             also print the cached plan sets\n";
   }
   if (command == "faultcheck") {
@@ -186,6 +210,8 @@ const char* help_for(const std::string& command) {
            "    --rate PCT            single fault rate in percent\n"
            "                          (default: sweep 0/5/20/50)\n"
            "    --seed N              fault-injection seed\n"
+           "    --jobs N              evaluate fault rates on N engine\n"
+           "                          workers (byte-identical output)\n"
            "    --verbose             print the degradation logs\n";
   }
   if (command == "chaos") {
@@ -205,6 +231,8 @@ const char* help_for(const std::string& command) {
            "    --cores N             cores in the synthetic mix (default 2)\n"
            "    --crash-check         also sweep plan-cache kill/corruption\n"
            "                          crash consistency\n"
+           "    --jobs N              replay fault rates on N engine\n"
+           "                          workers (byte-identical output)\n"
            "    --verbose             print the fault schedule and per-core\n"
            "                          domain stats\n";
   }
@@ -224,6 +252,11 @@ const char* help_for(const std::string& command) {
            "                          against DIR/plans_<machine>.golden\n"
            "    --bless               rewrite the golden snapshot instead\n"
            "                          of checking it\n"
+           "    --jobs N              fan traces and golden benchmarks out\n"
+           "                          over N engine workers\n"
+           "                          (byte-identical output at any N)\n"
+           "    --json FILE           also write the results as JSON\n"
+           "                          (atomic temp-file + rename)\n"
            "    --verbose             print the full per-trace reports\n";
   }
   return nullptr;
@@ -245,12 +278,13 @@ workloads::Program load_target(const std::string& target) {
 
 int cmd_list() {
   std::printf("built-in workload models (paper Table I):\n");
+  TextTable table({"benchmark", "refs/run", "static loads"});
   for (const std::string& name : workloads::suite_names()) {
     const auto p = workloads::make_benchmark(name);
-    std::printf("  %-12s %8llu refs/run, %zu static loads\n", name.c_str(),
-                static_cast<unsigned long long>(p.total_references()),
-                p.static_instruction_count());
+    table.add_row({name, std::to_string(p.total_references()),
+                   std::to_string(p.static_instruction_count())});
   }
+  std::fputs(table.render().c_str(), stdout);
   return 0;
 }
 
@@ -262,13 +296,22 @@ int cmd_dump(const Options& opts) {
 
 int cmd_optimize(const Options& opts) {
   const workloads::Program program = load_target(opts.target);
-  core::OptimizerOptions options;
-  options.enable_non_temporal = opts.enable_nt;
+  engine::AnalysisKnobs knobs;
+  knobs.enable_non_temporal = opts.enable_nt;
+  const core::OptimizerOptions options = engine::make_optimizer_options(knobs);
   const core::OptimizationReport report =
       opts.stride_centric
           ? core::stride_centric_optimize(program, opts.machine, options)
           : core::optimize_program(program, opts.machine, options);
 
+  if (opts.verbose) {
+    std::printf("# effective analysis knobs:\n");
+    std::istringstream lines(engine::describe_knobs(knobs));
+    std::string line;
+    while (std::getline(lines, line)) {
+      std::printf("#   %s\n", line.c_str());
+    }
+  }
   std::printf("# %s pass on %s | Δ=%.2f cycles/memop | %zu plans\n",
               opts.stride_centric ? "stride-centric" : "MDDLI",
               opts.machine.name.c_str(), report.cycles_per_memop,
@@ -284,22 +327,26 @@ int cmd_optimize(const Options& opts) {
 int cmd_run(const Options& opts) {
   workloads::Program program = load_target(opts.target);
   if (opts.optimize) {
-    core::OptimizerOptions options;
-    options.enable_non_temporal = opts.enable_nt;
-    program = core::optimize_program(program, opts.machine, options).optimized;
+    engine::AnalysisKnobs knobs;
+    knobs.enable_non_temporal = opts.enable_nt;
+    const engine::Executor executor(opts.jobs);
+    engine::ArtifactStore store;
+    program = engine::run_optimize(program, opts.machine,
+                                   engine::make_optimizer_options(knobs),
+                                   engine::EngineContext{&executor, &store})
+                  .optimized;
   }
   const sim::RunResult run =
       sim::run_single(opts.machine, program, opts.hw_prefetch);
   const auto& mem = run.apps[0].mem;
+  const double cpi = static_cast<double>(run.apps[0].cycles) /
+                     static_cast<double>(mem.loads);
 
   TextTable table({"metric", "value"});
   table.add_row({"machine", opts.machine.name});
   table.add_row({"cycles", std::to_string(run.apps[0].cycles)});
   table.add_row({"references", std::to_string(mem.loads)});
-  table.add_row({"CPI (per memop)",
-                 format_double(static_cast<double>(run.apps[0].cycles) /
-                                   static_cast<double>(mem.loads),
-                               2)});
+  table.add_row({"CPI (per memop)", format_double(cpi, 2)});
   table.add_row({"L1 miss ratio", format_percent(mem.l1_miss_ratio())});
   table.add_row({"off-chip lines", std::to_string(run.dram.total_lines())});
   table.add_row({"bandwidth", format_gbps(run.bandwidth_gbps())});
@@ -308,6 +355,38 @@ int cmd_run(const Options& opts) {
   table.add_row(
       {"hw prefetch lines", std::to_string(mem.hw_prefetch_dram_lines)});
   std::fputs(table.render().c_str(), stdout);
+
+  if (!opts.json_path.empty()) {
+    const auto num = [](double v) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.17g", v);
+      return std::string(buf);
+    };
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"command\": \"run\",\n"
+         << "  \"benchmark\": \"" << json::escape(program.name) << "\",\n"
+         << "  \"machine\": \"" << json::escape(opts.machine.name) << "\",\n"
+         << "  \"hw_prefetch\": " << (opts.hw_prefetch ? "true" : "false")
+         << ",\n"
+         << "  \"optimized\": " << (opts.optimize ? "true" : "false") << ",\n"
+         << "  \"cycles\": " << run.apps[0].cycles << ",\n"
+         << "  \"references\": " << mem.loads << ",\n"
+         << "  \"cpi_per_memop\": " << num(cpi) << ",\n"
+         << "  \"l1_miss_ratio\": " << num(mem.l1_miss_ratio()) << ",\n"
+         << "  \"offchip_lines\": " << run.dram.total_lines() << ",\n"
+         << "  \"bandwidth_gbps\": " << num(run.bandwidth_gbps()) << ",\n"
+         << "  \"sw_prefetches\": " << mem.sw_prefetches_issued << ",\n"
+         << "  \"late_prefetches\": " << mem.late_prefetch_hits << ",\n"
+         << "  \"hw_prefetch_lines\": " << mem.hw_prefetch_dram_lines << "\n"
+         << "}\n";
+    const Status saved = support::write_file_atomic(opts.json_path, json.str());
+    if (!saved.ok()) {
+      std::fprintf(stderr, "repf: %s: %s\n", opts.json_path.c_str(),
+                   saved.to_string().c_str());
+      return kExitFailure;
+    }
+  }
   return 0;
 }
 
@@ -355,7 +434,13 @@ int cmd_coverage(const Options& opts) {
 int cmd_adapt(const Options& opts) {
   const workloads::Program program = load_target(opts.target);
 
+  // One executor for the whole command: the offline static plan and every
+  // per-window re-optimization inside the controller fan out over it.
+  // Declared before the controller so the pointer outlives every use.
+  const engine::Executor executor(opts.jobs);
+
   runtime::AdaptiveOptions aopts;
+  aopts.executor = &executor;
   aopts.window_refs = 1024;
   aopts.sampler = core::SamplerConfig{50, 42};
   aopts.phases.hysteresis_windows = 1;
@@ -390,8 +475,10 @@ int cmd_adapt(const Options& opts) {
   }
 
   const sim::RunResult base = sim::run_single(opts.machine, program, false);
+  engine::ArtifactStore store;
   const core::OptimizationReport merged =
-      core::optimize_program(program, opts.machine);
+      engine::run_optimize(program, opts.machine, core::OptimizerOptions{},
+                           engine::EngineContext{&executor, &store});
   const sim::RunResult stat =
       sim::run_single(opts.machine, merged.optimized, false);
   const sim::RunResult adaptive =
@@ -479,35 +566,58 @@ int cmd_faultcheck(const Options& opts) {
               kEpsilon * 100.0);
   TextTable table({"fault rate", "plans", "suppressed", "vs baseline",
                    "verdict"});
+  // Each fault rate is an independent optimize+simulate unit; fan them out
+  // and assemble rows in rate order (the ordered map keeps output identical
+  // to the serial sweep at any --jobs).
+  struct RateResult {
+    std::size_t plans = 0;
+    std::size_t suppressed = 0;
+    double delta = 0.0;
+    bool ok = true;
+    std::string log;
+  };
+  const engine::Executor executor(opts.jobs);
+  const std::vector<RateResult> results =
+      executor.map(rates.size(), [&](std::size_t i) {
+        const double rate = rates[i];
+        const core::FaultInjector injector(
+            core::FaultConfig::uniform(rate, opts.fault_seed));
+        const core::OptimizationReport report = core::optimize_with_profile(
+            program, injector.inject(profile), opts.machine);
+        const sim::RunResult opt =
+            sim::run_single(opts.machine, report.optimized, false);
+
+        RateResult r;
+        r.plans = report.plans.size();
+        r.suppressed = report.degradation.size();
+        r.delta =
+            static_cast<double>(opt.apps[0].cycles) / base_cycles - 1.0;
+        r.ok = r.delta <= kEpsilon;
+        for (const core::DelinquentLoad& load : report.delinquent_loads) {
+          const bool planned = std::any_of(
+              report.plans.begin(), report.plans.end(),
+              [&](const core::PrefetchPlan& p) { return p.pc == load.pc; });
+          if (!planned && !report.degradation.contains(load.pc)) r.ok = false;
+        }
+        if (rate == 0.0 && report.plans.size() != clean.plans.size()) {
+          r.ok = false;
+        }
+        if (opts.verbose && !report.degradation.empty()) {
+          r.log = "-- degradation log @ " + format_percent(rate) + "\n" +
+                  report.degradation.to_string();
+        }
+        return r;
+      });
+
   int violations = 0;
   std::string logs;
-  for (const double rate : rates) {
-    const core::FaultInjector injector(
-        core::FaultConfig::uniform(rate, opts.fault_seed));
-    const core::OptimizationReport report = core::optimize_with_profile(
-        program, injector.inject(profile), opts.machine);
-    const sim::RunResult opt =
-        sim::run_single(opts.machine, report.optimized, false);
-    const double delta =
-        static_cast<double>(opt.apps[0].cycles) / base_cycles - 1.0;
-
-    bool ok = delta <= kEpsilon;
-    for (const core::DelinquentLoad& load : report.delinquent_loads) {
-      const bool planned = std::any_of(
-          report.plans.begin(), report.plans.end(),
-          [&](const core::PrefetchPlan& p) { return p.pc == load.pc; });
-      if (!planned && !report.degradation.contains(load.pc)) ok = false;
-    }
-    if (rate == 0.0 && report.plans.size() != clean.plans.size()) ok = false;
-    if (!ok) ++violations;
-
-    table.add_row({format_percent(rate), std::to_string(report.plans.size()),
-                   std::to_string(report.degradation.size()),
-                   format_percent(delta), ok ? "OK" : "VIOLATION"});
-    if (opts.verbose && !report.degradation.empty()) {
-      logs += "-- degradation log @ " + format_percent(rate) + "\n" +
-              report.degradation.to_string();
-    }
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const RateResult& r = results[i];
+    if (!r.ok) ++violations;
+    table.add_row({format_percent(rates[i]), std::to_string(r.plans),
+                   std::to_string(r.suppressed), format_percent(r.delta),
+                   r.ok ? "OK" : "VIOLATION"});
+    logs += r.log;
   }
   std::fputs(table.render().c_str(), stdout);
   if (opts.verbose) std::fputs(logs.c_str(), stdout);
@@ -567,51 +677,68 @@ int cmd_chaos(const Options& opts) {
   TextTable table({"fault rate", "episodes", "trips", "rollbacks",
                    "recoveries", "opens", "worst rec (win)", "vs no-pf",
                    "verdict"});
+  // Each fault rate replays its own seeded schedule against its own
+  // supervisor instance — independent units, fanned out with ordered
+  // reduction so the table is byte-identical at any --jobs.
+  struct ChaosRateResult {
+    std::vector<std::string> row;
+    bool ok = true;
+    std::string details;
+  };
+  const engine::Executor executor(opts.jobs);
+  const std::vector<ChaosRateResult> results =
+      executor.map(rates.size(), [&](std::size_t i) {
+        const double rate = rates[i];
+        runtime::ChaosConfig config;
+        config.fault_rate = rate;
+        config.horizon_refs = storage[0].total_references();
+        config.mean_episode_refs = 8192;
+        config.cores = opts.chaos_cores;
+        config.seed = opts.chaos_seed;
+
+        const runtime::ChaosRunResult result = runtime::run_chaos_mix(
+            opts.machine, programs, false, config, sopts);
+
+        int opens = 0;
+        std::uint64_t rollbacks = 0, recoveries = 0;
+        for (const runtime::DomainStats& d : result.domains) {
+          if (d.state == runtime::DomainState::Open) ++opens;
+          rollbacks += d.rollbacks;
+          recoveries += d.recoveries;
+        }
+        // The recovery gates: never-hurts within 1 %, recovery within 64
+        // windows, no permanently open circuit, no false-positive trips on
+        // a clean schedule.
+        ChaosRateResult r;
+        r.ok = result.worst_vs_baseline <= 1.01 &&
+               result.worst_recovery_windows <= 64 && opens == 0;
+        if (rate == 0.0 && result.total_trips != 0) r.ok = false;
+        r.row = {format_percent(rate, 0),
+                 std::to_string(result.schedule.episodes().size()),
+                 std::to_string(result.total_trips),
+                 std::to_string(rollbacks), std::to_string(recoveries),
+                 std::to_string(opens),
+                 std::to_string(result.worst_recovery_windows),
+                 format_double(result.worst_vs_baseline, 4),
+                 r.ok ? "OK" : "VIOLATION"};
+        if (opts.verbose) {
+          r.details += "-- schedule @ " + format_percent(rate, 0) + "\n" +
+                       result.schedule.to_string();
+          for (int core = 0; core < static_cast<int>(result.domains.size());
+               ++core) {
+            r.details += "   core " + std::to_string(core) + ": " +
+                         result.domains[core].to_string() + "\n";
+          }
+        }
+        return r;
+      });
+
   int violations = 0;
   std::string details;
-  for (const double rate : rates) {
-    runtime::ChaosConfig config;
-    config.fault_rate = rate;
-    config.horizon_refs = storage[0].total_references();
-    config.mean_episode_refs = 8192;
-    config.cores = opts.chaos_cores;
-    config.seed = opts.chaos_seed;
-
-    const runtime::ChaosRunResult result =
-        runtime::run_chaos_mix(opts.machine, programs, false, config, sopts);
-
-    int opens = 0;
-    std::uint64_t rollbacks = 0, recoveries = 0;
-    for (const runtime::DomainStats& d : result.domains) {
-      if (d.state == runtime::DomainState::Open) ++opens;
-      rollbacks += d.rollbacks;
-      recoveries += d.recoveries;
-    }
-    // The recovery gates: never-hurts within 1 %, recovery within 64
-    // windows, no permanently open circuit, no false-positive trips on a
-    // clean schedule.
-    bool ok = result.worst_vs_baseline <= 1.01 &&
-              result.worst_recovery_windows <= 64 && opens == 0;
-    if (rate == 0.0 && result.total_trips != 0) ok = false;
-    if (!ok) ++violations;
-
-    table.add_row({format_percent(rate, 0),
-                   std::to_string(result.schedule.episodes().size()),
-                   std::to_string(result.total_trips),
-                   std::to_string(rollbacks), std::to_string(recoveries),
-                   std::to_string(opens),
-                   std::to_string(result.worst_recovery_windows),
-                   format_double(result.worst_vs_baseline, 4),
-                   ok ? "OK" : "VIOLATION"});
-    if (opts.verbose) {
-      details += "-- schedule @ " + format_percent(rate, 0) + "\n" +
-                 result.schedule.to_string();
-      for (int core = 0; core < static_cast<int>(result.domains.size());
-           ++core) {
-        details += "   core " + std::to_string(core) + ": " +
-                   result.domains[core].to_string() + "\n";
-      }
-    }
+  for (const ChaosRateResult& r : results) {
+    if (!r.ok) ++violations;
+    table.add_row(r.row);
+    details += r.details;
   }
   std::fputs(table.render().c_str(), stdout);
   if (opts.verbose) std::fputs(details.c_str(), stdout);
@@ -667,42 +794,80 @@ int cmd_verify(const Options& opts) {
               families.size(), static_cast<unsigned long long>(kVariants));
 
   bool failed = false;
-  std::string reports;
   std::printf("== differential oracle: StatStack vs exact LRU\n");
   TextTable table({"family", "var", "refs", "samples", "max app err", "bound",
                    "mddli", "bypass", "verdict"});
+
+  // Every (family, variant) trace is an independent differential unit; fan
+  // them out over the engine executor and reduce in declaration order so
+  // the report is byte-identical at any --jobs.
+  struct Unit {
+    verify::TraceFamily family;
+    std::uint64_t variant;
+  };
+  std::vector<Unit> units;
   for (const verify::TraceFamily family : families) {
     for (std::uint64_t variant = 0; variant < kVariants; ++variant) {
-      const verify::FuzzedTrace trace =
-          verify::make_trace(family, opts.verify_seed, variant);
-      const verify::DifferentialResult result =
-          verify::run_differential(trace.program, opts.machine);
-      const double bound = verify::family_app_error_bound(family);
-      const bool ok =
-          result.max_application_error() <= bound &&
-          result.mddli_agreement() >= verify::kMinDecisionAgreement &&
-          result.bypass_agreement() >= verify::kMinDecisionAgreement;
-      if (!ok) failed = true;
-      table.add_row({verify::trace_family_name(family),
-                     std::to_string(variant),
-                     std::to_string(result.references),
-                     std::to_string(result.reuse_samples),
-                     format_percent(result.max_application_error()),
-                     format_percent(bound),
-                     format_percent(result.mddli_agreement()),
-                     format_percent(result.bypass_agreement()),
-                     ok ? "OK" : "FAIL"});
-      if (opts.verbose || !ok) reports += result.to_string();
+      units.push_back({family, variant});
     }
+  }
+  struct UnitResult {
+    std::string family;
+    std::uint64_t variant = 0;
+    std::uint64_t references = 0;
+    std::uint64_t samples = 0;
+    double app_error = 0.0;
+    double bound = 0.0;
+    double mddli = 0.0;
+    double bypass = 0.0;
+    bool ok = false;
+    std::string report;
+  };
+  const engine::Executor executor(opts.jobs);
+  const std::vector<UnitResult> unit_results =
+      executor.map(units.size(), [&](std::size_t i) {
+        const Unit& unit = units[i];
+        const verify::FuzzedTrace trace =
+            verify::make_trace(unit.family, opts.verify_seed, unit.variant);
+        const verify::DifferentialResult result =
+            verify::run_differential(trace.program, opts.machine);
+
+        UnitResult r;
+        r.family = verify::trace_family_name(unit.family);
+        r.variant = unit.variant;
+        r.references = static_cast<std::uint64_t>(result.references);
+        r.samples = static_cast<std::uint64_t>(result.reuse_samples);
+        r.app_error = result.max_application_error();
+        r.bound = verify::family_app_error_bound(unit.family);
+        r.mddli = result.mddli_agreement();
+        r.bypass = result.bypass_agreement();
+        r.ok = r.app_error <= r.bound &&
+               r.mddli >= verify::kMinDecisionAgreement &&
+               r.bypass >= verify::kMinDecisionAgreement;
+        if (opts.verbose || !r.ok) r.report = result.to_string();
+        return r;
+      });
+
+  std::string reports;
+  for (const UnitResult& r : unit_results) {
+    if (!r.ok) failed = true;
+    table.add_row({r.family, std::to_string(r.variant),
+                   std::to_string(r.references), std::to_string(r.samples),
+                   format_percent(r.app_error), format_percent(r.bound),
+                   format_percent(r.mddli), format_percent(r.bypass),
+                   r.ok ? "OK" : "FAIL"});
+    reports += r.report;
   }
   std::fputs(table.render().c_str(), stdout);
   std::fputs(reports.c_str(), stdout);
 
+  std::string golden_status = "skipped";
   if (!opts.golden_dir.empty()) {
     const std::string path =
         opts.golden_dir + "/" + verify::golden_filename(opts.machine.name);
     const std::string rendered = verify::render_golden(
-        verify::compute_suite_plans(opts.machine), opts.machine.name);
+        verify::compute_suite_plans(opts.machine, &executor),
+        opts.machine.name);
     if (opts.bless) {
       std::ofstream out(path);
       if (!out) {
@@ -711,24 +876,65 @@ int cmd_verify(const Options& opts) {
       }
       out << rendered;
       std::printf("== golden plans: blessed %s\n", path.c_str());
+      golden_status = "blessed";
     } else {
       std::ifstream in(path);
       if (!in) {
         std::printf("== golden plans: %s missing (run with --bless)\n",
                     path.c_str());
         failed = true;
+        golden_status = "missing";
       } else {
         std::ostringstream text;
         text << in.rdbuf();
         const std::string diff = verify::diff_golden(text.str(), rendered);
         if (diff.empty()) {
           std::printf("== golden plans: %s matches\n", path.c_str());
+          golden_status = "match";
         } else {
           std::printf("== golden plans: %s DIFFERS (-golden/+current)\n%s",
                       path.c_str(), diff.c_str());
           failed = true;
+          golden_status = "differs";
         }
       }
+    }
+  }
+
+  if (!opts.json_path.empty()) {
+    const auto num = [](double v) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.17g", v);
+      return std::string(buf);
+    };
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"command\": \"verify\",\n"
+         << "  \"machine\": \"" << json::escape(opts.machine.name) << "\",\n"
+         << "  \"seed\": " << opts.verify_seed << ",\n"
+         << "  \"traces\": [\n";
+    for (std::size_t i = 0; i < unit_results.size(); ++i) {
+      const UnitResult& r = unit_results[i];
+      json << "    {\"family\": \"" << json::escape(r.family)
+           << "\", \"variant\": " << r.variant
+           << ", \"references\": " << r.references
+           << ", \"samples\": " << r.samples
+           << ", \"max_application_error\": " << num(r.app_error)
+           << ", \"bound\": " << num(r.bound)
+           << ", \"mddli_agreement\": " << num(r.mddli)
+           << ", \"bypass_agreement\": " << num(r.bypass)
+           << ", \"ok\": " << (r.ok ? "true" : "false") << "}"
+           << (i + 1 < unit_results.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"golden\": \"" << json::escape(golden_status) << "\",\n"
+         << "  \"ok\": " << (failed ? "false" : "true") << "\n"
+         << "}\n";
+    const Status saved = support::write_file_atomic(opts.json_path, json.str());
+    if (!saved.ok()) {
+      std::fprintf(stderr, "repf: %s: %s\n", opts.json_path.c_str(),
+                   saved.to_string().c_str());
+      return kExitFailure;
     }
   }
 
@@ -810,6 +1016,17 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--threshold must be in (0, 2]\n");
         return 2;
       }
+    } else if (arg == "--jobs") {
+      if (++i >= argc) return usage();
+      const long long jobs = std::atoll(argv[i]);
+      if (jobs < 1 || jobs > 256) {
+        std::fprintf(stderr, "--jobs must be in [1, 256]\n");
+        return kExitUsage;
+      }
+      opts.jobs = static_cast<int>(jobs);
+    } else if (arg == "--json") {
+      if (++i >= argc) return usage();
+      opts.json_path = argv[i];
     } else if (arg == "--save-cache") {
       if (++i >= argc) return usage();
       opts.save_cache = argv[i];
