@@ -1,0 +1,46 @@
+// Cooperative cancellation for engine solves.
+//
+// A long-running pipeline (stage graph or executor fan-out) cannot be
+// killed from outside without corrupting shared state; instead the caller
+// arms a CancelToken and the engine checks it at its natural preemption
+// points — before each stage in StageGraph::run and before each unit in
+// Executor::for_each. A solve observed cancelled unwinds by throwing
+// Cancelled, which the caller catches at the dispatch boundary; partial
+// artifacts die with the stack, nothing half-written escapes.
+//
+// The token is a single relaxed atomic: request() may race the solve from
+// any thread, and the worst case is one extra unit of work — cancellation
+// is a latency bound, not a correctness boundary.
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+
+namespace re::engine {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void request() { requested_.store(true, std::memory_order_relaxed); }
+  bool requested() const {
+    return requested_.load(std::memory_order_relaxed);
+  }
+  /// Re-arm for reuse (only between solves; never while one is in flight).
+  void reset() { requested_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> requested_{false};
+};
+
+/// Thrown by the engine when a solve observes its CancelToken. Callers
+/// that dispatch solves catch this to distinguish "deadline abandoned the
+/// work" from a unit failure.
+class Cancelled : public std::runtime_error {
+ public:
+  Cancelled() : std::runtime_error("engine: solve cancelled") {}
+};
+
+}  // namespace re::engine

@@ -41,7 +41,8 @@ Executor::Executor(int jobs, std::uint64_t seed)
 bool Executor::in_worker() { return t_in_worker; }
 
 void Executor::for_each(std::size_t n,
-                        const std::function<void(std::size_t)>& fn) const {
+                        const std::function<void(std::size_t)>& fn,
+                        const CancelToken* cancel) const {
   if (n == 0) return;
 
   // Serial path, and the nested-fan-out path: run inline. A worker that
@@ -50,7 +51,10 @@ void Executor::for_each(std::size_t n,
   const std::size_t workers =
       std::min<std::size_t>(static_cast<std::size_t>(jobs_), n);
   if (workers <= 1 || t_in_worker) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->requested()) throw Cancelled();
+      fn(i);
+    }
     return;
   }
 
@@ -65,6 +69,8 @@ void Executor::for_each(std::size_t n,
   std::atomic<bool> failed{false};
   std::mutex error_mutex;
 
+  std::atomic<bool> cancelled{false};
+
   const auto work = [&]() {
     t_in_worker = true;
     for (;;) {
@@ -72,6 +78,10 @@ void Executor::for_each(std::size_t n,
       if (slot >= n) break;
       const std::size_t unit = order[slot];
       if (failed.load(std::memory_order_relaxed)) continue;  // drain fast
+      if (cancel != nullptr && cancel->requested()) {
+        cancelled.store(true, std::memory_order_relaxed);
+        continue;  // stop starting new units; in-flight ones finish
+      }
       try {
         fn(unit);
       } catch (...) {
@@ -92,7 +102,10 @@ void Executor::for_each(std::size_t n,
   work();  // the calling thread is worker 0
   for (std::thread& t : pool) t.join();
 
+  // Unit errors outrank cancellation: they describe work that actually ran
+  // and the lowest-index selection keeps them deterministic.
   if (first_error != nullptr) std::rethrow_exception(first_error);
+  if (cancelled.load(std::memory_order_relaxed)) throw Cancelled();
 }
 
 }  // namespace re::engine

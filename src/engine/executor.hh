@@ -29,6 +29,8 @@
 #include <functional>
 #include <vector>
 
+#include "engine/cancel.hh"
+
 namespace re::engine {
 
 class Executor {
@@ -42,17 +44,20 @@ class Executor {
 
   /// Run fn(i) for every i in [0, n), spreading units over the workers.
   /// fn must only touch state owned by unit i (or immutable shared state).
-  void for_each(std::size_t n,
-                const std::function<void(std::size_t)>& fn) const;
+  /// When `cancel` is armed, workers stop claiming units and Cancelled is
+  /// thrown after the in-flight units drain — unless some unit also threw,
+  /// in which case that error wins (it describes work that actually ran).
+  void for_each(std::size_t n, const std::function<void(std::size_t)>& fn,
+                const CancelToken* cancel = nullptr) const;
 
   /// Ordered map: returns {fn(0), fn(1), ..., fn(n-1)} — always in index
   /// order, regardless of which worker computed which unit.
   template <typename Fn>
-  auto map(std::size_t n, Fn&& fn) const
+  auto map(std::size_t n, Fn&& fn, const CancelToken* cancel = nullptr) const
       -> std::vector<decltype(fn(std::size_t{}))> {
     using R = decltype(fn(std::size_t{}));
     std::vector<R> results(n);
-    for_each(n, [&](std::size_t i) { results[i] = fn(i); });
+    for_each(n, [&](std::size_t i) { results[i] = fn(i); }, cancel);
     return results;
   }
 

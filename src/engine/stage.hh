@@ -26,11 +26,20 @@
 
 namespace re::engine {
 
-/// Shared execution resources threaded through every stage. Both members
-/// are optional: null executor = serial, null store = fresh allocations.
+/// Shared execution resources threaded through every stage. All members
+/// are optional: null executor = serial, null store = fresh allocations,
+/// null cancel = the solve runs to completion.
 struct EngineContext {
   const Executor* executor = nullptr;
   ArtifactStore* store = nullptr;
+  /// Cooperative cancellation: checked before every stage and before every
+  /// fanned-out unit; an armed token unwinds the solve with Cancelled.
+  const CancelToken* cancel = nullptr;
+
+  /// Throw Cancelled when the bound token (if any) has been requested.
+  void check_cancel() const {
+    if (cancel != nullptr && cancel->requested()) throw Cancelled();
+  }
 
   /// Fan out `n` independent units, or run them inline when no executor is
   /// bound. Units must only write state they own; reductions happen by
@@ -38,9 +47,12 @@ struct EngineContext {
   void for_each(std::size_t n,
                 const std::function<void(std::size_t)>& fn) const {
     if (executor != nullptr) {
-      executor->for_each(n, fn);
+      executor->for_each(n, fn, cancel);
     } else {
-      for (std::size_t i = 0; i < n; ++i) fn(i);
+      for (std::size_t i = 0; i < n; ++i) {
+        check_cancel();
+        fn(i);
+      }
     }
   }
 };
@@ -71,6 +83,7 @@ class StageGraph {
 
   void run(A& artifacts, const EngineContext& ctx) const {
     for (const Stage<A>& stage : stages_) {
+      ctx.check_cancel();
       if (stage.enabled && !stage.enabled(artifacts)) continue;
       stage.run(artifacts, ctx);
     }

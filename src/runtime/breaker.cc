@@ -1,0 +1,65 @@
+#include "runtime/breaker.hh"
+
+#include <algorithm>
+
+namespace re::runtime {
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::Armed: return "armed";
+    case BreakerState::Backoff: return "backoff";
+    case BreakerState::HalfOpen: return "half-open";
+    case BreakerState::Open: return "open";
+  }
+  return "unknown";
+}
+
+Breaker::Breaker(const BreakerOptions& options, std::uint64_t seed)
+    : opts_(options), rng_(seed) {}
+
+void Breaker::trip() {
+  if (state_ == BreakerState::Open) return;
+  ++consecutive_trips_;
+  probes_ = 0;
+
+  if (opts_.max_trips > 0 && consecutive_trips_ >= opts_.max_trips) {
+    state_ = BreakerState::Open;
+    backoff_remaining_ = 0;
+    return;
+  }
+
+  state_ = BreakerState::Backoff;
+  const int exponent =
+      std::min(consecutive_trips_ - 1, 30);  // >= 0 here; cap the shift
+  std::uint64_t units = opts_.backoff_base << static_cast<unsigned>(exponent);
+  units = std::min(std::max<std::uint64_t>(units, 1),
+                   std::max<std::uint64_t>(opts_.max_backoff, 1));
+  const double jitter =
+      1.0 + opts_.jitter * (2.0 * rng_.uniform() - 1.0);
+  const double ticks =
+      static_cast<double>(units) *
+      static_cast<double>(std::max<std::uint64_t>(opts_.tick_scale, 1)) *
+      std::max(jitter, 0.0);
+  backoff_remaining_ =
+      std::max<std::uint64_t>(static_cast<std::uint64_t>(ticks), 1);
+}
+
+bool Breaker::tick(std::uint64_t ticks) {
+  if (state_ != BreakerState::Backoff) return false;
+  backoff_remaining_ -= std::min(backoff_remaining_, ticks);
+  if (backoff_remaining_ > 0) return false;
+  state_ = BreakerState::HalfOpen;
+  probes_ = 0;
+  return true;
+}
+
+bool Breaker::probe_ok() {
+  if (state_ != BreakerState::HalfOpen) return false;
+  if (++probes_ < opts_.half_open_probes) return false;
+  state_ = BreakerState::Armed;
+  consecutive_trips_ = 0;
+  probes_ = 0;
+  return true;
+}
+
+}  // namespace re::runtime

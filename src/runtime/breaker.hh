@@ -1,0 +1,97 @@
+// Reusable circuit-breaker state machine.
+//
+// PR 4 grew this logic inside the Supervisor's per-core failure domains;
+// the advisory service (src/serve/) needs the identical machine per cache
+// shard, so it lives here as a value type both layers share:
+//
+//   Armed --trip--> Backoff --ticks expire--> HalfOpen
+//     ^                                          |
+//     +---- half_open_probes healthy probes -----+
+//   any state --consecutive trips == max_trips--> Open (terminal)
+//
+// Backoff after the t-th consecutive trip lasts
+// clamp(backoff_base << (t-1), [1, max_backoff]) units, each unit
+// `tick_scale` ticks, stretched by seeded jitter in [1-jitter, 1+jitter].
+// A completed half-open probation resets the consecutive-trip count, so a
+// domain that keeps proving health never opens, no matter how long it runs.
+// The Supervisor measures ticks in delivered references (tick_scale =
+// window_refs); the serve tier measures them in virtual service ticks
+// (tick_scale = 1).
+//
+// The breaker only tracks protection state; what "trip", "probe" and
+// "open" mean (discard a controller, skip a shard, degrade to no-prefetch)
+// stays with the owner.
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.hh"
+
+namespace re::runtime {
+
+/// Recovery state of one protected component. (Aliased as DomainState by
+/// the Supervisor; the names predate the extraction.)
+enum class BreakerState : int {
+  Armed = 0,    // component trusted
+  Backoff = 1,  // tripped; waiting out the penalty
+  HalfOpen = 2, // on probation: healthy observations re-arm, faults re-trip
+  Open = 3,     // circuit broken for good (terminal)
+};
+
+const char* breaker_state_name(BreakerState state);
+
+struct BreakerOptions {
+  /// Backoff duration after the first trip, in backoff units.
+  std::uint64_t backoff_base = 8;
+  /// Cap on the exponential backoff, in backoff units.
+  std::uint64_t max_backoff = 512;
+  /// Ticks per backoff unit (the owner's clock granularity).
+  std::uint64_t tick_scale = 1;
+  /// Jitter fraction: each backoff is stretched by [1-jitter, 1+jitter].
+  double jitter = 0.25;
+  /// Healthy observations required in HalfOpen before re-arming.
+  int half_open_probes = 3;
+  /// Consecutive trips (no completed probation in between) after which the
+  /// circuit opens permanently. <= 0 means it never opens.
+  int max_trips = 5;
+};
+
+class Breaker {
+ public:
+  Breaker(const BreakerOptions& options, std::uint64_t seed);
+
+  BreakerState state() const { return state_; }
+  bool armed() const { return state_ == BreakerState::Armed; }
+  bool open() const { return state_ == BreakerState::Open; }
+  /// True while the protected component must not be used (Backoff or Open).
+  bool down() const {
+    return state_ == BreakerState::Backoff || state_ == BreakerState::Open;
+  }
+  int consecutive_trips() const { return consecutive_trips_; }
+  std::uint64_t backoff_remaining() const { return backoff_remaining_; }
+
+  /// Record a fault. Armed/HalfOpen/Backoff -> Backoff with the next
+  /// exponential penalty, or -> Open once max_trips consecutive faults
+  /// accumulate. No-op when already Open.
+  void trip();
+
+  /// Consume `ticks` of Backoff time. Returns true exactly once, when the
+  /// penalty expires and the breaker moves to HalfOpen (the owner should
+  /// restart/probe the component). No-op in other states.
+  bool tick(std::uint64_t ticks = 1);
+
+  /// Record one healthy observation while HalfOpen. Returns true when the
+  /// probation completes: the breaker re-arms and the consecutive-trip
+  /// count resets. No-op in other states.
+  bool probe_ok();
+
+ private:
+  BreakerOptions opts_;
+  Rng rng_;  // backoff jitter
+  BreakerState state_ = BreakerState::Armed;
+  int consecutive_trips_ = 0;
+  int probes_ = 0;
+  std::uint64_t backoff_remaining_ = 0;
+};
+
+}  // namespace re::runtime

@@ -228,15 +228,22 @@ Expected<PlanCache> PlanCache::from_json(const std::string& text,
   return cache;
 }
 
-std::string PlanCache::to_journal() const {
+std::string PlanCache::journal_header(std::size_t entries) {
   std::string out;
   append_printf(out, "{\"format\": \"%s\", \"version\": %d, \"entries\": %zu}\n",
-                kJournalMagic, kJournalVersion, entries_.size());
-  for (const Entry& entry : entries_) {
-    const std::string payload = entry_to_json(entry);
-    out += "{\"crc\": \"" + support::crc32_hex(support::crc32(payload)) +
-           "\", \"entry\": " + payload + "}\n";
-  }
+                kJournalMagic, kJournalVersion, entries);
+  return out;
+}
+
+std::string PlanCache::journal_record(const Entry& entry) {
+  const std::string payload = entry_to_json(entry);
+  return "{\"crc\": \"" + support::crc32_hex(support::crc32(payload)) +
+         "\", \"entry\": " + payload + "}\n";
+}
+
+std::string PlanCache::to_journal() const {
+  std::string out = journal_header(entries_.size());
+  for (const Entry& entry : entries_) out += journal_record(entry);
   return out;
 }
 

@@ -94,6 +94,16 @@ class PlanCache {
   /// canonical payload. MRU-first, byte-deterministic.
   std::string to_journal() const;
 
+  /// The v2 header line (newline-terminated) promising `entries` records.
+  /// The loader treats extra appended records as valid and fewer as a
+  /// truncated tail, so an append-mode writer (serve's shard journals)
+  /// snapshots a header + current entries once and then appends records.
+  static std::string journal_header(std::size_t entries);
+
+  /// One CRC-guarded journal record line (newline-terminated) for `entry`,
+  /// byte-identical to the line to_journal() would emit for it.
+  static std::string journal_record(const Entry& entry);
+
   /// What a journal load recovered (defined after the class: the report
   /// carries a rebuilt cache by value).
   using LoadReport = PlanCacheLoadReport;

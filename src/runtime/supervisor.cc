@@ -11,13 +11,7 @@
 namespace re::runtime {
 
 const char* domain_state_name(DomainState state) {
-  switch (state) {
-    case DomainState::Armed: return "armed";
-    case DomainState::Backoff: return "backoff";
-    case DomainState::HalfOpen: return "half-open";
-    case DomainState::Open: return "open";
-  }
-  return "unknown";
+  return breaker_state_name(state);
 }
 
 const char* trip_cause_name(TripCause cause) {
@@ -49,8 +43,9 @@ std::string DomainStats::to_string() const {
 /// One core's failure domain: the (disposable) controller plus everything
 /// the supervisor needs to judge it from the outside.
 struct Supervisor::Domain {
-  Domain(int core_index, std::uint64_t seed)
-      : core(core_index), rng(seed) {}
+  Domain(int core_index, const BreakerOptions& breaker_options,
+         std::uint64_t seed)
+      : core(core_index), breaker(breaker_options, seed) {}
 
   int core;
   std::unique_ptr<AdaptiveController> controller;
@@ -58,7 +53,9 @@ struct Supervisor::Domain {
   /// windows while Armed; during Backoff/HalfOpen it keeps the last good
   /// plans in force; in Open it is active+empty (no-prefetch).
   sim::PlanOverlay overlay;
-  Rng rng;  // backoff jitter
+  /// Trip/backoff/half-open/open protection state, one tick per delivered
+  /// reference (tick_scale = window_refs). stats.state mirrors it.
+  Breaker breaker;
   DomainStats stats;
 
   // Heartbeat / health bookkeeping.
@@ -76,13 +73,6 @@ struct Supervisor::Domain {
   /// clock.
   double cpm_ewma = 0.0;
   int suspect_streak = 0;
-  /// Trips since the last completed half-open probe: drives the backoff
-  /// exponent and the circuit breaker (stats.trips stays cumulative).
-  int consecutive_trips = 0;
-
-  // Backoff / half-open bookkeeping.
-  std::uint64_t backoff_remaining = 0;  // refs until restart
-  int probe_windows = 0;
   std::uint64_t refs_at_trip = 0;
 
   // Last-known-good plan-cache snapshot for warm restarts.
@@ -99,10 +89,18 @@ Supervisor::Supervisor(const std::vector<const workloads::Program*>& programs,
                        const sim::MachineConfig& machine,
                        const SupervisorOptions& options)
     : programs_(programs), machine_(machine), opts_(options) {
+  BreakerOptions breaker_options;
+  breaker_options.backoff_base = opts_.backoff_base_windows;
+  breaker_options.max_backoff = opts_.max_backoff_windows;
+  breaker_options.tick_scale = opts_.adaptive.window_refs;
+  breaker_options.jitter = opts_.backoff_jitter;
+  breaker_options.half_open_probes = opts_.half_open_probe_windows;
+  breaker_options.max_trips = opts_.max_trips;
   Rng master(opts_.seed);
   domains_.reserve(programs_.size());
   for (std::size_t i = 0; i < programs_.size(); ++i) {
-    auto domain = std::make_unique<Domain>(static_cast<int>(i), master.fork());
+    auto domain = std::make_unique<Domain>(static_cast<int>(i),
+                                           breaker_options, master.fork());
     domain->controller = std::make_unique<AdaptiveController>(
         *programs_[i], machine_, opts_.adaptive);
     domains_.push_back(std::move(domain));
@@ -153,8 +151,7 @@ void Supervisor::on_reference(int core, Pc pc, Addr addr, Cycle now,
       return;  // circuit broken: the core runs no-prefetch, untouched
     case DomainState::Backoff:
       ++domain.stats.backoff_refs;
-      if (domain.backoff_remaining > 0) --domain.backoff_remaining;
-      if (domain.backoff_remaining == 0) restart(domain);
+      if (domain.breaker.tick()) restart(domain);
       return;
     case DomainState::Armed:
     case DomainState::HalfOpen:
@@ -312,10 +309,9 @@ void Supervisor::validate_window(Domain& domain, Cycle seen, Cycle now,
   // Window is healthy.
   ++domain.stats.healthy_windows;
   if (domain.stats.state == DomainState::HalfOpen) {
-    if (++domain.probe_windows >= opts_.half_open_probe_windows) {
+    if (domain.breaker.probe_ok()) {  // re-arms and resets the trip count
       domain.stats.state = DomainState::Armed;
       ++domain.stats.recoveries;
-      domain.consecutive_trips = 0;  // the breaker re-arms fully
       const std::uint64_t window_refs =
           std::max<std::uint64_t>(opts_.adaptive.window_refs, 1);
       domain.stats.last_recovery_windows =
@@ -343,7 +339,6 @@ void Supervisor::trip(Domain& domain, TripCause cause) {
   DomainStats& stats = domain.stats;
   stats.last_trip = cause;
   ++stats.trips;
-  ++domain.consecutive_trips;
   switch (cause) {
     case TripCause::Watchdog: ++stats.watchdog_fires; break;
     case TripCause::ClockFault: ++stats.clock_faults; break;
@@ -366,32 +361,16 @@ void Supervisor::trip(Domain& domain, TripCause cause) {
   domain.last_windows = 0;
   domain.governor_streak = 0;
   domain.suspect_streak = 0;
-  domain.probe_windows = 0;
   domain.refs_at_trip = stats.refs_seen;
 
-  if (domain.consecutive_trips >= opts_.max_trips) {
+  domain.breaker.trip();
+  stats.state = domain.breaker.state();
+  if (domain.breaker.open()) {
     // Circuit open: degrade this core to no-prefetch (the guaranteed-safe
     // baseline) permanently. Other domains are untouched.
-    stats.state = DomainState::Open;
     domain.overlay.plans.clear();
     domain.overlay.active = true;
-    return;
   }
-
-  stats.state = DomainState::Backoff;
-  const int exponent = std::min(domain.consecutive_trips - 1,
-                                30);  // >= 1 here; cap the shift
-  std::uint64_t windows = opts_.backoff_base_windows
-                          << static_cast<unsigned>(exponent);
-  windows = std::min(std::max<std::uint64_t>(windows, 1),
-                     std::max<std::uint64_t>(opts_.max_backoff_windows, 1));
-  const double jitter =
-      1.0 + opts_.backoff_jitter * (2.0 * domain.rng.uniform() - 1.0);
-  const double refs = static_cast<double>(windows) *
-                      static_cast<double>(opts_.adaptive.window_refs) *
-                      std::max(jitter, 0.0);
-  domain.backoff_remaining = std::max<std::uint64_t>(
-      static_cast<std::uint64_t>(refs), 1);
 }
 
 void Supervisor::restart(Domain& domain) {
@@ -407,7 +386,6 @@ void Supervisor::restart(Domain& domain) {
   }
   ++domain.stats.restarts;
   domain.stats.state = DomainState::HalfOpen;
-  domain.probe_windows = 0;
   domain.refs_since_window = 0;
   domain.delivered_since_window = 0;
   domain.last_windows = 0;

@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "runtime/adaptive_controller.hh"
+#include "runtime/breaker.hh"
 #include "sim/adaptive.hh"
 #include "sim/config.hh"
 #include "support/rng.hh"
@@ -64,13 +65,13 @@ namespace re::runtime {
 
 class ChaosInjector;  // runtime/chaos.hh
 
-/// Recovery state of one core's failure domain.
-enum class DomainState : int {
-  Armed = 0,    // controller trusted; overlay mirrors it window by window
-  Backoff = 1,  // tripped; controller discarded, LKG overlay active
-  HalfOpen = 2, // restarted controller on probation, LKG overlay active
-  Open = 3,     // circuit broken: no-prefetch for good
-};
+/// Recovery state of one core's failure domain. The state machine itself
+/// (trip/backoff/half-open/open, exponential backoff with seeded jitter)
+/// is the shared runtime::Breaker; for a domain the states read as:
+/// Armed = controller trusted, overlay mirrored window by window;
+/// Backoff = controller discarded, LKG overlay active; HalfOpen =
+/// restarted controller on probation; Open = no-prefetch for good.
+using DomainState = BreakerState;
 
 const char* domain_state_name(DomainState state);
 

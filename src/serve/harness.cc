@@ -1,0 +1,377 @@
+#include "serve/harness.hh"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_set>
+#include <utility>
+
+#include "engine/pipeline.hh"
+#include "support/atomic_file.hh"
+#include "support/checksum.hh"
+
+namespace re::serve {
+
+namespace {
+
+/// Base PC for family f's signature; families are pairwise disjoint so
+/// signature_distance between any two is 2.0 (never cross-matches).
+Pc family_base_pc(std::uint64_t family) {
+  return static_cast<Pc>(0x1000 + family * 16);
+}
+
+void ensure_dir(const std::string& path) {
+  ::mkdir(path.c_str(), 0755);  // EEXIST is fine; creation is best-effort
+}
+
+std::uint64_t chain_crc(std::uint64_t digest, const std::string& text) {
+  return support::crc32(text + support::crc32_hex(
+                                   static_cast<std::uint32_t>(digest)));
+}
+
+std::string render_response(const PlanResponse& response) {
+  char head[160];
+  std::snprintf(head, sizeof head,
+                "id=%" PRIu64 " core=%d kind=%s cause=%s lat=%" PRIu64
+                " miss=%d retries=%d plans=",
+                response.id, response.core,
+                answer_kind_name(response.kind),
+                degrade_cause_name(response.cause), response.latency_ticks,
+                response.deadline_missed ? 1 : 0, response.retries);
+  std::string line = head;
+  for (const core::PrefetchPlan& plan : response.plans) {
+    char item[64];
+    std::snprintf(item, sizeof item, "%u:%+lld:%d;", plan.pc,
+                  static_cast<long long>(plan.distance_bytes),
+                  static_cast<int>(plan.hint));
+    line += item;
+  }
+  return line;
+}
+
+bool plans_equal(const std::vector<core::PrefetchPlan>& a,
+                 const std::vector<core::PrefetchPlan>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].pc != b[i].pc || a[i].distance_bytes != b[i].distance_bytes ||
+        a[i].hint != b[i].hint) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Family> make_families(int hot, int cold) {
+  std::vector<Family> families;
+  const int total = std::max(hot, 0) + std::max(cold, 0);
+  families.reserve(static_cast<std::size_t>(total));
+  for (int f = 0; f < total; ++f) {
+    Family family;
+    family.id = static_cast<std::uint64_t>(f);
+    const Pc base = family_base_pc(family.id);
+    family.signature = {{base, 0.5}, {base + 1, 0.3}, {base + 2, 0.2}};
+
+    // Per-family sub-profile: a streaming load over a footprint the L1
+    // cannot hold (the delinquent load the solve targets) plus a hot
+    // buffer that fits (and should produce no plan). Disjoint address
+    // spaces per family keep solves independent.
+    workloads::Program& p = family.program;
+    p.name = "serve-family-" + std::to_string(f);
+    p.seed = 0x5E47E + family.id;
+    workloads::StaticInst stream, hot_buf;
+    stream.pc = base;
+    stream.pattern =
+        workloads::StreamPattern{family.id << 36, 64, 1 << 20};
+    hot_buf.pc = base + 1;
+    hot_buf.pattern =
+        workloads::HotBufferPattern{(family.id << 36) + (1 << 30), 64,
+                                    16 << 10};
+    p.loops.push_back(workloads::Loop{{stream, hot_buf}, 8192});
+    p.outer_reps = 1;
+    families.push_back(std::move(family));
+  }
+  return families;
+}
+
+AdvisoryService::Solver make_engine_solver(const std::vector<Family>& families,
+                                           const sim::MachineConfig& machine,
+                                           const engine::Executor* executor) {
+  // The solver runs inside Executor workers: it reads only the immutable
+  // family table and machine config, and nested engine fan-outs run inline
+  // on the worker (Executor's nested-dispatch rule).
+  return [&families, machine, executor](const PlanRequest& request,
+                                        const engine::CancelToken* cancel)
+             -> std::vector<core::PrefetchPlan> {
+    const std::size_t index =
+        static_cast<std::size_t>(request.family) % families.size();
+    engine::EngineContext ctx;
+    ctx.executor = executor;
+    ctx.cancel = cancel;
+    core::OptimizationReport report = engine::run_optimize(
+        families[index].program, machine, core::OptimizerOptions{}, ctx);
+    return std::move(report.plans);
+  };
+}
+
+AdvisoryService::Solver make_synthetic_solver(
+    const std::vector<Family>& families) {
+  return [&families](const PlanRequest& request,
+                     const engine::CancelToken* cancel)
+             -> std::vector<core::PrefetchPlan> {
+    if (cancel != nullptr && cancel->requested()) throw engine::Cancelled();
+    const std::size_t index =
+        static_cast<std::size_t>(request.family) % families.size();
+    core::PrefetchPlan plan;
+    plan.pc = family_base_pc(families[index].id);
+    plan.distance_bytes =
+        static_cast<std::int64_t>(64 * (families[index].id + 1));
+    plan.hint = workloads::PrefetchHint::T0;
+    return {plan};
+  };
+}
+
+ServeRunResult run_serve_sim(const TrafficConfig& traffic,
+                             const ServiceOptions& options,
+                             const AdvisoryService::Solver& solver,
+                             const engine::Executor* executor) {
+  const std::vector<Family> families =
+      make_families(traffic.hot_families, traffic.cold_families);
+  AdvisoryService service(options, solver, executor);
+
+  Rng arrivals(traffic.seed);
+  std::vector<PlanResponse> responses;
+  std::uint64_t next_id = 1;
+  for (std::uint64_t tick = 0; tick < traffic.ticks; ++tick) {
+    service.step(tick, responses);
+    for (int core = 0; core < traffic.cores; ++core) {
+      if (!arrivals.chance(traffic.request_rate)) continue;
+      std::uint64_t family;
+      if (traffic.hot_families > 0 &&
+          arrivals.chance(traffic.hot_fraction)) {
+        family = arrivals.next(
+            static_cast<std::uint64_t>(traffic.hot_families));
+      } else {
+        family = static_cast<std::uint64_t>(traffic.hot_families) +
+                 arrivals.next(static_cast<std::uint64_t>(
+                     std::max(traffic.cold_families, 1)));
+      }
+      PlanRequest request;
+      request.id = next_id++;
+      request.core = core;
+      request.family = family;
+      request.signature = families[family % families.size()].signature;
+      service.submit(request, tick, responses);
+    }
+  }
+  const std::uint64_t final_tick = service.drain(traffic.ticks, responses);
+
+  ServeRunResult result;
+  result.stats = service.stats();
+  result.responses = responses.size();
+  result.final_tick = final_tick;
+  for (int s = 0; s < service.shards(); ++s) {
+    if (service.shard_state(s) == runtime::BreakerState::Open) {
+      ++result.shards_open;
+    }
+  }
+  result.acked = service.acked_fingerprints();
+
+  std::vector<std::uint64_t> admitted_latency;
+  std::unordered_map<int, std::vector<core::PrefetchPlan>> last_good;
+  std::uint64_t degraded = 0;
+  for (const PlanResponse& response : responses) {
+    result.digest = chain_crc(result.digest, render_response(response));
+    if (response.deadline_missed && !response.degraded()) {
+      result.no_stale_fresh = false;
+    }
+    switch (response.kind) {
+      case AnswerKind::Fresh:
+      case AnswerKind::CacheHit:
+        admitted_latency.push_back(response.latency_ticks);
+        last_good[response.core] = response.plans;
+        break;
+      case AnswerKind::LastKnownGood:
+        ++degraded;
+        // A LKG answer must be exactly this core's previous good answer.
+        if (response.cause == DegradeCause::None ||
+            last_good.find(response.core) == last_good.end() ||
+            !plans_equal(response.plans, last_good[response.core])) {
+          result.degraded_safe = false;
+        }
+        break;
+      case AnswerKind::NoPrefetch:
+        ++degraded;
+        // No-prefetch is the empty (guaranteed-safe) plan set, by definition.
+        if (response.cause == DegradeCause::None || !response.plans.empty()) {
+          result.degraded_safe = false;
+        }
+        break;
+    }
+  }
+
+  result.queue_bounded =
+      result.stats.max_queue_depth <= options.queue_capacity;
+  if (result.stats.stale_fresh_violations > 0) result.no_stale_fresh = false;
+
+  if (!admitted_latency.empty()) {
+    std::sort(admitted_latency.begin(), admitted_latency.end());
+    const std::size_t n = admitted_latency.size();
+    result.p50_admitted = static_cast<double>(admitted_latency[n / 2]);
+    result.p99_admitted =
+        static_cast<double>(admitted_latency[std::min(n - 1, n * 99 / 100)]);
+  }
+  const double submitted =
+      std::max<double>(static_cast<double>(result.stats.submitted), 1.0);
+  result.shed_rate =
+      static_cast<double>(result.stats.shed_queue_full +
+                          result.stats.shed_infeasible +
+                          result.stats.shard_down +
+                          result.stats.cache_faults) /
+      submitted;
+  result.deadline_miss_rate =
+      static_cast<double>(result.stats.deadline_missed) / submitted;
+  result.hit_rate =
+      static_cast<double>(result.stats.cache_hits) / submitted;
+  result.degraded_rate = static_cast<double>(degraded) / submitted;
+  return result;
+}
+
+std::string ServeCrashReport::to_string() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof buf,
+      "trials=%d (torn=%d tmp=%d) acked=%" PRIu64 " recovered=%" PRIu64
+      " quarantined=%" PRIu64 " lost=%" PRIu64 " alien=%" PRIu64
+      " recovery_failures=%" PRIu64 " append_failures=%" PRIu64 " -> %s",
+      trials, torn_trials, tmp_trials, acked_total, recovered_total,
+      quarantined, lost_acked, alien_entries, recovery_failures,
+      append_failures, ok() ? "OK" : "FAIL");
+  return buf;
+}
+
+ServeCrashReport serve_crash_check(std::uint64_t seed, int trials,
+                                   const std::string& scratch_dir) {
+  ServeCrashReport report;
+  ensure_dir(scratch_dir);
+
+  const std::vector<Family> families = make_families(2, 24);
+  const AdvisoryService::Solver solver = make_synthetic_solver(families);
+
+  for (int trial = 0; trial < trials; ++trial) {
+    ++report.trials;
+    const std::string dir =
+        scratch_dir + "/trial-" + std::to_string(trial);
+    ensure_dir(dir);
+
+    TrafficConfig traffic;
+    traffic.cores = 8;
+    traffic.ticks = 128;
+    traffic.request_rate = 0.25;
+    traffic.hot_fraction = 0.25;
+    traffic.hot_families = 2;
+    traffic.cold_families = 24;
+    traffic.seed = workloads::mix64(seed + 0x9E37 * trial + 1);
+
+    ServiceOptions options;
+    options.shards = 2;
+    options.cache.capacity = 64;  // no eviction: acked entries stay resident
+    options.queue_capacity = 128;
+    options.solve_slots = 4;
+    options.solve_cost_ticks = 4;
+    options.deadline_ticks = 512;
+    options.journal_dir = dir;
+    options.seed = workloads::mix64(seed + 0xC0DE * trial + 7);
+
+    ServeRunResult run = run_serve_sim(traffic, options, solver, nullptr);
+    // Dedup by fingerprint: two concurrent misses of the same family both
+    // solve and both ack (the journal holds both records; the loader's
+    // signature match collapses them), so unique identities are the
+    // comparable ground truth.
+    std::unordered_set<std::uint64_t> acked(run.acked.begin(),
+                                            run.acked.end());
+    report.acked_total += acked.size();
+
+    // Crash. The service's writes are append + fsync, so the only torn
+    // state a real crash leaves is (a) a partial final record — an append
+    // that never returned, hence never acked — or (b) a stray checkpoint
+    // temp file. Inflict one of each shape on shard 0, alternating.
+    const std::string victim = dir + "/shard-0.journal";
+    const bool torn = trial % 2 == 0;
+    if (torn) {
+      ++report.torn_trials;
+      runtime::PlanCache::Entry in_flight;
+      in_flight.signature = {{9999, 1.0}};
+      in_flight.plans = {{9999, 64, workloads::PrefetchHint::T0}};
+      const std::string record =
+          runtime::PlanCache::journal_record(in_flight);
+      Expected<std::string> old = support::read_file(victim);
+      if (old.has_value()) {
+        // Half the record: the bytes a crash mid-write leaves behind.
+        std::string text = old.value();
+        text.append(record.substr(0, record.size() / 2));
+        std::FILE* f = std::fopen(victim.c_str(), "wb");
+        if (f != nullptr) {
+          std::fwrite(text.data(), 1, text.size(), f);
+          std::fclose(f);
+        }
+      }
+    } else {
+      ++report.tmp_trials;
+      std::FILE* f = std::fopen((victim + ".tmp").c_str(), "wb");
+      if (f != nullptr) {
+        std::fputs("{\"torn\": \"checkpoint\"", f);
+        std::fclose(f);
+      }
+    }
+
+    // Restart: recover every shard (load + quarantine + compact, the
+    // ShardJournal::recover path), audit acked-vs-recovered.
+    std::unordered_set<std::uint64_t> recovered;
+    for (int s = 0; s < options.shards; ++s) {
+      const std::string path =
+          dir + "/shard-" + std::to_string(s) + ".journal";
+      ShardJournal journal;
+      Expected<runtime::PlanCache::LoadReport> loaded =
+          journal.recover(path, options.cache);
+      if (!loaded.has_value()) {
+        ++report.recovery_failures;
+        continue;
+      }
+      report.quarantined += loaded.value().quarantined;
+      for (const runtime::PlanCache::Entry& entry :
+           loaded.value().cache.entries()) {
+        const std::uint64_t fp = signature_fingerprint(entry.signature);
+        recovered.insert(fp);
+        if (acked.find(fp) == acked.end()) ++report.alien_entries;
+      }
+
+      // The recovered journal must accept new appends (the restarted
+      // service keeps acking), and the appended entry must itself recover.
+      runtime::PlanCache::Entry post_crash;
+      post_crash.signature = {{static_cast<Pc>(7000 + s), 1.0}};
+      post_crash.plans = {
+          {static_cast<Pc>(7000 + s), 128, workloads::PrefetchHint::T0}};
+      if (!journal.append(post_crash).ok()) {
+        ++report.append_failures;
+        continue;
+      }
+      Expected<runtime::PlanCache::LoadReport> reloaded =
+          runtime::PlanCache::load_file(path, options.cache);
+      if (!reloaded.has_value() ||
+          reloaded.value().cache.size() != loaded.value().cache.size() + 1) {
+        ++report.append_failures;
+      }
+    }
+    report.recovered_total += recovered.size();
+    for (const std::uint64_t fp : acked) {
+      if (recovered.find(fp) == recovered.end()) ++report.lost_acked;
+    }
+  }
+  return report;
+}
+
+}  // namespace re::serve

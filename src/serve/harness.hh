@@ -1,0 +1,129 @@
+// Deterministic request-schedule simulation for the advisory service.
+//
+// Drives AdvisoryService with seeded mixed hot/cold plan traffic from N
+// simulated client cores in virtual time, and reduces the response stream
+// to the service-level metrics (p50/p99 admitted latency, shed rate,
+// deadline-miss rate) plus a chained CRC digest over every response in
+// emission order — the byte-determinism witness bench_serve compares
+// across --jobs counts and across runs.
+//
+// Also home of the serve-tier crash check: run a journaling service, tear
+// the journal the way a crash would (a partial in-flight append, a stray
+// checkpoint temp file), recover, and account for every acked entry —
+// nothing acked may be lost, nothing never-acked may be served.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/executor.hh"
+#include "serve/service.hh"
+#include "sim/config.hh"
+#include "workloads/program.hh"
+
+namespace re::serve {
+
+/// One phase family a client can request plans for: the cache key (a
+/// synthetic signature, pairwise-disjoint across families so distinct
+/// families never cross-match) plus the sub-profile program the solver
+/// optimizes for it.
+struct Family {
+  std::uint64_t id = 0;
+  core::PhaseSignature signature;
+  workloads::Program program;
+};
+
+/// Families 0..hot-1 are "hot" (requested with probability hot_fraction,
+/// quickly cached); the rest are "cold" (the long tail of mostly-missing
+/// phases that exercises the solve/shed path).
+std::vector<Family> make_families(int hot, int cold);
+
+/// The real miss path: run the analysis engine's optimize graph over the
+/// family's program. Honours the cancel token via the EngineContext.
+AdvisoryService::Solver make_engine_solver(const std::vector<Family>& families,
+                                           const sim::MachineConfig& machine,
+                                           const engine::Executor* executor);
+
+/// A cheap deterministic solver (one plan derived from the family id) for
+/// harnesses that stress the service/journal layers, not the engine. Still
+/// honours the cancel token.
+AdvisoryService::Solver make_synthetic_solver(
+    const std::vector<Family>& families);
+
+struct TrafficConfig {
+  int cores = 64;
+  std::uint64_t ticks = 512;
+  /// Per-core per-tick request probability (Bernoulli, seeded).
+  double request_rate = 0.02;
+  double hot_fraction = 0.9;
+  int hot_families = 4;
+  int cold_families = 64;
+  std::uint64_t seed = 0xC0FFEE;
+};
+
+struct ServeRunResult {
+  ServiceStats stats;
+  std::uint64_t responses = 0;
+  std::uint64_t final_tick = 0;
+  int shards_open = 0;  // breakers terminally open at end of run
+  /// Latency percentiles (ticks) over admitted answers (Fresh + CacheHit).
+  double p50_admitted = 0.0;
+  double p99_admitted = 0.0;
+  double shed_rate = 0.0;
+  double deadline_miss_rate = 0.0;
+  double hit_rate = 0.0;
+  double degraded_rate = 0.0;
+  /// Chained CRC-32 over the canonical rendering of every response in
+  /// emission order — byte-equality witness across --jobs and runs.
+  std::uint64_t digest = 0;
+  /// Overload/robustness gates (see ISSUE/DESIGN §12).
+  bool queue_bounded = true;   // solve queue never exceeded its cap
+  bool no_stale_fresh = true;  // every deadline-missed answer was degraded
+  bool degraded_safe = true;   // degraded answers were exactly LKG/no-prefetch
+  /// Fingerprints acked to the journal during the run (ground truth for
+  /// the crash check; empty when journaling was off).
+  std::vector<std::uint64_t> acked;
+
+  bool gates_ok() const {
+    return queue_bounded && no_stale_fresh && degraded_safe &&
+           stats.stale_fresh_violations == 0;
+  }
+};
+
+/// Run the full virtual-time simulation: seeded arrivals, one step per
+/// tick, drain at the end. Deterministic in (traffic, options, solver
+/// outputs) — the executor's worker count never changes a byte.
+ServeRunResult run_serve_sim(const TrafficConfig& traffic,
+                             const ServiceOptions& options,
+                             const AdvisoryService::Solver& solver,
+                             const engine::Executor* executor);
+
+struct ServeCrashReport {
+  int trials = 0;
+  int torn_trials = 0;  // crash mid-append (partial record at the tail)
+  int tmp_trials = 0;   // crash mid-checkpoint (stray .tmp left behind)
+  std::uint64_t acked_total = 0;
+  std::uint64_t recovered_total = 0;
+  std::uint64_t quarantined = 0;  // torn/corrupt records skipped on load
+  std::uint64_t lost_acked = 0;   // acked entries missing after recovery
+  std::uint64_t alien_entries = 0;  // recovered entries that were never acked
+  std::uint64_t recovery_failures = 0;  // journal loads that hard-failed
+  std::uint64_t append_failures = 0;    // post-recovery appends that failed
+
+  /// The crash gate: every acked entry recovered, nothing corrupt served,
+  /// every journal loadable and appendable after the crash.
+  bool ok() const {
+    return lost_acked == 0 && alien_entries == 0 && recovery_failures == 0 &&
+           append_failures == 0;
+  }
+  std::string to_string() const;
+};
+
+/// `trials` crash/restart cycles under `scratch_dir` (created if needed).
+/// Each trial runs a short journaling service, damages the journals the
+/// way a crash would, recovers, and audits acked-vs-recovered entries.
+ServeCrashReport serve_crash_check(std::uint64_t seed, int trials,
+                                   const std::string& scratch_dir);
+
+}  // namespace re::serve

@@ -1,0 +1,109 @@
+#include "serve/journal.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "support/atomic_file.hh"
+
+namespace re::serve {
+
+ShardJournal::~ShardJournal() { close(); }
+
+ShardJournal::ShardJournal(ShardJournal&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      appended_(other.appended_) {
+  other.fd_ = -1;
+  other.appended_ = 0;
+}
+
+ShardJournal& ShardJournal::operator=(ShardJournal&& other) noexcept {
+  if (this != &other) {
+    close();
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    appended_ = other.appended_;
+    other.fd_ = -1;
+    other.appended_ = 0;
+  }
+  return *this;
+}
+
+void ShardJournal::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status ShardJournal::open_fd(const std::string& path) {
+  close();
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) {
+    return Status(StatusCode::kUnavailable,
+                  "cannot open journal " + path + " for append: " +
+                      std::strerror(errno));
+  }
+  path_ = path;
+  fd_ = fd;
+  appended_ = 0;
+  return Status::Ok();
+}
+
+Status ShardJournal::create(const std::string& path,
+                            const runtime::PlanCache& cache) {
+  const Status snapshot = cache.save(path);
+  if (!snapshot.ok()) return snapshot;
+  return open_fd(path);
+}
+
+Status ShardJournal::open_existing(const std::string& path) {
+  return open_fd(path);
+}
+
+Expected<runtime::PlanCache::LoadReport> ShardJournal::recover(
+    const std::string& path,
+    const runtime::PlanCacheOptions& cache_options) {
+  Expected<runtime::PlanCache::LoadReport> loaded =
+      runtime::PlanCache::load_file(path, cache_options);
+  if (!loaded.has_value()) return loaded;
+  // Compact before appending: the snapshot rewrite discards any torn tail
+  // (which would otherwise swallow the next appended record) and any stray
+  // checkpoint temp file is simply never read.
+  const Status compacted = create(path, loaded.value().cache);
+  if (!compacted.ok()) return compacted;
+  return loaded;
+}
+
+Status ShardJournal::append(const runtime::PlanCache::Entry& entry) {
+  if (fd_ < 0) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "journal not open for append");
+  }
+  const std::string record = runtime::PlanCache::journal_record(entry);
+  std::size_t written = 0;
+  while (written < record.size()) {
+    const ssize_t n =
+        ::write(fd_, record.data() + written, record.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status(StatusCode::kDataLoss,
+                    "short append to " + path_ + ": " + std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // The ack point: once these bytes are synced the entry is durable, and a
+  // crash any earlier tore (at most) a record nobody was promised.
+  if (::fsync(fd_) != 0) {
+    return Status(StatusCode::kDataLoss,
+                  "fsync " + path_ + ": " + std::strerror(errno));
+  }
+  ++appended_;
+  return Status::Ok();
+}
+
+}  // namespace re::serve

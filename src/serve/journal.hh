@@ -1,0 +1,75 @@
+// Append-mode shard journals for the advisory service.
+//
+// PlanCache::save() rewrites the whole journal on every change — fine for a
+// controller checkpointing once per run, unaffordable for a service acking
+// thousands of inserts. The v2 journal format already permits appending:
+// the loader treats records beyond the header's promised count as valid
+// (and fewer as a truncated tail), so a shard journal is written once as a
+// snapshot (header + current entries) and then grown one CRC-guarded
+// record per acked insert.
+//
+// Durability contract: append() returns Ok only after the record's bytes
+// are fsync'd — that is the service's ack point. A crash tears at most the
+// one record whose append had not yet returned, which was therefore never
+// acked; recovery (PlanCache::load_file) quarantines the torn line and
+// reloads every acked entry. A crash mid-snapshot is covered by the atomic
+// temp-file + rename writer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/plan_cache.hh"
+#include "support/status.hh"
+
+namespace re::serve {
+
+class ShardJournal {
+ public:
+  ShardJournal() = default;
+  ~ShardJournal();
+  ShardJournal(ShardJournal&& other) noexcept;
+  ShardJournal& operator=(ShardJournal&& other) noexcept;
+  ShardJournal(const ShardJournal&) = delete;
+  ShardJournal& operator=(const ShardJournal&) = delete;
+
+  /// Snapshot `cache` to `path` atomically (temp file + rename + directory
+  /// fsync), then open the journal for appending. Replaces any previous
+  /// journal at `path`.
+  Status create(const std::string& path, const runtime::PlanCache& cache);
+
+  /// Open an existing journal for appending. Only safe on a cleanly closed
+  /// journal: a torn final record has no trailing newline, so an append
+  /// would concatenate onto it and corrupt both records. After a crash,
+  /// use recover() instead.
+  Status open_existing(const std::string& path);
+
+  /// The restart path: load the journal at `path` (quarantining any torn
+  /// tail), compact the recovered state into a fresh snapshot (an atomic
+  /// rewrite — the torn bytes must never survive into the append stream),
+  /// and reopen for appending. Returns the load report so the caller can
+  /// audit quarantined/missing entries.
+  Expected<runtime::PlanCache::LoadReport> recover(
+      const std::string& path,
+      const runtime::PlanCacheOptions& cache_options);
+
+  /// Durably append one entry record. Ok = the entry is acked: it survives
+  /// any crash from this point on. On failure the journal stays open; the
+  /// caller may retry (the loader skips a torn partial line).
+  Status append(const runtime::PlanCache::Entry& entry);
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+  std::uint64_t appended() const { return appended_; }
+
+  void close();
+
+ private:
+  Status open_fd(const std::string& path);
+
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t appended_ = 0;
+};
+
+}  // namespace re::serve

@@ -1,0 +1,517 @@
+#include "serve/service.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace re::serve {
+
+const char* answer_kind_name(AnswerKind kind) {
+  switch (kind) {
+    case AnswerKind::Fresh: return "fresh";
+    case AnswerKind::CacheHit: return "cache-hit";
+    case AnswerKind::LastKnownGood: return "last-known-good";
+    case AnswerKind::NoPrefetch: return "no-prefetch";
+  }
+  return "unknown";
+}
+
+const char* degrade_cause_name(DegradeCause cause) {
+  switch (cause) {
+    case DegradeCause::None: return "none";
+    case DegradeCause::QueueFull: return "queue-full";
+    case DegradeCause::DeadlineInfeasible: return "deadline-infeasible";
+    case DegradeCause::DeadlineExpired: return "deadline-expired";
+    case DegradeCause::ShardDown: return "shard-down";
+    case DegradeCause::SolveFault: return "solve-fault";
+    case DegradeCause::CacheFault: return "cache-fault";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t signature_fingerprint(const core::PhaseSignature& signature) {
+  // Deterministic over the unordered_map: fold (pc, weight-bits) pairs in
+  // sorted-pc order. Weights come from the same deterministic pipeline on
+  // every run, so their bit patterns are stable.
+  std::vector<std::pair<Pc, double>> items(signature.begin(),
+                                           signature.end());
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::uint64_t h = 0x5E47ED0Full;
+  for (const auto& [pc, weight] : items) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof weight);
+    std::memcpy(&bits, &weight, sizeof bits);
+    h = mix64(h ^ pc);
+    h = mix64(h ^ bits);
+  }
+  return h;
+}
+
+/// Admitted-but-unsolved work (also the bookkeeping unit for immediate
+/// answers: submit_tick and the absolute deadline travel with the request).
+struct AdvisoryService::PendingSolve {
+  PlanRequest request;
+  std::uint64_t submit_tick = 0;
+  std::uint64_t deadline_abs = 0;
+  int retries = 0;
+};
+
+struct AdvisoryService::InFlight {
+  PendingSolve work;
+  std::uint64_t start_tick = 0;
+  std::uint64_t done_tick = 0;
+  /// Armed (deterministically, pre-dispatch) when the solve cannot make
+  /// its deadline; the engine unwinds at its next preemption point.
+  engine::CancelToken token;
+};
+
+struct AdvisoryService::Retry {
+  enum class Kind { Lookup, Append } kind = Kind::Lookup;
+  std::uint64_t due_tick = 0;
+  int attempt = 1;
+  // Lookup retries re-route the original request.
+  PendingSolve work;
+  // Append retries re-append the entry to its shard's journal.
+  int shard = 0;
+  runtime::PlanCache::Entry entry;
+};
+
+struct AdvisoryService::Shard {
+  Shard(const runtime::PlanCacheOptions& cache_options,
+        const runtime::BreakerOptions& breaker_options, std::uint64_t seed)
+      : cache(cache_options), breaker(breaker_options, seed) {}
+
+  runtime::PlanCache cache;
+  runtime::Breaker breaker;
+  ShardJournal journal;
+  bool journaling = false;
+};
+
+AdvisoryService::AdvisoryService(const ServiceOptions& options, Solver solver,
+                                 const engine::Executor* executor)
+    : opts_(options), solver_(std::move(solver)), executor_(executor),
+      rng_(options.seed) {
+  opts_.shards = std::max(1, opts_.shards);
+  opts_.solve_slots = std::max(1, opts_.solve_slots);
+  opts_.solve_cost_ticks = std::max<std::uint64_t>(opts_.solve_cost_ticks, 1);
+  runtime::BreakerOptions breaker_options = opts_.breaker;
+  breaker_options.tick_scale = 1;
+  shards_.reserve(static_cast<std::size_t>(opts_.shards));
+  for (int i = 0; i < opts_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(opts_.cache, breaker_options,
+                                              rng_.fork()));
+    if (!opts_.journal_dir.empty()) {
+      Shard& shard = *shards_.back();
+      const std::string path =
+          opts_.journal_dir + "/shard-" + std::to_string(i) + ".journal";
+      const Status created = shard.journal.create(path, shard.cache);
+      if (created.ok()) {
+        shard.journaling = true;
+      } else {
+        ++stats_.journal_append_failures;
+      }
+    }
+  }
+}
+
+AdvisoryService::~AdvisoryService() = default;
+
+AdvisoryService::Shard& AdvisoryService::shard_for(
+    const core::PhaseSignature& signature) {
+  const std::uint64_t fp = signature_fingerprint(signature);
+  return *shards_[fp % shards_.size()];
+}
+
+runtime::BreakerState AdvisoryService::shard_state(int shard) const {
+  return shards_[static_cast<std::size_t>(shard)]->breaker.state();
+}
+
+const runtime::PlanCache& AdvisoryService::shard_cache(int shard) const {
+  return shards_[static_cast<std::size_t>(shard)]->cache;
+}
+
+std::uint64_t AdvisoryService::retry_delay(int attempt) {
+  const int exponent = std::min(std::max(attempt - 1, 0), 30);
+  std::uint64_t base = opts_.retry_backoff_base_ticks
+                       << static_cast<unsigned>(exponent);
+  base = std::min(std::max<std::uint64_t>(base, 1),
+                  std::max<std::uint64_t>(opts_.retry_backoff_max_ticks, 1));
+  const double jitter =
+      1.0 + opts_.retry_jitter * (2.0 * rng_.uniform() - 1.0);
+  const double ticks = static_cast<double>(base) * std::max(jitter, 0.0);
+  return std::max<std::uint64_t>(static_cast<std::uint64_t>(ticks), 1);
+}
+
+PlanResponse AdvisoryService::degrade(const PendingSolve& work,
+                                      std::uint64_t done,
+                                      DegradeCause cause) {
+  PlanResponse response;
+  response.id = work.request.id;
+  response.core = work.request.core;
+  response.cause = cause;
+  response.submit_tick = work.submit_tick;
+  response.complete_tick = done;
+  response.latency_ticks = done - work.submit_tick;
+  response.deadline_missed = done > work.deadline_abs;
+  response.retries = work.retries;
+  const auto lkg = lkg_.find(work.request.core);
+  if (lkg != lkg_.end()) {
+    response.kind = AnswerKind::LastKnownGood;
+    response.plans = lkg->second;
+  } else {
+    response.kind = AnswerKind::NoPrefetch;
+  }
+  return response;
+}
+
+void AdvisoryService::emit(PlanResponse&& response,
+                           std::vector<PlanResponse>& out) {
+  switch (response.kind) {
+    case AnswerKind::Fresh: ++stats_.fresh; break;
+    case AnswerKind::CacheHit: ++stats_.cache_hits; break;
+    case AnswerKind::LastKnownGood: ++stats_.last_known_good; break;
+    case AnswerKind::NoPrefetch: ++stats_.no_prefetch; break;
+  }
+  if (response.deadline_missed) {
+    ++stats_.deadline_missed;
+    if (!response.degraded()) ++stats_.stale_fresh_violations;
+  }
+  out.push_back(std::move(response));
+}
+
+void AdvisoryService::trip_shard(Shard& shard) {
+  shard.breaker.trip();
+  ++stats_.breaker_trips;
+}
+
+void AdvisoryService::submit(const PlanRequest& request, std::uint64_t now,
+                             std::vector<PlanResponse>& out) {
+  ++stats_.submitted;
+  PendingSolve work;
+  work.request = request;
+  work.submit_tick = now;
+  work.deadline_abs =
+      now + (request.deadline_ticks ? request.deadline_ticks
+                                    : opts_.deadline_ticks);
+
+  Shard& shard = shard_for(request.signature);
+  if (shard.breaker.down()) {
+    // The shard's cache is not consultable and re-solving its whole
+    // traffic would double the load the breaker is protecting against —
+    // degrade instead (the ladder's whole point).
+    ++stats_.shard_down;
+    emit(degrade(work, now + opts_.hit_cost_ticks, DegradeCause::ShardDown),
+         out);
+    return;
+  }
+
+  if (opts_.cache_fault_rate > 0.0 && rng_.chance(opts_.cache_fault_rate)) {
+    // Transient lookup fault: retry with backoff instead of guessing.
+    Retry retry;
+    retry.kind = Retry::Kind::Lookup;
+    retry.attempt = 1;
+    retry.due_tick = now + retry_delay(1);
+    retry.work = work;
+    retries_.push_back(std::move(retry));
+    return;
+  }
+
+  lookup_and_route(work, shard, now, out);
+}
+
+void AdvisoryService::lookup_and_route(const PendingSolve& work, Shard& shard,
+                                       std::uint64_t now,
+                                       std::vector<PlanResponse>& out) {
+  const std::vector<core::PrefetchPlan>* hit =
+      shard.cache.lookup(work.request.signature);
+  if (shard.breaker.state() == runtime::BreakerState::HalfOpen) {
+    shard.breaker.probe_ok();  // the touch went through: one healthy probe
+  }
+  if (hit == nullptr) {
+    admit(work, now, out);
+    return;
+  }
+
+  const std::uint64_t done = now + opts_.hit_cost_ticks;
+  if (done > work.deadline_abs) {
+    // The answer exists but the client's budget is already gone (a lookup
+    // that spent its deadline in retries): late answers are degraded, never
+    // served as if on time.
+    ++stats_.deadline_expired;
+    emit(degrade(work, done, DegradeCause::DeadlineExpired), out);
+    return;
+  }
+
+  PlanResponse response;
+  response.id = work.request.id;
+  response.core = work.request.core;
+  response.kind = AnswerKind::CacheHit;
+  response.plans = *hit;
+  response.submit_tick = work.submit_tick;
+  response.complete_tick = done;
+  response.latency_ticks = done - work.submit_tick;
+  response.retries = work.retries;
+  lkg_[work.request.core] = response.plans;
+  emit(std::move(response), out);
+}
+
+void AdvisoryService::admit(const PendingSolve& work, std::uint64_t now,
+                            std::vector<PlanResponse>& out) {
+  if (queue_.size() >= opts_.queue_capacity) {
+    ++stats_.shed_queue_full;
+    emit(degrade(work, now, DegradeCause::QueueFull), out);
+    return;
+  }
+  // Feasibility: with everything already queued or in flight ahead of it,
+  // would this solve complete inside the budget? If not, shedding now is
+  // strictly better than burning a slot on an answer nobody will take.
+  const std::uint64_t ahead = queue_.size() + in_flight_.size();
+  const std::uint64_t batches =
+      1 + ahead / static_cast<std::uint64_t>(opts_.solve_slots);
+  const std::uint64_t estimated_done = now + batches * opts_.solve_cost_ticks;
+  if (estimated_done > work.deadline_abs) {
+    ++stats_.shed_infeasible;
+    emit(degrade(work, now, DegradeCause::DeadlineInfeasible), out);
+    return;
+  }
+  queue_.push_back(work);
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+}
+
+void AdvisoryService::step(std::uint64_t now,
+                           std::vector<PlanResponse>& out) {
+  const std::uint64_t elapsed =
+      now > last_step_tick_ ? now - last_step_tick_ : 0;
+  last_step_tick_ = now;
+  for (const auto& shard : shards_) {
+    shard->breaker.tick(elapsed);  // Backoff expiry -> HalfOpen probation
+  }
+  complete_due_solves(now, out);
+  process_due_retries(now, out);
+  start_solves(now);
+}
+
+void AdvisoryService::complete_due_solves(std::uint64_t now,
+                                          std::vector<PlanResponse>& out) {
+  // Partition preserving start order: due solves complete this tick.
+  std::vector<std::unique_ptr<InFlight>> due;
+  std::vector<std::unique_ptr<InFlight>> still_running;
+  for (auto& flight : in_flight_) {
+    if (flight->done_tick <= now) {
+      due.push_back(std::move(flight));
+    } else {
+      still_running.push_back(std::move(flight));
+    }
+  }
+  in_flight_ = std::move(still_running);
+  if (due.empty()) return;
+
+  // Deadline verdicts are decided here, in virtual time, before dispatch —
+  // the token is armed deterministically and the engine's cooperative
+  // cancellation path does the actual unwinding.
+  for (auto& flight : due) {
+    if (flight->done_tick > flight->work.deadline_abs) {
+      flight->token.request();
+    }
+  }
+
+  struct Outcome {
+    std::vector<core::PrefetchPlan> plans;
+    bool cancelled = false;
+    bool faulted = false;
+  };
+  std::vector<Outcome> outcomes(due.size());
+  const auto run_one = [&](std::size_t i) {
+    // Worker-side: touches only its own slot. All exceptions are absorbed
+    // here so the batch always runs every unit (ordered, deterministic).
+    try {
+      outcomes[i].plans = solver_(due[i]->work.request, &due[i]->token);
+    } catch (const engine::Cancelled&) {
+      outcomes[i].cancelled = true;
+    } catch (...) {
+      outcomes[i].faulted = true;
+    }
+  };
+  if (executor_ != nullptr) {
+    executor_->for_each(due.size(), run_one);
+  } else {
+    for (std::size_t i = 0; i < due.size(); ++i) run_one(i);
+  }
+
+  for (std::size_t i = 0; i < due.size(); ++i) {
+    InFlight& flight = *due[i];
+    Outcome& outcome = outcomes[i];
+    if (outcome.cancelled) {
+      ++stats_.cancelled_solves;
+      ++stats_.deadline_expired;
+      emit(degrade(flight.work, flight.done_tick,
+                   DegradeCause::DeadlineExpired),
+           out);
+      continue;
+    }
+    if (outcome.faulted) {
+      ++stats_.solve_faults;
+      emit(degrade(flight.work, flight.done_tick, DegradeCause::SolveFault),
+           out);
+      continue;
+    }
+
+    // Fresh answer, inside the budget (a solve past its deadline was
+    // cancelled above). Install it everywhere it is useful.
+    Shard& shard = shard_for(flight.work.request.signature);
+    shard.cache.insert(flight.work.request.signature, outcome.plans);
+    lkg_[flight.work.request.core] = outcome.plans;
+    if (shard.journaling && !shard.breaker.down()) {
+      runtime::PlanCache::Entry entry{flight.work.request.signature,
+                                      outcome.plans};
+      if (opts_.cache_fault_rate > 0.0 &&
+          rng_.chance(opts_.cache_fault_rate)) {
+        Retry retry;
+        retry.kind = Retry::Kind::Append;
+        retry.attempt = 1;
+        retry.due_tick = now + retry_delay(1);
+        retry.shard = static_cast<int>(
+            signature_fingerprint(flight.work.request.signature) %
+            shards_.size());
+        retry.entry = std::move(entry);
+        retries_.push_back(std::move(retry));
+      } else {
+        const Status appended = shard.journal.append(entry);
+        if (appended.ok()) {
+          ack_entry(shard, entry);
+        } else {
+          ++stats_.journal_append_failures;
+          trip_shard(shard);
+        }
+      }
+    }
+
+    PlanResponse response;
+    response.id = flight.work.request.id;
+    response.core = flight.work.request.core;
+    response.kind = AnswerKind::Fresh;
+    response.plans = std::move(outcome.plans);
+    response.submit_tick = flight.work.submit_tick;
+    response.complete_tick = flight.done_tick;
+    response.latency_ticks = flight.done_tick - flight.work.submit_tick;
+    response.retries = flight.work.retries;
+    emit(std::move(response), out);
+  }
+}
+
+void AdvisoryService::ack_entry(Shard& shard,
+                                const runtime::PlanCache::Entry& entry) {
+  ++stats_.journal_appends;
+  acked_.push_back(signature_fingerprint(entry.signature));
+  if (shard.breaker.state() == runtime::BreakerState::HalfOpen) {
+    shard.breaker.probe_ok();
+  }
+}
+
+void AdvisoryService::process_due_retries(std::uint64_t now,
+                                          std::vector<PlanResponse>& out) {
+  // Scheduled order is processed in order (stable): same-tick retries
+  // resolve in the order they were enqueued.
+  std::vector<Retry> keep;
+  keep.reserve(retries_.size());
+  for (Retry& retry : retries_) {
+    if (retry.due_tick > now) {
+      keep.push_back(std::move(retry));
+      continue;
+    }
+    ++stats_.retries;
+    ++retry.work.retries;
+    if (retry.kind == Retry::Kind::Lookup) {
+      Shard& shard = shard_for(retry.work.request.signature);
+      if (now + opts_.hit_cost_ticks > retry.work.deadline_abs) {
+        // The budget ran out while we retried: stop, answer degraded.
+        ++stats_.deadline_expired;
+        emit(degrade(retry.work, now, DegradeCause::DeadlineExpired), out);
+        continue;
+      }
+      if (shard.breaker.down()) {
+        ++stats_.shard_down;
+        emit(degrade(retry.work, now, DegradeCause::ShardDown), out);
+        continue;
+      }
+      if (opts_.cache_fault_rate > 0.0 &&
+          rng_.chance(opts_.cache_fault_rate)) {
+        if (retry.attempt >= opts_.max_retries) {
+          ++stats_.cache_faults;
+          trip_shard(shard);
+          emit(degrade(retry.work, now, DegradeCause::CacheFault), out);
+          continue;
+        }
+        ++retry.attempt;
+        retry.due_tick = now + retry_delay(retry.attempt);
+        keep.push_back(std::move(retry));
+        continue;
+      }
+      lookup_and_route(retry.work, shard, now, out);
+    } else {  // Append
+      Shard& shard = *shards_[static_cast<std::size_t>(retry.shard)];
+      const bool faulted =
+          opts_.cache_fault_rate > 0.0 && rng_.chance(opts_.cache_fault_rate);
+      bool appended = false;
+      if (!faulted && shard.journaling && !shard.breaker.down()) {
+        appended = shard.journal.append(retry.entry).ok();
+      }
+      if (appended) {
+        ack_entry(shard, retry.entry);
+        continue;
+      }
+      if (retry.attempt >= opts_.max_retries) {
+        // The entry stays served from memory but was never acked; the
+        // journal is suspect — let the breaker take the shard down.
+        ++stats_.journal_append_failures;
+        trip_shard(shard);
+        continue;
+      }
+      ++retry.attempt;
+      retry.due_tick = now + retry_delay(retry.attempt);
+      keep.push_back(std::move(retry));
+    }
+  }
+  retries_ = std::move(keep);
+}
+
+void AdvisoryService::start_solves(std::uint64_t now) {
+  while (!queue_.empty() &&
+         in_flight_.size() < static_cast<std::size_t>(opts_.solve_slots)) {
+    auto flight = std::make_unique<InFlight>();
+    flight->work = std::move(queue_.front());
+    queue_.pop_front();
+    flight->start_tick = now;
+    flight->done_tick = now + opts_.solve_cost_ticks;
+    in_flight_.push_back(std::move(flight));
+    ++stats_.solves_started;
+  }
+}
+
+std::uint64_t AdvisoryService::drain(std::uint64_t now,
+                                     std::vector<PlanResponse>& out) {
+  // Everything pending resolves in bounded time (solves complete, retries
+  // exhaust); the cap is a backstop against a future bug turning this into
+  // an infinite loop, not a tuning knob.
+  const std::uint64_t limit = now + 10'000'000;
+  while ((!queue_.empty() || !in_flight_.empty() || !retries_.empty()) &&
+         now < limit) {
+    ++now;
+    step(now, out);
+  }
+  return now;
+}
+
+}  // namespace re::serve

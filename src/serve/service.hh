@@ -1,0 +1,259 @@
+// The advisory plan service: a long-lived daemon loop that answers
+// "what should core C prefetch for this phase?" under a deadline.
+//
+// ROADMAP item 1 ("repf serve"). N client cores stream windowed
+// sub-profiles (phase signatures) at the service; each request is answered
+// from a sharded plan cache when a known phase matches, solved fresh on the
+// analysis engine when it does not, and *degraded* — never blocked, never
+// guessed — when the service cannot do either in time. The degradation
+// ladder (DESIGN.md §12) is strict:
+//
+//   Fresh solve > CacheHit > LastKnownGood (this core's last good answer)
+//     > NoPrefetch (the guaranteed-safe baseline)
+//
+// A deadline-missed answer is always degraded; fresh plans that arrive
+// late are still inserted into the cache (the work is not wasted) but are
+// never returned as if they were on time. Robustness envelope:
+//
+//   * admission control — the solve queue is bounded; a request that would
+//     overflow it, or whose estimated completion already exceeds its
+//     deadline, is shed immediately with a degraded answer.
+//   * deadline budgets with cooperative cancellation — a solve that can no
+//     longer make its deadline has its engine::CancelToken armed; the
+//     engine unwinds at the next stage/unit boundary.
+//   * retry with exponential backoff + seeded jitter — transient cache
+//     faults (lookup or journal append) retry up to max_retries; exhausted
+//     retries trip the shard's breaker.
+//   * per-shard circuit breaker — the runtime::Breaker state machine
+//     (shared with the Supervisor's failure domains): a down shard is
+//     skipped, its traffic degrades to LKG/no-prefetch, and it re-arms
+//     through half-open probation.
+//
+// Determinism contract: the service is a virtual-time discrete-event
+// machine. submit()/step() run on one thread and draw all randomness
+// (fault rolls, retry jitter) from one seeded Rng in call order; the
+// Executor only ever runs the batched solver callbacks, each of which
+// writes its own slot (ordered reduction). Responses are therefore
+// byte-identical at any --jobs and across runs with the same seed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/insertion.hh"
+#include "core/phases.hh"
+#include "engine/cancel.hh"
+#include "engine/executor.hh"
+#include "runtime/breaker.hh"
+#include "runtime/plan_cache.hh"
+#include "serve/journal.hh"
+#include "support/rng.hh"
+#include "support/status.hh"
+
+namespace re::serve {
+
+/// How an answer was produced, best to worst. LastKnownGood and NoPrefetch
+/// are the degraded kinds: both are always safe to apply (LKG was a
+/// validated answer for this core; no-prefetch is the paper's baseline).
+enum class AnswerKind : int {
+  Fresh = 0,          // solved on the engine within budget
+  CacheHit = 1,       // matched a cached phase
+  LastKnownGood = 2,  // degraded: this core's previous good answer
+  NoPrefetch = 3,     // degraded: the guaranteed-safe empty plan set
+};
+
+const char* answer_kind_name(AnswerKind kind);
+
+/// Why an answer was degraded (None for Fresh/CacheHit).
+enum class DegradeCause : int {
+  None = 0,
+  QueueFull,           // admission: bounded solve queue at capacity
+  DeadlineInfeasible,  // admission: estimated completion past the deadline
+  DeadlineExpired,     // in-flight solve cancelled at its budget
+  ShardDown,           // breaker holds the shard down (backoff/open)
+  SolveFault,          // the solver itself failed
+  CacheFault,          // cache lookup retries exhausted
+};
+
+const char* degrade_cause_name(DegradeCause cause);
+
+/// One advisory request: "core `core` entered the phase described by
+/// `signature`; what should it prefetch?" `family` keys the solver's input
+/// (which sub-profile/program to optimize) — opaque to the service.
+struct PlanRequest {
+  std::uint64_t id = 0;
+  int core = 0;
+  std::uint64_t family = 0;
+  core::PhaseSignature signature;
+  /// Ticks the client will wait; 0 = ServiceOptions::deadline_ticks.
+  std::uint64_t deadline_ticks = 0;
+};
+
+struct PlanResponse {
+  std::uint64_t id = 0;
+  int core = 0;
+  AnswerKind kind = AnswerKind::NoPrefetch;
+  DegradeCause cause = DegradeCause::None;
+  std::vector<core::PrefetchPlan> plans;
+  std::uint64_t submit_tick = 0;
+  std::uint64_t complete_tick = 0;
+  std::uint64_t latency_ticks = 0;
+  /// True when the answer arrived past the request's deadline. Invariant
+  /// (enforced, counted in stats): deadline_missed implies degraded().
+  bool deadline_missed = false;
+  int retries = 0;
+
+  bool degraded() const {
+    return kind == AnswerKind::LastKnownGood ||
+           kind == AnswerKind::NoPrefetch;
+  }
+};
+
+struct ServiceOptions {
+  /// Plan-cache shards; requests map to shards by signature fingerprint.
+  int shards = 8;
+  /// Per-shard cache configuration.
+  runtime::PlanCacheOptions cache;
+  /// Bounded solve queue (pending misses across the whole service).
+  std::size_t queue_capacity = 64;
+  /// Concurrent solve slots (virtual-time capacity; the real callbacks are
+  /// batched onto the Executor as they complete).
+  int solve_slots = 4;
+  /// Default per-request deadline, in virtual ticks.
+  std::uint64_t deadline_ticks = 256;
+  /// Virtual cost of a cache-hit answer / of one engine solve.
+  std::uint64_t hit_cost_ticks = 1;
+  std::uint64_t solve_cost_ticks = 48;
+  /// Probability a cache touch (lookup or journal append) faults
+  /// transiently — the injected fault the retry ladder absorbs.
+  double cache_fault_rate = 0.0;
+  /// Transient-fault retries before the shard's breaker trips.
+  int max_retries = 3;
+  /// Retry r waits backoff_base << (r-1) ticks (capped), stretched by
+  /// seeded jitter in [1 - retry_jitter, 1 + retry_jitter].
+  std::uint64_t retry_backoff_base_ticks = 4;
+  std::uint64_t retry_backoff_max_ticks = 64;
+  double retry_jitter = 0.25;
+  /// Per-shard breaker; tick_scale is forced to 1 (service ticks).
+  runtime::BreakerOptions breaker;
+  /// Directory for per-shard journals; empty = in-memory only.
+  std::string journal_dir;
+  std::uint64_t seed = 0xAD115EED;
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t fresh = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t last_known_good = 0;
+  std::uint64_t no_prefetch = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_infeasible = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t shard_down = 0;
+  std::uint64_t solve_faults = 0;
+  std::uint64_t cache_faults = 0;
+  std::uint64_t cancelled_solves = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t journal_appends = 0;
+  std::uint64_t journal_append_failures = 0;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t deadline_missed = 0;
+  /// Deadline-missed answers whose kind was NOT degraded — the "stale
+  /// answer served as fresh" bug class. Must stay 0.
+  std::uint64_t stale_fresh_violations = 0;
+  /// High-water mark of the bounded solve queue. Must stay <= capacity.
+  std::size_t max_queue_depth = 0;
+  std::uint64_t solves_started = 0;
+};
+
+/// Deterministic shard key: a mix over the signature's (pc, weight) pairs
+/// in sorted-pc order. Also the identity used by the crash check to prove
+/// every acked entry survived recovery.
+std::uint64_t signature_fingerprint(const core::PhaseSignature& signature);
+
+class AdvisoryService {
+ public:
+  /// The miss path: solve `request` into a plan set. Runs inside Executor
+  /// workers — it must be pure (own its outputs, share only immutables)
+  /// and honour `cancel` (pass it into the EngineContext).
+  using Solver = std::function<std::vector<core::PrefetchPlan>(
+      const PlanRequest&, const engine::CancelToken*)>;
+
+  /// `executor` may be null (solves run inline). When journal_dir is set,
+  /// per-shard journals are created eagerly; creation failure counts as a
+  /// journal append failure and the shard runs in-memory.
+  AdvisoryService(const ServiceOptions& options, Solver solver,
+                  const engine::Executor* executor);
+  ~AdvisoryService();
+
+  /// Submit one request at virtual time `now`. Answers that need no solve
+  /// (hits, sheds, shard-down degrades) are emitted onto `out`
+  /// immediately; misses are admitted to the solve queue or shed.
+  void submit(const PlanRequest& request, std::uint64_t now,
+              std::vector<PlanResponse>& out);
+
+  /// Advance the service to virtual time `now` (call with non-decreasing
+  /// ticks): completes due solves, processes due retries, starts queued
+  /// solves, ticks the shard breakers. Completed answers append to `out`.
+  void step(std::uint64_t now, std::vector<PlanResponse>& out);
+
+  /// Run the clock forward until every queued/in-flight request has been
+  /// answered. Returns the tick the service went idle at.
+  std::uint64_t drain(std::uint64_t now, std::vector<PlanResponse>& out);
+
+  const ServiceStats& stats() const { return stats_; }
+  const ServiceOptions& options() const { return opts_; }
+  int shards() const { return static_cast<int>(shards_.size()); }
+  runtime::BreakerState shard_state(int shard) const;
+  const runtime::PlanCache& shard_cache(int shard) const;
+  /// Fingerprints of every entry whose journal append was acked (durable),
+  /// in ack order. The crash check's ground truth.
+  const std::vector<std::uint64_t>& acked_fingerprints() const {
+    return acked_;
+  }
+
+ private:
+  struct Shard;
+  struct InFlight;
+  struct PendingSolve;
+  struct Retry;
+
+  Shard& shard_for(const core::PhaseSignature& signature);
+  std::uint64_t retry_delay(int attempt);
+  void emit(PlanResponse&& response, std::vector<PlanResponse>& out);
+  /// Build the degraded answer for `work`: LKG when this core has a good
+  /// previous answer, NoPrefetch otherwise. `done` stamps completion;
+  /// deadline_missed is derived from it.
+  PlanResponse degrade(const PendingSolve& work, std::uint64_t done,
+                       DegradeCause cause);
+  void lookup_and_route(const PendingSolve& work, Shard& shard,
+                        std::uint64_t now, std::vector<PlanResponse>& out);
+  void admit(const PendingSolve& work, std::uint64_t now,
+             std::vector<PlanResponse>& out);
+  void trip_shard(Shard& shard);
+  void complete_due_solves(std::uint64_t now, std::vector<PlanResponse>& out);
+  void process_due_retries(std::uint64_t now, std::vector<PlanResponse>& out);
+  void start_solves(std::uint64_t now);
+  void ack_entry(Shard& shard, const runtime::PlanCache::Entry& entry);
+
+  ServiceOptions opts_;
+  Solver solver_;
+  const engine::Executor* executor_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::deque<PendingSolve> queue_;
+  std::vector<std::unique_ptr<InFlight>> in_flight_;
+  std::vector<Retry> retries_;
+  std::unordered_map<int, std::vector<core::PrefetchPlan>> lkg_;
+  std::vector<std::uint64_t> acked_;
+  ServiceStats stats_;
+  std::uint64_t last_step_tick_ = 0;
+};
+
+}  // namespace re::serve

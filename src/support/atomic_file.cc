@@ -1,33 +1,93 @@
 #include "support/atomic_file.hh"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 namespace re::support {
 
+namespace {
+
+/// fsync the directory containing `path` so the rename that just landed
+/// there is durable. POSIX persists a rename only once the parent
+/// directory's metadata reaches the disk; without this a crash immediately
+/// after rename() can forget the whole commit even though the data blocks
+/// of the temp file were synced.
+Status sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status(StatusCode::kUnavailable,
+                  "cannot open directory " + dir + " for fsync: " +
+                      std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    // Some filesystems refuse fsync on directories (EINVAL); the rename is
+    // still atomic there, just not durability-ordered — not a data loss.
+    if (saved_errno == EINVAL || saved_errno == ENOSYS) return Status::Ok();
+    return Status(StatusCode::kUnavailable,
+                  "fsync " + dir + ": " + std::strerror(saved_errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 Status write_file_atomic(const std::string& path,
                          const std::string& contents) {
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status(StatusCode::kUnavailable, "cannot open " + tmp);
-    }
-    out.write(contents.data(),
-              static_cast<std::streamsize>(contents.size()));
-    out.flush();
-    if (!out) {
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status(StatusCode::kUnavailable,
+                  "cannot open " + tmp + ": " + std::strerror(errno));
+  }
+  std::size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n = ::write(fd, contents.data() + written,
+                              contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
       std::remove(tmp.c_str());
-      return Status(StatusCode::kDataLoss, "short write to " + tmp);
+      return Status(StatusCode::kDataLoss,
+                    "short write to " + tmp + ": " + std::strerror(errno));
     }
+    written += static_cast<std::size_t>(n);
+  }
+  // The temp file's data must be on disk before the rename publishes it —
+  // otherwise the rename can survive a crash while the bytes do not, and
+  // the "old or new, never torn" contract breaks with a zero-length file.
+  if (::fsync(fd) != 0) {
+    const Status status(StatusCode::kDataLoss,
+                        "fsync " + tmp + ": " + std::strerror(errno));
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return status;
+  }
+  if (::close(fd) != 0) {
+    std::remove(tmp.c_str());
+    return Status(StatusCode::kDataLoss,
+                  "close " + tmp + ": " + std::strerror(errno));
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status(StatusCode::kUnavailable,
                   "cannot rename " + tmp + " to " + path);
   }
-  return Status::Ok();
+  // Persist the rename itself (see sync_parent_dir). The commit point for
+  // callers is this fsync, not the rename.
+  return sync_parent_dir(path);
 }
 
 Expected<std::string> read_file(const std::string& path) {

@@ -3,9 +3,14 @@
 // Both the bench JSON reports and the plan-cache journal must never leave a
 // torn file behind — a reader that races a writer (or a process killed
 // mid-write) sees either the complete old contents or the complete new
-// contents, never a prefix. POSIX rename(2) within one directory gives that
-// guarantee; this helper owns the temp-file naming, the short-write check
-// and the cleanup so every persistence site shares one code path.
+// contents, never a prefix. POSIX rename(2) within one directory gives the
+// atomicity; durability needs two fsyncs on top: the temp file's data
+// before the rename (so the published file can never be empty after a
+// crash) and the parent directory after it (rename() lands in directory
+// metadata, and a crash immediately after rename can otherwise forget the
+// whole commit). This helper owns the temp-file naming, the short-write
+// check, both fsyncs and the cleanup so every persistence site shares one
+// code path.
 #pragma once
 
 #include <string>
@@ -14,10 +19,11 @@
 
 namespace re::support {
 
-/// Write `contents` to `path` atomically: write `path`.tmp, flush, rename
-/// over `path`. On any failure the temp file is removed and `path` is left
-/// untouched (old contents intact). Errors carry kUnavailable (cannot open
-/// or rename) or kDataLoss (short write).
+/// Write `contents` to `path` atomically and durably: write `path`.tmp,
+/// fsync it, rename over `path`, fsync the parent directory. On any failure
+/// the temp file is removed and `path` is left untouched (old contents
+/// intact). Errors carry kUnavailable (cannot open, rename or sync the
+/// directory) or kDataLoss (short write / failed data sync).
 Status write_file_atomic(const std::string& path, const std::string& contents);
 
 /// Read a whole file. kUnavailable when it cannot be opened.

@@ -129,5 +129,85 @@ TEST(Executor, ZeroUnitsIsANoOp) {
   EXPECT_TRUE(executor.map(0, [](std::size_t i) { return i; }).empty());
 }
 
+// Cooperative cancellation: a token armed before the fan-out stops every
+// unit from starting; a token armed mid-flight stops the not-yet-started
+// tail. Cancellation is only ever observed *between* units — a running
+// unit always completes.
+
+TEST(Executor, PreArmedTokenCancelsBeforeAnyUnitRuns) {
+  for (const int jobs : {1, 4}) {
+    const Executor executor(jobs);
+    CancelToken cancel;
+    cancel.request();
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        executor.for_each(64, [&](std::size_t) { ++ran; }, &cancel),
+        Cancelled);
+    EXPECT_EQ(ran.load(), 0) << "jobs " << jobs;
+  }
+}
+
+TEST(Executor, MidFlightCancellationSkipsTheTail) {
+  for (const int jobs : {1, 4}) {
+    const Executor executor(jobs);
+    CancelToken cancel;
+    std::atomic<int> ran{0};
+    EXPECT_THROW(executor.for_each(
+                     256,
+                     [&](std::size_t) {
+                       if (++ran == 3) cancel.request();
+                     },
+                     &cancel),
+                 Cancelled);
+    EXPECT_GE(ran.load(), 3) << "jobs " << jobs;
+    EXPECT_LT(ran.load(), 256) << "jobs " << jobs;
+  }
+}
+
+TEST(Executor, NullTokenAndUnarmedTokenAreHarmless) {
+  const Executor executor(4);
+  CancelToken cancel;
+  std::atomic<int> ran{0};
+  executor.for_each(32, [&](std::size_t) { ++ran; }, nullptr);
+  executor.for_each(32, [&](std::size_t) { ++ran; }, &cancel);
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(Executor, UnitErrorsOutrankCancellation) {
+  // When a unit throws and the token is also armed, callers see the unit's
+  // error (the root cause), not the cancellation it triggered.
+  for (const int jobs : {1, 4}) {
+    const Executor executor(jobs);
+    CancelToken cancel;
+    try {
+      executor.for_each(
+          64,
+          [&](std::size_t i) {
+            if (i == 5) {
+              cancel.request();
+              throw std::runtime_error("unit 5");
+            }
+          },
+          &cancel);
+      FAIL() << "expected a rethrow at jobs " << jobs;
+    } catch (const Cancelled&) {
+      FAIL() << "cancellation masked the unit error at jobs " << jobs;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "unit 5") << "jobs " << jobs;
+    }
+  }
+}
+
+TEST(Executor, TokenResetMakesItReusable) {
+  const Executor executor(1);
+  CancelToken cancel;
+  cancel.request();
+  EXPECT_THROW(executor.for_each(4, [](std::size_t) {}, &cancel), Cancelled);
+  cancel.reset();
+  int ran = 0;
+  executor.for_each(4, [&](std::size_t) { ++ran; }, &cancel);
+  EXPECT_EQ(ran, 4);
+}
+
 }  // namespace
 }  // namespace re::engine

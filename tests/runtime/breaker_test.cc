@@ -1,0 +1,148 @@
+#include "runtime/breaker.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace re::runtime {
+namespace {
+
+BreakerOptions no_jitter() {
+  BreakerOptions opts;
+  opts.backoff_base = 2;
+  opts.max_backoff = 8;
+  opts.tick_scale = 1;
+  opts.jitter = 0.0;  // exact penalties: the arithmetic is the test subject
+  opts.half_open_probes = 2;
+  opts.max_trips = 3;
+  return opts;
+}
+
+TEST(Breaker, StartsArmedWithNoPenalty) {
+  const Breaker breaker(no_jitter(), 1);
+  EXPECT_TRUE(breaker.armed());
+  EXPECT_FALSE(breaker.down());
+  EXPECT_EQ(breaker.consecutive_trips(), 0);
+  EXPECT_EQ(breaker.backoff_remaining(), 0u);
+}
+
+TEST(Breaker, TripEntersBackoffWithExponentialPenalty) {
+  Breaker breaker(no_jitter(), 1);
+  breaker.trip();
+  EXPECT_EQ(breaker.state(), BreakerState::Backoff);
+  EXPECT_TRUE(breaker.down());
+  EXPECT_EQ(breaker.backoff_remaining(), 2u);  // base << 0
+
+  // Serve out the penalty, fault again during probation: penalty doubles.
+  EXPECT_FALSE(breaker.tick(1));
+  EXPECT_TRUE(breaker.tick(1));
+  EXPECT_EQ(breaker.state(), BreakerState::HalfOpen);
+  breaker.trip();
+  EXPECT_EQ(breaker.backoff_remaining(), 4u);  // base << 1
+}
+
+TEST(Breaker, BackoffIsCappedAtMaxBackoff) {
+  BreakerOptions opts = no_jitter();
+  opts.max_trips = 0;  // never open: let the exponent run past the cap
+  Breaker breaker(opts, 1);
+  for (int t = 0; t < 6; ++t) {
+    breaker.trip();
+    if (t < 5) {
+      while (!breaker.tick(1)) {
+      }
+    }
+  }
+  EXPECT_EQ(breaker.backoff_remaining(), 8u);  // clamped to max_backoff
+}
+
+TEST(Breaker, TickScaleStretchesThePenalty) {
+  BreakerOptions opts = no_jitter();
+  opts.tick_scale = 10;
+  Breaker breaker(opts, 1);
+  breaker.trip();
+  EXPECT_EQ(breaker.backoff_remaining(), 20u);  // 2 units x 10 ticks
+}
+
+TEST(Breaker, TickReturnsTrueExactlyOnceAtExpiry) {
+  Breaker breaker(no_jitter(), 1);
+  breaker.trip();
+  EXPECT_TRUE(breaker.tick(100));  // over-consume: saturating
+  EXPECT_EQ(breaker.state(), BreakerState::HalfOpen);
+  EXPECT_FALSE(breaker.tick(1));  // no-op outside Backoff
+}
+
+TEST(Breaker, CompletedProbationReArmsAndResetsTripCount) {
+  Breaker breaker(no_jitter(), 1);
+  breaker.trip();
+  breaker.trip();  // Backoff trip chains the count without re-arming
+  EXPECT_EQ(breaker.consecutive_trips(), 2);
+  EXPECT_TRUE(breaker.tick(100));
+
+  EXPECT_FALSE(breaker.probe_ok());  // 1 of 2
+  EXPECT_TRUE(breaker.probe_ok());   // probation complete
+  EXPECT_TRUE(breaker.armed());
+  EXPECT_EQ(breaker.consecutive_trips(), 0);
+
+  // The reset matters: the next trip pays the *base* penalty again, so a
+  // component that keeps proving health never escalates toward Open.
+  breaker.trip();
+  EXPECT_EQ(breaker.backoff_remaining(), 2u);
+}
+
+TEST(Breaker, OpensAtMaxConsecutiveTripsAndStaysOpen) {
+  Breaker breaker(no_jitter(), 1);
+  breaker.trip();
+  breaker.trip();
+  breaker.trip();  // max_trips = 3
+  EXPECT_TRUE(breaker.open());
+  EXPECT_TRUE(breaker.down());
+
+  // Terminal: neither time nor further faults move it.
+  EXPECT_FALSE(breaker.tick(1000));
+  EXPECT_FALSE(breaker.probe_ok());
+  breaker.trip();
+  EXPECT_TRUE(breaker.open());
+  EXPECT_EQ(breaker.consecutive_trips(), 3);
+}
+
+TEST(Breaker, MaxTripsZeroNeverOpens) {
+  BreakerOptions opts = no_jitter();
+  opts.max_trips = 0;
+  Breaker breaker(opts, 1);
+  for (int t = 0; t < 50; ++t) breaker.trip();
+  EXPECT_EQ(breaker.state(), BreakerState::Backoff);
+  EXPECT_FALSE(breaker.open());
+}
+
+TEST(Breaker, JitterIsSeededAndBounded) {
+  BreakerOptions opts = no_jitter();
+  opts.jitter = 0.25;
+  opts.backoff_base = 100;
+  opts.max_backoff = 100;
+
+  Breaker a(opts, 7);
+  Breaker b(opts, 7);
+  a.trip();
+  b.trip();
+  // Same seed, same draw order: identical penalties (the determinism the
+  // chaos and serve harnesses rely on).
+  EXPECT_EQ(a.backoff_remaining(), b.backoff_remaining());
+  // Stretched by [1 - jitter, 1 + jitter], never below one tick.
+  EXPECT_GE(a.backoff_remaining(), 75u);
+  EXPECT_LE(a.backoff_remaining(), 125u);
+
+  Breaker c(opts, 8);
+  c.trip();
+  EXPECT_GE(c.backoff_remaining(), 75u);
+  EXPECT_LE(c.backoff_remaining(), 125u);
+}
+
+TEST(Breaker, StateNamesAreStable) {
+  EXPECT_STREQ(breaker_state_name(BreakerState::Armed), "armed");
+  EXPECT_STREQ(breaker_state_name(BreakerState::Backoff), "backoff");
+  EXPECT_STREQ(breaker_state_name(BreakerState::HalfOpen), "half-open");
+  EXPECT_STREQ(breaker_state_name(BreakerState::Open), "open");
+}
+
+}  // namespace
+}  // namespace re::runtime

@@ -323,6 +323,42 @@ TEST(PlanCacheJournal, SaveAndLoadFileRoundTripThroughDisk) {
   EXPECT_EQ(missing.status().code(), StatusCode::kUnavailable);
 }
 
+TEST(PlanCacheJournal, TruncatedMidRecordRecoversPriorEntriesAndAppends) {
+  const std::string journal = journal_fixture().to_journal();
+  // Tear the final record mid-line — the bytes a crash during an append
+  // leaves behind (not a clean truncation at a record boundary).
+  const std::size_t last_line = journal.rfind('\n', journal.size() - 2) + 1;
+  const std::size_t torn = last_line + (journal.size() - last_line) / 2;
+  ASSERT_GT(torn, last_line);
+  ASSERT_LT(torn, journal.size() - 1);
+
+  auto loaded = PlanCache::from_journal(journal.substr(0, torn));
+  ASSERT_TRUE(loaded.has_value()) << loaded.status().to_string();
+  EXPECT_EQ(loaded->loaded, 2u);
+  EXPECT_EQ(loaded->quarantined + loaded->missing, 1u);
+  EXPECT_TRUE(loaded->degraded());
+  // MRU-first journal: the torn final line was kSigA's (LRU) record.
+  EXPECT_NE(loaded->cache.lookup(kSigB), nullptr);
+  EXPECT_NE(loaded->cache.lookup(kSigC), nullptr);
+  EXPECT_EQ(loaded->cache.lookup(kSigA), nullptr);
+
+  // The restart path compacts the recovered cache and keeps appending:
+  // the loader accepts appended records beyond the header's promised
+  // count, so the grown journal loads whole.
+  std::string grown = loaded->cache.to_journal();
+  PlanCache::Entry fresh;
+  fresh.signature = PhaseSignature{{9, 1.0}};
+  fresh.plans = plans_for(9, 128);
+  grown += PlanCache::journal_record(fresh);
+
+  auto reloaded = PlanCache::from_journal(grown);
+  ASSERT_TRUE(reloaded.has_value()) << reloaded.status().to_string();
+  EXPECT_EQ(reloaded->loaded, 3u);
+  EXPECT_EQ(reloaded->quarantined, 0u);
+  EXPECT_FALSE(reloaded->degraded());
+  EXPECT_NE(reloaded->cache.lookup(fresh.signature), nullptr);
+}
+
 TEST(PlanCache, SnapshotTakenAfterEvictionExcludesTheVictim) {
   PlanCacheOptions opts;
   opts.capacity = 2;

@@ -1,0 +1,210 @@
+// ShardJournal tests: snapshot-then-append growth, the crash/restart
+// recover() path (quarantine + compaction), and the error statuses the
+// service layer relies on to distinguish "start cold" from "stop acking".
+#include "serve/journal.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/plan_cache.hh"
+#include "serve/harness.hh"
+#include "workloads/program.hh"
+
+namespace re::serve {
+namespace {
+
+using core::PhaseSignature;
+using core::PrefetchPlan;
+using runtime::PlanCache;
+using runtime::PlanCacheOptions;
+using workloads::PrefetchHint;
+
+const PhaseSignature kSigA{{1, 0.5}, {2, 0.5}};
+const PhaseSignature kSigB{{1, 0.5}, {3, 0.5}};
+const PhaseSignature kSigC{{4, 1.0}};
+
+std::vector<PrefetchPlan> plans_for(Pc pc, std::int64_t distance) {
+  return {PrefetchPlan{pc, distance, PrefetchHint::T0}};
+}
+
+PlanCache seeded_cache() {
+  PlanCache cache;
+  cache.insert(kSigA, plans_for(1, 512));
+  cache.insert(kSigB, plans_for(3, 256));
+  return cache;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void overwrite(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+/// Tear the final record the way a crash mid-append does: keep only the
+/// first half of the last line, with no trailing newline.
+void tear_tail(const std::string& path) {
+  const std::string bytes = slurp(path);
+  ASSERT_FALSE(bytes.empty());
+  const std::size_t last_line = bytes.rfind('\n', bytes.size() - 2) + 1;
+  const std::size_t keep = last_line + (bytes.size() - last_line) / 2;
+  overwrite(path, bytes.substr(0, keep));
+}
+
+TEST(ShardJournal, CreateSnapshotsThenAppendsGrow) {
+  const std::string path = "serve_journal_grow_test.json";
+  ShardJournal journal;
+  ASSERT_TRUE(journal.create(path, seeded_cache()).ok());
+  EXPECT_TRUE(journal.is_open());
+  EXPECT_EQ(journal.path(), path);
+
+  // The snapshot header promises 2 entries; the loader must accept the
+  // third, appended one as valid growth — not a format violation.
+  ASSERT_TRUE(journal.append({kSigC, plans_for(4, 128)}).ok());
+  EXPECT_EQ(journal.appended(), 1u);
+
+  auto loaded = PlanCache::load_file(path);
+  ASSERT_TRUE(loaded.has_value()) << loaded.status().to_string();
+  EXPECT_EQ(loaded->loaded, 3u);
+  EXPECT_FALSE(loaded->degraded());
+  EXPECT_NE(loaded->cache.lookup(kSigA), nullptr);
+  EXPECT_NE(loaded->cache.lookup(kSigB), nullptr);
+  EXPECT_NE(loaded->cache.lookup(kSigC), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(ShardJournal, AppendedDuplicateSignatureCollapsesOnLoad) {
+  const std::string path = "serve_journal_dup_test.json";
+  ShardJournal journal;
+  ASSERT_TRUE(journal.create(path, seeded_cache()).ok());
+  // Two in-flight solves of one family can both ack an append for the same
+  // signature. On load the duplicates collapse to one entry; the loader
+  // rebuilds LRU order by inserting coldest-first, so the snapshot's record
+  // wins over the appended one. Safe because duplicate appends only arise
+  // from the deterministic solver re-solving the same family — the plans
+  // are byte-identical in practice — and compaction folds appends into the
+  // next snapshot anyway.
+  ASSERT_TRUE(journal.append({kSigA, plans_for(1, 2048)}).ok());
+
+  auto loaded = PlanCache::load_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->cache.size(), 2u);
+  const auto* plans = loaded->cache.lookup(kSigA);
+  ASSERT_NE(plans, nullptr);
+  EXPECT_EQ((*plans)[0].distance_bytes, 512);
+  std::remove(path.c_str());
+}
+
+TEST(ShardJournal, RecoverQuarantinesTornTailAndCompacts) {
+  const std::string path = "serve_journal_recover_test.json";
+  {
+    ShardJournal journal;
+    ASSERT_TRUE(journal.create(path, seeded_cache()).ok());
+    ASSERT_TRUE(journal.append({kSigC, plans_for(4, 128)}).ok());
+  }
+  tear_tail(path);  // the crash: kSigC's record loses its second half
+
+  ShardJournal restarted;
+  auto recovered = restarted.recover(path, PlanCacheOptions{});
+  ASSERT_TRUE(recovered.has_value()) << recovered.status().to_string();
+  EXPECT_EQ(recovered->loaded, 2u);
+  EXPECT_EQ(recovered->quarantined + recovered->missing, 1u);
+  EXPECT_TRUE(recovered->degraded());
+  EXPECT_EQ(recovered->cache.lookup(kSigC), nullptr);
+  EXPECT_TRUE(restarted.is_open());
+
+  // recover() compacted: the torn bytes are gone from disk, so the next
+  // append lands on its own line instead of concatenating onto the tear.
+  ASSERT_TRUE(restarted.append({kSigC, plans_for(4, 64)}).ok());
+  auto reloaded = PlanCache::load_file(path);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_EQ(reloaded->loaded, 3u);
+  EXPECT_FALSE(reloaded->degraded());
+  const auto* plans = reloaded->cache.lookup(kSigC);
+  ASSERT_NE(plans, nullptr);
+  EXPECT_EQ((*plans)[0].distance_bytes, 64);
+  std::remove(path.c_str());
+}
+
+TEST(ShardJournal, AppendAfterTornTailWithoutRecoverCorruptsBothRecords) {
+  // The hazard recover() exists for, pinned as behavior: appending through
+  // open_existing() onto a torn tail concatenates two records into one
+  // unparseable line, losing the new (acked-looking) record too.
+  const std::string path = "serve_journal_hazard_test.json";
+  {
+    ShardJournal journal;
+    ASSERT_TRUE(journal.create(path, seeded_cache()).ok());
+    ASSERT_TRUE(journal.append({kSigC, plans_for(4, 128)}).ok());
+  }
+  tear_tail(path);
+
+  ShardJournal naive;
+  ASSERT_TRUE(naive.open_existing(path).ok());
+  ASSERT_TRUE(naive.append({kSigC, plans_for(4, 64)}).ok());
+
+  auto loaded = PlanCache::load_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->loaded, 2u);  // the merged line is quarantined whole
+  EXPECT_TRUE(loaded->degraded());
+  EXPECT_EQ(loaded->cache.lookup(kSigC), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(ShardJournal, AppendWithoutOpenIsAPreconditionFailure) {
+  ShardJournal journal;
+  EXPECT_FALSE(journal.is_open());
+  const Status status = journal.append({kSigA, plans_for(1, 512)});
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardJournal, RecoverMissingFileIsUnavailable) {
+  // "Start cold" (no journal yet) must stay distinguishable from "the
+  // journal exists but is damaged" — callers create() on kUnavailable.
+  ShardJournal journal;
+  auto recovered =
+      journal.recover("serve_journal_no_such_file.json", PlanCacheOptions{});
+  ASSERT_FALSE(recovered.has_value());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(journal.is_open());
+}
+
+TEST(ShardJournal, MoveTransfersOwnershipOfTheFd) {
+  const std::string path = "serve_journal_move_test.json";
+  ShardJournal journal;
+  ASSERT_TRUE(journal.create(path, seeded_cache()).ok());
+
+  ShardJournal moved = std::move(journal);
+  EXPECT_FALSE(journal.is_open());
+  EXPECT_TRUE(moved.is_open());
+  ASSERT_TRUE(moved.append({kSigC, plans_for(4, 128)}).ok());
+
+  auto loaded = PlanCache::load_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->loaded, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(ServeCrashCheck, ShortRunRecoversEveryAckedEntry) {
+  const ServeCrashReport report =
+      serve_crash_check(/*seed=*/1234, /*trials=*/4,
+                        "serve_journal_crash_scratch");
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.trials, 4);
+  EXPECT_GT(report.acked_total, 0u);
+  EXPECT_EQ(report.recovered_total, report.acked_total);
+  EXPECT_EQ(report.lost_acked, 0u);
+  EXPECT_EQ(report.alien_entries, 0u);
+}
+
+}  // namespace
+}  // namespace re::serve

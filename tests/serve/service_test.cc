@@ -1,0 +1,272 @@
+// Advisory-service unit tests: the degradation ladder, admission control,
+// deadline cancellation through the real engine, retry/breaker behavior
+// under injected cache faults, and the byte-determinism contract.
+#include "serve/service.hh"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/executor.hh"
+#include "serve/harness.hh"
+#include "sim/config.hh"
+
+namespace re::serve {
+namespace {
+
+ServiceOptions small_options() {
+  ServiceOptions opts;
+  opts.shards = 1;  // every family lands on the same breaker
+  opts.queue_capacity = 1;
+  opts.solve_slots = 1;
+  opts.solve_cost_ticks = 4;
+  opts.deadline_ticks = 64;
+  opts.seed = 99;
+  return opts;
+}
+
+PlanRequest request_for(const std::vector<Family>& families, std::uint64_t id,
+                        int core, std::size_t family) {
+  PlanRequest req;
+  req.id = id;
+  req.core = core;
+  req.family = families[family].id;
+  req.signature = families[family].signature;
+  return req;
+}
+
+TEST(AdvisoryService, MissSolvesFreshThenHitsTheCache) {
+  const std::vector<Family> families = make_families(2, 0);
+  AdvisoryService service(small_options(), make_synthetic_solver(families),
+                          nullptr);
+  std::vector<PlanResponse> out;
+
+  service.submit(request_for(families, 1, 0, 0), 0, out);
+  EXPECT_TRUE(out.empty());  // miss: admitted, not answered yet
+  service.drain(0, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, AnswerKind::Fresh);
+  EXPECT_EQ(out[0].cause, DegradeCause::None);
+  EXPECT_FALSE(out[0].plans.empty());
+  EXPECT_FALSE(out[0].deadline_missed);
+
+  // Same signature again: answered at submit, one hit-cost tick of latency.
+  out.clear();
+  service.submit(request_for(families, 2, 3, 0), 100, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, AnswerKind::CacheHit);
+  EXPECT_EQ(out[0].latency_ticks, service.options().hit_cost_ticks);
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+}
+
+TEST(AdvisoryService, DegradationLadderLkgThenNoPrefetch) {
+  const std::vector<Family> families = make_families(4, 0);
+  AdvisoryService service(small_options(), make_synthetic_solver(families),
+                          nullptr);
+  std::vector<PlanResponse> out;
+
+  // Give core 0 a known-good answer.
+  service.submit(request_for(families, 1, 0, 0), 0, out);
+  service.drain(0, out);
+  ASSERT_EQ(out.size(), 1u);
+  const std::vector<core::PrefetchPlan> good = out[0].plans;
+
+  // Fill the one-deep queue, then overflow it from two cores.
+  out.clear();
+  service.submit(request_for(families, 2, 5, 1), 100, out);
+  EXPECT_TRUE(out.empty());
+  service.submit(request_for(families, 3, 0, 2), 100, out);
+  service.submit(request_for(families, 4, 7, 3), 100, out);
+  ASSERT_EQ(out.size(), 2u);
+
+  // Core 0 has history: last-known-good, byte-for-byte the earlier answer.
+  EXPECT_EQ(out[0].kind, AnswerKind::LastKnownGood);
+  EXPECT_EQ(out[0].cause, DegradeCause::QueueFull);
+  ASSERT_EQ(out[0].plans.size(), good.size());
+  EXPECT_EQ(out[0].plans[0].pc, good[0].pc);
+  EXPECT_EQ(out[0].plans[0].distance_bytes, good[0].distance_bytes);
+
+  // Core 7 has none: the guaranteed-safe empty plan set.
+  EXPECT_EQ(out[1].kind, AnswerKind::NoPrefetch);
+  EXPECT_EQ(out[1].cause, DegradeCause::QueueFull);
+  EXPECT_TRUE(out[1].plans.empty());
+
+  EXPECT_EQ(service.stats().shed_queue_full, 2u);
+  EXPECT_LE(service.stats().max_queue_depth,
+            service.options().queue_capacity);
+}
+
+TEST(AdvisoryService, InfeasibleDeadlineIsShedAtAdmission) {
+  ServiceOptions opts = small_options();
+  opts.queue_capacity = 64;
+  opts.solve_cost_ticks = 10;
+  opts.deadline_ticks = 15;
+  const std::vector<Family> families = make_families(3, 0);
+  AdvisoryService service(opts, make_synthetic_solver(families), nullptr);
+  std::vector<PlanResponse> out;
+
+  // First miss fits (est. 10 <= 15); the second would wait behind it
+  // (est. 20 > 15) and is shed immediately rather than queued to fail.
+  service.submit(request_for(families, 1, 0, 0), 0, out);
+  service.submit(request_for(families, 2, 1, 1), 0, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].cause, DegradeCause::DeadlineInfeasible);
+  EXPECT_TRUE(out[0].degraded());
+  EXPECT_EQ(service.stats().shed_infeasible, 1u);
+}
+
+TEST(AdvisoryService, DeadlineBudgetCancelsTheEngineSolve) {
+  // deadline == solve cost: admission accepts (est. = deadline exactly),
+  // but the solve starts one tick after submit, so its completion lands
+  // one tick past the budget. The service pre-arms the cancel token and
+  // the engine's optimize graph unwinds — no fresh answer, a degraded one.
+  ServiceOptions opts = small_options();
+  opts.solve_cost_ticks = 10;
+  opts.deadline_ticks = 10;
+  const std::vector<Family> families = make_families(1, 0);
+  const engine::Executor executor(2);
+  AdvisoryService service(
+      opts, make_engine_solver(families, sim::amd_phenom_ii(), &executor),
+      &executor);
+  std::vector<PlanResponse> out;
+
+  service.submit(request_for(families, 1, 0, 0), 0, out);
+  EXPECT_TRUE(out.empty());
+  service.drain(1, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].cause, DegradeCause::DeadlineExpired);
+  EXPECT_TRUE(out[0].degraded());
+  EXPECT_TRUE(out[0].deadline_missed);
+  EXPECT_EQ(service.stats().cancelled_solves, 1u);
+  EXPECT_EQ(service.stats().fresh, 0u);
+  EXPECT_EQ(service.stats().stale_fresh_violations, 0u);
+}
+
+TEST(AdvisoryService, ExhaustedCacheFaultRetriesTripTheBreaker) {
+  ServiceOptions opts = small_options();
+  opts.cache_fault_rate = 1.0;  // every touch faults: retries must exhaust
+  opts.max_retries = 2;
+  opts.retry_backoff_base_ticks = 1;
+  opts.retry_jitter = 0.0;
+  const std::vector<Family> families = make_families(2, 0);
+  AdvisoryService service(opts, make_synthetic_solver(families), nullptr);
+  std::vector<PlanResponse> out;
+
+  service.submit(request_for(families, 1, 0, 0), 0, out);
+  const std::uint64_t idle = service.drain(0, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].cause, DegradeCause::CacheFault);
+  EXPECT_TRUE(out[0].degraded());
+  EXPECT_GE(out[0].retries, 1);
+  EXPECT_EQ(service.stats().breaker_trips, 1u);
+  EXPECT_EQ(service.shard_state(0), runtime::BreakerState::Backoff);
+
+  // While the shard serves its penalty, traffic degrades without retrying.
+  out.clear();
+  service.submit(request_for(families, 2, 1, 1), idle + 1, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].cause, DegradeCause::ShardDown);
+
+  // The penalty expires into half-open probation, not straight to armed.
+  std::vector<PlanResponse> sink;
+  service.step(idle + 10'000, sink);
+  EXPECT_EQ(service.shard_state(0), runtime::BreakerState::HalfOpen);
+}
+
+TEST(AdvisoryService, ModerateFaultRateRecoversWithoutOpening) {
+  TrafficConfig traffic;
+  traffic.cores = 16;
+  traffic.ticks = 512;
+  traffic.request_rate = 0.1;
+  traffic.hot_families = 4;
+  traffic.cold_families = 16;
+  traffic.seed = 7;
+  ServiceOptions opts;
+  opts.cache_fault_rate = 0.3;
+  opts.seed = 8;
+  const std::vector<Family> families =
+      make_families(traffic.hot_families, traffic.cold_families);
+  const ServeRunResult r =
+      run_serve_sim(traffic, opts, make_synthetic_solver(families), nullptr);
+
+  EXPECT_GT(r.stats.retries, 0u);        // faults exercised the ladder
+  EXPECT_EQ(r.shards_open, 0);           // nobody escalated to terminal
+  EXPECT_TRUE(r.gates_ok()) << "stale_fresh=" << r.stats.stale_fresh_violations;
+  EXPECT_EQ(r.stats.submitted,
+            r.stats.fresh + r.stats.cache_hits + r.stats.last_known_good +
+                r.stats.no_prefetch);  // every request answered exactly once
+}
+
+TEST(AdvisoryService, OverloadKeepsQueueBoundedAndAnswersSafe) {
+  // ~6x saturation: misses arrive far faster than one slot can solve.
+  TrafficConfig traffic;
+  traffic.cores = 64;
+  traffic.ticks = 256;
+  traffic.request_rate = 0.05;
+  traffic.hot_fraction = 0.5;
+  traffic.hot_families = 2;
+  traffic.cold_families = 512;
+  traffic.seed = 21;
+  ServiceOptions opts;
+  opts.queue_capacity = 8;
+  opts.solve_slots = 1;
+  opts.solve_cost_ticks = 32;
+  opts.deadline_ticks = 128;
+  opts.seed = 22;
+  const std::vector<Family> families =
+      make_families(traffic.hot_families, traffic.cold_families);
+  const ServeRunResult r =
+      run_serve_sim(traffic, opts, make_synthetic_solver(families), nullptr);
+
+  EXPECT_GT(r.stats.shed_queue_full + r.stats.shed_infeasible, 0u);
+  EXPECT_LE(r.stats.max_queue_depth, opts.queue_capacity);
+  EXPECT_TRUE(r.queue_bounded);
+  EXPECT_TRUE(r.no_stale_fresh);
+  EXPECT_TRUE(r.degraded_safe);
+  EXPECT_EQ(r.stats.stale_fresh_violations, 0u);
+}
+
+TEST(AdvisoryService, ResponsesAreByteIdenticalAcrossJobsAndRuns) {
+  TrafficConfig traffic;
+  traffic.cores = 24;
+  traffic.ticks = 192;
+  traffic.request_rate = 0.05;
+  traffic.seed = 33;
+  ServiceOptions opts;
+  opts.cache_fault_rate = 0.2;  // jitter draws included in the contract
+  opts.seed = 34;
+  const std::vector<Family> families =
+      make_families(traffic.hot_families, traffic.cold_families);
+
+  const engine::Executor serial(1);
+  const engine::Executor wide(8);
+  const ServeRunResult a = run_serve_sim(
+      traffic, opts,
+      make_engine_solver(families, sim::amd_phenom_ii(), &serial), &serial);
+  const ServeRunResult b = run_serve_sim(
+      traffic, opts,
+      make_engine_solver(families, sim::amd_phenom_ii(), &wide), &wide);
+  const ServeRunResult c = run_serve_sim(
+      traffic, opts,
+      make_engine_solver(families, sim::amd_phenom_ii(), &serial), &serial);
+
+  EXPECT_EQ(a.digest, b.digest);  // --jobs never changes a byte
+  EXPECT_EQ(a.digest, c.digest);  // neither does a replay
+  EXPECT_EQ(a.stats.fresh, b.stats.fresh);
+  EXPECT_EQ(a.stats.retries, b.stats.retries);
+  EXPECT_EQ(a.responses, b.responses);
+}
+
+TEST(SignatureFingerprint, DependsOnPcsAndWeightsNotOrder) {
+  const core::PhaseSignature ab{{1, 0.5}, {2, 0.5}};
+  const core::PhaseSignature ba{{2, 0.5}, {1, 0.5}};
+  const core::PhaseSignature heavier{{1, 0.5}, {2, 0.75}};
+  const core::PhaseSignature other{{1, 0.5}, {3, 0.5}};
+  EXPECT_EQ(signature_fingerprint(ab), signature_fingerprint(ba));
+  EXPECT_NE(signature_fingerprint(ab), signature_fingerprint(heavier));
+  EXPECT_NE(signature_fingerprint(ab), signature_fingerprint(other));
+}
+
+}  // namespace
+}  // namespace re::serve

@@ -22,6 +22,11 @@
 #            schedule-determinism contract: a failing seed from CI
 #            reproduces locally with one flag). Default build dir:
 #            build-asan.
+#   serve    run the advisory-service lane under ASan+UBSan: `ctest -L
+#            serve`, a bench_serve smoke soak (overload + crash gates), and
+#            a double `repf serve` / `repf chaos --serve --crash-check`
+#            run compared byte-for-byte (the service determinism
+#            contract). Default build dir: build-asan.
 #   tsan     build under ThreadSanitizer (RE_SANITIZE=thread), run the
 #            unit, verify and engine test labels, then `repf verify
 #            --golden --jobs 8` on both machines — the engine's concurrency
@@ -43,7 +48,7 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 
 LANE="${1:-asan}"
 case "$LANE" in
-  asan|werror|bench|verify|chaos|tsan|coverage|unit|integration) shift || true ;;
+  asan|werror|bench|verify|chaos|serve|tsan|coverage|unit|integration) shift || true ;;
   *) LANE=asan ;;  # first arg is a build dir, keep it in $1
 esac
 
@@ -188,6 +193,50 @@ run_chaos() {
   echo "chaos lane clean"
 }
 
+run_serve() {
+  # The service's robustness envelope lives in its failure paths (deadline
+  # cancellation unwinding the optimize graph, breaker-gated shards,
+  # journal recovery after torn appends), so the whole lane runs under
+  # ASan+UBSan, and everything runs twice: same seed, same bytes.
+  local build_dir="${1:-build-asan}"
+  cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRE_SANITIZE=address,undefined
+  cmake --build "$build_dir" -j "$JOBS"
+
+  export ASAN_OPTIONS="detect_leaks=0:halt_on_error=1"
+  export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS" -L serve
+
+  # bench_serve in smoke mode still enforces every gate (bounded queue,
+  # no stale-as-fresh, p99 within deadline, cross-jobs digest equality).
+  (cd "$build_dir/bench" && RE_BENCH_SMOKE=1 ./bench_serve) > /dev/null
+  echo "== bench_serve smoke: overload + determinism gates hold"
+
+  local out_a out_b
+  out_a="$(mktemp)" ; out_b="$(mktemp)"
+  trap 'rm -f "$out_a" "$out_b"' RETURN
+  # The service sim at two worker counts, then the fault-rate sweep with
+  # the journal crash check — each compared byte-for-byte across runs.
+  (cd "$build_dir" && tools/repf serve --jobs 1) > "$out_a"
+  (cd "$build_dir" && tools/repf serve --jobs 8) > "$out_b"
+  cmp -s "$out_a" "$out_b" || {
+    echo "FAILED: repf serve differs at --jobs 1 vs 8"
+    diff "$out_a" "$out_b" | head -20
+    exit 1
+  }
+  echo "== repf serve: gates hold + identical at --jobs 1/8"
+  (cd "$build_dir" && tools/repf chaos --serve --crash-check --jobs 2) > "$out_a"
+  (cd "$build_dir" && tools/repf chaos --serve --crash-check --jobs 2) > "$out_b"
+  cmp -s "$out_a" "$out_b" || {
+    echo "FAILED: repf chaos --serve is not deterministic"
+    diff "$out_a" "$out_b" | head -20
+    exit 1
+  }
+  echo "== repf chaos --serve --crash-check: gates hold + deterministic"
+  echo "serve lane clean"
+}
+
 run_tsan() {
   # The engine fans analysis out over a thread pool; this lane is the race
   # detector for it. The engine label carries the dedicated stress tests
@@ -257,6 +306,7 @@ case "$LANE" in
   bench) run_bench "${1:-}" ;;
   verify) run_verify "${1:-}" "${2:-}" ;;
   chaos) run_chaos "${1:-}" ;;
+  serve) run_serve "${1:-}" ;;
   tsan) run_tsan "${1:-}" ;;
   coverage) run_coverage "${1:-}" ;;
   unit) run_label unit "${1:-}" ;;

@@ -16,20 +16,25 @@
 //                 [--jobs N] [--verbose]
 //   repf faultcheck <file|benchmark> [--machine amd|intel] [--rate PCT]
 //                 [--seed N] [--jobs N] [--verbose]
+//   repf adapt <file|benchmark> ... [--json FILE]
 //   repf verify [--machine amd|intel] [--seed N] [--families a,b,...]
 //                 [--golden DIR] [--bless] [--jobs N] [--json FILE]
 //                 [--verbose]
 //   repf chaos [--machine amd|intel] [--rate PCT] [--seed N] [--cores N]
-//                 [--crash-check] [--jobs N] [--verbose]
+//                 [--serve] [--crash-check] [--jobs N] [--json FILE]
+//                 [--verbose]
+//   repf serve [--machine amd|intel] [--cores N] [--steps N] [--seed N]
+//                 [--jobs N] [--json FILE] [--verbose]
 //
 // Every command also understands --help. --jobs N fans independent units
-// (benchmarks, fuzzed traces, fault rates, per-PC curve builds) out over
-// the engine's deterministic executor; output is byte-identical at any N.
+// (benchmarks, fuzzed traces, fault rates, per-PC curve builds, advisory
+// solves) out over the engine's deterministic executor; output is
+// byte-identical at any N.
 //
-// Exit codes: 0 success; 1 operational failure (bad file, I/O error,
-// verify mismatch); 2 invalid usage; 3 runtime-degradation gate failure
-// (faultcheck or chaos invariant violated — the output names the seed that
-// reproduces it).
+// Exit codes (uniform across commands): 0 success; 1 operational failure
+// (bad file, I/O error, verify mismatch); 2 invalid usage; 3
+// runtime-degradation gate failure (faultcheck, chaos, or serve invariant
+// violated — the output names the seed that reproduces it).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -51,6 +56,8 @@
 #include "runtime/chaos.hh"
 #include "runtime/plan_cache.hh"
 #include "runtime/supervisor.hh"
+#include "serve/harness.hh"
+#include "serve/service.hh"
 #include "sim/system.hh"
 #include "support/atomic_file.hh"
 #include "support/json.hh"
@@ -89,10 +96,18 @@ struct Options {
   std::uint64_t verify_seed = 42;
   /// Schedule seed for `chaos` (also set by --seed; own default).
   std::uint64_t chaos_seed = 0xC4A05;
-  /// Cores in the `chaos` synthetic mix.
-  int chaos_cores = 2;
-  /// Also run the plan-cache kill-and-restart sweep in `chaos`.
+  /// Cores in the `chaos` synthetic mix ([1, 16], checked in cmd_chaos) or
+  /// simulated client cores in `serve` (no upper bound — the service is
+  /// virtual-time, 10k+ cores is the intended overload regime).
+  int chaos_cores = 0;  // 0 = command default (chaos 2, serve 64)
+  /// Also run the plan-cache kill-and-restart sweep in `chaos` (with
+  /// --serve: the journal tear/recover sweep instead).
   bool crash_check = false;
+  /// `chaos --serve`: target the advisory service tier instead of the
+  /// supervised adaptive runtime.
+  bool chaos_serve = false;
+  /// Virtual ticks for `serve` (0 = default 512).
+  std::uint64_t serve_steps = 0;
   /// Comma-separated fuzzer family names for `verify` (empty = all).
   std::string families;
   /// Golden-plan snapshot directory for `verify`; empty skips the check.
@@ -108,7 +123,7 @@ struct Options {
   /// output (the executor's determinism contract).
   int jobs = 1;
   /// Also write the command's report as JSON to this path (atomic write);
-  /// `run` and `verify` honor it.
+  /// `run`, `adapt`, `verify`, `chaos`, and `serve` honor it.
   std::string json_path;
 };
 
@@ -131,6 +146,10 @@ int usage() {
       "                               exact LRU) and golden-plan snapshots\n"
       "  chaos                        replay a seeded fault schedule against\n"
       "                               the supervised runtime, check recovery\n"
+      "                               (--serve targets the advisory service)\n"
+      "  serve                        run the advisory plan service under\n"
+      "                               simulated client load, check the\n"
+      "                               overload/degradation gates\n"
       "exit codes: 0 ok, 1 operational failure, 2 invalid usage,\n"
       "            3 degradation-gate violation (output names the seed)\n");
   return kExitUsage;
@@ -200,6 +219,8 @@ const char* help_for(const std::string& command) {
            "    --load-cache FILE     warm-start from a saved plan cache\n"
            "    --jobs N              engine workers for the offline plan\n"
            "                          and per-window re-optimizations\n"
+           "    --json FILE           also write the comparison as JSON\n"
+           "                          (atomic temp-file + rename)\n"
            "    --verbose             also print the cached plan sets\n";
   }
   if (command == "faultcheck") {
@@ -228,13 +249,45 @@ const char* help_for(const std::string& command) {
            "    --rate PCT            single fault rate in percent\n"
            "                          (default: sweep 0/10/25/50)\n"
            "    --seed N              schedule seed (default 0xC4A05)\n"
-           "    --cores N             cores in the synthetic mix (default 2)\n"
-           "    --crash-check         also sweep plan-cache kill/corruption\n"
-           "                          crash consistency\n"
+           "    --cores N             cores in the synthetic mix\n"
+           "                          (default 2, max 16)\n"
+           "    --serve               target the advisory service tier: a\n"
+           "                          fault-rate sweep of injected cache\n"
+           "                          faults with double-run determinism,\n"
+           "                          breaker, and degradation gates\n"
+           "    --crash-check         also sweep crash consistency: plan\n"
+           "                          cache kill/corruption, or with --serve\n"
+           "                          the journal tear/recover/ack audit\n"
            "    --jobs N              replay fault rates on N engine\n"
            "                          workers (byte-identical output)\n"
+           "    --json FILE           also write the gate results as JSON\n"
+           "                          (atomic temp-file + rename)\n"
            "    --verbose             print the fault schedule and per-core\n"
            "                          domain stats\n";
+  }
+  if (command == "serve") {
+    return "repf serve [options]\n"
+           "  Run the long-lived advisory plan service against seeded mixed\n"
+           "  hot/cold traffic from N simulated client cores in virtual\n"
+           "  time: cache hits answer immediately, misses solve on the\n"
+           "  analysis engine under a deadline budget with cooperative\n"
+           "  cancellation, and overload degrades (last-known-good or\n"
+           "  no-prefetch) instead of blocking. Checks the robustness\n"
+           "  gates: bounded queue, no deadline-missed answer served as\n"
+           "  fresh, every degraded answer safe. Output is deterministic:\n"
+           "  same seed, same bytes, at any --jobs. Exits 3 on any gate\n"
+           "  failure.\n"
+           "    --machine amd|intel   target machine model (default amd)\n"
+           "    --cores N             simulated client cores (default 64;\n"
+           "                          no upper bound — virtual time)\n"
+           "    --steps N             virtual ticks to run (default 512)\n"
+           "    --seed N              traffic/service seed (default 0xC4A05)\n"
+           "    --jobs N              engine workers for the solve batches\n"
+           "                          (byte-identical output at any N)\n"
+           "    --json FILE           also write the metrics as JSON\n"
+           "                          (atomic temp-file + rename)\n"
+           "    --verbose             also print the per-shard breaker\n"
+           "                          states and cache sizes\n";
   }
   if (command == "verify") {
     return "repf verify [options]\n"
@@ -260,6 +313,25 @@ const char* help_for(const std::string& command) {
            "    --verbose             print the full per-trace reports\n";
   }
   return nullptr;
+}
+
+/// Round-trippable rendering for JSON number output.
+std::string json_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return std::string(buf);
+}
+
+/// Atomic-write a command's JSON report; prints the error and returns
+/// kExitFailure on I/O trouble, 0 otherwise.
+int write_json_report(const std::string& path, const std::string& payload) {
+  const Status saved = support::write_file_atomic(path, payload);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "repf: %s: %s\n", path.c_str(),
+                 saved.to_string().c_str());
+    return kExitFailure;
+  }
+  return 0;
 }
 
 workloads::Program load_target(const std::string& target) {
@@ -357,11 +429,7 @@ int cmd_run(const Options& opts) {
   std::fputs(table.render().c_str(), stdout);
 
   if (!opts.json_path.empty()) {
-    const auto num = [](double v) {
-      char buf[64];
-      std::snprintf(buf, sizeof buf, "%.17g", v);
-      return std::string(buf);
-    };
+    const auto& num = json_num;
     std::ostringstream json;
     json << "{\n"
          << "  \"command\": \"run\",\n"
@@ -380,12 +448,8 @@ int cmd_run(const Options& opts) {
          << "  \"late_prefetches\": " << mem.late_prefetch_hits << ",\n"
          << "  \"hw_prefetch_lines\": " << mem.hw_prefetch_dram_lines << "\n"
          << "}\n";
-    const Status saved = support::write_file_atomic(opts.json_path, json.str());
-    if (!saved.ok()) {
-      std::fprintf(stderr, "repf: %s: %s\n", opts.json_path.c_str(),
-                   saved.to_string().c_str());
-      return kExitFailure;
-    }
+    const int rc = write_json_report(opts.json_path, json.str());
+    if (rc != 0) return rc;
   }
   return 0;
 }
@@ -542,6 +606,42 @@ int cmd_adapt(const Options& opts) {
     std::printf("# saved %zu cached plan set(s) to %s\n",
                 controller.plan_cache().size(), opts.save_cache.c_str());
   }
+
+  if (!opts.json_path.empty()) {
+    const auto& num = json_num;
+    const auto speedup = [&](const sim::RunResult& r) {
+      return base_cycles / static_cast<double>(r.apps[0].cycles);
+    };
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"command\": \"adapt\",\n"
+         << "  \"benchmark\": \"" << json::escape(program.name) << "\",\n"
+         << "  \"machine\": \"" << json::escape(opts.machine.name) << "\",\n"
+         << "  \"window_refs\": " << aopts.window_refs << ",\n"
+         << "  \"baseline_cycles\": " << base.apps[0].cycles << ",\n"
+         << "  \"static_cycles\": " << stat.apps[0].cycles << ",\n"
+         << "  \"adaptive_cycles\": " << adaptive.apps[0].cycles << ",\n"
+         << "  \"static_speedup\": " << num(speedup(stat)) << ",\n"
+         << "  \"adaptive_speedup\": " << num(speedup(adaptive)) << ",\n"
+         << "  \"windows\": " << stats.windows << ",\n"
+         << "  \"phases\": " << stats.phases << ",\n"
+         << "  \"phase_switches\": " << stats.phase_switches << ",\n"
+         << "  \"reoptimizations\": " << stats.reoptimizations << ",\n"
+         << "  \"refinements\": " << stats.refinements << ",\n"
+         << "  \"hot_swaps\": " << stats.hot_swaps << ",\n"
+         << "  \"cache_hit_rate\": " << num(stats.cache.hit_rate()) << ",\n"
+         << "  \"measured_cycles_per_memop\": "
+         << num(stats.measured_cycles_per_memop) << ",\n"
+         << "  \"governor_demote_windows\": " << stats.governor.demote_windows
+         << ",\n"
+         << "  \"governor_suppress_windows\": "
+         << stats.governor.suppress_windows << ",\n"
+         << "  \"governor_peak_utilization\": "
+         << num(stats.governor.peak_utilization) << "\n"
+         << "}\n";
+    const int rc = write_json_report(opts.json_path, json.str());
+    if (rc != 0) return rc;
+  }
   return 0;
 }
 
@@ -648,9 +748,293 @@ workloads::Program chaos_mix_program(std::uint64_t core) {
   return p;
 }
 
+/// Render the serve-gate verdict lines shared by `serve` and
+/// `chaos --serve`; returns the number of violated gates.
+int print_serve_gates(const serve::ServeRunResult& r,
+                      std::uint64_t deadline_ticks) {
+  struct Gate {
+    const char* name;
+    bool ok;
+  };
+  const bool p99_ok =
+      r.p99_admitted <= static_cast<double>(deadline_ticks);
+  const Gate gates[] = {
+      {"bounded queue (depth <= capacity)", r.queue_bounded},
+      {"no stale-as-fresh (missed deadline => degraded)",
+       r.no_stale_fresh && r.stats.stale_fresh_violations == 0},
+      {"degraded answers safe (LKG or no-prefetch only)", r.degraded_safe},
+      {"p99 admitted latency within deadline", p99_ok},
+  };
+  int violations = 0;
+  for (const Gate& gate : gates) {
+    if (!gate.ok) ++violations;
+    std::printf("gate: %-48s %s\n", gate.name,
+                gate.ok ? "OK" : "VIOLATION");
+  }
+  return violations;
+}
+
+std::string serve_stats_json(const serve::ServeRunResult& r) {
+  const auto& num = json_num;
+  const auto& s = r.stats;
+  std::ostringstream json;
+  json << "    \"submitted\": " << s.submitted << ",\n"
+       << "    \"responses\": " << r.responses << ",\n"
+       << "    \"fresh\": " << s.fresh << ",\n"
+       << "    \"cache_hits\": " << s.cache_hits << ",\n"
+       << "    \"last_known_good\": " << s.last_known_good << ",\n"
+       << "    \"no_prefetch\": " << s.no_prefetch << ",\n"
+       << "    \"shed_queue_full\": " << s.shed_queue_full << ",\n"
+       << "    \"shed_infeasible\": " << s.shed_infeasible << ",\n"
+       << "    \"deadline_expired\": " << s.deadline_expired << ",\n"
+       << "    \"shard_down\": " << s.shard_down << ",\n"
+       << "    \"cache_faults\": " << s.cache_faults << ",\n"
+       << "    \"cancelled_solves\": " << s.cancelled_solves << ",\n"
+       << "    \"retries\": " << s.retries << ",\n"
+       << "    \"journal_appends\": " << s.journal_appends << ",\n"
+       << "    \"breaker_trips\": " << s.breaker_trips << ",\n"
+       << "    \"deadline_missed\": " << s.deadline_missed << ",\n"
+       << "    \"stale_fresh_violations\": " << s.stale_fresh_violations
+       << ",\n"
+       << "    \"max_queue_depth\": " << s.max_queue_depth << ",\n"
+       << "    \"solves_started\": " << s.solves_started << ",\n"
+       << "    \"p50_admitted_ticks\": " << num(r.p50_admitted) << ",\n"
+       << "    \"p99_admitted_ticks\": " << num(r.p99_admitted) << ",\n"
+       << "    \"shed_rate\": " << num(r.shed_rate) << ",\n"
+       << "    \"deadline_miss_rate\": " << num(r.deadline_miss_rate) << ",\n"
+       << "    \"hit_rate\": " << num(r.hit_rate) << ",\n"
+       << "    \"degraded_rate\": " << num(r.degraded_rate) << ",\n"
+       << "    \"digest\": " << r.digest;
+  return json.str();
+}
+
+int cmd_serve(const Options& opts) {
+  serve::TrafficConfig traffic;
+  traffic.cores = opts.chaos_cores > 0 ? opts.chaos_cores : 64;
+  traffic.ticks = opts.serve_steps > 0 ? opts.serve_steps : 512;
+  traffic.seed = opts.chaos_seed;
+
+  serve::ServiceOptions sopts;
+  sopts.seed = opts.chaos_seed ^ 0xAD115EEDull;
+
+  const engine::Executor executor(opts.jobs);
+  const std::vector<serve::Family> families =
+      serve::make_families(traffic.hot_families, traffic.cold_families);
+  const serve::AdvisoryService::Solver solver =
+      serve::make_engine_solver(families, opts.machine, &executor);
+
+  std::printf("# repf serve | machine=%s | seed=%llu | %d core(s) | "
+              "%llu tick(s) | deadline=%llu\n",
+              opts.machine.name.c_str(),
+              static_cast<unsigned long long>(opts.chaos_seed), traffic.cores,
+              static_cast<unsigned long long>(traffic.ticks),
+              static_cast<unsigned long long>(sopts.deadline_ticks));
+  const serve::ServeRunResult r =
+      serve::run_serve_sim(traffic, sopts, solver, &executor);
+  const auto& s = r.stats;
+
+  TextTable table({"service metric", "value"});
+  table.add_row({"requests", std::to_string(s.submitted)});
+  table.add_row({"  fresh solves", std::to_string(s.fresh)});
+  table.add_row({"  cache hits", std::to_string(s.cache_hits)});
+  table.add_row({"  last-known-good", std::to_string(s.last_known_good)});
+  table.add_row({"  no-prefetch", std::to_string(s.no_prefetch)});
+  table.add_row({"shed (queue full)", std::to_string(s.shed_queue_full)});
+  table.add_row({"shed (infeasible)", std::to_string(s.shed_infeasible)});
+  table.add_row({"deadline expirations", std::to_string(s.deadline_expired)});
+  table.add_row({"cancelled solves", std::to_string(s.cancelled_solves)});
+  table.add_row({"retries", std::to_string(s.retries)});
+  table.add_row({"breaker trips", std::to_string(s.breaker_trips)});
+  table.add_row({"p50 admitted (ticks)", format_double(r.p50_admitted, 1)});
+  table.add_row({"p99 admitted (ticks)", format_double(r.p99_admitted, 1)});
+  table.add_row({"hit rate", format_percent(r.hit_rate)});
+  table.add_row({"shed rate", format_percent(r.shed_rate)});
+  table.add_row({"deadline-miss rate", format_percent(r.deadline_miss_rate)});
+  table.add_row({"degraded rate", format_percent(r.degraded_rate)});
+  table.add_row({"max queue depth",
+                 std::to_string(s.max_queue_depth) + " / " +
+                     std::to_string(sopts.queue_capacity)});
+  char digest[32];
+  std::snprintf(digest, sizeof digest, "%016llx",
+                static_cast<unsigned long long>(r.digest));
+  table.add_row({"response digest", digest});
+  std::fputs(table.render().c_str(), stdout);
+
+  if (opts.verbose) {
+    std::printf("shards: %d | open at end: %d | journal acks: %zu | "
+                "final tick: %llu\n",
+                sopts.shards, r.shards_open, r.acked.size(),
+                static_cast<unsigned long long>(r.final_tick));
+  }
+
+  const int violations = print_serve_gates(r, sopts.deadline_ticks);
+
+  if (!opts.json_path.empty()) {
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"command\": \"serve\",\n"
+         << "  \"machine\": \"" << json::escape(opts.machine.name) << "\",\n"
+         << "  \"seed\": " << opts.chaos_seed << ",\n"
+         << "  \"cores\": " << traffic.cores << ",\n"
+         << "  \"ticks\": " << traffic.ticks << ",\n"
+         << "  \"metrics\": {\n"
+         << serve_stats_json(r) << "\n  },\n"
+         << "  \"ok\": " << (violations == 0 ? "true" : "false") << "\n"
+         << "}\n";
+    const int rc = write_json_report(opts.json_path, json.str());
+    if (rc != 0) return rc;
+  }
+
+  if (violations > 0) {
+    std::printf("serve FAILED: %d gate violation(s) (reproduce with "
+                "--seed %llu)\n",
+                violations,
+                static_cast<unsigned long long>(opts.chaos_seed));
+    return kExitDegraded;
+  }
+  std::printf("serve robustness gates hold\n");
+  return 0;
+}
+
+/// `repf chaos --serve`: fault-rate sweep against the advisory service —
+/// injected transient cache faults exercise the retry ladder and the
+/// per-shard breakers, every rate is replayed twice to witness
+/// byte-determinism, and --crash-check tears the journals.
+int cmd_chaos_serve(const Options& opts) {
+  std::vector<double> rates = {0.0, 0.1, 0.25, 0.5};
+  if (opts.fault_rate >= 0.0) rates = {opts.fault_rate};
+
+  serve::TrafficConfig traffic;
+  traffic.cores = 32;
+  traffic.ticks = 256;
+  traffic.request_rate = 0.1;
+  traffic.hot_families = 4;
+  traffic.cold_families = 32;
+  traffic.seed = opts.chaos_seed;
+
+  std::printf("# repf chaos --serve | machine=%s | seed=%llu | %d core(s)\n",
+              opts.machine.name.c_str(),
+              static_cast<unsigned long long>(opts.chaos_seed), traffic.cores);
+  TextTable table({"fault rate", "requests", "degraded", "retries", "trips",
+                   "shed", "stale-fresh", "replay", "verdict"});
+
+  struct ServeRateResult {
+    std::vector<std::string> row;
+    serve::ServeRunResult run;
+    bool deterministic = false;
+    bool ok = false;
+  };
+  // Each fault rate is an independent double-run unit (the solver is the
+  // cheap synthetic one; the service runs inline). Fan the rates out and
+  // reduce in order so the table is byte-identical at any --jobs.
+  const engine::Executor executor(opts.jobs);
+  const std::vector<ServeRateResult> results =
+      executor.map(rates.size(), [&](std::size_t i) {
+        serve::ServiceOptions sopts;
+        sopts.cache_fault_rate = rates[i];
+        sopts.seed = opts.chaos_seed ^ 0xAD115EEDull;
+        const std::vector<serve::Family> families = serve::make_families(
+            traffic.hot_families, traffic.cold_families);
+        const serve::AdvisoryService::Solver solver =
+            serve::make_synthetic_solver(families);
+
+        ServeRateResult r;
+        r.run = serve::run_serve_sim(traffic, sopts, solver, nullptr);
+        const serve::ServeRunResult replay =
+            serve::run_serve_sim(traffic, sopts, solver, nullptr);
+        r.deterministic = replay.digest == r.run.digest;
+        r.ok = r.run.gates_ok() && r.deterministic;
+        // A clean schedule must not trip breakers or burn retries.
+        if (rates[i] == 0.0 &&
+            (r.run.stats.breaker_trips != 0 || r.run.stats.retries != 0)) {
+          r.ok = false;
+        }
+        const auto& s = r.run.stats;
+        r.row = {format_percent(rates[i], 0), std::to_string(s.submitted),
+                 std::to_string(s.last_known_good + s.no_prefetch),
+                 std::to_string(s.retries), std::to_string(s.breaker_trips),
+                 std::to_string(s.shed_queue_full + s.shed_infeasible),
+                 std::to_string(s.stale_fresh_violations),
+                 r.deterministic ? "bytes==" : "DIVERGED",
+                 r.ok ? "OK" : "VIOLATION"};
+        return r;
+      });
+
+  int violations = 0;
+  for (const ServeRateResult& r : results) {
+    if (!r.ok) ++violations;
+    table.add_row(r.row);
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  serve::ServeCrashReport crash;
+  if (opts.crash_check) {
+    crash = serve::serve_crash_check(opts.chaos_seed, 32,
+                                     "repf_serve_crash_scratch");
+    std::printf("serve crash check: %s -> %s\n", crash.to_string().c_str(),
+                crash.ok() ? "OK" : "VIOLATION");
+    if (!crash.ok()) ++violations;
+  }
+
+  if (!opts.json_path.empty()) {
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"command\": \"chaos\",\n"
+         << "  \"serve\": true,\n"
+         << "  \"machine\": \"" << json::escape(opts.machine.name) << "\",\n"
+         << "  \"seed\": " << opts.chaos_seed << ",\n"
+         << "  \"rates\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      json << "    {\n"
+           << "    \"fault_rate\": " << json_num(rates[i]) << ",\n"
+           << "    \"deterministic\": "
+           << (results[i].deterministic ? "true" : "false") << ",\n"
+           << serve_stats_json(results[i].run) << ",\n"
+           << "    \"ok\": " << (results[i].ok ? "true" : "false") << "\n"
+           << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n";
+    if (opts.crash_check) {
+      json << "  \"crash_check\": {\n"
+           << "    \"trials\": " << crash.trials << ",\n"
+           << "    \"acked\": " << crash.acked_total << ",\n"
+           << "    \"recovered\": " << crash.recovered_total << ",\n"
+           << "    \"quarantined\": " << crash.quarantined << ",\n"
+           << "    \"lost_acked\": " << crash.lost_acked << ",\n"
+           << "    \"alien_entries\": " << crash.alien_entries << ",\n"
+           << "    \"ok\": " << (crash.ok() ? "true" : "false") << "\n"
+           << "  },\n";
+    }
+    json << "  \"ok\": " << (violations == 0 ? "true" : "false") << "\n"
+         << "}\n";
+    const int rc = write_json_report(opts.json_path, json.str());
+    if (rc != 0) return rc;
+  }
+
+  if (violations > 0) {
+    std::printf("chaos FAILED: %d gate violation(s) (reproduce with "
+                "--seed %llu)\n",
+                violations,
+                static_cast<unsigned long long>(opts.chaos_seed));
+    return kExitDegraded;
+  }
+  std::printf("serve chaos gates hold\n");
+  return 0;
+}
+
 int cmd_chaos(const Options& opts) {
+  if (opts.chaos_serve) return cmd_chaos_serve(opts);
+  // The full-system chaos mix simulates every core cycle-by-cycle; the
+  // [1, 16] cap is a cost bound, not a correctness one, and only applies
+  // here (`serve` and `chaos --serve` are virtual-time — no cap).
+  const int cores = opts.chaos_cores > 0 ? opts.chaos_cores : 2;
+  if (cores > 16) {
+    std::fprintf(stderr, "chaos: --cores must be in [1, 16]\n");
+    return kExitUsage;
+  }
+
   std::vector<workloads::Program> storage;
-  for (int c = 0; c < opts.chaos_cores; ++c) {
+  for (int c = 0; c < cores; ++c) {
     storage.push_back(chaos_mix_program(static_cast<std::uint64_t>(c)));
   }
   std::vector<const workloads::Program*> programs;
@@ -672,8 +1056,7 @@ int cmd_chaos(const Options& opts) {
 
   std::printf("# repf chaos | machine=%s | seed=%llu | %d core(s)\n",
               opts.machine.name.c_str(),
-              static_cast<unsigned long long>(opts.chaos_seed),
-              opts.chaos_cores);
+              static_cast<unsigned long long>(opts.chaos_seed), cores);
   TextTable table({"fault rate", "episodes", "trips", "rollbacks",
                    "recoveries", "opens", "worst rec (win)", "vs no-pf",
                    "verdict"});
@@ -684,6 +1067,12 @@ int cmd_chaos(const Options& opts) {
     std::vector<std::string> row;
     bool ok = true;
     std::string details;
+    // Raw values for the --json report.
+    std::size_t episodes = 0;
+    std::uint64_t trips = 0, rollbacks = 0, recoveries = 0;
+    int opens = 0;
+    std::uint64_t worst_recovery_windows = 0;
+    double vs_baseline = 0.0;
   };
   const engine::Executor executor(opts.jobs);
   const std::vector<ChaosRateResult> results =
@@ -693,7 +1082,7 @@ int cmd_chaos(const Options& opts) {
         config.fault_rate = rate;
         config.horizon_refs = storage[0].total_references();
         config.mean_episode_refs = 8192;
-        config.cores = opts.chaos_cores;
+        config.cores = cores;
         config.seed = opts.chaos_seed;
 
         const runtime::ChaosRunResult result = runtime::run_chaos_mix(
@@ -713,6 +1102,13 @@ int cmd_chaos(const Options& opts) {
         r.ok = result.worst_vs_baseline <= 1.01 &&
                result.worst_recovery_windows <= 64 && opens == 0;
         if (rate == 0.0 && result.total_trips != 0) r.ok = false;
+        r.episodes = result.schedule.episodes().size();
+        r.trips = result.total_trips;
+        r.rollbacks = rollbacks;
+        r.recoveries = recoveries;
+        r.opens = opens;
+        r.worst_recovery_windows = result.worst_recovery_windows;
+        r.vs_baseline = result.worst_vs_baseline;
         r.row = {format_percent(rate, 0),
                  std::to_string(result.schedule.episodes().size()),
                  std::to_string(result.total_trips),
@@ -743,14 +1139,57 @@ int cmd_chaos(const Options& opts) {
   std::fputs(table.render().c_str(), stdout);
   if (opts.verbose) std::fputs(details.c_str(), stdout);
 
+  runtime::CacheCrashReport crash;
+  bool crash_ok = true;
   if (opts.crash_check) {
-    const runtime::CacheCrashReport crash = runtime::chaos_cache_crash_check(
-        opts.chaos_seed, 64, "repf_chaos_cache_scratch.json");
-    const bool ok = crash.failed_loads == 0 && crash.accounting_errors == 0 &&
-                    crash.survives_torn_write;
+    crash = runtime::chaos_cache_crash_check(opts.chaos_seed, 64,
+                                             "repf_chaos_cache_scratch.json");
+    crash_ok = crash.failed_loads == 0 && crash.accounting_errors == 0 &&
+               crash.survives_torn_write;
     std::printf("cache crash check: %s -> %s\n", crash.to_string().c_str(),
-                ok ? "OK" : "VIOLATION");
-    if (!ok) ++violations;
+                crash_ok ? "OK" : "VIOLATION");
+    if (!crash_ok) ++violations;
+  }
+
+  if (!opts.json_path.empty()) {
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"command\": \"chaos\",\n"
+         << "  \"serve\": false,\n"
+         << "  \"machine\": \"" << json::escape(opts.machine.name) << "\",\n"
+         << "  \"seed\": " << opts.chaos_seed << ",\n"
+         << "  \"cores\": " << cores << ",\n"
+         << "  \"rates\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const ChaosRateResult& r = results[i];
+      json << "    {\"fault_rate\": " << json_num(rates[i])
+           << ", \"episodes\": " << r.episodes << ", \"trips\": " << r.trips
+           << ", \"rollbacks\": " << r.rollbacks
+           << ", \"recoveries\": " << r.recoveries
+           << ", \"opens\": " << r.opens
+           << ", \"worst_recovery_windows\": " << r.worst_recovery_windows
+           << ", \"worst_vs_baseline\": " << json_num(r.vs_baseline)
+           << ", \"ok\": " << (r.ok ? "true" : "false") << "}"
+           << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n";
+    if (opts.crash_check) {
+      json << "  \"crash_check\": {\n"
+           << "    \"trials\": " << crash.trials << ",\n"
+           << "    \"clean_loads\": " << crash.clean_loads << ",\n"
+           << "    \"degraded_loads\": " << crash.degraded_loads << ",\n"
+           << "    \"failed_loads\": " << crash.failed_loads << ",\n"
+           << "    \"entries_recovered\": " << crash.entries_recovered << ",\n"
+           << "    \"accounting_errors\": " << crash.accounting_errors << ",\n"
+           << "    \"survives_torn_write\": "
+           << (crash.survives_torn_write ? "true" : "false") << ",\n"
+           << "    \"ok\": " << (crash_ok ? "true" : "false") << "\n"
+           << "  },\n";
+    }
+    json << "  \"ok\": " << (violations == 0 ? "true" : "false") << "\n"
+         << "}\n";
+    const int rc = write_json_report(opts.json_path, json.str());
+    if (rc != 0) return rc;
   }
 
   if (violations > 0) {
@@ -781,7 +1220,7 @@ int cmd_verify(const Options& opts) {
       }
       if (!found) {
         std::fprintf(stderr, "unknown fuzzer family: %s\n", name.c_str());
-        return 2;
+        return kExitUsage;
       }
     }
   }
@@ -872,7 +1311,7 @@ int cmd_verify(const Options& opts) {
       std::ofstream out(path);
       if (!out) {
         std::fprintf(stderr, "repf: cannot write %s\n", path.c_str());
-        return 1;
+        return kExitFailure;
       }
       out << rendered;
       std::printf("== golden plans: blessed %s\n", path.c_str());
@@ -902,11 +1341,7 @@ int cmd_verify(const Options& opts) {
   }
 
   if (!opts.json_path.empty()) {
-    const auto num = [](double v) {
-      char buf[64];
-      std::snprintf(buf, sizeof buf, "%.17g", v);
-      return std::string(buf);
-    };
+    const auto& num = json_num;
     std::ostringstream json;
     json << "{\n"
          << "  \"command\": \"verify\",\n"
@@ -930,16 +1365,12 @@ int cmd_verify(const Options& opts) {
          << "  \"golden\": \"" << json::escape(golden_status) << "\",\n"
          << "  \"ok\": " << (failed ? "false" : "true") << "\n"
          << "}\n";
-    const Status saved = support::write_file_atomic(opts.json_path, json.str());
-    if (!saved.ok()) {
-      std::fprintf(stderr, "repf: %s: %s\n", opts.json_path.c_str(),
-                   saved.to_string().c_str());
-      return kExitFailure;
-    }
+    const int rc = write_json_report(opts.json_path, json.str());
+    if (rc != 0) return rc;
   }
 
   std::printf(failed ? "verify FAILED\n" : "verify clean\n");
-  return failed ? 1 : 0;
+  return failed ? kExitFailure : 0;
 }
 
 }  // namespace
@@ -959,7 +1390,7 @@ int main(int argc, char** argv) {
         opts.machine = sim::intel_sandybridge();
       } else {
         std::fprintf(stderr, "unknown machine: %s\n", which.c_str());
-        return 2;
+        return kExitUsage;
       }
     } else if (arg == "--hw") {
       opts.hw_prefetch = true;
@@ -976,7 +1407,7 @@ int main(int argc, char** argv) {
       opts.fault_rate = std::atof(argv[i]) / 100.0;
       if (opts.fault_rate < 0.0 || opts.fault_rate > 1.0) {
         std::fprintf(stderr, "--rate must be in [0, 100]\n");
-        return 2;
+        return kExitUsage;
       }
     } else if (arg == "--seed") {
       if (++i >= argc) return usage();
@@ -985,12 +1416,24 @@ int main(int argc, char** argv) {
       opts.chaos_seed = opts.fault_seed;
     } else if (arg == "--cores") {
       if (++i >= argc) return usage();
+      // Upper bound is per-command: chaos caps at 16 (cycle-accurate cores
+      // are expensive), serve takes any count (virtual-time clients).
       const long long cores = std::atoll(argv[i]);
-      if (cores < 1 || cores > 16) {
-        std::fprintf(stderr, "--cores must be in [1, 16]\n");
+      if (cores < 1 || cores > 1'000'000) {
+        std::fprintf(stderr, "--cores must be in [1, 1000000]\n");
         return kExitUsage;
       }
       opts.chaos_cores = static_cast<int>(cores);
+    } else if (arg == "--steps") {
+      if (++i >= argc) return usage();
+      const long long steps = std::atoll(argv[i]);
+      if (steps < 1 || steps > 100'000'000) {
+        std::fprintf(stderr, "--steps must be in [1, 100000000]\n");
+        return kExitUsage;
+      }
+      opts.serve_steps = static_cast<std::uint64_t>(steps);
+    } else if (arg == "--serve") {
+      opts.chaos_serve = true;
     } else if (arg == "--crash-check") {
       opts.crash_check = true;
     } else if (arg == "--families") {
@@ -1006,7 +1449,7 @@ int main(int argc, char** argv) {
       const long long window = std::atoll(argv[i]);
       if (window <= 0) {
         std::fprintf(stderr, "--window must be positive\n");
-        return 2;
+        return kExitUsage;
       }
       opts.window = static_cast<std::uint64_t>(window);
     } else if (arg == "--threshold") {
@@ -1014,7 +1457,7 @@ int main(int argc, char** argv) {
       opts.threshold = std::atof(argv[i]);
       if (opts.threshold <= 0.0 || opts.threshold > 2.0) {
         std::fprintf(stderr, "--threshold must be in (0, 2]\n");
-        return 2;
+        return kExitUsage;
       }
     } else if (arg == "--jobs") {
       if (++i >= argc) return usage();
@@ -1039,7 +1482,7 @@ int main(int argc, char** argv) {
       opts.target = arg;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
-      return 2;
+      return kExitUsage;
     }
   }
 
@@ -1059,6 +1502,7 @@ int main(int argc, char** argv) {
     if (opts.command == "list") return cmd_list();
     if (opts.command == "verify") return cmd_verify(opts);
     if (opts.command == "chaos") return cmd_chaos(opts);
+    if (opts.command == "serve") return cmd_serve(opts);
     if (opts.target.empty()) return usage();
     if (opts.command == "dump") return cmd_dump(opts);
     if (opts.command == "optimize") return cmd_optimize(opts);
@@ -1069,7 +1513,7 @@ int main(int argc, char** argv) {
     if (opts.command == "faultcheck") return cmd_faultcheck(opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "repf: %s\n", e.what());
-    return 1;
+    return kExitFailure;
   }
   return usage();
 }
