@@ -39,11 +39,13 @@ std::uint64_t ReuseGraph::out_degree_samples(Pc from) const {
 
 bool mrc_flat_between_l1_and_llc(const MissRatioCurve& mrc,
                                  const sim::MachineConfig& machine,
-                                 double drop_threshold) {
+                                 double drop_threshold,
+                                 std::uint64_t llc_effective_bytes) {
   if (mrc.empty()) return true;  // nothing observed -> no L2/LLC reuse seen
   const double mr_l1 = mrc.miss_ratio_bytes(machine.l1.size_bytes);
   if (mr_l1 <= 0.0) return true;  // L1-resident; higher levels irrelevant
-  const double mr_llc = mrc.miss_ratio_bytes(machine.llc.size_bytes);
+  const double mr_llc = mrc.miss_ratio_bytes(
+      llc_effective_bytes ? llc_effective_bytes : machine.llc.size_bytes);
   const double drop = (mr_l1 - mr_llc) / mr_l1;
   return drop <= drop_threshold;
 }
@@ -59,7 +61,8 @@ bool should_bypass(Pc pc, const ReuseGraph& graph, const StatStack& model,
   }
   for (Pc reuser : reusers) {
     if (!mrc_flat_between_l1_and_llc(model.pc_mrc(reuser), machine,
-                                     options.drop_threshold)) {
+                                     options.drop_threshold,
+                                     options.llc_effective_bytes)) {
       return false;
     }
   }

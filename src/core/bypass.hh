@@ -29,6 +29,13 @@ struct BypassOptions {
   /// Ignore reuse edges carrying less than this fraction of a load's
   /// outgoing reuse samples (noise).
   double min_edge_weight = 0.05;
+  /// Shared-LLC capacity (bytes) the core can rely on under co-run
+  /// contention; 0 = the full machine.llc.size_bytes. A shrunken effective
+  /// share moves the upper end of the flatness window: data that would be
+  /// served out of an uncontended LLC no longer disqualifies bypassing when
+  /// co-runners would evict it first. Plumbed from
+  /// engine::AnalysisKnobs::llc_effective_bytes.
+  std::uint64_t llc_effective_bytes = 0;
 };
 
 /// Data-reuse graph: for each PC, the PCs observed to access the same cache
@@ -51,9 +58,12 @@ class ReuseGraph {
 
 /// True if the MRC is (nearly) flat between the machine's L1 and LLC sizes,
 /// i.e. the load does not reuse data from the intermediate levels.
+/// `llc_effective_bytes` overrides the LLC capacity when nonzero (a core's
+/// contention-adjusted share of the shared LLC).
 bool mrc_flat_between_l1_and_llc(const MissRatioCurve& mrc,
                                  const sim::MachineConfig& machine,
-                                 double drop_threshold);
+                                 double drop_threshold,
+                                 std::uint64_t llc_effective_bytes = 0);
 
 /// Decide whether a prefetch for `pc` may bypass the higher cache levels.
 bool should_bypass(Pc pc, const ReuseGraph& graph, const StatStack& model,

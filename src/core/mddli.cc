@@ -34,7 +34,9 @@ std::vector<DelinquentLoad> identify_delinquent_loads(
     load.pc = pc;
     load.l1_miss_ratio = mrc.miss_ratio_bytes(machine.l1.size_bytes);
     load.l2_miss_ratio = mrc.miss_ratio_bytes(machine.l2.size_bytes);
-    load.llc_miss_ratio = mrc.miss_ratio_bytes(machine.llc.size_bytes);
+    load.llc_miss_ratio = mrc.miss_ratio_bytes(options.llc_effective_bytes
+                                                   ? options.llc_effective_bytes
+                                                   : machine.llc.size_bytes);
     load.avg_miss_latency = average_miss_latency(
         machine, load.l1_miss_ratio, load.l2_miss_ratio, load.llc_miss_ratio);
     load.estimated_l1_misses =

@@ -17,6 +17,13 @@ core::OptimizerOptions make_optimizer_options(const AnalysisKnobs& knobs) {
   options.mddli = knobs.mddli;
   options.stride = knobs.stride;
   options.bypass = knobs.bypass;
+  if (knobs.llc_effective_bytes != 0) {
+    // One audited knob fans into both LLC-capacity consumers; a nonzero
+    // per-pass override in mddli/bypass themselves still wins (they are
+    // passed through unchanged above when this knob is unset).
+    options.mddli.llc_effective_bytes = knobs.llc_effective_bytes;
+    options.bypass.llc_effective_bytes = knobs.llc_effective_bytes;
+  }
   options.enable_non_temporal = knobs.enable_non_temporal;
   options.profile_max_refs = knobs.profile_max_refs;
   options.assumed_cycles_per_memop = knobs.assumed_cycles_per_memop;
@@ -40,13 +47,14 @@ std::string describe_knobs(const AnalysisKnobs& knobs) {
   line("enable_non_temporal=%d\n", knobs.enable_non_temporal ? 1 : 0);
   line("assumed_cycles_per_memop=%g\n", knobs.assumed_cycles_per_memop);
   line("measured_cycles_per_memop=%g\n", knobs.measured_cycles_per_memop);
+  line("llc_effective_bytes=%llu\n",
+       static_cast<unsigned long long>(knobs.llc_effective_bytes));
   line("mddli.alpha=%g\n", knobs.mddli.alpha);
   line("stride.min_samples=%llu\n",
        static_cast<unsigned long long>(knobs.stride.min_samples));
   line("stride.dominance_threshold=%g\n", knobs.stride.dominance_threshold);
   line("bypass.drop_threshold=%g\n", knobs.bypass.drop_threshold);
-  line("bypass.min_edge_weight=%llu\n",
-       static_cast<unsigned long long>(knobs.bypass.min_edge_weight));
+  line("bypass.min_edge_weight=%g\n", knobs.bypass.min_edge_weight);
   return out;
 }
 

@@ -24,6 +24,8 @@ namespace re::engine {
 ///   assumed / measured Δ           -> OptimizerOptions Δ knobs
 ///                                     (precedence: engine/delta.hh)
 ///   mddli / stride / bypass        -> passed through unchanged
+///   llc_effective_bytes            -> MddliOptions::llc_effective_bytes
+///                                     and BypassOptions::llc_effective_bytes
 struct AnalysisKnobs {
   std::uint64_t sample_period = 1000;
   std::uint64_t sample_seed = 42;
@@ -31,6 +33,13 @@ struct AnalysisKnobs {
   bool enable_non_temporal = true;
   double assumed_cycles_per_memop = 0.0;
   double measured_cycles_per_memop = 0.0;
+  /// Contention-adjusted shared-LLC share for the analyzed core, in bytes
+  /// (0 = uncontended: the machine's full LLC). Set by the co-run pipeline
+  /// (analysis::CoRunModel::effective_llc_lines × kLineSize) so MDDLI, the
+  /// prefetch-distance solve (through the miss latencies MDDLI feeds it),
+  /// and the bypass verdict all price LLC misses at the capacity the core
+  /// actually gets when a co-run set is declared.
+  std::uint64_t llc_effective_bytes = 0;
   core::MddliOptions mddli;
   core::StrideAnalysisOptions stride;
   core::BypassOptions bypass;

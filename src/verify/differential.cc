@@ -6,10 +6,13 @@
 #include <cstdio>
 #include <set>
 
+#include "analysis/corun.hh"
 #include "core/statstack.hh"
 #include "core/trace_replay.hh"
 #include "engine/pipeline.hh"
 #include "verify/exact_lru.hh"
+#include "verify/shared_lru.hh"
+#include "workloads/mix.hh"
 
 namespace re::verify {
 
@@ -243,6 +246,304 @@ DifferentialResult run_differential(const workloads::Program& program,
 
     result.loads.push_back(cmp);
   }
+  return result;
+}
+
+double corun_family_error_bound(TraceFamily family, int cores) {
+  // Calibrated against the observed worst-case errors of the seeded
+  // 2/4/8-core matrix (DESIGN.md §13, "differential bounds"); each bound is
+  // the observed ceiling plus headroom, so a regression that worsens the
+  // known composition bias still fails. Solo StatStack bias
+  // (family_app_error_bound) is the floor; interleaving-ratio error adds a
+  // per-core term on top.
+  const double base =
+      family == TraceFamily::kPhaseMixed ? 0.12 : 0.06;
+  return base + 0.01 * cores;
+}
+
+std::vector<CoRunScenario> corun_scenarios(int cores) {
+  using F = TraceFamily;
+  std::vector<CoRunScenario> matrix = {
+      // Homogeneous rows: every core runs the same family, so the composed
+      // shares should split the LLC near-evenly.
+      {"streaming_uniform", {F::kStrided}},
+      {"chase_uniform", {F::kPointerChase}},
+      // Adversarial mixes: core 0 is the victim, the rest are aggressors.
+      {"streaming_vs_chase", {F::kPointerChase, F::kStrided}},
+      {"stencil_vs_streaming", {F::kBlocked, F::kStrided}},
+      {"hotcold_vs_chase", {F::kHotCold, F::kPointerChase}},
+      {"phase_mixed", {F::kPhaseMixed, F::kStrided}},
+  };
+  for (CoRunScenario& scenario : matrix) {
+    // Cycle the row out to the core count; aggressors repeat.
+    std::vector<TraceFamily> families;
+    families.reserve(static_cast<std::size_t>(cores));
+    for (int i = 0; i < cores; ++i) {
+      families.push_back(
+          scenario.families[static_cast<std::size_t>(i) %
+                            scenario.families.size()]);
+    }
+    scenario.families = std::move(families);
+  }
+  return matrix;
+}
+
+double CoRunCoreComparison::max_error() const {
+  double worst = 0.0;
+  for (const CoRunPoint& p : points) worst = std::max(worst, p.error);
+  return worst;
+}
+
+double CoRunDifferentialResult::max_error() const {
+  double worst = 0.0;
+  for (const CoRunCoreComparison& c : per_core) {
+    worst = std::max(worst, c.max_error());
+  }
+  return worst;
+}
+
+std::string CoRunDifferentialResult::to_string() const {
+  std::string out;
+  append_f(out, "corun-differential %s machine=%s cores=%d seed=%llu hw=%d\n",
+           scenario.c_str(), machine.c_str(), cores,
+           static_cast<unsigned long long>(seed), hw_prefetch ? 1 : 0);
+  for (const CoRunCoreComparison& c : per_core) {
+    append_f(out, "  core%d %-12s accesses=%-8llu eff_llc_lines=%llu\n",
+             c.core, c.family.c_str(),
+             static_cast<unsigned long long>(c.accesses),
+             static_cast<unsigned long long>(c.effective_llc_lines));
+    for (const CoRunPoint& p : c.points) {
+      append_f(out,
+               "    mrc lines=%-6llu exact=%.6f composed=%.6f err=%.6f "
+               "raw=%.6f\n",
+               static_cast<unsigned long long>(p.cache_lines), p.exact,
+               p.composed, p.error, p.abs_error());
+    }
+  }
+  append_f(out, "  summary max_err=%.6f attribution=%s\n", max_error(),
+           attribution_exact ? "exact" : "BROKEN");
+  return out;
+}
+
+CoRunDifferentialResult run_corun_differential(
+    const CoRunScenario& scenario, const sim::MachineConfig& machine,
+    std::uint64_t seed, const CoRunDifferentialOptions& options) {
+  const int cores = static_cast<int>(scenario.families.size());
+
+  // Per-core fuzzed programs: variant = core id keeps co-runners of the
+  // same family distinct; rebasing makes the address spaces disjoint (no
+  // sharing — the composition assumes it, the oracle would model it).
+  std::vector<workloads::Program> programs;
+  programs.reserve(static_cast<std::size_t>(cores));
+  for (int core = 0; core < cores; ++core) {
+    FuzzedTrace fuzzed =
+        make_trace(scenario.families[static_cast<std::size_t>(core)], seed,
+                   static_cast<std::uint64_t>(core));
+    workloads::rebase_program(fuzzed.program,
+                              workloads::core_address_offset(core));
+    programs.push_back(std::move(fuzzed.program));
+  }
+
+  // Composed side: the production co-run pipeline verbatim.
+  analysis::CoRunArtifacts artifacts;
+  artifacts.programs = &programs;
+  artifacts.machine = &machine;
+  artifacts.model_hw_prefetch = options.model_hw_prefetch;
+  artifacts.max_refs_per_core = options.max_refs_per_core;
+  analysis::run_corun(artifacts);
+
+  // Exact side: one true LRU stack over the identical interleaved trace.
+  ExactSharedLruModel oracle(cores);
+  analysis::interleave_traces(
+      artifacts.traces, [&](int core, const analysis::CoreAccess& access) {
+        oracle.observe(core, access.pc, access.addr);
+      });
+  oracle.finalize();
+
+  CoRunDifferentialResult result;
+  result.scenario = scenario.name;
+  result.machine = machine.name;
+  result.cores = cores;
+  result.seed = seed;
+  result.hw_prefetch = options.model_hw_prefetch;
+
+  const std::uint64_t llc = machine.llc.num_lines();
+  const std::uint64_t sizes[] = {llc / 2, llc, llc * 2};
+
+  // Vertical miss-ratio distance is ill-posed on a working-set cliff: both
+  // curves step between the same two plateaus, and a probe that lands
+  // mid-transition reads the full step height even when the composition
+  // localizes the cliff within a few percent of cache size (observed on the
+  // intel stencil_vs_streaming cells, where the strided core's cliff sits
+  // right at 2·LLC). Score each probe with ±1/8 of horizontal slack: the
+  // error is the smallest vertical distance after shifting either curve by
+  // at most one slack step. Away from cliffs both curves are flat across
+  // the slack window and this reduces to the plain vertical error.
+  const auto point_error = [&](int core, std::uint64_t lines, double exact_mr,
+                               double composed_mr) {
+    double err = std::abs(exact_mr - composed_mr);
+    for (const std::uint64_t shifted : {lines - lines / 8, lines + lines / 8}) {
+      err = std::min(
+          err, std::abs(artifacts.corun->shared_miss_ratio_lines(
+                            core, shifted) -
+                        exact_mr));
+      err = std::min(
+          err, std::abs(composed_mr -
+                        oracle.core_mrc(core).miss_ratio_lines(shifted)));
+    }
+    return err;
+  };
+
+  for (int core = 0; core < cores; ++core) {
+    CoRunCoreComparison cmp;
+    cmp.core = core;
+    cmp.family =
+        trace_family_name(scenario.families[static_cast<std::size_t>(core)]);
+    cmp.accesses = oracle.accesses_of(core);
+    cmp.effective_llc_lines =
+        artifacts.effective_llc_lines[static_cast<std::size_t>(core)];
+    for (const std::uint64_t lines : sizes) {
+      const double exact_mr = oracle.core_mrc(core).miss_ratio_lines(lines);
+      const double composed_mr =
+          artifacts.corun->shared_miss_ratio_lines(core, lines);
+      cmp.points.push_back(
+          {lines, exact_mr, composed_mr,
+           point_error(core, lines, exact_mr, composed_mr)});
+    }
+    result.per_core.push_back(std::move(cmp));
+  }
+
+  // Attribution identity: per-core misses sum to the shared total, exactly.
+  for (const std::uint64_t lines : sizes) {
+    std::uint64_t sum = 0;
+    for (int core = 0; core < cores; ++core) {
+      sum += oracle.core_misses_at(core, lines);
+    }
+    if (sum != oracle.misses_at(lines)) result.attribution_exact = false;
+  }
+  return result;
+}
+
+namespace {
+
+/// Sparse streaming aggressor for the interference experiment: a cyclic
+/// 2-line-stride sweep over 2·LLC worth of *touched* lines. The skipped
+/// buddy lines are what the adjacent-line prefetcher pollutes the shared
+/// LLC with.
+workloads::Program make_sparse_stream_aggressor(
+    const sim::MachineConfig& machine, int core) {
+  workloads::Program program;
+  program.name = "sparse_stream_aggressor";
+  program.seed = 0xA66 + static_cast<std::uint64_t>(core);
+  workloads::StaticInst inst;
+  inst.pc = 1;
+  const std::int64_t stride = 2 * kLineSize;
+  const std::uint64_t footprint =
+      4 * machine.llc.size_bytes;  // bytes spanned; lines touched = 2·LLC
+  inst.pattern = workloads::StreamPattern{0, stride, footprint};
+  workloads::Loop loop;
+  loop.iterations =
+      3 * (footprint / static_cast<std::uint64_t>(stride));  // ~3 sweeps
+  loop.body.push_back(std::move(inst));
+  program.loops.push_back(std::move(loop));
+  return program;
+}
+
+struct InterferenceRun {
+  double victim_mr = 0.0;
+  double exact_mr = 0.0;
+  std::uint64_t share = 0;
+};
+
+InterferenceRun run_interference_once(
+    std::vector<workloads::Program>& programs,
+    const sim::MachineConfig& machine, std::uint64_t max_refs_per_core,
+    bool hw_on_aggressors) {
+  const int cores = static_cast<int>(programs.size());
+
+  analysis::CoRunArtifacts artifacts;
+  artifacts.programs = &programs;
+  artifacts.machine = &machine;
+  artifacts.max_refs_per_core = max_refs_per_core;
+  sim::HwPrefetcherConfig aggressive = machine.hw_prefetcher;
+  if (hw_on_aggressors) {
+    // The paper's speculative engines: stream + adjacent-line overfetch.
+    aggressive.adjacent_line = true;
+    artifacts.hw_config = &aggressive;
+    artifacts.hw_prefetch_core.assign(static_cast<std::size_t>(cores), 1);
+    artifacts.hw_prefetch_core[0] = 0;  // the victim does not prefetch
+  }
+  analysis::run_corun(artifacts);
+
+  ExactSharedLruModel oracle(cores);
+  analysis::interleave_traces(
+      artifacts.traces, [&](int core, const analysis::CoreAccess& access) {
+        oracle.observe(core, access.pc, access.addr);
+      });
+  oracle.finalize();
+
+  InterferenceRun run;
+  const std::uint64_t llc = machine.llc.num_lines();
+  run.victim_mr = artifacts.corun->shared_miss_ratio_lines(0, llc);
+  run.exact_mr = oracle.core_mrc(0).miss_ratio_lines(llc);
+  run.share = artifacts.effective_llc_lines[0];
+  return run;
+}
+
+}  // namespace
+
+std::string CoRunInterference::to_string() const {
+  std::string out;
+  append_f(out, "corun-interference machine=%s cores=%d seed=%llu\n",
+           machine.c_str(), cores, static_cast<unsigned long long>(seed));
+  append_f(out, "  victim mr  off=%.6f on=%.6f (composed)\n", victim_mr_off,
+           victim_mr_on);
+  append_f(out, "  victim mr  off=%.6f on=%.6f (exact)\n", exact_mr_off,
+           exact_mr_on);
+  append_f(out, "  victim share off=%llu on=%llu of %llu lines\n",
+           static_cast<unsigned long long>(share_off),
+           static_cast<unsigned long long>(share_on),
+           static_cast<unsigned long long>(llc_lines));
+  append_f(out, "  composed_err=%.6f predicted=%d confirmed=%d\n",
+           max_composed_error, predicted() ? 1 : 0, confirmed() ? 1 : 0);
+  return out;
+}
+
+CoRunInterference run_corun_interference(const sim::MachineConfig& machine,
+                                         int cores, std::uint64_t seed,
+                                         std::uint64_t max_refs_per_core) {
+  // Chase victim on core 0 (fuzzed, so RE_TEST_SEED varies it), sparse
+  // streaming aggressors on the rest. Both runs share the same programs.
+  std::vector<workloads::Program> programs;
+  programs.reserve(static_cast<std::size_t>(cores));
+  FuzzedTrace victim = make_trace(TraceFamily::kPointerChase, seed, 0);
+  programs.push_back(std::move(victim.program));
+  for (int core = 1; core < cores; ++core) {
+    workloads::Program aggressor = make_sparse_stream_aggressor(machine, core);
+    workloads::rebase_program(aggressor,
+                              workloads::core_address_offset(core));
+    programs.push_back(std::move(aggressor));
+  }
+
+  const InterferenceRun off =
+      run_interference_once(programs, machine, max_refs_per_core, false);
+  const InterferenceRun on =
+      run_interference_once(programs, machine, max_refs_per_core, true);
+
+  CoRunInterference result;
+  result.machine = machine.name;
+  result.cores = cores;
+  result.seed = seed;
+  result.llc_lines = machine.llc.num_lines();
+  result.victim_mr_off = off.victim_mr;
+  result.victim_mr_on = on.victim_mr;
+  result.exact_mr_off = off.exact_mr;
+  result.exact_mr_on = on.exact_mr;
+  result.share_off = off.share;
+  result.share_on = on.share;
+  result.max_composed_error =
+      std::max(std::abs(off.victim_mr - off.exact_mr),
+               std::abs(on.victim_mr - on.exact_mr));
   return result;
 }
 

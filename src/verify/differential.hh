@@ -115,4 +115,143 @@ DifferentialResult run_differential(const workloads::Program& program,
                                     const sim::MachineConfig& machine,
                                     const DifferentialOptions& options = {});
 
+// ---- co-run differential: composed CoRunModel vs ExactSharedLruModel ----
+//
+// The composed side is analysis::run_corun verbatim (solo profiles →
+// composed per-core shared MRCs); the exact side runs one true LRU stack
+// over the interleaved trace (verify::ExactSharedLruModel). Both sides see
+// the identical per-core traces and the identical proportional-progress
+// interleaving, so every deviation is composition/model error, never trace
+// skew.
+
+/// Acceptance bound on the absolute per-core shared-MRC error for one
+/// fuzzer family at one co-run core count. On top of StatStack's solo bias
+/// (family_app_error_bound) the composition assumes a uniform interleave
+/// ratio and independent per-core reuse statistics, so bounds grow with
+/// core count; phase-mixed traces violate the uniformity assumption by
+/// design and carry the loosest documented bound (DESIGN.md §13 tabulates
+/// the observed errors these were calibrated from).
+double corun_family_error_bound(TraceFamily family, int cores);
+
+/// One multi-programmed co-run scenario: `families[i]` runs on core i
+/// (cycled when a matrix row is shorter than the core count).
+struct CoRunScenario {
+  std::string name;
+  std::vector<TraceFamily> families;
+};
+
+/// The scenario matrix at `cores` cores: homogeneous rows (streaming,
+/// chase) plus adversarial mixes (streaming-vs-chase victim, blocked
+/// stencil vs streaming, hot/cold vs chase, phase-mixed).
+std::vector<CoRunScenario> corun_scenarios(int cores);
+
+struct CoRunDifferentialOptions {
+  /// Demand-reference cap per core (memory bound; sanitizer-friendly).
+  std::uint64_t max_refs_per_core = std::uint64_t{1} << 16;
+  /// Augment every core with its hardware-prefetcher fill stream.
+  bool model_hw_prefetch = false;
+};
+
+/// Composed vs exact shared miss ratio for one core at one cache size.
+struct CoRunPoint {
+  std::uint64_t cache_lines = 0;
+  double exact = 0.0;
+  double composed = 0.0;
+  /// Cliff-tolerant error: the smallest vertical distance after shifting
+  /// either curve horizontally by at most 1/8 of the probed size. Equals
+  /// abs_error() wherever both curves are flat across the slack window;
+  /// on a shared working-set cliff it scores the cliff-localization error
+  /// instead of the (ill-posed) mid-transition step height.
+  double error = 0.0;
+
+  /// Raw vertical distance at the probe, kept for reports.
+  double abs_error() const {
+    const double d = exact - composed;
+    return d < 0 ? -d : d;
+  }
+};
+
+struct CoRunCoreComparison {
+  int core = 0;
+  std::string family;
+  std::uint64_t accesses = 0;            // interleaved-trace accesses
+  std::uint64_t effective_llc_lines = 0; // composed capacity share
+  std::vector<CoRunPoint> points;        // LLC/2, LLC, 2·LLC
+
+  double max_error() const;
+};
+
+struct CoRunDifferentialResult {
+  std::string scenario;
+  std::string machine;
+  int cores = 0;
+  std::uint64_t seed = 0;
+  bool hw_prefetch = false;
+  std::vector<CoRunCoreComparison> per_core;
+  /// Integer identity: per-core attributed misses summed over cores equal
+  /// the shared total at every compared size. Exact by construction; false
+  /// means the oracle itself is broken.
+  bool attribution_exact = true;
+
+  /// Largest absolute composed-vs-exact error across cores and sizes.
+  double max_error() const;
+  /// Deterministic multi-line report (no timestamps, fixed formatting).
+  std::string to_string() const;
+};
+
+/// Run one scenario: fuzz per-core programs from (family, seed, core),
+/// rebase them into disjoint address spaces, feed the co-run pipeline and
+/// the shared-LRU oracle, and compare per-core shared MRCs at LLC/2, LLC
+/// and 2·LLC lines.
+CoRunDifferentialResult run_corun_differential(
+    const CoRunScenario& scenario, const sim::MachineConfig& machine,
+    std::uint64_t seed, const CoRunDifferentialOptions& options = {});
+
+// ---- interference prediction (the paper's co-run pathology) -------------
+//
+// A pointer-chase victim (core 0) shares the LLC with sparse streaming
+// aggressors (2-line stride, footprint ≫ LLC). Turning on the aggressors'
+// hardware prefetcher — with the speculative adjacent-line engine that the
+// paper blames for overfetch — fills the skipped buddy lines: pure
+// pollution that roughly doubles each aggressor's distinct-line pressure.
+// The composed model must *predict* the victim's degradation (higher
+// shared-LLC miss ratio, no larger capacity share) before any run, and the
+// exact oracle must confirm it. Note the converse is also meaningful: a
+// perfectly *accurate* prefetcher touches only lines the demand stream
+// covers anyway, so it leaves LRU distinct-line pressure unchanged — only
+// useless fills degrade co-runners in a stack-distance model (DESIGN.md
+// §13).
+
+struct CoRunInterference {
+  std::string machine;
+  int cores = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t llc_lines = 0;
+
+  double victim_mr_off = 0.0;  // composed victim miss ratio at the LLC
+  double victim_mr_on = 0.0;
+  double exact_mr_off = 0.0;   // oracle's victim miss ratio at the LLC
+  double exact_mr_on = 0.0;
+  std::uint64_t share_off = 0;  // composed effective victim share (lines)
+  std::uint64_t share_on = 0;
+  /// Largest |composed - exact| victim error across both runs.
+  double max_composed_error = 0.0;
+
+  /// The composition predicts the degradation.
+  bool predicted() const {
+    return victim_mr_on > victim_mr_off && share_on <= share_off;
+  }
+  /// The exact interleaved-LRU oracle confirms it.
+  bool confirmed() const { return exact_mr_on > exact_mr_off; }
+
+  /// Deterministic multi-line report (no timestamps, fixed formatting).
+  std::string to_string() const;
+};
+
+/// Run the chase-victim-vs-streaming-aggressors experiment at `cores`
+/// cores, hardware prefetching off then on (aggressors only).
+CoRunInterference run_corun_interference(
+    const sim::MachineConfig& machine, int cores, std::uint64_t seed,
+    std::uint64_t max_refs_per_core = std::uint64_t{1} << 16);
+
 }  // namespace re::verify

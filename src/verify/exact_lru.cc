@@ -9,35 +9,37 @@ namespace re::verify {
 ExactMrc::ExactMrc(std::vector<RefCount> sorted_distances, std::uint64_t cold)
     : distances_(std::move(sorted_distances)), cold_(cold) {}
 
-double ExactMrc::miss_ratio_lines(std::uint64_t cache_lines) const {
-  const std::uint64_t total = access_count();
-  if (total == 0) return 0.0;
+std::uint64_t ExactMrc::miss_count_lines(std::uint64_t cache_lines) const {
   // An access hits iff stack distance < cache size; cold accesses always
   // miss. A zero-line cache misses everything.
   auto it = std::lower_bound(distances_.begin(), distances_.end(),
                              static_cast<RefCount>(cache_lines));
-  const std::uint64_t misses =
-      cold_ + static_cast<std::uint64_t>(distances_.end() - it);
-  return static_cast<double>(misses) / static_cast<double>(total);
+  return cold_ + static_cast<std::uint64_t>(distances_.end() - it);
 }
 
-ExactLruModel::ExactLruModel() : bit_(1, 0) {}
+double ExactMrc::miss_ratio_lines(std::uint64_t cache_lines) const {
+  const std::uint64_t total = access_count();
+  if (total == 0) return 0.0;
+  return static_cast<double>(miss_count_lines(cache_lines)) /
+         static_cast<double>(total);
+}
 
-void ExactLruModel::fenwick_add(std::uint64_t pos, int delta) {
+StackDistanceClock::StackDistanceClock() : bit_(1, 0) {}
+
+void StackDistanceClock::fenwick_add(std::uint64_t pos, int delta) {
   for (; pos < bit_.size(); pos += pos & (~pos + 1)) {
     bit_[pos] = static_cast<std::uint32_t>(
         static_cast<std::int64_t>(bit_[pos]) + delta);
   }
 }
 
-std::uint64_t ExactLruModel::fenwick_sum(std::uint64_t pos) const {
+std::uint64_t StackDistanceClock::fenwick_sum(std::uint64_t pos) const {
   std::uint64_t sum = 0;
   for (; pos > 0; pos -= pos & (~pos + 1)) sum += bit_[pos];
   return sum;
 }
 
-void ExactLruModel::observe(Pc pc, Addr addr) {
-  const Addr line = line_of(addr);
+RefCount StackDistanceClock::observe(Addr line) {
   const std::uint64_t now = ++time_;
   // Append position `now` to the Fenwick tree. A plain zero-extend would be
   // wrong: node `now` covers the range (now - lowbit(now), now], and earlier
@@ -47,29 +49,41 @@ void ExactLruModel::observe(Pc pc, Addr addr) {
   bit_.push_back(static_cast<std::uint32_t>(
       fenwick_sum(now - 1) - fenwick_sum(now - low)));
 
+  RefCount distance = kInfiniteDistance;
+  auto it = last_time_.find(line);
+  if (it != last_time_.end()) {
+    // Stack distance = distinct lines touched since the previous access =
+    // marked last-access stamps in (prev, now).
+    const std::uint64_t prev = it->second;
+    distance = fenwick_sum(now - 1) - fenwick_sum(prev);
+    fenwick_add(prev, -1);
+  }
+  fenwick_add(now, +1);
+  last_time_[line] = now;
+  return distance;
+}
+
+ExactLruModel::ExactLruModel() = default;
+
+void ExactLruModel::observe(Pc pc, Addr addr) {
+  const Addr line = line_of(addr);
+  const RefCount distance = clock_.observe(line);
+
   PcAccumulator& acc = per_pc_raw_[pc];
   ++acc.accesses;
 
-  auto it = last_time_.find(line);
-  if (it == last_time_.end()) {
+  if (distance == kInfiniteDistance) {
     // First touch: cold miss at every cache size.
     ++app_cold_;
     ++acc.cold;
   } else {
-    // Stack distance = distinct lines touched since the previous access =
-    // marked last-access stamps in (prev, now).
-    const std::uint64_t prev = it->second;
-    const RefCount distance = fenwick_sum(now - 1) - fenwick_sum(prev);
     app_distances_.push_back(distance);
     acc.distances.push_back(distance);
-    fenwick_add(prev, -1);
 
     const Pc from = last_pc_[line];
     ++edges_[from][pc];
     ++edge_totals_[from];
   }
-  fenwick_add(now, +1);
-  last_time_[line] = now;
   last_pc_[line] = pc;
 }
 

@@ -31,6 +31,12 @@ class ExactMrc {
   ExactMrc() = default;
   ExactMrc(std::vector<RefCount> sorted_distances, std::uint64_t cold);
 
+  /// Exact miss *count* for a fully-associative cache of `cache_lines`
+  /// lines: cold accesses plus accesses whose stack distance reaches the
+  /// cache size. Integer-exact, so attribution identities (per-core misses
+  /// summing to the total) can be asserted without rounding slack.
+  std::uint64_t miss_count_lines(std::uint64_t cache_lines) const;
+
   /// True LRU miss ratio for a fully-associative cache of `cache_lines`
   /// lines. 0 for an empty population.
   double miss_ratio_lines(std::uint64_t cache_lines) const;
@@ -47,6 +53,32 @@ class ExactMrc {
  private:
   std::vector<RefCount> distances_;  // ascending
   std::uint64_t cold_ = 0;
+};
+
+/// Incremental true-stack-distance clock over a cache-line access stream:
+/// the Fenwick-tree core of the exact models, reusable by any oracle that
+/// needs per-access ground truth (ExactLruModel for one core's trace,
+/// ExactSharedLruModel for the interleaved multi-core trace).
+class StackDistanceClock {
+ public:
+  StackDistanceClock();
+
+  /// Observe one access to `line` (a line index, not a byte address).
+  /// Returns the access's true LRU stack distance — the number of distinct
+  /// lines touched since the previous access to `line` — or
+  /// kInfiniteDistance on first touch (a cold miss at every cache size).
+  RefCount observe(Addr line);
+
+  /// Accesses observed so far.
+  std::uint64_t accesses() const { return time_; }
+
+ private:
+  void fenwick_add(std::uint64_t pos, int delta);
+  std::uint64_t fenwick_sum(std::uint64_t pos) const;  // prefix [1, pos]
+
+  std::uint64_t time_ = 0;          // accesses observed (1-based stamps)
+  std::vector<std::uint32_t> bit_;  // Fenwick tree over timestamps
+  std::unordered_map<Addr, std::uint64_t> last_time_;  // line -> stamp
 };
 
 /// Full-trace exact-LRU model: application and per-PC miss-ratio curves
@@ -74,7 +106,7 @@ class ExactLruModel {
   /// PCs that executed at least one access, ascending.
   const std::vector<Pc>& pcs() const { return pcs_; }
 
-  std::uint64_t accesses() const { return time_; }
+  std::uint64_t accesses() const { return clock_.accesses(); }
   std::uint64_t accesses_of(Pc pc) const;
 
   /// Exact reuse successor counts: edge (a -> b) counts the times a line
@@ -93,13 +125,8 @@ class ExactLruModel {
     std::uint64_t accesses = 0;
   };
 
-  void fenwick_add(std::uint64_t pos, int delta);
-  std::uint64_t fenwick_sum(std::uint64_t pos) const;  // prefix [1, pos]
-
-  std::uint64_t time_ = 0;          // accesses observed (1-based stamps)
-  std::vector<std::uint32_t> bit_;  // Fenwick tree over timestamps
-  std::unordered_map<Addr, std::uint64_t> last_time_;  // line -> stamp
-  std::unordered_map<Addr, Pc> last_pc_;               // line -> last PC
+  StackDistanceClock clock_;
+  std::unordered_map<Addr, Pc> last_pc_;  // line -> last PC
 
   std::vector<RefCount> app_distances_;
   std::uint64_t app_cold_ = 0;

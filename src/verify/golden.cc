@@ -4,13 +4,35 @@
 #include <cctype>
 #include <sstream>
 
+#include "analysis/corun.hh"
 #include "core/pipeline.hh"
 #include "engine/executor.hh"
+#include "verify/trace_fuzzer.hh"
+#include "workloads/mix.hh"
 #include "workloads/suite.hh"
 
 namespace re::verify {
 
 namespace {
+
+/// Seed of the deterministic streaming aggressors in the co-run snapshot.
+constexpr std::uint64_t kCoRunGoldenSeed = 0x5eed;
+
+void append_plan_body(std::ostringstream& out,
+                      const std::vector<GoldenEntry>& entries) {
+  for (const GoldenEntry& entry : entries) {
+    out << "benchmark " << entry.benchmark << "\n";
+    if (entry.plans.empty()) {
+      out << "  none\n";
+      continue;
+    }
+    for (const core::PrefetchPlan& plan : entry.plans) {
+      out << "  pc" << plan.pc << " " << core::hint_mnemonic(plan.hint) << " "
+          << (plan.distance_bytes >= 0 ? "+" : "") << plan.distance_bytes
+          << "\n";
+    }
+  }
+}
 
 std::vector<std::string> significant_lines(const std::string& text) {
   std::vector<std::string> lines;
@@ -55,18 +77,7 @@ std::string render_golden(const std::vector<GoldenEntry>& entries,
   out << "#   tools/check.sh verify --bless\n";
   out << "#   (or: repf verify --bless --golden tests/golden"
          " [--machine intel])\n";
-  for (const GoldenEntry& entry : entries) {
-    out << "benchmark " << entry.benchmark << "\n";
-    if (entry.plans.empty()) {
-      out << "  none\n";
-      continue;
-    }
-    for (const core::PrefetchPlan& plan : entry.plans) {
-      out << "  pc" << plan.pc << " " << core::hint_mnemonic(plan.hint) << " "
-          << (plan.distance_bytes >= 0 ? "+" : "") << plan.distance_bytes
-          << "\n";
-    }
-  }
+  append_plan_body(out, entries);
   return out.str();
 }
 
@@ -81,6 +92,56 @@ std::string golden_filename(const std::string& machine_name) {
     }
   }
   return "plans_" + slug + ".golden";
+}
+
+std::vector<GoldenEntry> compute_corun_suite_plans(
+    const sim::MachineConfig& machine, const engine::Executor* executor) {
+  const std::vector<std::string> names = workloads::suite_names();
+  const auto compute = [&](std::size_t i) {
+    // Victim on core 0, three deterministic streaming aggressors on the
+    // remaining cores, each in a disjoint address space.
+    std::vector<workloads::Program> programs;
+    programs.reserve(sim::kNumCores);
+    programs.push_back(
+        workloads::make_benchmark(names[i], workloads::InputSet::Reference));
+    for (int core = 1; core < sim::kNumCores; ++core) {
+      FuzzedTrace aggressor =
+          make_trace(TraceFamily::kStrided, kCoRunGoldenSeed,
+                     static_cast<std::uint64_t>(core));
+      workloads::rebase_program(aggressor.program,
+                                workloads::core_address_offset(core));
+      programs.push_back(std::move(aggressor.program));
+    }
+    analysis::CoRunArtifacts artifacts;
+    artifacts.programs = &programs;
+    artifacts.machine = &machine;
+    analysis::run_corun(artifacts);
+    return GoldenEntry{names[i], std::move(artifacts.reports[0].plans)};
+  };
+  if (executor != nullptr) return executor->map(names.size(), compute);
+  std::vector<GoldenEntry> entries;
+  entries.reserve(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    entries.push_back(compute(i));
+  }
+  return entries;
+}
+
+std::string render_corun_golden(const std::vector<GoldenEntry>& entries,
+                                const std::string& machine_name) {
+  std::ostringstream out;
+  out << "# golden co-run victim plans | machine=" << machine_name
+      << " | format=1\n";
+  out << "# Core 0 victim vs 3 streaming aggressors; plans solved with the\n";
+  out << "# composed effective-LLC-share knob. Regenerate after a reviewed\n";
+  out << "# composition change:\n";
+  out << "#   repf corun --bless --golden tests/golden [--machine intel]\n";
+  append_plan_body(out, entries);
+  return out.str();
+}
+
+std::string corun_golden_filename(const std::string& machine_name) {
+  return "corun_" + golden_filename(machine_name);
 }
 
 std::string diff_golden(const std::string& expected,

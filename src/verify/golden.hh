@@ -46,4 +46,28 @@ std::string golden_filename(const std::string& machine_name);
 /// diff suitable for test failure messages.
 std::string diff_golden(const std::string& expected, const std::string& actual);
 
+// ---- co-run golden plans ------------------------------------------------
+//
+// Contention-adjusted snapshot: every suite benchmark runs as the victim on
+// core 0 against three deterministic streaming aggressors, through the full
+// co-run pipeline (analysis::run_corun), and its core-0 prefetch plan —
+// solved with the composed effective-LLC-share knob — is snapshotted. A
+// composition change that shifts any victim's plan shows up as a readable
+// diff, exactly like the solo plans_<machine>.golden.
+
+/// Compute the co-run victim plans for the whole suite on `machine`, in
+/// Table I order. With an executor, benchmarks fan out over its workers;
+/// output is byte-identical to the serial path at any worker count.
+std::vector<GoldenEntry> compute_corun_suite_plans(
+    const sim::MachineConfig& machine,
+    const engine::Executor* executor = nullptr);
+
+/// Render co-run entries (same body format as render_golden, with co-run
+/// re-bless instructions in the comment header).
+std::string render_corun_golden(const std::vector<GoldenEntry>& entries,
+                                const std::string& machine_name);
+
+/// Snapshot file name for a machine: "corun_plans_<machine>.golden".
+std::string corun_golden_filename(const std::string& machine_name);
+
 }  // namespace re::verify

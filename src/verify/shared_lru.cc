@@ -1,0 +1,42 @@
+#include "verify/shared_lru.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace re::verify {
+
+ExactSharedLruModel::ExactSharedLruModel(int cores)
+    : per_core_raw_(static_cast<std::size_t>(cores)) {
+  assert(cores > 0);
+}
+
+void ExactSharedLruModel::observe(int core, Pc pc, Addr addr) {
+  (void)pc;  // attribution is per core; PCs are core-local labels here
+  assert(!finalized_);
+  const Addr line = line_of(addr);
+  const RefCount distance = clock_.observe(line);
+
+  CoreAccumulator& acc = per_core_raw_[static_cast<std::size_t>(core)];
+  ++acc.accesses;
+  if (distance == kInfiniteDistance) {
+    ++app_cold_;
+    ++acc.cold;
+  } else {
+    app_distances_.push_back(distance);
+    acc.distances.push_back(distance);
+  }
+}
+
+void ExactSharedLruModel::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  std::sort(app_distances_.begin(), app_distances_.end());
+  application_ = ExactMrc(std::move(app_distances_), app_cold_);
+  per_core_.reserve(per_core_raw_.size());
+  for (CoreAccumulator& acc : per_core_raw_) {
+    std::sort(acc.distances.begin(), acc.distances.end());
+    per_core_.emplace_back(std::move(acc.distances), acc.cold);
+  }
+}
+
+}  // namespace re::verify

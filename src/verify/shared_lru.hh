@@ -1,0 +1,82 @@
+// Exact shared-LLC reference model for co-running cores.
+//
+// Runs ONE true LRU stack (verify::StackDistanceClock) over the interleaved
+// multi-core access stream and attributes every hit/miss to the core that
+// issued it. This is the ground truth the composed co-run MRCs
+// (analysis::CoRunModel) are held against by the co-run differential
+// harness: the shared stack sees the real interleaving, so thrashing by one
+// core genuinely inflates its neighbours' stack distances, with no modeling
+// assumptions at all.
+//
+// Miss counts are integer-exact (ExactMrc::miss_count_lines), so the
+// attribution identity — per-core misses summing to the shared total at
+// every cache size — holds exactly, not within floating-point slack.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/types.hh"
+#include "verify/exact_lru.hh"
+
+namespace re::verify {
+
+/// One fully-associative LRU cache shared by `cores` co-running cores.
+/// Feed the interleaved access stream via observe(core, pc, addr) in global
+/// (interleaved) order, then finalize() once before querying.
+class ExactSharedLruModel {
+ public:
+  explicit ExactSharedLruModel(int cores);
+
+  /// Feed one memory reference issued by `core`, in interleaved order.
+  void observe(int core, Pc pc, Addr addr);
+
+  /// Build the queryable curves. Must be called (once) before the query
+  /// methods; observe() may not be called afterwards.
+  void finalize();
+
+  int cores() const { return static_cast<int>(per_core_raw_.size()); }
+
+  /// Whole-stream curve over every access from every core.
+  const ExactMrc& application_mrc() const { return application_; }
+
+  /// Curve over the accesses issued by `core`, with stack distances
+  /// measured in the *shared* stack — i.e. core `core`'s effective MRC
+  /// under this co-run's contention.
+  const ExactMrc& core_mrc(int core) const { return per_core_[core]; }
+
+  std::uint64_t accesses() const { return clock_.accesses(); }
+  std::uint64_t accesses_of(int core) const {
+    return per_core_raw_[core].accesses;
+  }
+
+  /// Integer-exact shared miss count at `cache_lines` lines.
+  std::uint64_t misses_at(std::uint64_t cache_lines) const {
+    return application_.miss_count_lines(cache_lines);
+  }
+
+  /// Integer-exact misses attributed to `core` at `cache_lines` lines.
+  /// Summed over all cores this equals misses_at(cache_lines) exactly.
+  std::uint64_t core_misses_at(int core, std::uint64_t cache_lines) const {
+    return per_core_[core].miss_count_lines(cache_lines);
+  }
+
+ private:
+  struct CoreAccumulator {
+    std::vector<RefCount> distances;
+    std::uint64_t cold = 0;
+    std::uint64_t accesses = 0;
+  };
+
+  StackDistanceClock clock_;
+  std::vector<CoreAccumulator> per_core_raw_;
+
+  std::vector<RefCount> app_distances_;
+  std::uint64_t app_cold_ = 0;
+
+  bool finalized_ = false;
+  ExactMrc application_;
+  std::vector<ExactMrc> per_core_;
+};
+
+}  // namespace re::verify

@@ -67,6 +67,19 @@ TEST(MrcFlatness, StreamIsFlatLlcResidentIsNot) {
   EXPECT_FALSE(mrc_flat_between_l1_and_llc(model.pc_mrc(2), machine, 0.10));
 }
 
+TEST(MrcFlatness, ShrunkenEffectiveLlcReclassifiesLlcResidents) {
+  // pc 2's working set is served out of the full LLC (curve drops, not
+  // flat), but a co-run share below the working set means co-runners evict
+  // it first: within the shrunken [L1, effective-LLC] window the curve IS
+  // flat, so the bypass pass may reclassify.
+  const sim::MachineConfig machine = sim::amd_phenom_ii();
+  const Profile profile = stream_and_llc_profile(machine);
+  const StatStack model(profile);
+  EXPECT_FALSE(mrc_flat_between_l1_and_llc(model.pc_mrc(2), machine, 0.10));
+  EXPECT_TRUE(mrc_flat_between_l1_and_llc(model.pc_mrc(2), machine, 0.10,
+                                          machine.l2.size_bytes));
+}
+
 TEST(MrcFlatness, EmptyCurveCountsAsFlat) {
   const sim::MachineConfig machine = sim::amd_phenom_ii();
   EXPECT_TRUE(mrc_flat_between_l1_and_llc(MissRatioCurve{}, machine, 0.1));

@@ -70,6 +70,34 @@ TEST(Mddli, SelectsStreamingLoadRejectsHotLoad) {
               static_cast<double>(sim::amd_phenom_ii().dram_latency), 20.0);
 }
 
+TEST(Mddli, ShrunkenEffectiveLlcRaisesModeledMissCosts) {
+  // pc 1 sweeps a working set that fits the full LLC but not a co-run
+  // share: under contention its LLC miss ratio — and with it the average
+  // miss latency the cost-benefit filter prices — must rise.
+  const sim::MachineConfig m = sim::amd_phenom_ii();
+  Sampler s(SamplerConfig{3, re::testing::test_seed()});
+  const std::uint64_t ws_lines = m.llc.num_lines() / 2;
+  for (int round = 0; round < 8; ++round) {
+    for (std::uint64_t i = 0; i < ws_lines; ++i) {
+      s.observe(1, i * kLineSize);
+    }
+  }
+  const Profile profile = s.finish();
+  const StatStack model(profile);
+
+  const auto full = identify_delinquent_loads(model, profile, m);
+  MddliOptions contended;
+  contended.llc_effective_bytes = m.l2.size_bytes;  // far below the ws
+  const auto shrunk = identify_delinquent_loads(model, profile, m, contended);
+
+  ASSERT_FALSE(shrunk.empty());
+  const double full_llc_mr = full.empty() ? 0.0 : full[0].llc_miss_ratio;
+  EXPECT_GT(shrunk[0].llc_miss_ratio, full_llc_mr + 0.5);
+  if (!full.empty()) {
+    EXPECT_GT(shrunk[0].avg_miss_latency, full[0].avg_miss_latency);
+  }
+}
+
 TEST(Mddli, HighAlphaRejectsEverything) {
   const Profile profile = two_pc_profile();
   const StatStack model(profile);

@@ -188,12 +188,27 @@ TEST(Knobs, BuilderCarriesEveryKnob) {
   EXPECT_DOUBLE_EQ(options.measured_cycles_per_memop, 3.5);
 }
 
+TEST(Knobs, EffectiveLlcFansIntoMddliAndBypass) {
+  AnalysisKnobs knobs;
+  knobs.llc_effective_bytes = 256 << 10;
+  const core::OptimizerOptions options = make_optimizer_options(knobs);
+  EXPECT_EQ(options.mddli.llc_effective_bytes, 256u << 10);
+  EXPECT_EQ(options.bypass.llc_effective_bytes, 256u << 10);
+
+  // Zero (the default) preserves the single-core assumption: both passes
+  // fall back to the machine's full LLC.
+  const core::OptimizerOptions defaults = make_optimizer_options({});
+  EXPECT_EQ(defaults.mddli.llc_effective_bytes, 0u);
+  EXPECT_EQ(defaults.bypass.llc_effective_bytes, 0u);
+}
+
 TEST(Knobs, DescribeListsEveryFieldOnce) {
   const std::string audit = describe_knobs(AnalysisKnobs{});
   for (const char* field :
        {"sample_period", "sample_seed", "profile_max_refs",
         "enable_non_temporal", "assumed_cycles_per_memop",
-        "measured_cycles_per_memop", "mddli.", "stride.", "bypass."}) {
+        "measured_cycles_per_memop", "llc_effective_bytes", "mddli.",
+        "stride.", "bypass."}) {
     EXPECT_NE(audit.find(field), std::string::npos)
         << "missing knob: " << field << "\n"
         << audit;

@@ -1,0 +1,108 @@
+// Co-run differential tests: the composed shared-LLC model vs the exact
+// interleaved-LRU oracle, across the scenario matrix at 2/4/8 cores.
+// Randomized via RE_TEST_SEED (the failing seed is printed by the shared
+// SeedReporter); bounds are the documented per-family ones from
+// verify::corun_family_error_bound (calibration table in DESIGN.md §13).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sim/config.hh"
+#include "testutil.hh"
+#include "verify/differential.hh"
+
+namespace re::verify {
+namespace {
+
+/// Per-core window for the test suite. This matches the default the
+/// per-family bounds were calibrated at — a truncated window shifts the
+/// fuzzed working-set cliffs relative to the probed cache sizes and the
+/// bounds stop being the documented ones.
+constexpr std::uint64_t kTestRefsPerCore = std::uint64_t{1} << 16;
+
+void expect_scenario_within_bounds(const sim::MachineConfig& machine,
+                                   int cores) {
+  CoRunDifferentialOptions options;
+  options.max_refs_per_core = kTestRefsPerCore;
+  for (const CoRunScenario& scenario : corun_scenarios(cores)) {
+    const CoRunDifferentialResult result = run_corun_differential(
+        scenario, machine, re::testing::test_seed(), options);
+    EXPECT_TRUE(result.attribution_exact)
+        << scenario.name << " at " << cores << " cores: " << result.to_string();
+    ASSERT_EQ(result.per_core.size(), static_cast<std::size_t>(cores));
+    for (int core = 0; core < cores; ++core) {
+      const TraceFamily family =
+          scenario.families[static_cast<std::size_t>(core) %
+                            scenario.families.size()];
+      const double bound = corun_family_error_bound(family, cores);
+      EXPECT_LE(result.per_core[static_cast<std::size_t>(core)].max_error(),
+                bound)
+          << scenario.name << " core " << core << " at " << cores
+          << " cores:\n"
+          << result.to_string();
+    }
+  }
+}
+
+TEST(CoRunDifferential, ScenarioMatrixWithinBoundsAtTwoCores) {
+  expect_scenario_within_bounds(sim::amd_phenom_ii(), 2);
+}
+
+TEST(CoRunDifferential, ScenarioMatrixWithinBoundsAtFourCores) {
+  expect_scenario_within_bounds(sim::amd_phenom_ii(), 4);
+}
+
+TEST(CoRunDifferential, ScenarioMatrixWithinBoundsAtEightCores) {
+  expect_scenario_within_bounds(sim::amd_phenom_ii(), 8);
+}
+
+TEST(CoRunDifferential, IntelMachineWithinBoundsAtTwoCores) {
+  expect_scenario_within_bounds(sim::intel_sandybridge(), 2);
+}
+
+TEST(CoRunDifferential, HwPrefetchAugmentedCellStaysWithinBounds) {
+  // The hw-augmented streaming_vs_chase cell: fills enter both the
+  // composition and the oracle symmetrically, so the bound still holds.
+  CoRunDifferentialOptions options;
+  options.max_refs_per_core = kTestRefsPerCore;
+  options.model_hw_prefetch = true;
+  for (const CoRunScenario& scenario : corun_scenarios(2)) {
+    if (scenario.name != "streaming_vs_chase") continue;
+    const CoRunDifferentialResult result = run_corun_differential(
+        scenario, sim::amd_phenom_ii(), re::testing::test_seed(), options);
+    EXPECT_TRUE(result.attribution_exact) << result.to_string();
+    for (std::size_t core = 0; core < result.per_core.size(); ++core) {
+      const double bound = corun_family_error_bound(
+          scenario.families[core % scenario.families.size()], 2);
+      EXPECT_LE(result.per_core[core].max_error(), bound)
+          << result.to_string();
+    }
+  }
+}
+
+TEST(CoRunDifferential, ReportIsDeterministic) {
+  CoRunDifferentialOptions options;
+  options.max_refs_per_core = kTestRefsPerCore;
+  const CoRunScenario scenario = corun_scenarios(2).front();
+  const CoRunDifferentialResult a = run_corun_differential(
+      scenario, sim::amd_phenom_ii(), re::testing::test_seed(), options);
+  const CoRunDifferentialResult b = run_corun_differential(
+      scenario, sim::amd_phenom_ii(), re::testing::test_seed(), options);
+  EXPECT_EQ(a.to_string(), b.to_string());
+  EXPECT_FALSE(a.to_string().empty());
+}
+
+TEST(CoRunInterference, PrefetchDegradationPredictedAndConfirmed) {
+  // The paper's motivating pathology, as a gate: aggressors' adjacent-line
+  // overfetch must be predicted (composed model) and confirmed (oracle) to
+  // degrade the chase victim.
+  const CoRunInterference r = run_corun_interference(
+      sim::amd_phenom_ii(), 2, re::testing::test_seed(), kTestRefsPerCore);
+  EXPECT_TRUE(r.predicted()) << r.to_string();
+  EXPECT_TRUE(r.confirmed()) << r.to_string();
+  EXPECT_LE(r.max_composed_error, 0.02) << r.to_string();
+  EXPECT_LE(r.share_on, r.share_off) << r.to_string();
+}
+
+}  // namespace
+}  // namespace re::verify

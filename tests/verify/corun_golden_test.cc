@@ -1,0 +1,66 @@
+// Co-run golden-plan snapshot enforcement: every suite benchmark's core-0
+// prefetch plan, solved under contention from three deterministic streaming
+// aggressors with the composed effective-LLC-share knob, must match the
+// committed snapshot. Re-bless deliberately via `tools/check.sh corun
+// --bless` (or `repf corun --bless --golden tests/golden`).
+#include "verify/golden.hh"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "engine/executor.hh"
+#include "sim/config.hh"
+
+#ifndef RE_SOURCE_DIR
+#error "RE_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace re::verify {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path
+                         << " — bless with tools/check.sh corun --bless";
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(CoRunGoldenPlans, VictimPlansMatchCommittedSnapshot) {
+  const sim::MachineConfig machine = sim::amd_phenom_ii();
+  const std::string actual =
+      render_corun_golden(compute_corun_suite_plans(machine), machine.name);
+  const std::string expected =
+      read_file(std::string(RE_SOURCE_DIR) + "/tests/golden/" +
+                corun_golden_filename(machine.name));
+  EXPECT_EQ(diff_golden(expected, actual), "")
+      << "co-run plans drifted from tests/golden/"
+      << corun_golden_filename(machine.name)
+      << " — if intentional, re-bless with tools/check.sh corun --bless";
+}
+
+TEST(CoRunGoldenPlans, FilenameIsSlugged) {
+  EXPECT_EQ(corun_golden_filename("AMD Phenom II"),
+            "corun_plans_amd_phenom_ii.golden");
+  EXPECT_EQ(corun_golden_filename("Intel i7-2600K"),
+            "corun_plans_intel_i7_2600k.golden");
+}
+
+TEST(CoRunGoldenPlans, ParallelComputeMatchesSerial) {
+  // The snapshot's determinism contract: the victim plans are byte-identical
+  // whether the suite fans out over 8 workers or runs serially.
+  const sim::MachineConfig machine = sim::amd_phenom_ii();
+  const engine::Executor executor(8);
+  const std::string serial =
+      render_corun_golden(compute_corun_suite_plans(machine), machine.name);
+  const std::string parallel = render_corun_golden(
+      compute_corun_suite_plans(machine, &executor), machine.name);
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace re::verify

@@ -1,0 +1,168 @@
+// Property tests for the exact shared-LLC oracle: one true LRU stack over
+// the interleaved multi-core stream with per-core attribution. The
+// properties here are exact identities — no modeling slack anywhere.
+#include "verify/shared_lru.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/trace_replay.hh"
+#include "support/rng.hh"
+#include "testutil.hh"
+#include "verify/exact_lru.hh"
+#include "verify/trace_fuzzer.hh"
+#include "workloads/mix.hh"
+
+namespace re::verify {
+namespace {
+
+/// Per-core seeded pseudo-random line streams (256-line working set per
+/// core, disjoint windows), for properties that need arbitrary traffic.
+std::vector<std::vector<Addr>> make_stream(int cores, std::uint64_t seed,
+                                           std::uint64_t refs_per_core) {
+  std::vector<std::vector<Addr>> lines(static_cast<std::size_t>(cores));
+  Rng rng(seed);
+  for (int core = 0; core < cores; ++core) {
+    for (std::uint64_t i = 0; i < refs_per_core; ++i) {
+      const Addr line = (static_cast<Addr>(core) << 32) | rng.next(256);
+      lines[static_cast<std::size_t>(core)].push_back(line);
+    }
+  }
+  return lines;
+}
+
+TEST(ExactSharedLru, SingleCoreMatchesExactLruExactly) {
+  const FuzzedTrace fuzzed =
+      make_trace(TraceFamily::kPointerChase, re::testing::test_seed(), 0);
+  ExactLruModel solo;
+  ExactSharedLruModel shared(1);
+  core::replay_program(
+      fuzzed.program,
+      [&](Pc pc, Addr addr) {
+        solo.observe(pc, addr);
+        shared.observe(0, pc, addr);
+      },
+      std::uint64_t{1} << 14);
+  solo.finalize();
+  shared.finalize();
+
+  ASSERT_EQ(shared.accesses(), solo.accesses());
+  ASSERT_EQ(shared.accesses_of(0), solo.accesses());
+  // Exact equality at every probed size: a one-core shared stack IS the
+  // private stack.
+  for (std::uint64_t lines = 1; lines <= (1u << 16); lines *= 2) {
+    EXPECT_EQ(shared.misses_at(lines),
+              solo.application_mrc().miss_count_lines(lines))
+        << "lines=" << lines;
+    EXPECT_EQ(shared.core_misses_at(0, lines),
+              solo.application_mrc().miss_count_lines(lines))
+        << "lines=" << lines;
+  }
+}
+
+TEST(ExactSharedLru, PerCoreMissesSumExactlyToSharedTotal) {
+  const int cores = 4;
+  const auto stream = make_stream(cores, re::testing::test_seed(), 2048);
+  ExactSharedLruModel model(cores);
+  for (std::uint64_t i = 0; i < 2048; ++i) {
+    for (int core = 0; core < cores; ++core) {
+      model.observe(core, static_cast<Pc>(core + 1),
+                    stream[static_cast<std::size_t>(core)][i] * kLineSize);
+    }
+  }
+  model.finalize();
+
+  std::uint64_t total_accesses = 0;
+  for (int core = 0; core < cores; ++core) {
+    total_accesses += model.accesses_of(core);
+  }
+  EXPECT_EQ(total_accesses, model.accesses());
+
+  for (std::uint64_t lines = 1; lines <= 4096; lines *= 4) {
+    std::uint64_t sum = 0;
+    for (int core = 0; core < cores; ++core) {
+      sum += model.core_misses_at(core, lines);
+    }
+    EXPECT_EQ(sum, model.misses_at(lines)) << "lines=" << lines;
+  }
+}
+
+TEST(ExactSharedLru, MissRatiosAreMonotoneNonIncreasing) {
+  const int cores = 3;
+  const auto stream = make_stream(cores, re::testing::test_seed() + 1, 4096);
+  ExactSharedLruModel model(cores);
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    for (int core = 0; core < cores; ++core) {
+      model.observe(core, 1,
+                    stream[static_cast<std::size_t>(core)][i] * kLineSize);
+    }
+  }
+  model.finalize();
+
+  double prev_app = 1.0;
+  std::vector<double> prev_core(static_cast<std::size_t>(cores), 1.0);
+  for (std::uint64_t lines = 1; lines <= 4096; lines *= 2) {
+    const double app = model.application_mrc().miss_ratio_lines(lines);
+    EXPECT_LE(app, prev_app + 1e-12) << "lines=" << lines;
+    prev_app = app;
+    for (int core = 0; core < cores; ++core) {
+      const double mr = model.core_mrc(core).miss_ratio_lines(lines);
+      EXPECT_LE(mr, prev_core[static_cast<std::size_t>(core)] + 1e-12)
+          << "core=" << core << " lines=" << lines;
+      prev_core[static_cast<std::size_t>(core)] = mr;
+    }
+  }
+}
+
+TEST(ExactSharedLru, ContentionInflatesACoresMissRatio) {
+  // A chase core alone vs the same chase core sharing the stack with a
+  // streaming neighbour: shared-stack distances can only grow, so at any
+  // fixed size the chase core's attributed miss ratio must not drop.
+  const std::uint64_t max_refs = std::uint64_t{1} << 13;
+  const FuzzedTrace chase =
+      make_trace(TraceFamily::kPointerChase, re::testing::test_seed(), 0);
+
+  ExactLruModel solo;
+  core::replay_program(
+      chase.program, [&](Pc pc, Addr addr) { solo.observe(pc, addr); },
+      max_refs);
+  solo.finalize();
+
+  FuzzedTrace stream =
+      make_trace(TraceFamily::kStrided, re::testing::test_seed(), 1);
+  workloads::rebase_program(stream.program, workloads::core_address_offset(1));
+  std::vector<std::vector<std::pair<Pc, Addr>>> traces(2);
+  core::replay_program(
+      chase.program,
+      [&](Pc pc, Addr addr) { traces[0].emplace_back(pc, addr); }, max_refs);
+  core::replay_program(
+      stream.program,
+      [&](Pc pc, Addr addr) { traces[1].emplace_back(pc, addr); }, max_refs);
+
+  ExactSharedLruModel shared(2);
+  const std::size_t n = std::min(traces[0].size(), traces[1].size());
+  for (std::size_t i = 0; i < n; ++i) {
+    shared.observe(0, traces[0][i].first, traces[0][i].second);
+    shared.observe(1, traces[1][i].first, traces[1][i].second);
+  }
+  for (std::size_t i = n; i < traces[0].size(); ++i) {
+    shared.observe(0, traces[0][i].first, traces[0][i].second);
+  }
+  for (std::size_t i = n; i < traces[1].size(); ++i) {
+    shared.observe(1, traces[1][i].first, traces[1][i].second);
+  }
+  shared.finalize();
+
+  for (std::uint64_t lines = 64; lines <= 16384; lines *= 4) {
+    EXPECT_GE(shared.core_mrc(0).miss_ratio_lines(lines) + 1e-12,
+              solo.application_mrc().miss_ratio_lines(lines))
+        << "lines=" << lines;
+  }
+}
+
+}  // namespace
+}  // namespace re::verify

@@ -27,6 +27,13 @@
 #            a double `repf serve` / `repf chaos --serve --crash-check`
 #            run compared byte-for-byte (the service determinism
 #            contract). Default build dir: build-asan.
+#   corun    run the shared-cache co-run lane under ASan+UBSan: `ctest -L
+#            corun`, a bench_corun smoke run (interference-prediction +
+#            determinism gates), then the full `repf corun` scenario
+#            matrix against the committed co-run goldens, run twice at
+#            --jobs 2 and compared byte-for-byte. `tools/check.sh corun
+#            --bless` re-blesses the co-run goldens instead. Default
+#            build dir: build-asan.
 #   tsan     build under ThreadSanitizer (RE_SANITIZE=thread), run the
 #            unit, verify and engine test labels, then `repf verify
 #            --golden --jobs 8` on both machines — the engine's concurrency
@@ -48,7 +55,7 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 
 LANE="${1:-asan}"
 case "$LANE" in
-  asan|werror|bench|verify|chaos|serve|tsan|coverage|unit|integration) shift || true ;;
+  asan|werror|bench|verify|chaos|serve|corun|tsan|coverage|unit|integration) shift || true ;;
   *) LANE=asan ;;  # first arg is a build dir, keep it in $1
 esac
 
@@ -237,6 +244,58 @@ run_serve() {
   echo "serve lane clean"
 }
 
+run_corun() {
+  # The co-run path mixes a Fenwick-tree oracle, __int128 interleaving and
+  # a fanned-out composition graph — prime sanitizer territory — so the
+  # whole lane runs under ASan+UBSan.
+  local bless=0
+  if [[ "${1:-}" == "--bless" ]]; then
+    bless=1
+    shift || true
+  fi
+  local build_dir="${1:-build-asan}"
+  cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRE_SANITIZE=address,undefined
+  cmake --build "$build_dir" -j "$JOBS"
+
+  export ASAN_OPTIONS="detect_leaks=0:halt_on_error=1"
+  export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+
+  if [[ "$bless" == 1 ]]; then
+    "$build_dir/tools/repf" corun --bless --golden tests/golden
+    "$build_dir/tools/repf" corun --bless --golden tests/golden --machine intel
+    echo "co-run goldens re-blessed under tests/golden/"
+    return
+  fi
+
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS" -L corun
+
+  # bench_corun in smoke mode still enforces every gate (degradation
+  # predicted + confirmed, composed error bound, jobs determinism).
+  (cd "$build_dir/bench" && RE_BENCH_SMOKE=1 ./bench_corun) > /dev/null
+  echo "== bench_corun smoke: interference + determinism gates hold"
+
+  # The full scenario matrix against the committed co-run goldens on both
+  # machines, run twice and compared byte-for-byte: same seed, same bytes.
+  local out_a out_b
+  out_a="$(mktemp)" ; out_b="$(mktemp)"
+  trap 'rm -f "$out_a" "$out_b"' RETURN
+  for machine in amd intel; do
+    "$build_dir/tools/repf" corun --golden tests/golden --machine "$machine" \
+      --jobs 2 > "$out_a"
+    "$build_dir/tools/repf" corun --golden tests/golden --machine "$machine" \
+      --jobs 2 > "$out_b"
+    cmp -s "$out_a" "$out_b" || {
+      echo "FAILED: repf corun --machine $machine is not deterministic"
+      diff "$out_a" "$out_b" | head -20
+      exit 1
+    }
+    echo "== repf corun --machine $machine: bounds hold + deterministic"
+  done
+  echo "corun lane clean"
+}
+
 run_tsan() {
   # The engine fans analysis out over a thread pool; this lane is the race
   # detector for it. The engine label carries the dedicated stress tests
@@ -307,6 +366,7 @@ case "$LANE" in
   verify) run_verify "${1:-}" "${2:-}" ;;
   chaos) run_chaos "${1:-}" ;;
   serve) run_serve "${1:-}" ;;
+  corun) run_corun "${1:-}" "${2:-}" ;;
   tsan) run_tsan "${1:-}" ;;
   coverage) run_coverage "${1:-}" ;;
   unit) run_label unit "${1:-}" ;;

@@ -144,6 +144,9 @@ int usage() {
       "                               never-hurts degradation invariant\n"
       "  verify                       differential oracle (StatStack vs\n"
       "                               exact LRU) and golden-plan snapshots\n"
+      "  corun                        co-run scenario matrix: composed\n"
+      "                               shared-LLC model vs the exact\n"
+      "                               interleaved-LRU oracle\n"
       "  chaos                        replay a seeded fault schedule against\n"
       "                               the supervised runtime, check recovery\n"
       "                               (--serve targets the advisory service)\n"
@@ -311,6 +314,32 @@ const char* help_for(const std::string& command) {
            "    --json FILE           also write the results as JSON\n"
            "                          (atomic temp-file + rename)\n"
            "    --verbose             print the full per-trace reports\n";
+  }
+  if (command == "corun") {
+    return "repf corun [options]\n"
+           "  Run the multi-programmed co-run scenario matrix: per-core\n"
+           "  StatStack profiles are composed into shared-LLC miss-ratio\n"
+           "  curves (interleaving-ratio reuse inflation) and checked\n"
+           "  against one exact LRU stack over the interleaved trace, with\n"
+           "  per-family error bounds, an exact per-core miss-attribution\n"
+           "  identity, and the streaming-vs-chase interference prediction\n"
+           "  (hardware prefetching must be predicted to degrade the chase\n"
+           "  victim). Output is deterministic: same seed, same bytes.\n"
+           "    --machine amd|intel   target machine model (default amd)\n"
+           "    --seed N              fuzzer seed (default 42)\n"
+           "    --cores N             run only this core count\n"
+           "                          (default matrix: 2, 4, 8; max 16)\n"
+           "    --golden DIR          also check the co-run victim plans\n"
+           "                          against DIR/corun_plans_<machine>\n"
+           "                          .golden\n"
+           "    --bless               rewrite the golden snapshot instead\n"
+           "                          of checking it\n"
+           "    --jobs N              fan scenario cells and golden\n"
+           "                          benchmarks out over N engine workers\n"
+           "                          (byte-identical output at any N)\n"
+           "    --json FILE           also write the results as JSON\n"
+           "                          (atomic temp-file + rename)\n"
+           "    --verbose             print the full per-scenario reports\n";
   }
   return nullptr;
 }
@@ -1373,6 +1402,223 @@ int cmd_verify(const Options& opts) {
   return failed ? kExitFailure : 0;
 }
 
+// repf corun: the multi-programmed scenario matrix. Every (core count,
+// scenario) cell runs the composed co-run model against the exact
+// shared-LRU oracle and checks the per-family error bounds plus the
+// integer attribution identity; the streaming-vs-chase row additionally
+// re-runs with hardware prefetching modeled and checks that the composition
+// *predicts* the chase victim's degradation. Exit: kExitFailure on any
+// bound/prediction violation (output names the seed).
+int cmd_corun(const Options& opts) {
+  std::vector<int> core_counts = {2, 4, 8};
+  if (opts.chaos_cores != 0) {
+    if (opts.chaos_cores > 16) {
+      std::fprintf(stderr, "corun --cores caps at 16\n");
+      return kExitUsage;
+    }
+    core_counts = {opts.chaos_cores};
+  }
+
+  std::printf("# repf corun | machine=%s | seed=%llu\n",
+              opts.machine.name.c_str(),
+              static_cast<unsigned long long>(opts.verify_seed));
+
+  // Every (core count, scenario, hw) cell is an independent unit; fan out
+  // over the engine executor and reduce in declaration order so the report
+  // is byte-identical at any --jobs. hw=true cells exist only for the
+  // interference-prediction row (streaming_vs_chase).
+  struct Unit {
+    int cores = 0;
+    verify::CoRunScenario scenario;
+    bool hw = false;
+  };
+  std::vector<Unit> units;
+  for (const int cores : core_counts) {
+    for (verify::CoRunScenario& scenario : verify::corun_scenarios(cores)) {
+      const bool interference = scenario.name == "streaming_vs_chase";
+      units.push_back({cores, scenario, false});
+      if (interference) units.push_back({cores, std::move(scenario), true});
+    }
+  }
+
+  struct UnitResult {
+    verify::CoRunDifferentialResult result;
+    double worst_margin = 0.0;  // max over cores of (error - bound)
+    bool ok = false;
+    std::string report;
+  };
+  const engine::Executor executor(opts.jobs);
+  const std::vector<UnitResult> unit_results =
+      executor.map(units.size(), [&](std::size_t i) {
+        const Unit& unit = units[i];
+        verify::CoRunDifferentialOptions options;
+        options.model_hw_prefetch = unit.hw;
+        UnitResult r;
+        r.result = verify::run_corun_differential(
+            unit.scenario, opts.machine, opts.verify_seed, options);
+        r.ok = r.result.attribution_exact;
+        r.worst_margin = -1.0;
+        for (std::size_t core = 0; core < r.result.per_core.size(); ++core) {
+          const double bound = verify::corun_family_error_bound(
+              unit.scenario.families[core], unit.cores);
+          const double margin =
+              r.result.per_core[core].max_error() - bound;
+          r.worst_margin = std::max(r.worst_margin, margin);
+          if (margin > 0.0) r.ok = false;
+        }
+        if (opts.verbose || !r.ok) r.report = r.result.to_string();
+        return r;
+      });
+
+  bool failed = false;
+  std::printf("== composed co-run model vs exact shared-LRU oracle\n");
+  TextTable table({"cores", "scenario", "hw", "accesses", "max err", "margin",
+                   "attrib", "verdict"});
+  std::string reports;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    const UnitResult& r = unit_results[i];
+    if (!r.ok) failed = true;
+    std::uint64_t accesses = 0;
+    for (const verify::CoRunCoreComparison& c : r.result.per_core) {
+      accesses += c.accesses;
+    }
+    table.add_row({std::to_string(units[i].cores), r.result.scenario,
+                   units[i].hw ? "on" : "off", std::to_string(accesses),
+                   format_percent(r.result.max_error()),
+                   format_percent(r.worst_margin),
+                   r.result.attribution_exact ? "exact" : "BROKEN",
+                   r.ok ? "OK" : "FAIL"});
+    reports += r.report;
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::fputs(reports.c_str(), stdout);
+
+  // Interference prediction: a pointer-chase victim vs sparse streaming
+  // aggressors whose speculative adjacent-line prefetcher fills only the
+  // skipped buddy lines — pure pollution, the paper's motivating co-run
+  // pathology. The composition must *predict* the victim's degradation
+  // before any run (higher shared-LLC miss ratio, no larger capacity
+  // share) and the exact interleaved-LRU oracle must confirm it.
+  std::printf("== interference prediction (chase victim vs streaming)\n");
+  const std::vector<verify::CoRunInterference> interference_results =
+      executor.map(core_counts.size(), [&](std::size_t i) {
+        return verify::run_corun_interference(opts.machine, core_counts[i],
+                                              opts.verify_seed);
+      });
+  TextTable interference({"cores", "mr off", "mr on", "exact off", "exact on",
+                          "share off", "share on", "verdict"});
+  for (const verify::CoRunInterference& r : interference_results) {
+    const bool ok = r.predicted() && r.confirmed();
+    if (!ok) failed = true;
+    interference.add_row(
+        {std::to_string(r.cores), format_percent(r.victim_mr_off),
+         format_percent(r.victim_mr_on), format_percent(r.exact_mr_off),
+         format_percent(r.exact_mr_on),
+         std::to_string(r.share_off) + "/" + std::to_string(r.llc_lines),
+         std::to_string(r.share_on) + "/" + std::to_string(r.llc_lines),
+         ok ? "degrades (OK)"
+            : (r.predicted() ? "NOT CONFIRMED" : "NOT PREDICTED")});
+  }
+  std::fputs(interference.render().c_str(), stdout);
+  if (opts.verbose) {
+    for (const verify::CoRunInterference& r : interference_results) {
+      std::fputs(r.to_string().c_str(), stdout);
+    }
+  }
+
+  std::string golden_status = "skipped";
+  if (!opts.golden_dir.empty()) {
+    const std::string path = opts.golden_dir + "/" +
+                             verify::corun_golden_filename(opts.machine.name);
+    const std::string rendered = verify::render_corun_golden(
+        verify::compute_corun_suite_plans(opts.machine, &executor),
+        opts.machine.name);
+    if (opts.bless) {
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "repf: cannot write %s\n", path.c_str());
+        return kExitFailure;
+      }
+      out << rendered;
+      std::printf("== co-run golden plans: blessed %s\n", path.c_str());
+      golden_status = "blessed";
+    } else {
+      std::ifstream in(path);
+      if (!in) {
+        std::printf("== co-run golden plans: %s missing (run with --bless)\n",
+                    path.c_str());
+        failed = true;
+        golden_status = "missing";
+      } else {
+        std::ostringstream text;
+        text << in.rdbuf();
+        const std::string diff = verify::diff_golden(text.str(), rendered);
+        if (diff.empty()) {
+          std::printf("== co-run golden plans: %s matches\n", path.c_str());
+          golden_status = "match";
+        } else {
+          std::printf(
+              "== co-run golden plans: %s DIFFERS (-golden/+current)\n%s",
+              path.c_str(), diff.c_str());
+          failed = true;
+          golden_status = "differs";
+        }
+      }
+    }
+  }
+
+  if (!opts.json_path.empty()) {
+    const auto& num = json_num;
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"command\": \"corun\",\n"
+         << "  \"machine\": \"" << json::escape(opts.machine.name) << "\",\n"
+         << "  \"seed\": " << opts.verify_seed << ",\n"
+         << "  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < unit_results.size(); ++i) {
+      const UnitResult& r = unit_results[i];
+      json << "    {\"scenario\": \"" << json::escape(r.result.scenario)
+           << "\", \"cores\": " << units[i].cores
+           << ", \"hw\": " << (units[i].hw ? "true" : "false")
+           << ", \"max_error\": " << num(r.result.max_error())
+           << ", \"worst_margin\": " << num(r.worst_margin)
+           << ", \"attribution_exact\": "
+           << (r.result.attribution_exact ? "true" : "false")
+           << ", \"ok\": " << (r.ok ? "true" : "false") << "}"
+           << (i + 1 < unit_results.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"interference\": [\n";
+    for (std::size_t i = 0; i < interference_results.size(); ++i) {
+      const verify::CoRunInterference& r = interference_results[i];
+      json << "    {\"cores\": " << r.cores
+           << ", \"victim_mr_off\": " << num(r.victim_mr_off)
+           << ", \"victim_mr_on\": " << num(r.victim_mr_on)
+           << ", \"exact_mr_off\": " << num(r.exact_mr_off)
+           << ", \"exact_mr_on\": " << num(r.exact_mr_on)
+           << ", \"share_off\": " << r.share_off
+           << ", \"share_on\": " << r.share_on
+           << ", \"predicted\": " << (r.predicted() ? "true" : "false")
+           << ", \"confirmed\": " << (r.confirmed() ? "true" : "false") << "}"
+           << (i + 1 < interference_results.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"golden\": \"" << json::escape(golden_status) << "\",\n"
+         << "  \"ok\": " << (failed ? "false" : "true") << "\n"
+         << "}\n";
+    const int rc = write_json_report(opts.json_path, json.str());
+    if (rc != 0) return rc;
+  }
+
+  if (failed) {
+    std::printf("corun FAILED (seed=%llu)\n",
+                static_cast<unsigned long long>(opts.verify_seed));
+    return kExitFailure;
+  }
+  std::printf("corun clean\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1501,6 +1747,7 @@ int main(int argc, char** argv) {
   try {
     if (opts.command == "list") return cmd_list();
     if (opts.command == "verify") return cmd_verify(opts);
+    if (opts.command == "corun") return cmd_corun(opts);
     if (opts.command == "chaos") return cmd_chaos(opts);
     if (opts.command == "serve") return cmd_serve(opts);
     if (opts.target.empty()) return usage();
