@@ -100,6 +100,7 @@ int main() {
 
   const sim::MachineConfig machine = sim::amd_phenom_ii();
   bench::JsonReport report("chaos_recovery");
+  report.set("seed", kSeed);
 
   const int cores = smoke ? 2 : 4;
   const std::uint64_t iterations = smoke ? 8192 : 32768;

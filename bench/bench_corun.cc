@@ -92,6 +92,7 @@ int main() {
   if (smoke) std::printf("[smoke mode: 2-core cells only]\n\n");
 
   bench::JsonReport report("corun");
+  report.set("seed", kSeed);
   const std::uint64_t max_refs =
       smoke ? (std::uint64_t{1} << 14) : (std::uint64_t{1} << 16);
   const std::vector<int> core_counts = smoke ? std::vector<int>{2}

@@ -96,6 +96,7 @@ int main() {
   for (const int jobs : worker_counts) passes.push_back(run_pass(jobs, names));
 
   bench::JsonReport report("engine_scaling");
+  report.set("seed", std::uint64_t{0});  // seedless: fully deterministic inputs
   report.set("hw_threads", static_cast<std::uint64_t>(hw_threads));
   report.set("benchmarks", static_cast<std::uint64_t>(names.size()));
 

@@ -16,6 +16,7 @@ int main() {
       "Single-threaded runs; speedup relative to no-prefetching baseline");
 
   bench::JsonReport report("fig4_speedup");
+  report.set("seed", std::uint64_t{0});  // seedless: fully deterministic inputs
   // RE_BENCH_JOBS fans the per-benchmark work out over the engine executor;
   // the output is byte-identical at any value (ordered reduction).
   const engine::Executor executor(bench::bench_jobs());

@@ -15,6 +15,7 @@ int main() {
                       "Single-threaded runs");
 
   bench::JsonReport report("fig6_bandwidth");
+  report.set("seed", std::uint64_t{0});  // seedless: fully deterministic inputs
   const engine::Executor executor(bench::bench_jobs());
   analysis::PlanCache cache;
   for (const sim::MachineConfig& machine :

@@ -129,6 +129,7 @@ int main() {
 
   const sim::MachineConfig machine = sim::amd_phenom_ii();
   bench::JsonReport report("online_adaptation");
+  report.set("seed", std::uint64_t{17});  // the workload generator seed
 
   // ---------------------------------------------------------------- phase
   // alternation scenario

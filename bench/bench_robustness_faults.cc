@@ -51,6 +51,7 @@ int main() {
   const std::vector<double> rates = {0.0, 0.05, 0.2, 0.5};
   int violations = 0;
   bench::JsonReport json("robustness_faults");
+  json.set("seed", std::uint64_t{0xFA57});  // FaultConfig::uniform default
   double worst_delta = 0.0;
 
   for (const std::string& name : workloads::suite_names()) {

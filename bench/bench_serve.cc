@@ -62,6 +62,7 @@ int main() {
 
   const sim::MachineConfig machine = sim::amd_phenom_ii();
   bench::JsonReport report("serve");
+  report.set("seed", kSeed);
 
   // Sizing for ~2x saturation: solve capacity is solve_slots / solve_cost
   // = 8/48 ~ 0.17 solves/tick. With a 90 % hot mix over 4 quickly-cached

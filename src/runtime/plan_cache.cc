@@ -228,10 +228,21 @@ Expected<PlanCache> PlanCache::from_json(const std::string& text,
   return cache;
 }
 
-std::string PlanCache::journal_header(std::size_t entries) {
+std::string PlanCache::journal_header(std::size_t entries,
+                                      const std::string& fingerprint) {
   std::string out;
-  append_printf(out, "{\"format\": \"%s\", \"version\": %d, \"entries\": %zu}\n",
-                kJournalMagic, kJournalVersion, entries);
+  if (fingerprint.empty()) {
+    append_printf(out,
+                  "{\"format\": \"%s\", \"version\": %d, \"entries\": %zu}\n",
+                  kJournalMagic, kJournalVersion, entries);
+  } else {
+    // The fingerprint is an identifier-safe token (hex digest); it is
+    // emitted verbatim, so callers must not pass JSON metacharacters.
+    append_printf(out, "{\"format\": \"%s\", \"version\": %d, ", kJournalMagic,
+                  kJournalVersion);
+    out += "\"fingerprint\": \"" + fingerprint + "\", ";
+    append_printf(out, "\"entries\": %zu}\n", entries);
+  }
   return out;
 }
 
@@ -241,8 +252,8 @@ std::string PlanCache::journal_record(const Entry& entry) {
          "\", \"entry\": " + payload + "}\n";
 }
 
-std::string PlanCache::to_journal() const {
-  std::string out = journal_header(entries_.size());
+std::string PlanCache::to_journal(const std::string& fingerprint) const {
+  std::string out = journal_header(entries_.size(), fingerprint);
   for (const Entry& entry : entries_) out += journal_record(entry);
   return out;
 }
@@ -276,7 +287,11 @@ Expected<PlanCache::LoadReport> PlanCache::from_journal(
   }
   const std::size_t promised = static_cast<std::size_t>(count->as_number());
 
-  LoadReport report{PlanCache(options), 0, 0, 0, {}};
+  LoadReport report{PlanCache(options), 0, 0, 0, {}, {}};
+  const json::Value* fingerprint = header->find("fingerprint");
+  if (fingerprint != nullptr && fingerprint->is_string()) {
+    report.fingerprint = fingerprint->as_string();
+  }
   std::vector<Entry> recovered;  // file order = MRU first
   std::size_t line_no = 1;
   while (pos < text.size()) {
@@ -350,13 +365,14 @@ Expected<PlanCache::LoadReport> PlanCache::load(
   }
   Expected<PlanCache> legacy = from_json(text, options);
   if (!legacy) return legacy.status();
-  LoadReport report{std::move(*legacy), 0, 0, 0, {}};
+  LoadReport report{std::move(*legacy), 0, 0, 0, {}, {}};
   report.loaded = report.cache.size();
   return report;
 }
 
-Status PlanCache::save(const std::string& path) const {
-  return support::write_file_atomic(path, to_journal());
+Status PlanCache::save(const std::string& path,
+                       const std::string& fingerprint) const {
+  return support::write_file_atomic(path, to_journal(fingerprint));
 }
 
 Expected<PlanCache::LoadReport> PlanCache::load_file(

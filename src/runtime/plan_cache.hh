@@ -91,14 +91,18 @@ class PlanCache {
 
   /// Crash-consistent journal snapshot (v2): a versioned header line
   /// followed by one line per entry, each carrying the CRC-32 of its
-  /// canonical payload. MRU-first, byte-deterministic.
-  std::string to_journal() const;
+  /// canonical payload. MRU-first, byte-deterministic. A non-empty
+  /// `fingerprint` (an identifier-safe token, e.g. a hex digest of the
+  /// machine model + knobs) is stamped into the header so a later load can
+  /// refuse state solved under different assumptions.
+  std::string to_journal(const std::string& fingerprint = {}) const;
 
   /// The v2 header line (newline-terminated) promising `entries` records.
   /// The loader treats extra appended records as valid and fewer as a
   /// truncated tail, so an append-mode writer (serve's shard journals)
   /// snapshots a header + current entries once and then appends records.
-  static std::string journal_header(std::size_t entries);
+  static std::string journal_header(std::size_t entries,
+                                    const std::string& fingerprint = {});
 
   /// One CRC-guarded journal record line (newline-terminated) for `entry`,
   /// byte-identical to the line to_journal() would emit for it.
@@ -119,7 +123,8 @@ class PlanCache {
                                    const PlanCacheOptions& options = {});
 
   /// Persist the journal via the shared atomic temp-file + rename writer.
-  Status save(const std::string& path) const;
+  Status save(const std::string& path,
+              const std::string& fingerprint = {}) const;
 
   /// Read `path` and load() it.
   static Expected<LoadReport> load_file(const std::string& path,
@@ -142,6 +147,10 @@ struct PlanCacheLoadReport {
   std::size_t missing = 0;
   /// One human-readable reason per quarantined/missing entry.
   std::vector<std::string> quarantine_log;
+  /// Header fingerprint, empty when the journal was written without one
+  /// (or loaded via the legacy v1 snapshot path). The caller decides the
+  /// trust policy — the loader only reports what the header claimed.
+  std::string fingerprint;
 
   bool degraded() const { return quarantined > 0 || missing > 0; }
 };

@@ -1,0 +1,45 @@
+#include "serve/fairness.hh"
+
+#include <algorithm>
+
+namespace re::serve {
+
+TokenBucket::TokenBucket(std::uint64_t burst_tokens, std::uint64_t rate_milli,
+                         std::uint64_t now, std::uint64_t phase_milli)
+    : capacity_milli_(std::max<std::uint64_t>(burst_tokens, 1) * 1000),
+      rate_milli_(rate_milli),
+      tokens_milli_(capacity_milli_),
+      last_tick_(now) {
+  // The phase offset pre-spends up to one token so equal-rate tenants hit
+  // their first refill boundary at different ticks. Bounded below by zero:
+  // a bucket never starts in debt.
+  const std::uint64_t offset = std::min<std::uint64_t>(phase_milli, 999);
+  tokens_milli_ -= std::min(tokens_milli_, offset);
+}
+
+void TokenBucket::refill(std::uint64_t now) {
+  if (now <= last_tick_) return;
+  const std::uint64_t elapsed = now - last_tick_;
+  last_tick_ = now;
+  if (rate_milli_ == 0) return;
+  // Saturating add: a long idle gap must clamp at burst, not wrap.
+  const std::uint64_t earned =
+      elapsed > capacity_milli_ / std::max<std::uint64_t>(rate_milli_, 1)
+          ? capacity_milli_
+          : elapsed * rate_milli_;
+  tokens_milli_ = std::min(capacity_milli_, tokens_milli_ + earned);
+}
+
+bool TokenBucket::try_take(std::uint64_t now) {
+  refill(now);
+  if (tokens_milli_ < 1000) return false;
+  tokens_milli_ -= 1000;
+  return true;
+}
+
+std::uint64_t TokenBucket::available_milli(std::uint64_t now) {
+  refill(now);
+  return tokens_milli_;
+}
+
+}  // namespace re::serve

@@ -1,0 +1,181 @@
+// Multi-tenant fairness primitives for the advisory service.
+//
+// PR 6's admission control protected the *service* from overload (bounded
+// queue, deadline feasibility) but not the *tenants* from each other: the
+// single FIFO solve queue let one chatty core fill every slot and starve
+// well-behaved cores into the degradation ladder — exactly the
+// uncoordinated-greed failure the paper's resource-efficiency argument is
+// about. This header supplies the two mechanisms the service composes into
+// per-tenant isolation (DESIGN.md §14):
+//
+//   * TokenBucket — a per-core admission quota in deterministic integer
+//     fixed-point (millitokens), with a burst capacity and a sustained
+//     refill rate. Each submitted request costs one token; an empty bucket
+//     sheds *that core's* request (QuotaExceeded) before it can touch the
+//     shared lookup or solve capacity. Buckets are seeded with a per-core
+//     phase offset so refill boundaries de-synchronize across tenants.
+//
+//   * DrrScheduler — deficit-round-robin dispatch over per-tenant
+//     sub-queues, replacing the global FIFO. Each tenant's backlog is
+//     bounded separately (its overflow is its own problem), and the
+//     dispatcher hands out solve slots one quantum per tenant per round, so
+//     a long sub-queue delays only its owner.
+//
+// Both are plain deterministic value types: no clocks, no randomness beyond
+// the seeded phase offset, byte-identical behaviour at any --jobs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "runtime/breaker.hh"
+
+namespace re::serve {
+
+/// Knobs for per-tenant isolation. Defaults are sized for the serve-tier
+/// traffic models (request rates of a few percent per tick per core); see
+/// the DESIGN.md §12 parameter table for the derivation.
+struct FairnessOptions {
+  /// Master switch. Off = PR 6 behaviour (single FIFO, no quotas),
+  /// byte-identical to before this layer existed.
+  bool enabled = false;
+  /// Token-bucket capacity, in whole tokens (requests). The burst a tenant
+  /// may submit back-to-back after an idle period.
+  std::uint64_t quota_burst = 8;
+  /// Sustained refill rate, in millitokens per tick (100 = 0.1 requests
+  /// per tick). 0 disables the bucket (burst alone never recovers).
+  std::uint64_t quota_rate_milli = 100;
+  /// DRR quantum: solves a tenant may start per dispatch round. 1 = strict
+  /// round-robin over active tenants (all solves cost the same).
+  std::uint64_t drr_quantum = 1;
+  /// Per-tenant sub-queue bound; a tenant's overflow beyond this is shed as
+  /// QuotaExceeded without touching the shared queue capacity.
+  std::size_t per_core_queue_cap = 8;
+  /// Consecutive quota sheds (no compliant admit in between) that trip the
+  /// tenant's breaker: a tenant still flooding after this many back-to-back
+  /// rejections is cut off for a backoff window at zero per-request cost.
+  int quota_trip_threshold = 64;
+  /// Per-tenant breaker (trip-out ladder: Backoff -> HalfOpen -> Open);
+  /// tick_scale is forced to 1 (service ticks).
+  runtime::BreakerOptions tenant_breaker;
+  /// Bounded per-core response outbox; 0 = responses are emitted directly
+  /// to the caller (PR 6 behaviour). When set, a core whose outbox (plus
+  /// outstanding work) is full has its new requests shed unanswered — a
+  /// consumer that stops reading cannot pin unbounded response memory or
+  /// anyone else's budget.
+  std::size_t outbox_capacity = 0;
+};
+
+/// Deterministic integer token bucket (millitoken fixed point). Refill is
+/// computed lazily from the tick delta on each touch, so the bucket costs
+/// O(1) per request and nothing per tick.
+class TokenBucket {
+ public:
+  /// `phase_milli` pre-charges up to one token of seeded phase offset so
+  /// identical tenants don't cross refill boundaries in lockstep.
+  TokenBucket(std::uint64_t burst_tokens, std::uint64_t rate_milli,
+              std::uint64_t now, std::uint64_t phase_milli = 0);
+
+  /// Refill to `now` and take one token if available. `now` must be
+  /// non-decreasing across calls (virtual service time).
+  bool try_take(std::uint64_t now);
+
+  /// Millitokens currently available (after refilling to `now`).
+  std::uint64_t available_milli(std::uint64_t now);
+
+ private:
+  void refill(std::uint64_t now);
+
+  std::uint64_t capacity_milli_;
+  std::uint64_t rate_milli_;
+  std::uint64_t tokens_milli_;
+  std::uint64_t last_tick_;
+};
+
+/// Deficit-round-robin dispatch over per-tenant sub-queues. Tenants become
+/// active on their first queued item and leave the ring when their
+/// sub-queue drains (deficit resets — an idle tenant cannot bank credit).
+/// Iteration order is the deterministic activation ring, never a hash map.
+template <typename Work>
+class DrrScheduler {
+ public:
+  /// Queue `work` for `tenant`; fails (returns false) when that tenant's
+  /// sub-queue already holds `per_tenant_cap` items.
+  bool push(int tenant, Work work, std::size_t per_tenant_cap) {
+    Tenant& t = tenants_[tenant];
+    if (t.queue.size() >= per_tenant_cap) return false;
+    if (t.queue.empty() && !t.in_ring) {
+      ring_.push_back(tenant);
+      t.in_ring = true;
+    }
+    t.queue.push_back(std::move(work));
+    ++total_;
+    max_tenant_depth_ = std::max(max_tenant_depth_, t.queue.size());
+    return true;
+  }
+
+  /// Dequeue the next item under DRR: the tenant at the head of the ring
+  /// spends `cost` deficit per item and is granted `quantum` more each time
+  /// it reaches the head. Returns nullopt when nothing is queued.
+  std::optional<Work> pop(std::uint64_t quantum, std::uint64_t cost) {
+    if (total_ == 0) return std::nullopt;
+    if (quantum == 0) quantum = 1;
+    if (cost == 0) cost = 1;
+    while (true) {
+      const int tenant = ring_.front();
+      Tenant& t = tenants_[tenant];
+      if (!head_charged_) {
+        t.deficit += quantum;
+        head_charged_ = true;
+      }
+      if (!t.queue.empty() && t.deficit >= cost) {
+        t.deficit -= cost;
+        Work work = std::move(t.queue.front());
+        t.queue.pop_front();
+        --total_;
+        if (t.queue.empty()) {
+          t.deficit = 0;  // credit does not survive going idle
+          t.in_ring = false;
+          ring_.pop_front();
+          head_charged_ = false;
+        }
+        return work;
+      }
+      // Head exhausted its deficit this round: rotate. total_ > 0
+      // guarantees progress (some tenant's deficit reaches cost after at
+      // most cost/quantum revisits).
+      ring_.push_back(ring_.front());
+      ring_.pop_front();
+      head_charged_ = false;
+    }
+  }
+
+  std::size_t size() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  std::size_t active_tenants() const { return ring_.size(); }
+  std::size_t tenant_depth(int tenant) const {
+    const auto it = tenants_.find(tenant);
+    return it == tenants_.end() ? 0 : it->second.queue.size();
+  }
+  /// High-water mark of any single sub-queue over the scheduler's lifetime.
+  std::size_t max_tenant_depth() const { return max_tenant_depth_; }
+
+ private:
+  struct Tenant {
+    std::deque<Work> queue;
+    std::uint64_t deficit = 0;
+    bool in_ring = false;
+  };
+
+  // Map for O(1) tenant access only; every ordered walk goes via ring_.
+  std::unordered_map<int, Tenant> tenants_;
+  std::deque<int> ring_;  // active tenants, round-robin order
+  bool head_charged_ = false;
+  std::size_t total_ = 0;
+  std::size_t max_tenant_depth_ = 0;
+};
+
+}  // namespace re::serve

@@ -55,8 +55,9 @@ Status ShardJournal::open_fd(const std::string& path) {
 }
 
 Status ShardJournal::create(const std::string& path,
-                            const runtime::PlanCache& cache) {
-  const Status snapshot = cache.save(path);
+                            const runtime::PlanCache& cache,
+                            const std::string& fingerprint) {
+  const Status snapshot = cache.save(path, fingerprint);
   if (!snapshot.ok()) return snapshot;
   return open_fd(path);
 }
@@ -67,14 +68,15 @@ Status ShardJournal::open_existing(const std::string& path) {
 
 Expected<runtime::PlanCache::LoadReport> ShardJournal::recover(
     const std::string& path,
-    const runtime::PlanCacheOptions& cache_options) {
+    const runtime::PlanCacheOptions& cache_options,
+    const std::string& fingerprint) {
   Expected<runtime::PlanCache::LoadReport> loaded =
       runtime::PlanCache::load_file(path, cache_options);
   if (!loaded.has_value()) return loaded;
   // Compact before appending: the snapshot rewrite discards any torn tail
   // (which would otherwise swallow the next appended record) and any stray
   // checkpoint temp file is simply never read.
-  const Status compacted = create(path, loaded.value().cache);
+  const Status compacted = create(path, loaded.value().cache, fingerprint);
   if (!compacted.ok()) return compacted;
   return loaded;
 }

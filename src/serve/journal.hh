@@ -35,8 +35,11 @@ class ShardJournal {
 
   /// Snapshot `cache` to `path` atomically (temp file + rename + directory
   /// fsync), then open the journal for appending. Replaces any previous
-  /// journal at `path`.
-  Status create(const std::string& path, const runtime::PlanCache& cache);
+  /// journal at `path`. A non-empty `fingerprint` is stamped into the
+  /// header; warm-start loaders refuse files whose fingerprint does not
+  /// match their own machine-model/knob digest.
+  Status create(const std::string& path, const runtime::PlanCache& cache,
+                const std::string& fingerprint = {});
 
   /// Open an existing journal for appending. Only safe on a cleanly closed
   /// journal: a torn final record has no trailing newline, so an append
@@ -48,10 +51,12 @@ class ShardJournal {
   /// tail), compact the recovered state into a fresh snapshot (an atomic
   /// rewrite — the torn bytes must never survive into the append stream),
   /// and reopen for appending. Returns the load report so the caller can
-  /// audit quarantined/missing entries.
+  /// audit quarantined/missing entries (and the header fingerprint the
+  /// file carried). `fingerprint` re-stamps the compacted snapshot.
   Expected<runtime::PlanCache::LoadReport> recover(
       const std::string& path,
-      const runtime::PlanCacheOptions& cache_options);
+      const runtime::PlanCacheOptions& cache_options,
+      const std::string& fingerprint = {});
 
   /// Durably append one entry record. Ok = the entry is acked: it survives
   /// any crash from this point on. On failure the journal stays open; the

@@ -1,8 +1,13 @@
 #include "serve/service.hh"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstring>
 #include <utility>
+
+#include "core/profile_validator.hh"
+#include "support/atomic_file.hh"
 
 namespace re::serve {
 
@@ -25,6 +30,7 @@ const char* degrade_cause_name(DegradeCause cause) {
     case DegradeCause::ShardDown: return "shard-down";
     case DegradeCause::SolveFault: return "solve-fault";
     case DegradeCause::CacheFault: return "cache-fault";
+    case DegradeCause::QuotaExceeded: return "quota-exceeded";
   }
   return "unknown";
 }
@@ -99,6 +105,26 @@ struct AdvisoryService::Shard {
   bool journaling = false;
 };
 
+/// Per-core isolation state (fairness mode only). Created lazily on the
+/// core's first request; seeded from the service seed and the core id, so
+/// tenant state never perturbs the shared Rng draw order.
+struct AdvisoryService::Tenant {
+  Tenant(const FairnessOptions& fairness, std::uint64_t now,
+         std::uint64_t seed, const runtime::BreakerOptions& breaker_options)
+      : bucket(fairness.quota_burst, fairness.quota_rate_milli, now,
+               seed % 1000),
+        breaker(breaker_options, seed) {}
+
+  TokenBucket bucket;
+  runtime::Breaker breaker;
+  int consecutive_quota_sheds = 0;
+  /// Admitted-but-unanswered requests (outbox mode): together with the
+  /// outbox size this bounds the responses that can ever pile up for a
+  /// consumer that stopped reading.
+  std::size_t outstanding = 0;
+  std::deque<PlanResponse> outbox;
+};
+
 AdvisoryService::AdvisoryService(const ServiceOptions& options, Solver solver,
                                  const engine::Executor* executor)
     : opts_(options), solver_(std::move(solver)), executor_(executor),
@@ -112,16 +138,81 @@ AdvisoryService::AdvisoryService(const ServiceOptions& options, Solver solver,
   for (int i = 0; i < opts_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(opts_.cache, breaker_options,
                                               rng_.fork()));
-    if (!opts_.journal_dir.empty()) {
-      Shard& shard = *shards_.back();
+  }
+  // Warm before snapshotting: verified prior-run entries land in this run's
+  // initial journal snapshots, so the warm state is itself durable.
+  if (!opts_.warm_start_dir.empty()) warm_start();
+  if (!opts_.journal_dir.empty()) {
+    for (int i = 0; i < opts_.shards; ++i) {
+      Shard& shard = *shards_[static_cast<std::size_t>(i)];
       const std::string path =
           opts_.journal_dir + "/shard-" + std::to_string(i) + ".journal";
-      const Status created = shard.journal.create(path, shard.cache);
+      const Status created =
+          shard.journal.create(path, shard.cache, opts_.config_fingerprint);
       if (created.ok()) {
         shard.journaling = true;
       } else {
         ++stats_.journal_append_failures;
       }
+    }
+  }
+}
+
+void AdvisoryService::warm_start() {
+  // Trust-but-verify: the directory is untrusted input. Per-file the header
+  // must parse and carry the expected fingerprint; per-entry the journal
+  // loader's CRC already rejected silent corruption, and the plan-sanity
+  // bounds below reject well-formed-but-absurd state (the "hand-edited
+  // cache" class). Anything suspect is quarantined and counted — the tenant
+  // it would have served simply re-solves fresh.
+  const core::ValidatorOptions bounds;  // reuse the validator's plausibility bound
+  const std::int64_t max_distance = bounds.max_plausible_stride;
+  constexpr std::size_t kMaxPlansPerEntry = 512;  // Supervisor's per-core cap
+  constexpr int kScanLimit = 256;  // prior run may have had more shards
+  for (int i = 0; i < kScanLimit; ++i) {
+    const std::string path =
+        opts_.warm_start_dir + "/shard-" + std::to_string(i) + ".journal";
+    if (::access(path.c_str(), F_OK) != 0) break;  // shard files are contiguous
+    Expected<std::string> text = support::read_file(path);
+    if (!text.has_value()) {
+      ++stats_.warm_files_rejected;
+      continue;
+    }
+    Expected<runtime::PlanCache::LoadReport> loaded =
+        runtime::PlanCache::load(text.value(), opts_.cache);
+    if (!loaded.has_value()) {
+      ++stats_.warm_files_rejected;
+      continue;
+    }
+    if (!opts_.config_fingerprint.empty() &&
+        loaded.value().fingerprint != opts_.config_fingerprint) {
+      // Stale or foreign machine-model/knob fingerprint: plans solved under
+      // different assumptions must not be served, however well-formed.
+      ++stats_.warm_files_rejected;
+      continue;
+    }
+    ++stats_.warm_files_loaded;
+    stats_.warm_entries_quarantined += loaded.value().quarantined;
+    // Coldest-first re-insertion preserves relative LRU order; entries are
+    // re-homed by fingerprint (the prior run's shard count may differ).
+    const std::list<runtime::PlanCache::Entry>& entries =
+        loaded.value().cache.entries();
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+      bool sane = !it->signature.empty() &&
+                  it->plans.size() <= kMaxPlansPerEntry;
+      for (const core::PrefetchPlan& plan : it->plans) {
+        if (plan.distance_bytes > max_distance ||
+            plan.distance_bytes < -max_distance) {
+          sane = false;
+          break;
+        }
+      }
+      if (!sane) {
+        ++stats_.warm_entries_quarantined;
+        continue;
+      }
+      shard_for(it->signature).cache.insert(it->signature, it->plans);
+      ++stats_.warm_entries_loaded;
     }
   }
 }
@@ -132,6 +223,50 @@ AdvisoryService::Shard& AdvisoryService::shard_for(
     const core::PhaseSignature& signature) {
   const std::uint64_t fp = signature_fingerprint(signature);
   return *shards_[fp % shards_.size()];
+}
+
+AdvisoryService::Tenant& AdvisoryService::tenant_for(int core,
+                                                     std::uint64_t now) {
+  auto it = tenants_.find(core);
+  if (it == tenants_.end()) {
+    runtime::BreakerOptions breaker_options = opts_.fairness.tenant_breaker;
+    breaker_options.tick_scale = 1;
+    // Seeded from (service seed, core id) — not from rng_ — so creating a
+    // tenant never shifts the shared fault/jitter draw order.
+    const std::uint64_t seed =
+        mix64(opts_.seed ^ (0x7E4A47ull + static_cast<std::uint64_t>(core)));
+    it = tenants_
+             .emplace(core, std::make_unique<Tenant>(opts_.fairness, now,
+                                                     seed, breaker_options))
+             .first;
+    tenant_order_.push_back(core);
+  }
+  return *it->second;
+}
+
+std::size_t AdvisoryService::collect(int core, std::size_t max,
+                                     std::vector<PlanResponse>& out) {
+  const auto it = tenants_.find(core);
+  if (it == tenants_.end()) return 0;
+  std::deque<PlanResponse>& box = it->second->outbox;
+  std::size_t taken = 0;
+  while (taken < max && !box.empty()) {
+    out.push_back(std::move(box.front()));
+    box.pop_front();
+    ++taken;
+  }
+  return taken;
+}
+
+std::size_t AdvisoryService::outbox_depth(int core) const {
+  const auto it = tenants_.find(core);
+  return it == tenants_.end() ? 0 : it->second->outbox.size();
+}
+
+runtime::BreakerState AdvisoryService::tenant_state(int core) const {
+  const auto it = tenants_.find(core);
+  return it == tenants_.end() ? runtime::BreakerState::Armed
+                              : it->second->breaker.state();
 }
 
 runtime::BreakerState AdvisoryService::shard_state(int shard) const {
@@ -188,6 +323,15 @@ void AdvisoryService::emit(PlanResponse&& response,
     ++stats_.deadline_missed;
     if (!response.degraded()) ++stats_.stale_fresh_violations;
   }
+  if (opts_.fairness.enabled && opts_.fairness.outbox_capacity > 0) {
+    // Outbox mode: responses wait in the core's bounded box until the
+    // client collect()s them. The submit-side gate guarantees
+    // outbox + outstanding <= capacity, so this push never overflows.
+    Tenant& tenant = tenant_for(response.core, response.complete_tick);
+    if (tenant.outstanding > 0) --tenant.outstanding;
+    tenant.outbox.push_back(std::move(response));
+    return;
+  }
   out.push_back(std::move(response));
 }
 
@@ -205,6 +349,44 @@ void AdvisoryService::submit(const PlanRequest& request, std::uint64_t now,
   work.deadline_abs =
       now + (request.deadline_ticks ? request.deadline_ticks
                                     : opts_.deadline_ticks);
+
+  if (opts_.fairness.enabled) {
+    // The fairness ladder runs before any shared state is touched, so an
+    // offender is shed at its own expense: the slow-consumer gate and the
+    // quota gate cost nothing from the shard caches or the solve queue.
+    Tenant& tenant = tenant_for(request.core, now);
+    if (opts_.fairness.outbox_capacity > 0 &&
+        tenant.outbox.size() + tenant.outstanding >=
+            opts_.fairness.outbox_capacity) {
+      // The core stopped reading its answers; there is nowhere to put a
+      // response (even a degraded one), so the request is dropped counted.
+      ++stats_.shed_slow_consumer;
+      return;
+    }
+    if (opts_.fairness.outbox_capacity > 0) ++tenant.outstanding;
+    if (tenant.breaker.down()) {
+      // Tripped-out tenant: zero-cost shed for the backoff window.
+      ++stats_.shed_quota;
+      emit(degrade(work, now, DegradeCause::QuotaExceeded), out);
+      return;
+    }
+    if (!tenant.bucket.try_take(now)) {
+      ++stats_.shed_quota;
+      if (++tenant.consecutive_quota_sheds >=
+              opts_.fairness.quota_trip_threshold &&
+          opts_.fairness.quota_trip_threshold > 0) {
+        tenant.breaker.trip();
+        ++stats_.quota_breaker_trips;
+        tenant.consecutive_quota_sheds = 0;
+      }
+      emit(degrade(work, now, DegradeCause::QuotaExceeded), out);
+      return;
+    }
+    tenant.consecutive_quota_sheds = 0;
+    if (tenant.breaker.state() == runtime::BreakerState::HalfOpen) {
+      tenant.breaker.probe_ok();  // a compliant request is a healthy probe
+    }
+  }
 
   Shard& shard = shard_for(request.signature);
   if (shard.breaker.down()) {
@@ -269,6 +451,46 @@ void AdvisoryService::lookup_and_route(const PendingSolve& work, Shard& shard,
 
 void AdvisoryService::admit(const PendingSolve& work, std::uint64_t now,
                             std::vector<PlanResponse>& out) {
+  if (opts_.fairness.enabled) {
+    const int core = work.request.core;
+    // Offender-pays ordering: a tenant whose own backlog is full is shed as
+    // QuotaExceeded before the shared capacity or feasibility checks — its
+    // overflow never competes with anyone else's deadline budget.
+    if (fair_queue_.tenant_depth(core) >=
+        opts_.fairness.per_core_queue_cap) {
+      ++stats_.shed_quota;
+      emit(degrade(work, now, DegradeCause::QuotaExceeded), out);
+      return;
+    }
+    if (fair_queue_.size() >= opts_.queue_capacity) {
+      ++stats_.shed_queue_full;
+      emit(degrade(work, now, DegradeCause::QueueFull), out);
+      return;
+    }
+    // DRR feasibility: the worst-case wait multiplies this tenant's own
+    // backlog by the active-tenant count (one quantum each per round), not
+    // by the global queue depth — another tenant's long sub-queue does not
+    // push this estimate out.
+    const std::uint64_t active =
+        std::max<std::uint64_t>(fair_queue_.active_tenants(), 1);
+    const std::uint64_t ahead =
+        fair_queue_.tenant_depth(core) * active + in_flight_.size();
+    const std::uint64_t batches =
+        1 + ahead / static_cast<std::uint64_t>(opts_.solve_slots);
+    const std::uint64_t estimated_done =
+        now + batches * opts_.solve_cost_ticks;
+    if (estimated_done > work.deadline_abs) {
+      ++stats_.shed_infeasible;
+      emit(degrade(work, now, DegradeCause::DeadlineInfeasible), out);
+      return;
+    }
+    fair_queue_.push(core, work, opts_.fairness.per_core_queue_cap);
+    stats_.max_queue_depth =
+        std::max(stats_.max_queue_depth, fair_queue_.size());
+    stats_.max_tenant_queue_depth = fair_queue_.max_tenant_depth();
+    return;
+  }
+
   if (queue_.size() >= opts_.queue_capacity) {
     ++stats_.shed_queue_full;
     emit(degrade(work, now, DegradeCause::QueueFull), out);
@@ -297,6 +519,10 @@ void AdvisoryService::step(std::uint64_t now,
   last_step_tick_ = now;
   for (const auto& shard : shards_) {
     shard->breaker.tick(elapsed);  // Backoff expiry -> HalfOpen probation
+  }
+  // Deterministic first-seen order, never the hash map.
+  for (const int core : tenant_order_) {
+    tenants_[core]->breaker.tick(elapsed);
   }
   complete_due_solves(now, out);
   process_due_retries(now, out);
@@ -488,11 +714,23 @@ void AdvisoryService::process_due_retries(std::uint64_t now,
 }
 
 void AdvisoryService::start_solves(std::uint64_t now) {
-  while (!queue_.empty() &&
-         in_flight_.size() < static_cast<std::size_t>(opts_.solve_slots)) {
+  while (in_flight_.size() < static_cast<std::size_t>(opts_.solve_slots)) {
+    PendingSolve next;
+    if (opts_.fairness.enabled) {
+      // DRR: the head tenant spends one unit of deficit per solve and gets
+      // drr_quantum more each time it reaches the head — a flood in one
+      // sub-queue delays only its owner.
+      std::optional<PendingSolve> popped =
+          fair_queue_.pop(opts_.fairness.drr_quantum, 1);
+      if (!popped.has_value()) return;
+      next = std::move(*popped);
+    } else {
+      if (queue_.empty()) return;
+      next = std::move(queue_.front());
+      queue_.pop_front();
+    }
     auto flight = std::make_unique<InFlight>();
-    flight->work = std::move(queue_.front());
-    queue_.pop_front();
+    flight->work = std::move(next);
     flight->start_tick = now;
     flight->done_tick = now + opts_.solve_cost_ticks;
     in_flight_.push_back(std::move(flight));
@@ -506,7 +744,8 @@ std::uint64_t AdvisoryService::drain(std::uint64_t now,
   // exhaust); the cap is a backstop against a future bug turning this into
   // an infinite loop, not a tuning knob.
   const std::uint64_t limit = now + 10'000'000;
-  while ((!queue_.empty() || !in_flight_.empty() || !retries_.empty()) &&
+  while ((!queue_.empty() || !fair_queue_.empty() || !in_flight_.empty() ||
+          !retries_.empty()) &&
          now < limit) {
     ++now;
     step(now, out);

@@ -28,6 +28,14 @@
 //     (shared with the Supervisor's failure domains): a down shard is
 //     skipped, its traffic degrades to LKG/no-prefetch, and it re-arms
 //     through half-open probation.
+//   * multi-tenant fairness (FairnessOptions, DESIGN.md §14) — per-core
+//     token-bucket quotas, deficit-round-robin dispatch over per-tenant
+//     sub-queues, and a per-tenant breaker trip-out, so one chatty core's
+//     overflow is shed (QuotaExceeded) before it can touch anyone else's
+//     deadline budget. Off by default (byte-identical to the FIFO path).
+//   * trust-but-verify warm start — prior-run shard journals load through
+//     fingerprint, CRC and plan-sanity revalidation; anything suspect is
+//     quarantined (that tenant re-solves fresh), never served.
 //
 // Determinism contract: the service is a virtual-time discrete-event
 // machine. submit()/step() run on one thread and draw all randomness
@@ -51,6 +59,7 @@
 #include "engine/executor.hh"
 #include "runtime/breaker.hh"
 #include "runtime/plan_cache.hh"
+#include "serve/fairness.hh"
 #include "serve/journal.hh"
 #include "support/rng.hh"
 #include "support/status.hh"
@@ -78,6 +87,7 @@ enum class DegradeCause : int {
   ShardDown,           // breaker holds the shard down (backoff/open)
   SolveFault,          // the solver itself failed
   CacheFault,          // cache lookup retries exhausted
+  QuotaExceeded,       // fairness: the tenant's own quota/backlog overflowed
 };
 
 const char* degrade_cause_name(DegradeCause cause);
@@ -143,6 +153,16 @@ struct ServiceOptions {
   runtime::BreakerOptions breaker;
   /// Directory for per-shard journals; empty = in-memory only.
   std::string journal_dir;
+  /// Multi-tenant isolation knobs (off by default; DESIGN.md §14).
+  FairnessOptions fairness;
+  /// Directory holding prior-run shard journals to warm the caches from
+  /// (trust-but-verify: fingerprint + CRC + plan-sanity revalidation;
+  /// anything suspect is quarantined). Empty = cold start.
+  std::string warm_start_dir;
+  /// Expected machine-model/knob fingerprint, stamped into this run's
+  /// journal headers and required of warm-start files. Empty = unstamped
+  /// journals, and warm-start accepts any header (caller opted out).
+  std::string config_fingerprint;
   std::uint64_t seed = 0xAD115EED;
 };
 
@@ -170,6 +190,22 @@ struct ServiceStats {
   /// High-water mark of the bounded solve queue. Must stay <= capacity.
   std::size_t max_queue_depth = 0;
   std::uint64_t solves_started = 0;
+  // --- fairness (zero unless FairnessOptions::enabled) ---
+  /// Requests shed with QuotaExceeded: empty token bucket, full per-tenant
+  /// sub-queue, or the tenant's breaker holding it down.
+  std::uint64_t shed_quota = 0;
+  /// Per-tenant breaker trips (quota_trip_threshold consecutive sheds).
+  std::uint64_t quota_breaker_trips = 0;
+  /// Requests rejected unanswered because the core's bounded outbox (plus
+  /// outstanding work) was full — a consumer that stopped reading.
+  std::uint64_t shed_slow_consumer = 0;
+  /// High-water mark of any single tenant's sub-queue.
+  std::size_t max_tenant_queue_depth = 0;
+  // --- warm start (zero unless warm_start_dir was set) ---
+  std::uint64_t warm_files_loaded = 0;       // journals accepted
+  std::uint64_t warm_files_rejected = 0;     // unreadable or bad fingerprint
+  std::uint64_t warm_entries_loaded = 0;     // entries verified + installed
+  std::uint64_t warm_entries_quarantined = 0;  // CRC/parse/sanity failures
 };
 
 /// Deterministic shard key: a mix over the signature's (pc, weight) pairs
@@ -207,6 +243,16 @@ class AdvisoryService {
   /// answered. Returns the tick the service went idle at.
   std::uint64_t drain(std::uint64_t now, std::vector<PlanResponse>& out);
 
+  /// Drain up to `max` responses from `core`'s outbox (fairness outbox mode
+  /// only; no-op with direct emission). Models the client actually reading.
+  std::size_t collect(int core, std::size_t max,
+                      std::vector<PlanResponse>& out);
+  /// Responses waiting in `core`'s outbox (0 with direct emission).
+  std::size_t outbox_depth(int core) const;
+  /// State of `core`'s per-tenant breaker (Armed when the tenant has never
+  /// been seen or fairness is off).
+  runtime::BreakerState tenant_state(int core) const;
+
   const ServiceStats& stats() const { return stats_; }
   const ServiceOptions& options() const { return opts_; }
   int shards() const { return static_cast<int>(shards_.size()); }
@@ -223,9 +269,12 @@ class AdvisoryService {
   struct InFlight;
   struct PendingSolve;
   struct Retry;
+  struct Tenant;
 
   Shard& shard_for(const core::PhaseSignature& signature);
+  Tenant& tenant_for(int core, std::uint64_t now);
   std::uint64_t retry_delay(int attempt);
+  void warm_start();
   void emit(PlanResponse&& response, std::vector<PlanResponse>& out);
   /// Build the degraded answer for `work`: LKG when this core has a good
   /// previous answer, NoPrefetch otherwise. `done` stamps completion;
@@ -247,7 +296,10 @@ class AdvisoryService {
   const engine::Executor* executor_;
   Rng rng_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::deque<PendingSolve> queue_;
+  std::deque<PendingSolve> queue_;      // FIFO path (fairness off)
+  DrrScheduler<PendingSolve> fair_queue_;  // DRR path (fairness on)
+  std::unordered_map<int, std::unique_ptr<Tenant>> tenants_;
+  std::vector<int> tenant_order_;  // deterministic first-seen iteration order
   std::vector<std::unique_ptr<InFlight>> in_flight_;
   std::vector<Retry> retries_;
   std::unordered_map<int, std::vector<core::PrefetchPlan>> lkg_;

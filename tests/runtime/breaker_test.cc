@@ -4,6 +4,9 @@
 
 #include <cstdint>
 
+#include "support/rng.hh"
+#include "testutil.hh"
+
 namespace re::runtime {
 namespace {
 
@@ -135,6 +138,91 @@ TEST(Breaker, JitterIsSeededAndBounded) {
   c.trip();
   EXPECT_GE(c.backoff_remaining(), 75u);
   EXPECT_LE(c.backoff_remaining(), 125u);
+}
+
+// Property sweep: seeded random event sequences (trip / tick / probe_ok in
+// any order) against a shadow model of the documented state machine. The
+// breaker must never reach an undeclared state, never leave Open, and only
+// enter Open after exactly max_trips consecutive trips.
+TEST(Breaker, RandomEventSequencesNeverLeaveTheDeclaredMachine) {
+  const std::uint64_t seed = re::testing::test_seed();
+  for (int round = 0; round < 64; ++round) {
+    BreakerOptions opts;
+    Rng rng(seed + static_cast<std::uint64_t>(round) * 0x9E3779B97F4A7C15ull);
+    opts.backoff_base = 1 + rng.next(8);
+    opts.max_backoff = opts.backoff_base + rng.next(32);
+    opts.tick_scale = 1 + rng.next(4);
+    opts.jitter = 0.25 * static_cast<double>(rng.next(3));  // 0 / .25 / .5
+    opts.half_open_probes = 1 + static_cast<int>(rng.next(4));
+    opts.max_trips = static_cast<int>(rng.next(6));  // 0 = never opens
+    Breaker breaker(opts, seed ^ static_cast<std::uint64_t>(round));
+
+    // Shadow model: what the header's diagram promises.
+    int shadow_trips = 0;
+    bool shadow_open = false;
+
+    const std::uint64_t max_penalty_ticks = static_cast<std::uint64_t>(
+        static_cast<double>(opts.max_backoff * opts.tick_scale) *
+            (1.0 + opts.jitter) +
+        1.0);
+    for (int event = 0; event < 512; ++event) {
+      const BreakerState before = breaker.state();
+      switch (rng.next(4)) {
+        case 0:
+          breaker.trip();
+          if (!shadow_open) {
+            ++shadow_trips;
+            if (opts.max_trips > 0 && shadow_trips >= opts.max_trips) {
+              shadow_open = true;
+            }
+          }
+          break;
+        case 1:
+          breaker.tick(1);
+          break;
+        case 2:
+          breaker.tick(1 + rng.next(2 * max_penalty_ticks));
+          break;
+        default:
+          if (breaker.probe_ok()) shadow_trips = 0;
+          break;
+      }
+      const BreakerState state = breaker.state();
+
+      // 1. Only declared states, and stable names for each.
+      ASSERT_TRUE(state == BreakerState::Armed ||
+                  state == BreakerState::Backoff ||
+                  state == BreakerState::HalfOpen ||
+                  state == BreakerState::Open)
+          << "round " << round << " event " << event;
+      ASSERT_NE(breaker_state_name(state), nullptr);
+
+      // 2. Open is absorbing and reached only at max_trips consecutive
+      //    trips (never with max_trips <= 0).
+      if (before == BreakerState::Open) {
+        ASSERT_EQ(state, BreakerState::Open);
+      }
+      ASSERT_EQ(breaker.open(), shadow_open)
+          << "round " << round << " event " << event << " trips "
+          << breaker.consecutive_trips();
+      if (opts.max_trips <= 0) ASSERT_FALSE(breaker.open());
+
+      // 3. down() is exactly Backoff-or-Open; accessors stay in range.
+      ASSERT_EQ(breaker.down(), state == BreakerState::Backoff ||
+                                    state == BreakerState::Open);
+      ASSERT_LE(breaker.consecutive_trips(),
+                opts.max_trips > 0 ? opts.max_trips : 512 + 1);
+      ASSERT_GE(breaker.consecutive_trips(), 0);
+      if (state == BreakerState::Backoff) {
+        ASSERT_GE(breaker.backoff_remaining(), 1u);
+        ASSERT_LE(breaker.backoff_remaining(), max_penalty_ticks);
+      }
+      // 4. Bookkeeping mirrors the shadow's consecutive-trip count.
+      if (!shadow_open) {
+        ASSERT_EQ(breaker.consecutive_trips(), shadow_trips);
+      }
+    }
+  }
 }
 
 TEST(Breaker, StateNamesAreStable) {

@@ -1,0 +1,327 @@
+// Fairness-layer tests: the TokenBucket and DrrScheduler value types, the
+// service-level isolation they compose into (quota sheds, per-tenant
+// breaker trip-out, bounded outboxes), and the fairness-off compatibility
+// guarantee (byte-identical to the PR 6 FIFO path).
+#include "serve/fairness.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/harness.hh"
+#include "serve/service.hh"
+#include "testutil.hh"
+
+namespace re::serve {
+namespace {
+
+// ------------------------------------------------------------ TokenBucket
+
+TEST(TokenBucket, BurstThenSustainedRate) {
+  TokenBucket bucket(/*burst_tokens=*/3, /*rate_milli=*/100, /*now=*/0);
+  // The full burst is available immediately...
+  EXPECT_TRUE(bucket.try_take(0));
+  EXPECT_TRUE(bucket.try_take(0));
+  EXPECT_TRUE(bucket.try_take(0));
+  EXPECT_FALSE(bucket.try_take(0));
+  // ...then refill is 0.1 tokens/tick: the next token exists at tick 10.
+  EXPECT_FALSE(bucket.try_take(9));
+  EXPECT_TRUE(bucket.try_take(10));
+  EXPECT_FALSE(bucket.try_take(10));
+}
+
+TEST(TokenBucket, RefillClampsAtBurstCapacity) {
+  TokenBucket bucket(/*burst_tokens=*/2, /*rate_milli=*/1000, /*now=*/0);
+  // A long idle period cannot bank more than the burst.
+  EXPECT_EQ(bucket.available_milli(1000000), 2000u);
+  EXPECT_TRUE(bucket.try_take(1000000));
+  EXPECT_TRUE(bucket.try_take(1000000));
+  EXPECT_FALSE(bucket.try_take(1000000));
+}
+
+TEST(TokenBucket, ZeroRateNeverRecovers) {
+  TokenBucket bucket(/*burst_tokens=*/1, /*rate_milli=*/0, /*now=*/0);
+  EXPECT_TRUE(bucket.try_take(0));
+  EXPECT_FALSE(bucket.try_take(1u << 20));
+}
+
+TEST(TokenBucket, PhaseOffsetShiftsTheFirstRefillBoundary) {
+  // Two identical tenants with different phase offsets must not cross
+  // refill boundaries in lockstep: the pre-spent phase delays the phased
+  // bucket's recovery.
+  TokenBucket aligned(1, 100, 0, /*phase_milli=*/0);
+  TokenBucket phased(1, 100, 0, /*phase_milli=*/500);
+  EXPECT_TRUE(aligned.try_take(0));
+  EXPECT_FALSE(phased.try_take(0));  // 500 milli pre-spent: half a token
+  EXPECT_TRUE(phased.try_take(5));   // recovered the phase at tick 5
+  EXPECT_FALSE(aligned.try_take(5));
+  EXPECT_TRUE(aligned.try_take(10));  // aligned boundary stays at tick 10
+}
+
+// ------------------------------------------------------------ DrrScheduler
+
+TEST(DrrScheduler, RoundRobinsAcrossActiveTenants) {
+  DrrScheduler<int> drr;
+  // Tenant 1 floods; tenants 2 and 3 queue one item each.
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(drr.push(1, 100 + i, 8));
+  EXPECT_TRUE(drr.push(2, 200, 8));
+  EXPECT_TRUE(drr.push(3, 300, 8));
+  EXPECT_EQ(drr.size(), 6u);
+  EXPECT_EQ(drr.active_tenants(), 3u);
+
+  // Quantum 1, cost 1: strict round-robin — the flooder gets exactly one
+  // slot per round, so 2 and 3 drain after at most one of 1's items each.
+  std::vector<int> order;
+  while (auto work = drr.pop(1, 1)) order.push_back(*work);
+  const std::vector<int> expected = {100, 200, 300, 101, 102, 103};
+  EXPECT_EQ(order, expected);
+  EXPECT_TRUE(drr.empty());
+  EXPECT_EQ(drr.active_tenants(), 0u);
+}
+
+TEST(DrrScheduler, PerTenantCapShedsOnlyTheOffender) {
+  DrrScheduler<int> drr;
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(drr.push(7, i, 3));
+  EXPECT_FALSE(drr.push(7, 99, 3));  // the flooder's 4th is refused
+  EXPECT_TRUE(drr.push(8, 0, 3));    // an unrelated tenant is not
+  EXPECT_EQ(drr.tenant_depth(7), 3u);
+  EXPECT_EQ(drr.tenant_depth(8), 1u);
+  EXPECT_EQ(drr.max_tenant_depth(), 3u);
+}
+
+TEST(DrrScheduler, DeficitDoesNotSurviveGoingIdle) {
+  DrrScheduler<int> drr;
+  EXPECT_TRUE(drr.push(1, 10, 8));
+  EXPECT_TRUE(drr.pop(5, 1).has_value());  // banked 5, spent 1, drained
+  // Re-activation starts from zero deficit: with cost 3 and quantum 1 the
+  // tenant needs 3 fresh head visits, not the stale credit.
+  EXPECT_TRUE(drr.push(1, 11, 8));
+  EXPECT_EQ(*drr.pop(1, 3), 11);  // loops internally: 3 head grants
+  EXPECT_TRUE(drr.empty());
+}
+
+TEST(DrrScheduler, ExpensiveItemsServeFewerPerRound) {
+  DrrScheduler<int> drr;
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_TRUE(drr.push(1, 100 + i, 8));
+    EXPECT_TRUE(drr.push(2, 200 + i, 8));
+  }
+  // cost 2, quantum 1: each tenant needs two head visits per item, but the
+  // interleave stays fair — neither tenant serves its second item before
+  // the other's first.
+  std::vector<int> order;
+  while (auto work = drr.pop(1, 2)) order.push_back(*work);
+  const std::vector<int> expected = {100, 200, 101, 201};
+  EXPECT_EQ(order, expected);
+}
+
+// --------------------------------------------------- service integration
+
+std::vector<Family> test_families() { return make_families(2, 8); }
+
+ServiceOptions fairness_options() {
+  ServiceOptions options;
+  options.shards = 2;
+  options.queue_capacity = 32;
+  options.solve_slots = 2;
+  options.solve_cost_ticks = 4;
+  options.deadline_ticks = 128;
+  options.seed = re::testing::test_seed();
+  options.fairness.enabled = true;
+  options.fairness.quota_burst = 4;
+  options.fairness.quota_rate_milli = 0;  // no refill: sheds are immediate
+  options.fairness.per_core_queue_cap = 4;
+  return options;
+}
+
+PlanRequest request_for(std::uint64_t id, int core,
+                        const std::vector<Family>& families,
+                        std::uint64_t family) {
+  PlanRequest request;
+  request.id = id;
+  request.core = core;
+  request.family = family;
+  request.signature = families[family % families.size()].signature;
+  return request;
+}
+
+TEST(ServiceFairness, QuotaOverflowShedsOnlyTheOffender) {
+  const std::vector<Family> families = test_families();
+  AdvisoryService service(fairness_options(),
+                          make_synthetic_solver(families), nullptr);
+  std::vector<PlanResponse> out;
+  // Core 0 floods 12 cold requests at tick 0: the burst (4 tokens, less
+  // the sub-token seeded phase pre-spend) passes, the rest shed as
+  // QuotaExceeded. Core 1's single request is untouched.
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    service.submit(request_for(i + 1, 0, families, 2 + (i % 8)), 0, out);
+  }
+  service.submit(request_for(100, 1, families, 2), 0, out);
+  service.drain(0, out);
+
+  std::uint64_t core0_quota_shed = 0;
+  for (const PlanResponse& response : out) {
+    if (response.cause == DegradeCause::QuotaExceeded) {
+      EXPECT_EQ(response.core, 0);
+      EXPECT_TRUE(response.degraded());
+      ++core0_quota_shed;
+    }
+    if (response.core == 1) {
+      EXPECT_NE(response.cause, DegradeCause::QuotaExceeded);
+    }
+  }
+  // 8 sheds with a zero phase offset, 9 when the pre-spend costs the 4th
+  // burst token — never more, never the victim's.
+  EXPECT_GE(core0_quota_shed, 8u);
+  EXPECT_LE(core0_quota_shed, 9u);
+  EXPECT_EQ(service.stats().shed_quota, core0_quota_shed);
+  EXPECT_EQ(service.stats().stale_fresh_violations, 0u);
+}
+
+TEST(ServiceFairness, PersistentFloodTripsTheTenantBreaker) {
+  ServiceOptions options = fairness_options();
+  options.fairness.quota_trip_threshold = 16;
+  const std::vector<Family> families = test_families();
+  AdvisoryService service(options, make_synthetic_solver(families), nullptr);
+  std::vector<PlanResponse> out;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    service.submit(request_for(i + 1, 0, families, 2), 0, out);
+  }
+  EXPECT_GE(service.stats().quota_breaker_trips, 1u);
+  EXPECT_TRUE(service.tenant_state(0) == runtime::BreakerState::Backoff ||
+              service.tenant_state(0) == runtime::BreakerState::Open);
+  // While down, the shed is the zero-cost fast path — still QuotaExceeded,
+  // still only this tenant.
+  const std::size_t before = out.size();
+  service.submit(request_for(999, 0, families, 2), 0, out);
+  ASSERT_EQ(out.size(), before + 1);
+  EXPECT_EQ(out.back().cause, DegradeCause::QuotaExceeded);
+  // An unrelated tenant is still served normally (its cold miss is
+  // admitted to the solve queue, not shed).
+  service.submit(request_for(1000, 1, families, 0), 0, out);
+  service.drain(0, out);
+  bool found = false;
+  for (const PlanResponse& response : out) {
+    if (response.id != 1000) continue;
+    found = true;
+    EXPECT_NE(response.cause, DegradeCause::QuotaExceeded);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ServiceFairness, FullOutboxRejectsNewRequestsUnanswered) {
+  ServiceOptions options = fairness_options();
+  options.fairness.quota_burst = 64;  // quota out of the way
+  options.fairness.outbox_capacity = 2;
+  const std::vector<Family> families = test_families();
+  AdvisoryService service(options, make_synthetic_solver(families), nullptr);
+  std::vector<PlanResponse> out;
+  // Three hot-family requests: the first two answer into the outbox
+  // (capacity 2); the third finds outbox + outstanding at capacity and is
+  // rejected unanswered.
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    service.submit(request_for(i + 1, 0, families, 0), i, out);
+    service.step(i + 1, out);
+  }
+  service.drain(3, out);
+  EXPECT_TRUE(out.empty());  // nothing emitted directly in outbox mode
+  EXPECT_EQ(service.stats().shed_slow_consumer, 1u);
+  EXPECT_EQ(service.outbox_depth(0), 2u);
+
+  // collect() drains the held responses; the core can then submit again.
+  std::vector<PlanResponse> read;
+  EXPECT_EQ(service.collect(0, 64, read), 2u);
+  EXPECT_EQ(service.outbox_depth(0), 0u);
+  service.submit(request_for(10, 0, families, 0), 10, read);
+  service.drain(10, read);
+  EXPECT_EQ(service.collect(0, 64, read), 1u);
+}
+
+TEST(ServiceFairness, DisabledFairnessIsByteIdenticalToFifo) {
+  // The master switch off must reproduce the PR 6 response stream exactly
+  // — same kinds, causes, ticks, ids — for identical traffic.
+  TrafficConfig traffic;
+  traffic.cores = 8;
+  traffic.ticks = 96;
+  traffic.request_rate = 0.2;
+  traffic.hot_families = 2;
+  traffic.cold_families = 8;
+  traffic.seed = re::testing::test_seed();
+
+  ServiceOptions fifo;
+  fifo.shards = 2;
+  fifo.queue_capacity = 8;
+  fifo.solve_slots = 2;
+  fifo.seed = re::testing::test_seed();
+  ASSERT_FALSE(fifo.fairness.enabled);
+
+  const std::vector<Family> families = make_families(2, 8);
+  const AdvisoryService::Solver solver = make_synthetic_solver(families);
+  const ServeRunResult a = run_serve_sim(traffic, fifo, solver, nullptr);
+  const ServeRunResult b = run_serve_sim(traffic, fifo, solver, nullptr);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.stats.submitted, b.stats.submitted);
+  EXPECT_EQ(a.stats.shed_quota, 0u);
+  EXPECT_EQ(a.stats.shed_slow_consumer, 0u);
+}
+
+TEST(ServiceFairness, ChattyAdversaryCannotMoveAVictimsAnswers) {
+  // The isolation invariant at unit scale: victims' per-core response
+  // streams with and without the adversary stay within the documented
+  // bound, and no victim is ever quota-shed.
+  FairnessTraffic traffic;
+  traffic.cores = 4;
+  traffic.ticks = 256;
+  traffic.base_rate = 0.05;
+  traffic.hot_families = 2;
+  traffic.cold_families = 16;
+  traffic.seed = re::testing::test_seed();
+
+  ServiceOptions options;
+  options.shards = 2;
+  options.queue_capacity = 32;
+  options.solve_slots = 2;
+  options.solve_cost_ticks = 4;
+  options.deadline_ticks = 128;
+  options.seed = re::testing::test_seed();
+  options.fairness.enabled = true;
+  options.fairness.quota_burst = 8;
+  options.fairness.quota_rate_milli = 100;
+  options.fairness.per_core_queue_cap = 4;
+
+  const std::vector<Family> families =
+      make_families(traffic.hot_families, traffic.cold_families);
+  const AdvisoryService::Solver solver = make_synthetic_solver(families);
+
+  const FairnessRunResult solo =
+      run_fairness_sim(traffic, options, solver, nullptr);
+  FairnessTraffic adversarial = traffic;
+  adversarial.chatty = true;
+  adversarial.chatty_multiplier = 100.0;
+  const FairnessRunResult loud =
+      run_fairness_sim(adversarial, options, solver, nullptr);
+
+  ASSERT_TRUE(solo.gates_ok());
+  ASSERT_TRUE(loud.gates_ok());
+  for (int core = 0; core < traffic.cores; ++core) {
+    const CoreMetrics& base = solo.per_core[static_cast<std::size_t>(core)];
+    const CoreMetrics& now = loud.per_core[static_cast<std::size_t>(core)];
+    EXPECT_EQ(now.submitted, base.submitted)
+        << "per-core arrival streams must be adversary-independent";
+    EXPECT_EQ(now.quota_shed, 0u) << "victim core " << core;
+    EXPECT_LE(now.p99, base.p99 + std::max(0.25 * base.p99, 8.0))
+        << "victim core " << core;
+    EXPECT_LE(now.degraded_rate, base.degraded_rate + 0.02)
+        << "victim core " << core;
+  }
+  // The adversary's overflow lands on the adversary.
+  const CoreMetrics& chatty =
+      loud.per_core[static_cast<std::size_t>(traffic.cores)];
+  EXPECT_GT(chatty.quota_shed, 0u);
+  EXPECT_EQ(loud.stats.stale_fresh_violations, 0u);
+}
+
+}  // namespace
+}  // namespace re::serve

@@ -13,6 +13,9 @@
 
 #include "runtime/plan_cache.hh"
 #include "serve/harness.hh"
+#include "serve/service.hh"
+#include "support/rng.hh"
+#include "testutil.hh"
 #include "workloads/program.hh"
 
 namespace re::serve {
@@ -191,6 +194,116 @@ TEST(ShardJournal, MoveTransfersOwnershipOfTheFd) {
   auto loaded = PlanCache::load_file(path);
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->loaded, 3u);
+  std::remove(path.c_str());
+}
+
+// Torn-write fuzz: a journal truncated at EVERY byte offset (plus a seeded
+// bit-flip sweep) must recover to load-or-quarantine — never crash, never
+// produce an entry that was not one of the three known writes, and always
+// leave an appendable journal behind.
+TEST(ShardJournal, TruncationAtEveryOffsetRecoversOrQuarantines) {
+  const std::string path = "serve_journal_fuzz_test.json";
+  {
+    ShardJournal journal;
+    ASSERT_TRUE(journal.create(path, seeded_cache(), "feedface01234567").ok());
+    ASSERT_TRUE(journal.append({kSigC, plans_for(4, 128)}).ok());
+  }
+  const std::string pristine = slurp(path);
+  ASSERT_GT(pristine.size(), 0u);
+
+  const auto audit = [&](const runtime::PlanCache& cache) {
+    // Every recovered entry must be one of the three known writes, with
+    // its exact known plans — anything else is an alien entry.
+    for (const runtime::PlanCache::Entry& entry : cache.entries()) {
+      const std::uint64_t fp = signature_fingerprint(entry.signature);
+      ASSERT_EQ(entry.plans.size(), 1u);
+      if (fp == signature_fingerprint(kSigA)) {
+        EXPECT_EQ(entry.plans[0].distance_bytes, 512);
+      } else if (fp == signature_fingerprint(kSigB)) {
+        EXPECT_EQ(entry.plans[0].distance_bytes, 256);
+      } else if (fp == signature_fingerprint(kSigC)) {
+        EXPECT_EQ(entry.plans[0].distance_bytes, 128);
+      } else {
+        ADD_FAILURE() << "alien entry recovered from a damaged journal";
+      }
+    }
+  };
+
+  for (std::size_t cut = 0; cut <= pristine.size(); ++cut) {
+    overwrite(path, pristine.substr(0, cut));
+    ShardJournal restarted;
+    auto recovered = restarted.recover(path, PlanCacheOptions{});
+    if (!recovered.has_value()) {
+      // A clean refusal (e.g. the header itself is cut) is acceptable;
+      // an open journal handle is not.
+      EXPECT_FALSE(restarted.is_open()) << "cut at " << cut;
+      continue;
+    }
+    ASSERT_TRUE(restarted.is_open()) << "cut at " << cut;
+    audit(recovered->cache);
+    // Quarantine accounting must cover whatever did not load.
+    EXPECT_LE(recovered->loaded, 3u) << "cut at " << cut;
+
+    // The compacted journal must take (and keep) a fresh append. When the
+    // cut preserved kSigC's original record, the compacted snapshot holds
+    // it and duplicate-collapse keeps the snapshot's copy (128); otherwise
+    // the appended record (64) is the only one.
+    const bool recovered_c = recovered->cache.lookup(kSigC) != nullptr;
+    ASSERT_TRUE(restarted.append({kSigC, plans_for(4, 64)}).ok())
+        << "cut at " << cut;
+    restarted.close();
+    auto reloaded = PlanCache::load_file(path);
+    ASSERT_TRUE(reloaded.has_value()) << "cut at " << cut;
+    const auto* plans = reloaded->cache.lookup(kSigC);
+    ASSERT_NE(plans, nullptr) << "cut at " << cut;
+    EXPECT_EQ((*plans)[0].distance_bytes, recovered_c ? 128 : 64)
+        << "cut at " << cut;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ShardJournal, SeededBitFlipsNeverCrashOrAdmitAliens) {
+  const std::string path = "serve_journal_bitflip_test.json";
+  {
+    ShardJournal journal;
+    ASSERT_TRUE(journal.create(path, seeded_cache(), "feedface01234567").ok());
+    ASSERT_TRUE(journal.append({kSigC, plans_for(4, 128)}).ok());
+  }
+  const std::string pristine = slurp(path);
+  Rng rng(re::testing::test_seed() ^ 0xB17F11Bull);
+
+  for (int trial = 0; trial < 128; ++trial) {
+    std::string damaged = pristine;
+    const int flips = 1 + static_cast<int>(rng.next(3));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t byte = static_cast<std::size_t>(
+          rng.next(static_cast<std::uint64_t>(damaged.size())));
+      damaged[byte] = static_cast<char>(
+          static_cast<unsigned char>(damaged[byte]) ^ (1u << rng.next(8)));
+    }
+    overwrite(path, damaged);
+
+    ShardJournal restarted;
+    auto recovered = restarted.recover(path, PlanCacheOptions{});
+    if (!recovered.has_value()) continue;  // clean refusal is fine
+    // A flipped record must fail its CRC (quarantine) or — vanishingly
+    // unlikely at these sizes — still decode to one of the known entries.
+    // What it must never do is decode to different plans for a known
+    // signature or to a signature that was never written.
+    for (const runtime::PlanCache::Entry& entry :
+         recovered->cache.entries()) {
+      const std::uint64_t fp = signature_fingerprint(entry.signature);
+      if (fp == signature_fingerprint(kSigA)) {
+        EXPECT_EQ(entry.plans[0].distance_bytes, 512) << "trial " << trial;
+      } else if (fp == signature_fingerprint(kSigB)) {
+        EXPECT_EQ(entry.plans[0].distance_bytes, 256) << "trial " << trial;
+      } else if (fp == signature_fingerprint(kSigC)) {
+        EXPECT_EQ(entry.plans[0].distance_bytes, 128) << "trial " << trial;
+      } else {
+        ADD_FAILURE() << "alien signature admitted in trial " << trial;
+      }
+    }
+  }
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,218 @@
+// Trust-but-verify warm-start tests: the AdvisoryService's recovery of
+// prior-run shard journals. Every path that can go wrong — foreign
+// fingerprint, corrupt record, implausible plan that passes its CRC — must
+// cost cache warmth only (reject or quarantine), never serve suspect state.
+#include <sys/stat.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/plan_cache.hh"
+#include "serve/harness.hh"
+#include "serve/service.hh"
+#include "testutil.hh"
+
+namespace re::serve {
+namespace {
+
+using runtime::PlanCache;
+using workloads::PrefetchHint;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void overwrite(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+/// Write a one-shard warm directory whose journal holds `plans` for the
+/// first few of `families`, stamped with `fingerprint`.
+void write_warm_dir(const std::string& dir,
+                    const std::vector<Family>& families,
+                    std::size_t count, std::int64_t distance,
+                    const std::string& fingerprint) {
+  ::mkdir(dir.c_str(), 0755);
+  PlanCache cache({/*capacity=*/64});
+  for (std::size_t i = 0; i < count; ++i) {
+    cache.insert(families[i].signature,
+                 {core::PrefetchPlan{static_cast<Pc>(0x9000 + i), distance,
+                                     PrefetchHint::T0}});
+  }
+  ASSERT_TRUE(cache.save(dir + "/shard-0.journal", fingerprint).ok());
+}
+
+ServiceOptions warm_options(const std::string& dir,
+                            const std::string& expected_fingerprint) {
+  ServiceOptions options;
+  options.shards = 2;  // shard drift on purpose: the warm dir has one
+  options.cache.capacity = 64;
+  options.seed = re::testing::test_seed();
+  options.warm_start_dir = dir;
+  options.config_fingerprint = expected_fingerprint;
+  return options;
+}
+
+TEST(WarmStart, VerifiedEntriesAreServedAsCacheHits) {
+  const std::vector<Family> families = make_families(2, 4);
+  const std::string dir = "warm_start_ok_dir";
+  write_warm_dir(dir, families, 3, 512, "feedface01234567");
+
+  AdvisoryService service(warm_options(dir, "feedface01234567"),
+                          make_synthetic_solver(families), nullptr);
+  EXPECT_EQ(service.stats().warm_files_loaded, 1u);
+  EXPECT_EQ(service.stats().warm_files_rejected, 0u);
+  EXPECT_EQ(service.stats().warm_entries_loaded, 3u);
+  EXPECT_EQ(service.stats().warm_entries_quarantined, 0u);
+
+  // The warm plan (distance 512, pc 0x9000) is distinguishable from what
+  // the synthetic solver would produce — a hit proves the warm state was
+  // installed, re-homed across the shard-count drift.
+  std::vector<PlanResponse> out;
+  PlanRequest request;
+  request.id = 1;
+  request.core = 0;
+  request.family = 0;
+  request.signature = families[0].signature;
+  service.submit(request, 0, out);
+  service.drain(0, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, AnswerKind::CacheHit);
+  ASSERT_EQ(out[0].plans.size(), 1u);
+  EXPECT_EQ(out[0].plans[0].distance_bytes, 512);
+}
+
+TEST(WarmStart, ForeignFingerprintRejectsTheWholeFile) {
+  const std::vector<Family> families = make_families(2, 4);
+  const std::string dir = "warm_start_stale_fp_dir";
+  write_warm_dir(dir, families, 3, 512, "feedface01234567");
+
+  // Every record is intact and CRC-clean; only the header's fingerprint
+  // differs from the service's expectation. Nothing may load.
+  AdvisoryService service(warm_options(dir, "0000dead0000beef"),
+                          make_synthetic_solver(families), nullptr);
+  EXPECT_EQ(service.stats().warm_files_loaded, 0u);
+  EXPECT_EQ(service.stats().warm_files_rejected, 1u);
+  EXPECT_EQ(service.stats().warm_entries_loaded, 0u);
+
+  std::vector<PlanResponse> out;
+  PlanRequest request;
+  request.id = 1;
+  request.core = 0;
+  request.family = 0;
+  request.signature = families[0].signature;
+  service.submit(request, 0, out);
+  service.drain(0, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0].kind, AnswerKind::CacheHit);  // degraded to fresh solve
+}
+
+TEST(WarmStart, EmptyExpectedFingerprintAcceptsAnyHeader) {
+  // The opt-out: a service with no fingerprint of its own takes unstamped
+  // and stamped files alike (CRC and sanity still apply).
+  const std::vector<Family> families = make_families(2, 4);
+  const std::string dir = "warm_start_optout_dir";
+  write_warm_dir(dir, families, 2, 512, "feedface01234567");
+
+  AdvisoryService service(warm_options(dir, ""),
+                          make_synthetic_solver(families), nullptr);
+  EXPECT_EQ(service.stats().warm_files_loaded, 1u);
+  EXPECT_EQ(service.stats().warm_entries_loaded, 2u);
+}
+
+TEST(WarmStart, CorruptRecordIsQuarantinedRestIsKept) {
+  const std::vector<Family> families = make_families(2, 4);
+  const std::string dir = "warm_start_corrupt_dir";
+  write_warm_dir(dir, families, 3, 512, "feedface01234567");
+
+  // Flip one byte inside the middle record's plan payload: its CRC fails,
+  // the other two records stay loadable.
+  const std::string path = dir + "/shard-0.journal";
+  std::string bytes = slurp(path);
+  const std::size_t second_line = bytes.find('\n', bytes.find('\n') + 1) + 1;
+  const std::size_t third_line = bytes.find('\n', second_line) + 1;
+  ASSERT_LT(third_line, bytes.size());
+  bytes[second_line + (third_line - second_line) / 2] ^= 0x20;
+  overwrite(path, bytes);
+
+  AdvisoryService service(warm_options(dir, "feedface01234567"),
+                          make_synthetic_solver(families), nullptr);
+  EXPECT_EQ(service.stats().warm_files_loaded, 1u);
+  EXPECT_EQ(service.stats().warm_entries_loaded, 2u);
+  EXPECT_EQ(service.stats().warm_entries_quarantined, 1u);
+}
+
+TEST(WarmStart, ImplausiblePlanFailsSanityDespiteValidCrc) {
+  // An entry whose CRC is genuine (written by PlanCache itself) but whose
+  // prefetch distance is beyond any plausible stride: the plan-sanity
+  // revalidation (ProfileValidator bounds) must quarantine it — CRC alone
+  // is not trust.
+  const std::vector<Family> families = make_families(2, 4);
+  const std::string dir = "warm_start_insane_dir";
+  write_warm_dir(dir, families, 2, std::int64_t{1} << 45,
+                 "feedface01234567");
+
+  AdvisoryService service(warm_options(dir, "feedface01234567"),
+                          make_synthetic_solver(families), nullptr);
+  EXPECT_EQ(service.stats().warm_files_loaded, 1u);
+  EXPECT_EQ(service.stats().warm_entries_loaded, 0u);
+  EXPECT_EQ(service.stats().warm_entries_quarantined, 2u);
+
+  std::vector<PlanResponse> out;
+  PlanRequest request;
+  request.id = 1;
+  request.core = 0;
+  request.family = 0;
+  request.signature = families[0].signature;
+  service.submit(request, 0, out);
+  service.drain(0, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0].kind, AnswerKind::CacheHit);
+}
+
+TEST(WarmStart, MissingDirectoryIsAColdStart) {
+  const std::vector<Family> families = make_families(2, 4);
+  AdvisoryService service(
+      warm_options("warm_start_no_such_dir", "feedface01234567"),
+      make_synthetic_solver(families), nullptr);
+  EXPECT_EQ(service.stats().warm_files_loaded, 0u);
+  EXPECT_EQ(service.stats().warm_files_rejected, 0u);
+  EXPECT_EQ(service.stats().warm_entries_loaded, 0u);
+}
+
+TEST(WarmStart, ConfigFingerprintIsStableAndConfigSensitive) {
+  const sim::MachineConfig amd = sim::amd_phenom_ii();
+  const sim::MachineConfig intel = sim::intel_sandybridge();
+  core::OptimizerOptions knobs;
+  const std::string a = config_fingerprint(amd, knobs);
+  const std::string b = config_fingerprint(amd, knobs);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 16u);  // 16 hex digits
+  EXPECT_NE(a, config_fingerprint(intel, knobs));
+  core::OptimizerOptions no_nt = knobs;
+  no_nt.enable_non_temporal = false;
+  EXPECT_NE(a, config_fingerprint(amd, no_nt));
+}
+
+TEST(PoisonCheck, ShortSweepHoldsEveryGate) {
+  const PoisonReport report = serve_poison_check(
+      re::testing::test_seed(), /*trials=*/3, "warm_start_poison_scratch");
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.trials, 3);
+  EXPECT_EQ(report.stale_fresh, 0u);
+  EXPECT_EQ(report.alien_served, 0u);
+  EXPECT_EQ(report.acked_then_lost, 0u);
+  EXPECT_EQ(report.recovery_failures, 0u);
+}
+
+}  // namespace
+}  // namespace re::serve

@@ -23,9 +23,11 @@
 #            reproduces locally with one flag). Default build dir:
 #            build-asan.
 #   serve    run the advisory-service lane under ASan+UBSan: `ctest -L
-#            serve`, a bench_serve smoke soak (overload + crash gates), and
-#            a double `repf serve` / `repf chaos --serve --crash-check`
-#            run compared byte-for-byte (the service determinism
+#            serve`, bench_serve + bench_serve_fairness smoke soaks
+#            (overload, crash, fairness-isolation and poisoned-warm-start
+#            gates), and double `repf serve` / `repf chaos --serve
+#            --crash-check` / `repf chaos --serve --poison-warm-start`
+#            runs compared byte-for-byte (the service determinism
 #            contract). Default build dir: build-asan.
 #   corun    run the shared-cache co-run lane under ASan+UBSan: `ctest -L
 #            corun`, a bench_corun smoke run (interference-prediction +
@@ -220,6 +222,12 @@ run_serve() {
   (cd "$build_dir/bench" && RE_BENCH_SMOKE=1 ./bench_serve) > /dev/null
   echo "== bench_serve smoke: overload + determinism gates hold"
 
+  # bench_serve_fairness in smoke mode enforces the isolation invariant
+  # (a chatty or slow-consumer tenant cannot move a victim's p99 or
+  # degraded mix beyond the documented bound) plus the poison sweep.
+  (cd "$build_dir/bench" && RE_BENCH_SMOKE=1 ./bench_serve_fairness) > /dev/null
+  echo "== bench_serve_fairness smoke: isolation + warm-start gates hold"
+
   local out_a out_b
   out_a="$(mktemp)" ; out_b="$(mktemp)"
   trap 'rm -f "$out_a" "$out_b"' RETURN
@@ -241,6 +249,18 @@ run_serve() {
     exit 1
   }
   echo "== repf chaos --serve --crash-check: gates hold + deterministic"
+  # Poisoned warm start under the sanitizers: bit-flipped, stale-fingerprint
+  # and truncated journals may only cost warmth (degrade-to-fresh), never
+  # serve stale-as-fresh or crash — and the sweep itself must be
+  # byte-deterministic across runs.
+  (cd "$build_dir" && tools/repf chaos --serve --poison-warm-start) > "$out_a"
+  (cd "$build_dir" && tools/repf chaos --serve --poison-warm-start) > "$out_b"
+  cmp -s "$out_a" "$out_b" || {
+    echo "FAILED: repf chaos --serve --poison-warm-start is not deterministic"
+    diff "$out_a" "$out_b" | head -20
+    exit 1
+  }
+  echo "== repf chaos --serve --poison-warm-start: gates hold + deterministic"
   echo "serve lane clean"
 }
 

@@ -35,6 +35,8 @@
 // (bad file, I/O error, verify mismatch); 2 invalid usage; 3
 // runtime-degradation gate failure (faultcheck, chaos, or serve invariant
 // violated — the output names the seed that reproduces it).
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -106,6 +108,14 @@ struct Options {
   /// `chaos --serve`: target the advisory service tier instead of the
   /// supervised adaptive runtime.
   bool chaos_serve = false;
+  /// `chaos --serve --poison-warm-start`: also sweep the poisoned
+  /// warm-start recovery gates (bit flips, stale fingerprints, truncation).
+  bool poison_warm_start = false;
+  /// `serve`: journal acked plans to this directory.
+  std::string serve_journal_dir;
+  /// `serve --warm-start DIR`: trust-but-verify cache warm-up from a
+  /// prior run's shard journals.
+  std::string warm_start_dir;
   /// Virtual ticks for `serve` (0 = default 512).
   std::uint64_t serve_steps = 0;
   /// Comma-separated fuzzer family names for `verify` (empty = all).
@@ -127,35 +137,74 @@ struct Options {
   std::string json_path;
 };
 
+/// The subcommand registry: one row per command, driving usage(), the
+/// machine-readable `repf commands` listing, and the CLI self-test (every
+/// registered command must appear in --help and answer `<cmd> --help`
+/// with exit 0). Add new commands here, in help_for(), and in main().
+struct CommandInfo {
+  const char* name;
+  /// Preformatted usage block (argument stub + aligned description lines).
+  const char* block;
+};
+
+constexpr CommandInfo kCommands[] = {
+    {"list", "  list                         list built-in workload models\n"},
+    {"dump", "  dump <benchmark>             print a workload in the DSL\n"},
+    {"optimize",
+     "  optimize <file|benchmark>    run the pipeline, print the annotated\n"
+     "                               listing\n"},
+    {"run", "  run <file|benchmark>         simulate under a chosen policy\n"},
+    {"coverage",
+     "  coverage <file|benchmark>    Table-I style coverage row\n"},
+    {"phases",
+     "  phases <file|benchmark>      detect execution phases\n"},
+    {"adapt",
+     "  adapt <file|benchmark>       run the online adaptive controller,\n"
+     "                               compare vs baseline and static plan\n"},
+    {"faultcheck",
+     "  faultcheck <file|benchmark>  inject profile faults, verify the\n"
+     "                               never-hurts degradation invariant\n"},
+    {"verify",
+     "  verify                       differential oracle (StatStack vs\n"
+     "                               exact LRU) and golden-plan snapshots\n"},
+    {"corun",
+     "  corun                        co-run scenario matrix: composed\n"
+     "                               shared-LLC model vs the exact\n"
+     "                               interleaved-LRU oracle\n"},
+    {"chaos",
+     "  chaos                        replay a seeded fault schedule against\n"
+     "                               the supervised runtime, check recovery\n"
+     "                               (--serve targets the advisory service)\n"},
+    {"serve",
+     "  serve                        run the advisory plan service under\n"
+     "                               simulated client load, check the\n"
+     "                               overload/degradation gates\n"},
+    {"commands",
+     "  commands                     print registered subcommand names, one\n"
+     "                               per line (for scripts and self-tests)\n"},
+};
+
 int usage() {
+  std::fprintf(stderr,
+               "usage: repf <command> [args]   (repf <command> --help for "
+               "details)\n");
+  for (const CommandInfo& command : kCommands) {
+    std::fputs(command.block, stderr);
+  }
   std::fprintf(
       stderr,
-      "usage: repf <command> [args]   (repf <command> --help for details)\n"
-      "  list                         list built-in workload models\n"
-      "  dump <benchmark>             print a workload in the DSL\n"
-      "  optimize <file|benchmark>    run the pipeline, print the annotated\n"
-      "                               listing\n"
-      "  run <file|benchmark>         simulate under a chosen policy\n"
-      "  coverage <file|benchmark>    Table-I style coverage row\n"
-      "  phases <file|benchmark>      detect execution phases\n"
-      "  adapt <file|benchmark>       run the online adaptive controller,\n"
-      "                               compare vs baseline and static plan\n"
-      "  faultcheck <file|benchmark>  inject profile faults, verify the\n"
-      "                               never-hurts degradation invariant\n"
-      "  verify                       differential oracle (StatStack vs\n"
-      "                               exact LRU) and golden-plan snapshots\n"
-      "  corun                        co-run scenario matrix: composed\n"
-      "                               shared-LLC model vs the exact\n"
-      "                               interleaved-LRU oracle\n"
-      "  chaos                        replay a seeded fault schedule against\n"
-      "                               the supervised runtime, check recovery\n"
-      "                               (--serve targets the advisory service)\n"
-      "  serve                        run the advisory plan service under\n"
-      "                               simulated client load, check the\n"
-      "                               overload/degradation gates\n"
       "exit codes: 0 ok, 1 operational failure, 2 invalid usage,\n"
       "            3 degradation-gate violation (output names the seed)\n");
   return kExitUsage;
+}
+
+/// `repf commands`: the registry, machine-readable. The CLI self-test
+/// iterates this to prove every command is documented and help-answering.
+int cmd_commands() {
+  for (const CommandInfo& command : kCommands) {
+    std::printf("%s\n", command.name);
+  }
+  return 0;
 }
 
 /// Detailed per-command help. Returns nullptr for unknown commands.
@@ -261,6 +310,12 @@ const char* help_for(const std::string& command) {
            "    --crash-check         also sweep crash consistency: plan\n"
            "                          cache kill/corruption, or with --serve\n"
            "                          the journal tear/recover/ack audit\n"
+           "    --poison-warm-start   with --serve: also sweep poisoned\n"
+           "                          warm-start recovery — bit-flipped,\n"
+           "                          stale-fingerprint, and truncated shard\n"
+           "                          journals must cost cache warmth only\n"
+           "                          (quarantine/reject), never a stale or\n"
+           "                          alien plan, a lost ack, or the daemon\n"
            "    --jobs N              replay fault rates on N engine\n"
            "                          workers (byte-identical output)\n"
            "    --json FILE           also write the gate results as JSON\n"
@@ -285,6 +340,16 @@ const char* help_for(const std::string& command) {
            "                          no upper bound — virtual time)\n"
            "    --steps N             virtual ticks to run (default 512)\n"
            "    --seed N              traffic/service seed (default 0xC4A05)\n"
+           "    --journal DIR         journal acked plans to per-shard\n"
+           "                          append-mode files under DIR (created\n"
+           "                          if missing), headers stamped with the\n"
+           "                          machine-model/knob fingerprint\n"
+           "    --warm-start DIR      trust-but-verify warm start from a\n"
+           "                          prior run's shard journals in DIR:\n"
+           "                          fingerprint + CRC + plan-sanity\n"
+           "                          revalidation, suspect state is\n"
+           "                          quarantined (that phase re-solves\n"
+           "                          fresh), never served\n"
            "    --jobs N              engine workers for the solve batches\n"
            "                          (byte-identical output at any N)\n"
            "    --json FILE           also write the metrics as JSON\n"
@@ -314,6 +379,12 @@ const char* help_for(const std::string& command) {
            "    --json FILE           also write the results as JSON\n"
            "                          (atomic temp-file + rename)\n"
            "    --verbose             print the full per-trace reports\n";
+  }
+  if (command == "commands") {
+    return "repf commands\n"
+           "  Print every registered subcommand name, one per line. The CLI\n"
+           "  self-test iterates this list to prove each command appears in\n"
+           "  --help and answers `repf <cmd> --help` with exit 0.\n";
   }
   if (command == "corun") {
     return "repf corun [options]\n"
@@ -827,6 +898,16 @@ std::string serve_stats_json(const serve::ServeRunResult& r) {
        << ",\n"
        << "    \"max_queue_depth\": " << s.max_queue_depth << ",\n"
        << "    \"solves_started\": " << s.solves_started << ",\n"
+       << "    \"shed_quota\": " << s.shed_quota << ",\n"
+       << "    \"quota_breaker_trips\": " << s.quota_breaker_trips << ",\n"
+       << "    \"shed_slow_consumer\": " << s.shed_slow_consumer << ",\n"
+       << "    \"max_tenant_queue_depth\": " << s.max_tenant_queue_depth
+       << ",\n"
+       << "    \"warm_files_loaded\": " << s.warm_files_loaded << ",\n"
+       << "    \"warm_files_rejected\": " << s.warm_files_rejected << ",\n"
+       << "    \"warm_entries_loaded\": " << s.warm_entries_loaded << ",\n"
+       << "    \"warm_entries_quarantined\": " << s.warm_entries_quarantined
+       << ",\n"
        << "    \"p50_admitted_ticks\": " << num(r.p50_admitted) << ",\n"
        << "    \"p99_admitted_ticks\": " << num(r.p99_admitted) << ",\n"
        << "    \"shed_rate\": " << num(r.shed_rate) << ",\n"
@@ -845,6 +926,16 @@ int cmd_serve(const Options& opts) {
 
   serve::ServiceOptions sopts;
   sopts.seed = opts.chaos_seed ^ 0xAD115EEDull;
+  // Journals and warm-start files carry the machine-model/knob fingerprint
+  // so a restart under different assumptions refuses the stale state.
+  core::OptimizerOptions knobs;
+  knobs.enable_non_temporal = opts.enable_nt;
+  sopts.config_fingerprint = serve::config_fingerprint(opts.machine, knobs);
+  if (!opts.serve_journal_dir.empty()) {
+    ::mkdir(opts.serve_journal_dir.c_str(), 0755);  // EEXIST is fine
+    sopts.journal_dir = opts.serve_journal_dir;
+  }
+  sopts.warm_start_dir = opts.warm_start_dir;
 
   const engine::Executor executor(opts.jobs);
   const std::vector<serve::Family> families =
@@ -853,14 +944,25 @@ int cmd_serve(const Options& opts) {
       serve::make_engine_solver(families, opts.machine, &executor);
 
   std::printf("# repf serve | machine=%s | seed=%llu | %d core(s) | "
-              "%llu tick(s) | deadline=%llu\n",
+              "%llu tick(s) | deadline=%llu | fingerprint=%s\n",
               opts.machine.name.c_str(),
               static_cast<unsigned long long>(opts.chaos_seed), traffic.cores,
               static_cast<unsigned long long>(traffic.ticks),
-              static_cast<unsigned long long>(sopts.deadline_ticks));
+              static_cast<unsigned long long>(sopts.deadline_ticks),
+              sopts.config_fingerprint.c_str());
   const serve::ServeRunResult r =
       serve::run_serve_sim(traffic, sopts, solver, &executor);
   const auto& s = r.stats;
+
+  if (!opts.warm_start_dir.empty()) {
+    std::printf("# warm start from %s: %llu file(s) accepted, %llu "
+                "rejected; %llu entrie(s) verified, %llu quarantined\n",
+                opts.warm_start_dir.c_str(),
+                static_cast<unsigned long long>(s.warm_files_loaded),
+                static_cast<unsigned long long>(s.warm_files_rejected),
+                static_cast<unsigned long long>(s.warm_entries_loaded),
+                static_cast<unsigned long long>(s.warm_entries_quarantined));
+  }
 
   TextTable table({"service metric", "value"});
   table.add_row({"requests", std::to_string(s.submitted)});
@@ -1005,6 +1107,15 @@ int cmd_chaos_serve(const Options& opts) {
     if (!crash.ok()) ++violations;
   }
 
+  serve::PoisonReport poison;
+  if (opts.poison_warm_start) {
+    poison = serve::serve_poison_check(opts.chaos_seed, 12,
+                                       "repf_serve_poison_scratch");
+    std::printf("poisoned warm-start check: %s\n",
+                poison.to_string().c_str());
+    if (!poison.ok()) ++violations;
+  }
+
   if (!opts.json_path.empty()) {
     std::ostringstream json;
     json << "{\n"
@@ -1032,6 +1143,28 @@ int cmd_chaos_serve(const Options& opts) {
            << "    \"lost_acked\": " << crash.lost_acked << ",\n"
            << "    \"alien_entries\": " << crash.alien_entries << ",\n"
            << "    \"ok\": " << (crash.ok() ? "true" : "false") << "\n"
+           << "  },\n";
+    }
+    if (opts.poison_warm_start) {
+      json << "  \"poison_warm_start\": {\n"
+           << "    \"trials\": " << poison.trials << ",\n"
+           << "    \"bitflip_trials\": " << poison.bitflip_trials << ",\n"
+           << "    \"stale_fp_trials\": " << poison.stale_fp_trials << ",\n"
+           << "    \"truncated_trials\": " << poison.truncated_trials
+           << ",\n"
+           << "    \"warm_entries_loaded\": " << poison.warm_entries_loaded
+           << ",\n"
+           << "    \"warm_entries_quarantined\": "
+           << poison.warm_entries_quarantined << ",\n"
+           << "    \"warm_files_rejected\": " << poison.warm_files_rejected
+           << ",\n"
+           << "    \"stale_fresh\": " << poison.stale_fresh << ",\n"
+           << "    \"alien_served\": " << poison.alien_served << ",\n"
+           << "    \"gate_failures\": " << poison.gate_failures << ",\n"
+           << "    \"acked_then_lost\": " << poison.acked_then_lost << ",\n"
+           << "    \"recovery_failures\": " << poison.recovery_failures
+           << ",\n"
+           << "    \"ok\": " << (poison.ok() ? "true" : "false") << "\n"
            << "  },\n";
     }
     json << "  \"ok\": " << (violations == 0 ? "true" : "false") << "\n"
@@ -1682,6 +1815,14 @@ int main(int argc, char** argv) {
       opts.chaos_serve = true;
     } else if (arg == "--crash-check") {
       opts.crash_check = true;
+    } else if (arg == "--poison-warm-start") {
+      opts.poison_warm_start = true;
+    } else if (arg == "--journal") {
+      if (++i >= argc) return usage();
+      opts.serve_journal_dir = argv[i];
+    } else if (arg == "--warm-start") {
+      if (++i >= argc) return usage();
+      opts.warm_start_dir = argv[i];
     } else if (arg == "--families") {
       if (++i >= argc) return usage();
       opts.families = argv[i];
@@ -1746,6 +1887,7 @@ int main(int argc, char** argv) {
 
   try {
     if (opts.command == "list") return cmd_list();
+    if (opts.command == "commands") return cmd_commands();
     if (opts.command == "verify") return cmd_verify(opts);
     if (opts.command == "corun") return cmd_corun(opts);
     if (opts.command == "chaos") return cmd_chaos(opts);
