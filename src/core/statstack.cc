@@ -147,7 +147,7 @@ StatStack::StatStack(const Profile& profile,
     (void)count;
     table.intern(pc);
   }
-  std::vector<std::vector<RefCount>>& groups =
+  std::vector<engine::ArenaVector<RefCount>>& groups =
       arena.reuse_groups(table.size());
   std::vector<std::uint32_t>& touched = arena.touched_pcs();
 
@@ -180,7 +180,7 @@ StatStack::StatStack(const Profile& profile,
   std::vector<MissRatioCurve> curves(pcs_.size());
   const auto build = [&](std::size_t i) {
     const Pc pc = pcs_[i];
-    std::vector<RefCount>& distances = groups[table.index_of(pc)];
+    engine::ArenaVector<RefCount>& distances = groups[table.index_of(pc)];
     std::sort(distances.begin(), distances.end());
     double dangling = 0.0;
     auto it = profile.dangling_by_pc.find(pc);
@@ -192,7 +192,17 @@ StatStack::StatStack(const Profile& profile,
         solver_);
   };
   if (executor != nullptr) {
-    executor->for_each(pcs_.size(), build);
+    // Annotate each unit with the group buffer it is about to sort: the
+    // dispatcher prefetches unit i+1's samples (T0 — the sort walks them
+    // repeatedly) while unit i runs.
+    const engine::HintFn hint = [&](std::size_t i) {
+      const engine::ArenaVector<RefCount>& distances =
+          groups[table.index_of(pcs_[i])];
+      return engine::ResourceHint{distances.data(),
+                                  distances.size() * sizeof(RefCount),
+                                  engine::PrefetchMode::kT0};
+    };
+    executor->for_each(pcs_.size(), build, nullptr, &hint);
   } else {
     for (std::size_t i = 0; i < pcs_.size(); ++i) build(i);
   }

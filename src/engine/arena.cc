@@ -1,0 +1,165 @@
+#include "engine/arena.hh"
+
+#include <cstring>
+#include <new>
+
+#if defined(__linux__)
+#include <dirent.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace re::engine {
+
+namespace {
+
+constexpr std::size_t kPageBytes = 4096;
+
+std::size_t round_up(std::size_t value, std::size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+/// Best-effort MPOL_INTERLEAVE over the first `nodes` NUMA nodes via the
+/// raw mbind syscall (no libnuma). False when the syscall is unavailable
+/// or refused — the caller falls back to first-touch placement.
+bool try_interleave(void* addr, std::size_t length, int nodes) {
+#if defined(__linux__) && defined(__NR_mbind)
+  if (nodes < 2 || nodes > 64) return false;
+  constexpr int kMpolInterleave = 3;
+  unsigned long nodemask =
+      nodes >= 64 ? ~0ul : ((1ul << static_cast<unsigned>(nodes)) - 1ul);
+  // maxnode counts bits; the kernel wants one past the highest usable bit.
+  return syscall(__NR_mbind, addr, length, kMpolInterleave, &nodemask,
+                 static_cast<unsigned long>(nodes + 1), 0ul) == 0;
+#else
+  (void)addr;
+  (void)length;
+  (void)nodes;
+  return false;
+#endif
+}
+
+}  // namespace
+
+const char* placement_name(ArenaPlacement placement) {
+  switch (placement) {
+    case ArenaPlacement::kAuto:
+      return "auto";
+    case ArenaPlacement::kPlain:
+      return "plain";
+    case ArenaPlacement::kInterleaved:
+      return "interleave";
+    case ArenaPlacement::kWorkerLocal:
+      return "local";
+  }
+  return "plain";
+}
+
+NumaTopology NumaTopology::detect() {
+  NumaTopology topo;
+#if defined(__linux__)
+  DIR* dir = opendir("/sys/devices/system/node");
+  if (dir == nullptr) return topo;
+  int nodes = 0;
+  while (dirent* entry = readdir(dir)) {
+    // nodeN directories, one per online NUMA node.
+    if (std::strncmp(entry->d_name, "node", 4) != 0) continue;
+    const char* digits = entry->d_name + 4;
+    if (*digits == '\0') continue;
+    bool numeric = true;
+    for (const char* c = digits; *c != '\0'; ++c) {
+      if (*c < '0' || *c > '9') numeric = false;
+    }
+    if (numeric) ++nodes;
+  }
+  closedir(dir);
+  if (nodes > 0) topo.nodes = nodes;
+#endif
+  return topo;
+}
+
+const NumaTopology& NumaTopology::cached() {
+  static const NumaTopology topo = detect();
+  return topo;
+}
+
+SlabArena::SlabArena(ArenaPlacement placement, std::size_t slab_bytes)
+    : slab_bytes_(round_up(slab_bytes < kPageBytes ? kPageBytes : slab_bytes,
+                           kPageBytes)),
+      placement_(placement) {
+  if (placement_ == ArenaPlacement::kAuto) {
+    placement_ = NumaTopology::cached().nodes > 1 ? ArenaPlacement::kInterleaved
+                                                  : ArenaPlacement::kPlain;
+  }
+  if (placement_ == ArenaPlacement::kInterleaved &&
+      NumaTopology::cached().nodes < 2) {
+    placement_ = ArenaPlacement::kPlain;  // no NUMA: nothing to interleave
+  }
+}
+
+SlabArena::~SlabArena() {
+  for (Slab& slab : slabs_) {
+    ::operator delete(slab.data, std::align_val_t{kPageBytes});
+  }
+}
+
+void SlabArena::grow(std::size_t min_bytes) {
+  Slab slab;
+  slab.capacity = round_up(min_bytes > slab_bytes_ ? min_bytes : slab_bytes_,
+                           kPageBytes);
+  slab.data = static_cast<std::byte*>(
+      ::operator new(slab.capacity, std::align_val_t{kPageBytes}));
+  if (placement_ == ArenaPlacement::kInterleaved &&
+      try_interleave(slab.data, slab.capacity, NumaTopology::cached().nodes)) {
+    numa_bound_ = true;
+  }
+  if (placement_ != ArenaPlacement::kPlain) {
+    // Eager first-touch: commit the pages now, on this thread. Under
+    // kWorkerLocal that pins them to the allocating worker's node; under
+    // kInterleaved it realizes the mbind policy immediately.
+    std::memset(slab.data, 0, slab.capacity);
+  }
+  slabs_.push_back(slab);
+  active_ = slabs_.size() - 1;
+  offset_ = 0;
+}
+
+void* SlabArena::allocate(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  if (align == 0) align = 1;
+  if (!slabs_.empty()) {
+    // Try the active slab, then any later (already-reserved) slab — reset()
+    // rewinds to slab 0, so a warmed arena walks its slabs in order.
+    while (active_ < slabs_.size()) {
+      const std::size_t aligned = round_up(offset_, align);
+      if (aligned + bytes <= slabs_[active_].capacity) {
+        offset_ = aligned + bytes;
+        used_ += bytes;
+        return slabs_[active_].data + aligned;
+      }
+      ++active_;
+      offset_ = 0;
+    }
+  }
+  grow(bytes + align);
+  const std::size_t aligned = round_up(offset_, align);
+  offset_ = aligned + bytes;
+  used_ += bytes;
+  return slabs_[active_].data + aligned;
+}
+
+void SlabArena::reset() {
+  active_ = 0;
+  offset_ = 0;
+  used_ = 0;
+}
+
+std::size_t SlabArena::bytes_reserved() const {
+  std::size_t total = 0;
+  for (const Slab& slab : slabs_) total += slab.capacity;
+  return total;
+}
+
+std::size_t SlabArena::bytes_used() const { return used_; }
+
+}  // namespace re::engine

@@ -1,0 +1,140 @@
+// NUMA-aware slab arenas for engine artifacts.
+//
+// The paper's thesis — prefetching must be resource-efficient — extends to
+// memory placement: a reuse-group buffer solved by a worker on node 1 but
+// resident on node 0 pays a cross-socket latency on every sample it touches.
+// A SlabArena is a bump allocator over large page-aligned slabs whose
+// placement policy says where those pages should land:
+//
+//   kPlain       — malloc-backed slabs, pages placed lazily by the kernel's
+//                  default first-touch policy (the no-NUMA fallback).
+//   kWorkerLocal — slabs are eagerly first-touched (zero-filled) on the
+//                  allocating thread, so a windowed solve running inside an
+//                  executor worker pins its reuse-group buffers to that
+//                  worker's node. Per-PC buffers land where the worker that
+//                  solves them runs.
+//   kInterleaved — slabs are spread page-round-robin across every NUMA node
+//                  (mbind(MPOL_INTERLEAVE) via raw syscall — no libnuma
+//                  dependency), so a big shared solve fanned out over
+//                  workers on several nodes sees uniform average latency.
+//   kAuto        — kInterleaved when the machine has >1 node, else kPlain.
+//
+// Placement can never affect artifact bytes: arenas hand out memory, they
+// do not order computation. When mbind is unavailable (non-Linux, seccomp,
+// single node) interleaving silently degrades to plain first-touch — the
+// fallback is a perf property, not an error.
+//
+// An arena is NOT thread-safe; like ArtifactStore (which owns one), it
+// belongs to one solve at a time. reset() rewinds the bump cursor but
+// keeps the slabs (and their NUMA placement) for the next solve.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace re::engine {
+
+enum class ArenaPlacement : std::uint8_t {
+  kAuto,
+  kPlain,
+  kInterleaved,
+  kWorkerLocal,
+};
+
+/// Stable lowercase name ("auto", "plain", "interleave", "local").
+const char* placement_name(ArenaPlacement placement);
+
+/// Minimal NUMA topology: the node count, read once from
+/// /sys/devices/system/node (no libnuma). 1 on any failure — "no NUMA".
+struct NumaTopology {
+  int nodes = 1;
+  static NumaTopology detect();
+  /// Detected once per process; every kAuto resolution shares this.
+  static const NumaTopology& cached();
+};
+
+class SlabArena {
+ public:
+  static constexpr std::size_t kDefaultSlabBytes = std::size_t{256} << 10;
+
+  explicit SlabArena(ArenaPlacement placement = ArenaPlacement::kAuto,
+                     std::size_t slab_bytes = kDefaultSlabBytes);
+  ~SlabArena();
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  /// Bump-allocate `bytes` aligned to `align` (a power of two). Grows a new
+  /// slab when the active one is full; requests larger than the slab size
+  /// get a dedicated slab. Never returns nullptr for bytes > 0.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Rewind to empty, retaining every slab (and its NUMA placement) for
+  /// the next solve. O(1).
+  void reset();
+
+  /// The resolved placement (kAuto is resolved at construction against the
+  /// cached topology; this never returns kAuto).
+  ArenaPlacement placement() const { return placement_; }
+  /// True when at least one slab was successfully mbind-interleaved.
+  bool numa_bound() const { return numa_bound_; }
+
+  std::size_t slab_count() const { return slabs_.size(); }
+  std::size_t bytes_reserved() const;
+  /// Bytes handed out since the last reset() (includes alignment padding).
+  std::size_t bytes_used() const;
+
+ private:
+  struct Slab {
+    std::byte* data = nullptr;
+    std::size_t capacity = 0;
+  };
+
+  /// Make a new slab of at least `min_bytes` the active one.
+  void grow(std::size_t min_bytes);
+
+  std::vector<Slab> slabs_;
+  std::size_t active_ = 0;  // index of the slab the cursor lives in
+  std::size_t offset_ = 0;  // bump cursor within the active slab
+  std::size_t used_ = 0;    // total handed out since reset()
+  std::size_t slab_bytes_;
+  ArenaPlacement placement_;
+  bool numa_bound_ = false;
+};
+
+/// std-allocator adapter over a SlabArena: deallocate is a no-op (memory
+/// comes back in bulk via reset()), so container churn inside one solve
+/// costs a pointer bump. Containers copied from an arena-backed container
+/// inherit its arena.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(SlabArena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept  // NOLINT
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) noexcept {}  // reclaimed via reset()
+
+  SlabArena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return !(a == b);
+  }
+
+ private:
+  SlabArena* arena_;
+};
+
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace re::engine

@@ -1,111 +1,71 @@
 #include "engine/executor.hh"
 
 #include <algorithm>
-#include <mutex>
-#include <thread>
-#include <utility>
+#include <cstdio>
+
+#include "engine/arena.hh"
 
 namespace re::engine {
 
-namespace {
+Executor::Executor(int jobs, std::uint64_t seed, SchedulerBackend backend)
+    : jobs_(std::max(1, jobs)), seed_(seed), backend_(backend) {}
 
-thread_local bool t_in_worker = false;
+bool Executor::in_worker() { return current_worker() >= 0; }
 
-/// splitmix64 — the standard cheap seeded mixer (same family as
-/// support/rng.hh); used only to derive the work-claim permutation.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9E3779B97F4A7C15ull;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-  return x ^ (x >> 31);
-}
-
-/// Seeded Fisher-Yates permutation of [0, n): the order in which workers
-/// claim units. Deterministic in (n, seed); independent of scheduling.
-std::vector<std::size_t> claim_order(std::size_t n, std::uint64_t seed) {
-  std::vector<std::size_t> order(n);
-  for (std::size_t i = 0; i < n; ++i) order[i] = i;
-  std::uint64_t state = seed;
-  for (std::size_t i = n; i > 1; --i) {
-    state = mix64(state);
-    std::swap(order[i - 1], order[state % i]);
-  }
-  return order;
-}
-
-}  // namespace
-
-Executor::Executor(int jobs, std::uint64_t seed)
-    : jobs_(std::max(1, jobs)), seed_(seed) {}
-
-bool Executor::in_worker() { return t_in_worker; }
-
-void Executor::for_each(std::size_t n,
-                        const std::function<void(std::size_t)>& fn,
-                        const CancelToken* cancel) const {
+void Executor::for_each(std::size_t n, const TaskFn& fn,
+                        const CancelToken* cancel, const HintFn* hints) const {
   if (n == 0) return;
 
   // Serial path, and the nested-fan-out path: run inline. A worker that
   // fans out again would deadlock a fixed pool and gains nothing on a
-  // machine already saturated by the outer fan-out.
+  // machine already saturated by the outer fan-out. Hints are still
+  // honored — the serial path pipelines exactly like one worker would.
   const std::size_t workers =
       std::min<std::size_t>(static_cast<std::size_t>(jobs_), n);
-  if (workers <= 1 || t_in_worker) {
+  if (workers <= 1 || in_worker()) {
+    std::uint64_t local_hints = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      if (cancel != nullptr && cancel->requested()) throw Cancelled();
+      if (cancel != nullptr && cancel->requested()) {
+        if (local_hints != 0) {
+          prefetch_hints_.fetch_add(local_hints, std::memory_order_relaxed);
+        }
+        throw Cancelled();
+      }
+      if (hints != nullptr && i + 1 < n) {
+        local_hints += prefetch_resource((*hints)(i + 1)) != 0 ? 1 : 0;
+      }
       fn(i);
+    }
+    if (local_hints != 0) {
+      prefetch_hints_.fetch_add(local_hints, std::memory_order_relaxed);
     }
     return;
   }
 
-  const std::vector<std::size_t> order = claim_order(n, seed_);
-  std::atomic<std::size_t> next{0};
+  SchedulerConfig config;
+  config.workers = workers;
+  config.seed = seed_;
+  config.backend = backend_;
+  SchedulerStats stats;
+  run_parallel(config, n, fn, cancel, hints, &stats);
+  steals_.fetch_add(stats.steals, std::memory_order_relaxed);
+  prefetch_hints_.fetch_add(stats.prefetch_hints, std::memory_order_relaxed);
+  last_epoch_.store(stats.epoch, std::memory_order_relaxed);
+}
 
-  // Among the units that threw, the lowest-indexed one is rethrown — error
-  // selection depends on unit identity, never on which worker lost a race.
-  // (Units not yet started when the first failure lands are skipped.)
-  std::exception_ptr first_error = nullptr;
-  std::size_t first_error_index = 0;
-  std::atomic<bool> failed{false};
-  std::mutex error_mutex;
-
-  std::atomic<bool> cancelled{false};
-
-  const auto work = [&]() {
-    t_in_worker = true;
-    for (;;) {
-      const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
-      if (slot >= n) break;
-      const std::size_t unit = order[slot];
-      if (failed.load(std::memory_order_relaxed)) continue;  // drain fast
-      if (cancel != nullptr && cancel->requested()) {
-        cancelled.store(true, std::memory_order_relaxed);
-        continue;  // stop starting new units; in-flight ones finish
-      }
-      try {
-        fn(unit);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error == nullptr || unit < first_error_index) {
-          first_error = std::current_exception();
-          first_error_index = unit;
-        }
-        failed.store(true, std::memory_order_relaxed);
-      }
-    }
-    t_in_worker = false;
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(work);
-  work();  // the calling thread is worker 0
-  for (std::thread& t : pool) t.join();
-
-  // Unit errors outrank cancellation: they describe work that actually ran
-  // and the lowest-index selection keeps them deterministic.
-  if (first_error != nullptr) std::rethrow_exception(first_error);
-  if (cancelled.load(std::memory_order_relaxed)) throw Cancelled();
+std::string describe_executor(const Executor& executor) {
+  const NumaTopology& topo = NumaTopology::cached();
+  const SlabArena probe(ArenaPlacement::kAuto);  // the store's default
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "jobs=%d seed=0x%016llx scheduler=%s deque=%zu numa=%s(%d "
+                "node%s)",
+                executor.jobs(),
+                static_cast<unsigned long long>(executor.seed()),
+                scheduler_backend_name(executor.backend()),
+                kStealDequeCapacity, placement_name(probe.placement()),
+                topo.nodes, topo.nodes == 1 ? "" : "s");
+  return std::string(buffer);
 }
 
 }  // namespace re::engine

@@ -1,0 +1,132 @@
+// SlabArena / ArenaAllocator tests: bump allocation, alignment, slab
+// growth and reuse across reset(), placement resolution against the
+// host's (possibly absent) NUMA topology, and the ArtifactStore re-backing
+// — group buffers live in the store's arena and keep their capacity
+// across clear().
+#include "engine/arena.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "engine/store.hh"
+#include "testutil.hh"
+
+namespace re::engine {
+namespace {
+
+TEST(NumaTopology, DetectsAtLeastOneNode) {
+  EXPECT_GE(NumaTopology::cached().nodes, 1);
+  EXPECT_EQ(NumaTopology::cached().nodes, NumaTopology::detect().nodes);
+}
+
+TEST(SlabArena, AutoResolvesAgainstTopology) {
+  const SlabArena arena(ArenaPlacement::kAuto);
+  if (NumaTopology::cached().nodes > 1) {
+    EXPECT_EQ(arena.placement(), ArenaPlacement::kInterleaved);
+  } else {
+    EXPECT_EQ(arena.placement(), ArenaPlacement::kPlain);
+  }
+}
+
+TEST(SlabArena, InterleaveFallsBackToPlainWithoutNuma) {
+  const SlabArena arena(ArenaPlacement::kInterleaved);
+  if (NumaTopology::cached().nodes < 2) {
+    EXPECT_EQ(arena.placement(), ArenaPlacement::kPlain);
+    EXPECT_FALSE(arena.numa_bound());
+  } else {
+    EXPECT_EQ(arena.placement(), ArenaPlacement::kInterleaved);
+  }
+}
+
+TEST(SlabArena, PlacementNamesAreStable) {
+  EXPECT_STREQ(placement_name(ArenaPlacement::kAuto), "auto");
+  EXPECT_STREQ(placement_name(ArenaPlacement::kPlain), "plain");
+  EXPECT_STREQ(placement_name(ArenaPlacement::kInterleaved), "interleave");
+  EXPECT_STREQ(placement_name(ArenaPlacement::kWorkerLocal), "local");
+}
+
+TEST(SlabArena, AllocationsAreAlignedAndWritable) {
+  SlabArena arena(ArenaPlacement::kPlain);
+  for (const std::size_t align : {std::size_t{1}, std::size_t{8},
+                                  std::size_t{64}, std::size_t{256}}) {
+    void* p = arena.allocate(100, align);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "align " << align;
+    std::memset(p, 0xAB, 100);  // must be real, writable memory
+  }
+  EXPECT_GE(arena.bytes_used(), 400u);
+}
+
+TEST(SlabArena, OversizedRequestGetsADedicatedSlab) {
+  SlabArena arena(ArenaPlacement::kPlain, /*slab_bytes=*/4096);
+  void* small = arena.allocate(64, 8);
+  void* big = arena.allocate(1 << 20, 64);
+  ASSERT_NE(small, nullptr);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0, 1 << 20);
+  EXPECT_GE(arena.slab_count(), 2u);
+  EXPECT_GE(arena.bytes_reserved(), std::size_t{1} << 20);
+}
+
+TEST(SlabArena, ResetReusesSlabsInsteadOfGrowing) {
+  SlabArena arena(ArenaPlacement::kPlain, /*slab_bytes=*/4096);
+  for (int i = 0; i < 8; ++i) arena.allocate(1024, 8);
+  const std::size_t slabs_after_warmup = arena.slab_count();
+  const std::size_t reserved = arena.bytes_reserved();
+  for (int round = 0; round < 10; ++round) {
+    arena.reset();
+    EXPECT_EQ(arena.bytes_used(), 0u);
+    for (int i = 0; i < 8; ++i) arena.allocate(1024, 8);
+  }
+  EXPECT_EQ(arena.slab_count(), slabs_after_warmup);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(ArenaAllocator, BacksStdVectors) {
+  SlabArena arena(ArenaPlacement::kPlain);
+  ArenaVector<std::uint64_t> v{ArenaAllocator<std::uint64_t>(&arena)};
+  for (std::uint64_t i = 0; i < 1000; ++i) v.push_back(i * 3);
+  for (std::uint64_t i = 0; i < 1000; ++i) ASSERT_EQ(v[i], i * 3);
+  EXPECT_GE(arena.bytes_used(), 1000 * sizeof(std::uint64_t));
+
+  // Allocator equality follows the arena identity.
+  SlabArena other(ArenaPlacement::kPlain);
+  EXPECT_TRUE(ArenaAllocator<int>(&arena) == ArenaAllocator<int>(&arena));
+  EXPECT_TRUE(ArenaAllocator<int>(&arena) != ArenaAllocator<int>(&other));
+}
+
+TEST(ArtifactStore, GroupBuffersLiveInTheStoreArena) {
+  ArtifactStore store;
+  auto& groups = store.reuse_groups(4);
+  ASSERT_EQ(groups.size(), 4u);
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t id = 0; id < groups.size(); ++id) {
+      store.touched_pcs().push_back(static_cast<std::uint32_t>(id));
+      for (int k = 0; k < 100; ++k) {
+        groups[id].push_back(static_cast<RefCount>(k));
+      }
+    }
+    EXPECT_GT(store.arena().bytes_used(), 0u) << "round " << round;
+    store.clear();
+    for (const auto& g : store.reuse_groups(4)) {
+      EXPECT_TRUE(g.empty());
+      EXPECT_GE(g.capacity(), 100u);  // capacity survives clear()
+    }
+  }
+}
+
+TEST(ArtifactStore, GrowingGroupCountKeepsEarlierBuffers) {
+  ArtifactStore store;
+  store.reuse_groups(2)[1].push_back(RefCount{42});
+  auto& groups = store.reuse_groups(6);
+  ASSERT_EQ(groups.size(), 6u);
+  ASSERT_EQ(groups[1].size(), 1u);
+  EXPECT_EQ(groups[1][0], RefCount{42});
+}
+
+}  // namespace
+}  // namespace re::engine

@@ -241,6 +241,9 @@ TEST(EngineStress, ConcurrentWindowedSolvesAreIndependent) {
   // ArtifactStore (the sharing unit is the store, never the solve). Under
   // RE_SANITIZE=thread this is the data-race oracle for the whole engine
   // path (sampling, StatStack arena reuse, stride fan-out, insertion).
+  // Alternating threads use the work-stealing backend, so owner/thief
+  // claim races run under the same oracle (the steal storm proper lives in
+  // scheduler_test.cc).
   const sim::MachineConfig machine = sim::amd_phenom_ii();
   const std::vector<std::string> names = workloads::suite_names();
   const workloads::Program program = workloads::make_benchmark("libquantum");
@@ -254,7 +257,10 @@ TEST(EngineStress, ConcurrentWindowedSolvesAreIndependent) {
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
-      const Executor executor(2);
+      const SchedulerBackend backend = t % 2 == 0
+                                           ? SchedulerBackend::kForkJoin
+                                           : SchedulerBackend::kSteal;
+      const Executor executor(2, kDefaultExecutorSeed, backend);
       ArtifactStore store;
       const EngineContext ctx{&executor, &store};
       for (int s = 0; s < kSolvesPerThread; ++s) {

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "testutil.hh"
@@ -119,6 +120,29 @@ TEST(Executor, NestedFanOutRunsInlineOnWorkers) {
     EXPECT_EQ(sums[i], expected);
   }
   EXPECT_GT(nested_on_worker.load(), 0);
+}
+
+TEST(Executor, MapHandlesNonDefaultConstructibleResults) {
+  // map() must not require R() — results land in optional slots and are
+  // moved out in index order.
+  struct Tagged {
+    explicit Tagged(std::size_t v) : value(v) {}
+    Tagged(const Tagged&) = delete;
+    Tagged& operator=(const Tagged&) = delete;
+    Tagged(Tagged&&) = default;
+    Tagged& operator=(Tagged&&) = default;
+    std::size_t value;
+  };
+  static_assert(!std::is_default_constructible_v<Tagged>);
+  for (const int jobs : {1, 2, 7, 16}) {
+    const Executor executor(jobs);
+    const std::vector<Tagged> results =
+        executor.map(50, [](std::size_t i) { return Tagged(i * 2 + 1); });
+    ASSERT_EQ(results.size(), 50u) << "jobs " << jobs;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].value, i * 2 + 1) << "jobs " << jobs;
+    }
+  }
 }
 
 TEST(Executor, ZeroUnitsIsANoOp) {
